@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation and prints the corresponding rows/series.  Mission-level
+experiments run exactly once through ``benchmark.pedantic`` (a mission is
+minutes of simulated time; statistical repetition happens across seeds,
+not timer rounds), while kernel-level experiments use the normal
+pytest-benchmark timing loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import pytest
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark fixture.
+
+    Returns ``fn``'s result so the caller can print/assert on it.
+    """
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+
+@pytest.fixture
+def print_header(request, capsys):
+    """Print a visible experiment banner around the captured output."""
+
+    def _print(title: str) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+
+    return _print

@@ -1,0 +1,38 @@
+"""Shared machinery for the Fig. 10-14 operating-point heatmaps."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis import SweepResult, format_heatmap, sweep_operating_points
+
+FULL_GRID = [(c, f) for c in (2, 3, 4) for f in (0.8, 1.5, 2.2)]
+
+
+def run_heatmap(
+    workload: str,
+    seeds: Sequence[int] = (1,),
+    grid=None,
+    workload_kwargs: Optional[Dict] = None,
+) -> SweepResult:
+    return sweep_operating_points(
+        workload,
+        grid=grid or FULL_GRID,
+        seeds=seeds,
+        workload_kwargs=workload_kwargs,
+    )
+
+
+def print_paper_style(result: SweepResult, label: str) -> None:
+    """Print the three per-figure heatmaps in the paper's layout."""
+    print(f"\n--- {label} (a) velocity (m/s) ---")
+    print(format_heatmap(result, "velocity_ms", fmt="{:.2f}"))
+    print(f"\n--- {label} (b) mission time (s) ---")
+    print(format_heatmap(result, "mission_time_s", fmt="{:.1f}"))
+    print(f"\n--- {label} (c) energy (kJ) ---")
+    print(format_heatmap(result, "energy_kj", fmt="{:.1f}"))
+    print(
+        f"\ncorner ratios (slow 2c/0.8GHz over fast 4c/2.2GHz): "
+        f"time {result.corner_ratio('mission_time_s'):.2f}x, "
+        f"energy {result.corner_ratio('energy_kj'):.2f}x"
+    )

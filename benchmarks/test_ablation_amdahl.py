@@ -1,0 +1,70 @@
+"""Ablation — Amdahl serial fraction drives the core-scaling shape.
+
+DESIGN.md calls out the per-kernel serial fraction as the central
+calibration choice for core scaling.  This ablation sweeps the serial
+fraction and verifies the model's behaviour at the extremes: a fully
+serial kernel gains nothing from cores (Scanning's flat heatmap), a fully
+parallel kernel gains linearly (Mapping's steep one).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.compute import JETSON_TX2, KernelProfile, PlatformConfig
+
+
+def _sweep():
+    rows = []
+    for serial in (0.0, 0.25, 0.5, 0.75, 1.0):
+        profile = KernelProfile(
+            name="k", base_ms=100.0, serial_fraction=serial, freq_exponent=1.0
+        )
+        two = profile.runtime_ms(PlatformConfig(JETSON_TX2, 2, 2.2))
+        four = profile.runtime_ms(PlatformConfig(JETSON_TX2, 4, 2.2))
+        rows.append((serial, two, four, two / four))
+    return rows
+
+
+def test_ablation_amdahl(benchmark, print_header):
+    rows = run_once(benchmark, _sweep)
+    print_header("Ablation: Amdahl serial fraction vs core-scaling gain")
+    print(
+        format_table(
+            ["serial fraction", "t @ 2 cores (ms)", "t @ 4 cores (ms)",
+             "4-core speedup over 2"],
+            rows,
+        )
+    )
+    speedups = [r[3] for r in rows]
+    # Monotone: more serial work, less core benefit.
+    assert speedups == sorted(speedups, reverse=True)
+    assert speedups[0] == pytest.approx(2.0, rel=1e-6)  # fully parallel
+    assert speedups[-1] == pytest.approx(1.0, rel=1e-6)  # fully serial
+
+
+def test_ablation_frequency_exponent(benchmark, print_header):
+    def sweep():
+        rows = []
+        for alpha in (0.5, 1.0, 1.45):
+            profile = KernelProfile(
+                name="k", base_ms=100.0, serial_fraction=0.0,
+                freq_exponent=alpha,
+            )
+            slow = profile.runtime_ms(PlatformConfig(JETSON_TX2, 4, 0.8))
+            fast = profile.runtime_ms(PlatformConfig(JETSON_TX2, 4, 2.2))
+            rows.append((alpha, slow, fast, slow / fast))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_header("Ablation: frequency exponent vs clock-scaling gain")
+    print(
+        format_table(
+            ["freq exponent", "t @ 0.8 GHz (ms)", "t @ 2.2 GHz (ms)",
+             "speedup"],
+            rows,
+        )
+    )
+    ratio = 2.2 / 0.8
+    for alpha, _slow, _fast, speedup in rows:
+        assert speedup == pytest.approx(ratio**alpha, rel=1e-6)

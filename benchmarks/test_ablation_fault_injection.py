@@ -1,0 +1,78 @@
+"""Ablation — compute-subsystem fault injection (Section VI-C extension).
+
+"We can also inject errors directly into the compute subsystem to
+'simulate' soft errors and transient bit flips in logic."  This harness
+flies Package Delivery with kernel crash/retry faults injected at
+increasing rates and reports the QoF degradation — the vulnerability-
+analysis capability the paper describes.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.compute import KernelModel
+from repro.core.api import make_simulation
+from repro.core.workloads import PackageDeliveryWorkload
+from repro.reliability import FaultInjector, FaultModel
+from repro.world import empty_world, make_box_obstacle
+
+
+def _world():
+    world = empty_world((50, 50, 12), name="fault-city")
+    world.add(make_box_obstacle((0, 0, 4), (6, 6, 8), kind="building"))
+    return world
+
+
+def _fly(crash_probability: float, seed: int = 2):
+    workload = PackageDeliveryWorkload(
+        world=_world(), goal=np.array([18.0, 18.0, 3.0]), seed=seed
+    )
+    sim = make_simulation(workload, cores=4, frequency_ghz=2.2, seed=seed)
+    injector = FaultInjector(
+        base_model=KernelModel(workload="package_delivery"),
+        fault_model=FaultModel(crash_probability=crash_probability),
+        seed=seed,
+    )
+    sim.kernel_model = injector
+    sim.scheduler.kernel_model = injector
+    report = workload.run()
+    return report, injector.fault_counts()
+
+
+def test_fault_injection_degrades_qof(benchmark, print_header):
+    def study():
+        rows = []
+        for rate in (0.0, 0.2, 0.5):
+            report, counts = _fly(rate)
+            rows.append(
+                (
+                    rate,
+                    "ok" if report.success else
+                    f"FAIL({report.failure_reason})",
+                    report.mission_time_s,
+                    report.total_energy_j / 1000.0,
+                    counts["crashes"],
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, study)
+    print_header("Ablation: kernel crash/retry fault injection")
+    print(
+        format_table(
+            ["crash prob", "outcome", "mission (s)", "energy (kJ)",
+             "crashes"],
+            rows,
+        )
+    )
+    clean_time = rows[0][2]
+    faulty_time = rows[-1][2]
+    # Fault-free baseline succeeds.
+    assert rows[0][1] == "ok"
+    assert rows[0][4] == 0
+    # Heavy fault rates cost mission time (retries inflate every kernel)
+    # unless they kill the mission outright.
+    assert rows[-1][4] > 0
+    assert faulty_time > clean_time or rows[-1][1] != "ok"

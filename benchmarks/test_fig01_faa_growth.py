@@ -1,0 +1,31 @@
+"""Fig. 1 — FAA UAV registration growth.
+
+Regenerates the bar series of Fig. 1 from the transcribed FAA dataset and
+checks the paper's headline claims: >200% growth over two years and a
+4M-unit 2021 forecast.
+"""
+
+from conftest import run_once
+
+from repro.analysis import (
+    FAA_FORECAST_2021,
+    FAA_REGISTRATIONS,
+    format_table,
+    registration_growth_factor,
+)
+
+
+def test_fig01_registration_growth(benchmark, print_header):
+    rows = run_once(benchmark, lambda: list(FAA_REGISTRATIONS))
+
+    print_header("Fig. 1: FAA-registered UAV units")
+    print(format_table(["period", "units"], rows))
+    growth = registration_growth_factor()
+    print(f"growth 2015-2016 -> 2017-present: {growth:.2f}x (paper: >2x)")
+    print(f"FAA 2021 forecast: {FAA_FORECAST_2021:,} units")
+
+    # Monotone growth, >2x over the two-year window, forecast far above.
+    counts = [units for _, units in rows]
+    assert counts == sorted(counts)
+    assert growth > 2.0
+    assert FAA_FORECAST_2021 > 4 * counts[-1]

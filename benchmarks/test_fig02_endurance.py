@@ -1,0 +1,73 @@
+"""Fig. 2 — endurance and size vs battery capacity for commercial MAVs.
+
+Regenerates both scatter series (2a: endurance vs capacity; 2b: size vs
+capacity) from the commercial-MAV dataset, and cross-checks the endurance
+trend with our coulomb-counter battery model: at each vehicle's rated
+hover power, the model's predicted endurance must correlate with the
+manufacturer rating.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import (
+    COMMERCIAL_MAVS,
+    endurance_vs_capacity,
+    format_table,
+    size_vs_capacity,
+)
+from repro.energy import Battery
+
+
+def test_fig02a_endurance_vs_capacity(benchmark, print_header):
+    rows = run_once(benchmark, endurance_vs_capacity)
+
+    print_header("Fig. 2a: endurance vs battery capacity")
+    print(format_table(["MAV", "wing", "battery (mAh)", "endurance (h)"], rows))
+
+    # Key claims: capacity correlates with endurance, and the fixed-wing
+    # Disco FPV outlasts the rotor-wing Bebop 2 Power on similar capacity.
+    by_name = {r[0]: r for r in rows}
+    disco = by_name["Disco FPV"]
+    bebop = by_name["Bebop 2 Power"]
+    assert disco[3] > bebop[3]
+    assert abs(disco[2] - bebop[2]) < 1500  # similar capacity
+
+    caps = np.array([r[2] for r in rows if r[1] == "rotor"])
+    ends = np.array([r[3] for r in rows if r[1] == "rotor"])
+    corr = np.corrcoef(caps, ends)[0, 1]
+    print(f"rotor-wing capacity/endurance correlation: {corr:.2f}")
+    assert corr > 0.3
+
+
+def test_fig02a_battery_model_cross_check(benchmark, print_header):
+    def predict():
+        out = []
+        for mav in COMMERCIAL_MAVS:
+            pack = Battery(capacity_mah=mav.battery_mah, cells=mav.battery_cells)
+            predicted_min = pack.endurance_estimate_s(mav.hover_power_w) / 60.0
+            out.append((mav.name, mav.endurance_min, predicted_min))
+        return out
+
+    rows = run_once(benchmark, predict)
+    print_header("Fig. 2a cross-check: battery-model endurance")
+    print(format_table(["MAV", "rated (min)", "model (min)"], rows))
+
+    rated = np.array([r[1] for r in rows])
+    model = np.array([r[2] for r in rows])
+    corr = np.corrcoef(rated, model)[0, 1]
+    print(f"rated/model correlation: {corr:.2f}")
+    assert corr > 0.5
+
+
+def test_fig02b_size_vs_capacity(benchmark, print_header):
+    rows = run_once(benchmark, size_vs_capacity)
+    print_header("Fig. 2b: size vs battery capacity")
+    print(format_table(["MAV", "battery (mAh)", "size (mm)"], rows))
+
+    # Racing drones break the trend (small + high-discharge packs), so the
+    # paper's observation is a loose correlation across camera drones.
+    camera_rows = [r for r in rows if "Racing" not in r[0] and "Disco" not in r[0]]
+    caps = np.array([r[1] for r in camera_rows])
+    sizes = np.array([r[2] for r in camera_rows])
+    assert np.corrcoef(caps, sizes)[0, 1] > 0.4

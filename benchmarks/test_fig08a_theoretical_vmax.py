@@ -1,0 +1,53 @@
+"""Fig. 8a — theoretical maximum velocity vs processing time (Eq. 2).
+
+The paper: "our simulated drone, in theory, is bounded by the max
+velocity anywhere between 8.83 to 1.57 m/s given a pixel to response time
+of the range 0 to 4 seconds."  Those endpoints pin a_max = 6 m/s^2 and
+d = 6.5 m, which the curve below must reproduce exactly.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core.velocity import (
+    max_velocity,
+    max_velocity_curve,
+    response_time_for_velocity,
+)
+
+
+def test_fig08a_curve(benchmark, print_header):
+    times = np.linspace(0.0, 4.0, 9)
+    curve = run_once(benchmark, max_velocity_curve, times)
+
+    print_header("Fig. 8a: Eq.-2 max velocity vs processing time")
+    print(format_table(["process time (s)", "v_max (m/s)"], curve))
+
+    v0 = curve[0][1]
+    v4 = curve[-1][1]
+    print(f"endpoints: v(0) = {v0:.2f} m/s, v(4) = {v4:.2f} m/s "
+          f"(paper: 8.83 / 1.57)")
+    assert v0 == pytest.approx(8.83, abs=0.05)
+    assert v4 == pytest.approx(1.57, abs=0.05)
+
+    velocities = [v for _, v in curve]
+    assert velocities == sorted(velocities, reverse=True)
+
+
+def test_fig08a_inverse(benchmark, print_header):
+    """Round-trip: Eq. 2 and its inverse agree across the curve."""
+
+    def round_trip():
+        errors = []
+        for dt in np.linspace(0.0, 4.0, 17):
+            v = max_velocity(float(dt))
+            dt_back = response_time_for_velocity(v)
+            errors.append(abs(dt_back - dt))
+        return max(errors)
+
+    worst = run_once(benchmark, round_trip)
+    print_header("Fig. 8a: Eq.-2 inverse round-trip")
+    print(f"max |dt - inverse(v(dt))| = {worst:.2e} s")
+    assert worst < 1e-9

@@ -1,0 +1,54 @@
+"""Fig. 8b — the SLAM circular-path microbenchmark.
+
+Protocol (Section V-A): fly a circle of radius 25 m; emulate different
+compute powers as different SLAM frame rates; sweep velocities; bound the
+tracking-failure rate to 20%.  Report, per FPS: the max velocity that
+stays under the bound and the mission energy at that velocity.
+
+Expected shape: max velocity grows with FPS; energy *falls* with FPS
+(faster laps on rotor-dominated power).  The paper reports ~4X energy
+reduction for a 5X processing-speed increase.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import format_table, slam_fps_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return slam_fps_sweep(fps_values=(0.25, 0.5, 1, 2, 4), seed=3)
+
+
+def test_fig08b_velocity_vs_fps(benchmark, print_header, sweep):
+    points = run_once(benchmark, lambda: sweep)
+
+    print_header("Fig. 8b: SLAM FPS vs max velocity and energy")
+    print(
+        format_table(
+            ["SLAM FPS", "max velocity (m/s)", "failure rate",
+             "mission (s)", "energy (kJ)"],
+            [
+                (p.fps, p.velocity_ms, p.failure_rate, p.mission_time_s,
+                 p.energy_kj)
+                for p in points
+            ],
+        )
+    )
+    velocities = [p.velocity_ms for p in points]
+    assert all(b >= a for a, b in zip(velocities[:-1], velocities[1:]))
+    assert velocities[-1] > velocities[0]
+    # All reported points respect the failure-rate bound.
+    assert all(p.failure_rate <= 0.2 for p in points)
+
+
+def test_fig08b_energy_vs_fps(benchmark, print_header, sweep):
+    points = run_once(benchmark, lambda: sweep)
+    energies = [p.energy_kj for p in points]
+    print_header("Fig. 8b: energy falls as compute (FPS) rises")
+    ratio = energies[0] / energies[-1]
+    print(f"energy at 0.5 FPS / energy at 8 FPS = {ratio:.2f}x "
+          f"(paper: ~4x for 5x compute)")
+    assert energies[-1] < energies[0]
+    assert ratio > 1.5

@@ -1,0 +1,61 @@
+"""Fig. 9 — measured power breakdown and mission power trace (3DR Solo).
+
+9a: rotors ~287 W vs compute ~13 W vs flight controller ~2 W — rotors
+dominate by ~20X.  9b: total power over an arm/hover/fly/land mission at
+two steady-state velocities (flying at 10 m/s draws more than at 5 m/s,
+and every flight phase dwarfs compute).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import format_table, mission_power_trace, solo_power_breakdown
+from repro.compute import JETSON_TX2, PlatformConfig
+
+
+def test_fig09a_power_breakdown(benchmark, print_header):
+    tx2 = PlatformConfig(JETSON_TX2, 4, 2.2)
+    breakdown = run_once(
+        benchmark, solo_power_breakdown, tx2.max_cpu_power_w()
+    )
+
+    print_header("Fig. 9a: 3DR Solo power breakdown")
+    print(
+        format_table(
+            ["subsystem", "power (W)"],
+            [(k.replace("_w", ""), v) for k, v in breakdown.items()],
+        )
+    )
+    ratio = breakdown["rotors_w"] / breakdown["compute_w"]
+    print(f"rotors / compute = {ratio:.0f}x (paper: ~20x)")
+    assert breakdown["rotors_w"] == pytest.approx(287.0, rel=0.2)
+    assert 10.0 <= ratio <= 40.0
+
+
+def test_fig09b_mission_power_trace(benchmark, print_header):
+    def traces():
+        return {
+            5.0: mission_power_trace(cruise_speed=5.0),
+            10.0: mission_power_trace(cruise_speed=10.0),
+        }
+
+    result = run_once(benchmark, traces)
+    print_header("Fig. 9b: mission power by phase")
+    for speed, phases in result.items():
+        print(f"\n@ {speed} m/s steady state:")
+        print(
+            format_table(
+                ["phase", "duration (s)", "power (W)"],
+                [(p.name, p.duration_s, p.power_w) for p in phases],
+            )
+        )
+    p5 = {p.name: p.power_w for p in result[5.0]}
+    p10 = {p.name: p.power_w for p in result[10.0]}
+    # Faster flight draws more rotor power; hover identical across runs.
+    assert p10["flying"] > p5["flying"]
+    assert p5["hover"] == pytest.approx(p10["hover"])
+    # All airborne phases in the hundreds of watts (paper: 200-700 W).
+    for phases in result.values():
+        for p in phases:
+            if p.name != "arming":
+                assert 100.0 <= p.power_w <= 800.0

@@ -1,0 +1,30 @@
+"""Fig. 10 — Scanning heatmap: compute scaling has a *trivial* effect.
+
+The paper: "We observe trivial differences for velocity, endurance and
+energy across all three operating points ... because planning is done
+once at the beginning of the mission and its overhead is amortized."
+(Velocity 7.5 m/s and energy ~35 kJ in every cell of Fig. 10.)
+"""
+
+from conftest import run_once
+from heatmap_common import print_paper_style, run_heatmap
+
+
+def test_fig10_scanning_heatmap(benchmark, print_header):
+    result = run_once(benchmark, run_heatmap, "scanning")
+
+    print_header("Fig. 10: Scanning")
+    print_paper_style(result, "Fig. 10")
+
+    times = [c.mission_time_s for c in result.cells]
+    energies = [c.energy_kj for c in result.cells]
+    velocities = [c.velocity_ms for c in result.cells]
+    assert all(c.success_rate == 1.0 for c in result.cells)
+    # Trivial spread: <5% variation across the whole grid.
+    assert max(times) / min(times) < 1.05
+    assert max(energies) / min(energies) < 1.05
+    assert max(velocities) / min(velocities) < 1.05
+    # Planning overhead is amortized: well under 1% of the mission.
+    for cell in result.cells:
+        planning = cell.extra.get("planning_time_s", 0.0)
+        assert planning / cell.mission_time_s < 0.01

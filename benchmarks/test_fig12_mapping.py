@@ -1,0 +1,32 @@
+"""Fig. 12 — 3D Mapping heatmap.
+
+The paper reports up to 86% mission-time and 83% energy reduction with
+compute scaling: frontier exploration (2.6 s/invocation) dominates hover
+time and OctoMap generation bounds max velocity, and the node concurrency
+rewards core scaling.  This is the workload with the steepest compute
+sensitivity — our closed loop reproduces multi-X corner ratios.
+"""
+
+from conftest import run_once
+from heatmap_common import print_paper_style, run_heatmap
+
+
+def test_fig12_mapping_heatmap(benchmark, print_header):
+    result = run_once(benchmark, run_heatmap, "mapping")
+
+    print_header("Fig. 12: 3D Mapping")
+    print_paper_style(result, "Fig. 12")
+
+    fast = result.cell(4, 2.2)
+    slow = result.cell(2, 0.8)
+    assert fast.mission_time_s < slow.mission_time_s
+    assert fast.energy_kj < slow.energy_kj
+    assert fast.velocity_ms > slow.velocity_ms
+    # Steep sensitivity (paper: ~7x time, ~6x energy corner ratios).
+    assert result.corner_ratio("mission_time_s") > 2.0
+    assert result.corner_ratio("energy_kj") > 2.0
+    # Both corners actually complete the coverage goal.
+    assert fast.success_rate == 1.0
+    assert slow.success_rate == 1.0
+    # Coverage achieved is comparable — the *time* differs, not the map.
+    assert abs(fast.extra["coverage"] - slow.extra["coverage"]) < 0.15

@@ -1,0 +1,27 @@
+"""Fig. 13 — Search and Rescue heatmap.
+
+The paper reports up to 67% mission-time and 57% energy reduction with
+compute scaling.  SAR adds object detection on top of the Mapping
+pipeline; survivor discovery is stochastic, so cells average over seeds.
+"""
+
+from conftest import run_once
+from heatmap_common import print_paper_style, run_heatmap
+
+
+def test_fig13_search_rescue_heatmap(benchmark, print_header):
+    result = run_once(
+        benchmark, run_heatmap, "search_rescue", seeds=(1, 2)
+    )
+
+    print_header("Fig. 13: Search and Rescue")
+    print_paper_style(result, "Fig. 13")
+
+    fast = result.cell(4, 2.2)
+    slow = result.cell(2, 0.8)
+    assert fast.mission_time_s < slow.mission_time_s
+    assert fast.energy_kj < slow.energy_kj
+    assert result.corner_ratio("mission_time_s") > 1.5
+    # The survivor is found at both corners.
+    assert fast.extra["found_survivor"] == 1.0
+    assert slow.extra["found_survivor"] == 1.0

@@ -1,0 +1,83 @@
+"""Fig. 15 — kernel runtime breakdown across all nine TX2 configurations.
+
+Regenerates the grouped bars: for each (kernel, application) pair, the
+modeled runtime at every (cores, frequency) operating point, and checks
+the calibrated scaling behaviours the paper reports (tracking ~10X,
+motion planning up to ~9X, OctoMap 2.9-6.6X, detection 1.8-2.5X between
+the slowest and fastest configurations).
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.compute import JETSON_TX2, KernelModel, PlatformConfig
+
+CONFIGS = [
+    (c, f) for c in (2, 3, 4) for f in (0.8, 1.5, 2.2)
+]
+
+#: (label, workload, kernel) — the bars of Fig. 15.
+BARS = [
+    ("MP-SC", "scanning", "lawnmower"),
+    ("OMG-PD", "package_delivery", "octomap"),
+    ("MP-PD", "package_delivery", "shortest_path"),
+    ("MP-MAP3D", "mapping", "frontier_exploration"),
+    ("OMG-MAP3D", "mapping", "octomap"),
+    ("MP-SAR", "search_rescue", "frontier_exploration"),
+    ("OMG-SAR", "search_rescue", "octomap"),
+    ("OD-AP", "aerial_photography", "object_detection_yolo"),
+    ("Track Buffered-AP", "aerial_photography", "tracking_buffered"),
+    ("Track RealTime-AP", "aerial_photography", "tracking_realtime"),
+]
+
+
+def _breakdown():
+    rows = []
+    for label, workload, kernel in BARS:
+        model = KernelModel(workload=workload)
+        profile = model.profile(kernel)
+        runtimes = [
+            profile.runtime_ms(PlatformConfig(JETSON_TX2, c, f)) / 1000.0
+            for c, f in CONFIGS
+        ]
+        rows.append([label] + runtimes)
+    return rows
+
+
+def test_fig15_kernel_breakdown(benchmark, print_header):
+    rows = run_once(benchmark, _breakdown)
+
+    print_header("Fig. 15: kernel runtimes (s) across TX2 configurations")
+    headers = ["kernel-app"] + [f"{c}c/{f}GHz" for c, f in CONFIGS]
+    print(format_table(headers, rows))
+
+    by_label = {row[0]: row[1:] for row in rows}
+    slow_idx = CONFIGS.index((2, 0.8))
+    fast_idx = CONFIGS.index((4, 2.2))
+
+    def speedup(label):
+        return by_label[label][slow_idx] / by_label[label][fast_idx]
+
+    print("\nspeedups (2c/0.8GHz -> 4c/2.2GHz) vs paper:")
+    expectations = [
+        ("Track Buffered-AP", 10.0, (7.0, 12.0)),
+        ("MP-PD", 9.2, (6.0, 10.0)),
+        ("MP-MAP3D", 6.3, (5.0, 8.0)),
+        ("MP-SAR", 6.8, (5.0, 9.0)),
+        ("OMG-PD", 2.9, (2.0, 4.0)),
+        ("OMG-MAP3D", 6.0, (4.5, 7.5)),
+        ("OMG-SAR", 6.6, (5.0, 8.0)),
+        ("OD-AP", 2.49, (1.6, 3.2)),
+        ("MP-SC", 3.0, (2.2, 4.0)),
+    ]
+    for label, paper, (lo, hi) in expectations:
+        s = speedup(label)
+        print(f"  {label:<20s} model {s:5.2f}x   paper {paper:5.2f}x")
+        assert lo <= s <= hi, f"{label}: {s:.2f}x outside [{lo}, {hi}]"
+
+    # Every kernel is monotonically faster with frequency at fixed cores.
+    for label, values in by_label.items():
+        for c_idx, cores in enumerate((2, 3, 4)):
+            f08 = values[c_idx * 3 + 0]
+            f22 = values[c_idx * 3 + 2]
+            assert f22 <= f08 + 1e-12, f"{label} not faster at 2.2 GHz"

@@ -1,0 +1,91 @@
+"""Fig. 16 — the performance case study: fully-on-edge vs sensor-cloud.
+
+"A drone that can enjoy the cloud's extra compute power sees a 3X speed
+up in planning time.  This improves the drone's average velocity due to
+hover time reduction, and hence reduces the drone's overall mission time
+by as much as 50%, effectively doubling its endurance."
+
+The planning-stage kernel of 3D Mapping (frontier exploration) is routed
+to the i7 + GTX 1080 over the 1 Gb/s "future 5G" link; the mission is
+re-flown and compared against the TX2-only baseline.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.compute import (
+    CloudOffloadModel,
+    FIVE_G_LINK,
+    KernelModel,
+    KernelProfile,
+    LTE_LINK,
+)
+from repro.core.api import make_simulation
+from repro.core.workloads import MappingWorkload
+
+
+def _fly_mapping(offload_model=None, seed=2):
+    workload = MappingWorkload(seed=seed)
+    sim = make_simulation(workload, cores=4, frequency_ghz=2.2, seed=seed)
+    if offload_model is not None:
+        offload_model.kernel_model = KernelModel(workload="mapping")
+        effective_s = offload_model.effective_runtime_s("frontier_exploration")
+        sim.kernel_model.set_override(
+            "frontier_exploration",
+            KernelProfile(
+                name="frontier_exploration",
+                base_ms=effective_s * 1000.0,
+                serial_fraction=1.0,
+                freq_exponent=0.0,
+                jitter=0.1,
+            ),
+        )
+    report = workload.run()
+    return report
+
+
+def test_fig16_planning_speedup(benchmark, print_header):
+    def speedups():
+        km = KernelModel(workload="mapping")
+        m5g = CloudOffloadModel(link=FIVE_G_LINK, kernel_model=km)
+        mlte = CloudOffloadModel(link=LTE_LINK, kernel_model=km)
+        return {
+            "5g": m5g.speedup("frontier_exploration"),
+            "lte": mlte.speedup("frontier_exploration"),
+        }
+
+    result = run_once(benchmark, speedups)
+    print_header("Fig. 16: planning kernel offload speedup")
+    print(f"5G (1 Gb/s): {result['5g']:.1f}x   (paper: ~3x)")
+    print(f"LTE        : {result['lte']:.1f}x")
+    assert 2.0 <= result["5g"] <= 5.0
+    assert result["lte"] < result["5g"]
+
+
+def test_fig16_mission_comparison(benchmark, print_header):
+    def both():
+        edge = _fly_mapping(None)
+        cloud = _fly_mapping(CloudOffloadModel(link=FIVE_G_LINK))
+        return edge, cloud
+
+    edge, cloud = run_once(benchmark, both)
+    print_header("Fig. 16: 3D Mapping, edge vs sensor-cloud")
+    print(
+        format_table(
+            ["config", "mission (s)", "hover (s)", "energy (kJ)"],
+            [
+                ("edge (TX2)", edge.mission_time_s, edge.hover_time_s,
+                 edge.total_energy_j / 1000),
+                ("sensor-cloud", cloud.mission_time_s, cloud.hover_time_s,
+                 cloud.total_energy_j / 1000),
+            ],
+        )
+    )
+    reduction = 1.0 - cloud.mission_time_s / edge.mission_time_s
+    print(f"mission time reduction: {100 * reduction:.0f}% (paper: up to 50%)")
+    assert edge.success and cloud.success
+    assert cloud.mission_time_s < edge.mission_time_s
+    assert cloud.hover_time_s < edge.hover_time_s
+    assert cloud.total_energy_j < edge.total_energy_j
+    assert reduction > 0.1

@@ -1,0 +1,82 @@
+"""Fig. 17 — OctoMap resolution vs the drone's perception of openings.
+
+"When the resolution is lowered, the voxels size increases to the point
+that the drone fails to recognize the openings as possible passageways to
+plan through."  We scan the campus building entrance into maps at
+0.15 / 0.5 / 0.8 m and check whether the doorway survives as free space
+for a 0.65 m drone — on the real octree, not a model.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.perception import OctoMap, depth_to_point_cloud
+from repro.planning import CollisionChecker
+from repro.sensors import CameraIntrinsics, RgbdCamera
+from repro.world import campus_world, vec
+
+
+#: West face of the campus building: world west edge + outdoor length.
+DOOR_X = -35.0 + 50.0
+
+
+def _scan_entrance(resolution: float):
+    world = campus_world(seed=3, door_width=1.4)
+    camera = RgbdCamera(intrinsics=CameraIntrinsics(width=64, height=48))
+    om = OctoMap(resolution=resolution, bounds=world.bounds)
+    for x in (DOOR_X - 12.0, DOOR_X - 8.0, DOOR_X - 4.0):
+        for y in (-6.0, -4.0, -2.0):
+            cloud = depth_to_point_cloud(
+                camera.capture_depth(world, vec(x, y, 2.0), yaw=0.0)
+            )
+            om.insert_scan(cloud, carve_rays=80)
+    # The entrance door is centered on the first room (y = -4).
+    checker = CollisionChecker(om, drone_radius=0.325)
+    passable = checker.point_free(vec(DOOR_X, -4.0, 2.0))
+    return om, passable
+
+
+def test_fig17_resolution_vs_perception(benchmark, print_header):
+    def study():
+        rows = []
+        for resolution in (0.15, 0.5, 0.8):
+            om, passable = _scan_entrance(resolution)
+            rows.append(
+                (resolution, len(om), "open" if passable else "blocked")
+            )
+        return rows
+
+    rows = run_once(benchmark, study)
+    print_header("Fig. 17: doorway perception vs OctoMap resolution")
+    print(
+        format_table(
+            ["resolution (m)", "map cells", "1.4 m doorway perceived"],
+            rows,
+        )
+    )
+    by_res = {r[0]: r[2] for r in rows}
+    # Fine map keeps the door open; the coarsest map closes it.
+    assert by_res[0.15] == "open"
+    assert by_res[0.8] == "blocked"
+    # Memory shrinks with coarser voxels.
+    cells = [r[1] for r in rows]
+    assert cells == sorted(cells, reverse=True)
+
+
+def test_fig17_rebuild_inflates_obstacles(benchmark, print_header):
+    """Rebuilding a fine map at coarse resolution inflates obstacles
+    (Figs. 17b -> 17d on the same observations)."""
+
+    def study():
+        om_fine, _ = _scan_entrance(0.15)
+        occupied_fine = om_fine.occupied_centers().shape[0] * 0.15**3
+        om_coarse = om_fine.rebuilt_at_resolution(0.8)
+        occupied_coarse = om_coarse.occupied_centers().shape[0] * 0.8**3
+        return occupied_fine, occupied_coarse
+
+    fine_vol, coarse_vol = run_once(benchmark, study)
+    print_header("Fig. 17: occupied volume inflation under coarsening")
+    print(f"occupied volume at 0.15 m: {fine_vol:8.1f} m^3")
+    print(f"occupied volume at 0.80 m: {coarse_vol:8.1f} m^3")
+    assert coarse_vol > fine_vol * 1.5

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Compute-scaling study: how cores x frequency shape mission QoF.
+
+Reproduces the experiment behind the paper's Section V-C heatmaps
+(Figs. 10-14) on a reduced grid: fly 3D Mapping at the slow, middle, and
+fast TX2 operating points and report velocity / mission time / energy.
+
+The headline effect to observe: faster compute -> shorter hover (planning
+finishes sooner) and higher permitted velocity (Eq. 2) -> shorter mission
+-> *less total energy*, because the rotors dominate power draw ~20X over
+the compute subsystem.
+
+Run:
+    python examples/compute_scaling_study.py [workload]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro import run_workload
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mapping"
+    points = [(2, 0.8), (3, 1.5), (4, 2.2)]
+    rows = []
+    print(f"Sweeping '{workload}' across TX2 operating points...\n")
+    for cores, freq in points:
+        result = run_workload(workload, cores=cores, frequency_ghz=freq, seed=1)
+        r = result.report
+        rows.append(
+            [
+                f"{cores}c @ {freq} GHz",
+                r.average_velocity_ms,
+                r.mission_time_s,
+                r.hover_time_s,
+                r.total_energy_j / 1000.0,
+                "yes" if r.success else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["operating point", "avg vel (m/s)", "mission (s)",
+             "hover (s)", "energy (kJ)", "success"],
+            rows,
+            title=f"Compute scaling on '{workload}' (cf. paper Figs. 10-14)",
+        )
+    )
+    slow, fast = rows[0], rows[-1]
+    print(
+        f"\nfast corner vs slow corner: "
+        f"{slow[2] / fast[2]:.1f}x mission time, "
+        f"{slow[4] / fast[4]:.1f}x energy"
+    )
+
+
+if __name__ == "__main__":
+    main()

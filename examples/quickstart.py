@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: run one MAVBench workload end to end.
+
+Assembles the full closed-loop stack — simulated world, RGB-D/IMU/GPS
+sensors, quadrotor dynamics, the TX2 compute model, ROS-like middleware,
+and the rotor-power/battery models — and flies the Package Delivery
+mission at the TX2's top operating point (4 cores, 2.2 GHz).
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import run_workload
+
+
+def main() -> None:
+    print("Flying Package Delivery on a simulated DJI Matrice 100")
+    print("Companion computer: Jetson TX2 @ 4 cores, 2.2 GHz\n")
+
+    result = run_workload(
+        "package_delivery", cores=4, frequency_ghz=2.2, seed=1
+    )
+    report = result.report
+
+    print(f"mission outcome      : {'success' if report.success else 'FAILED'}")
+    print(f"mission time         : {report.mission_time_s:8.1f} s")
+    print(f"flight distance      : {report.flight_distance_m:8.1f} m")
+    print(f"average velocity     : {report.average_velocity_ms:8.2f} m/s")
+    print(f"hover time           : {report.hover_time_s:8.1f} s")
+    print(f"total energy         : {report.total_energy_j / 1000:8.1f} kJ")
+    print(f"  rotors             : {report.rotor_energy_j / 1000:8.1f} kJ")
+    print(f"  compute            : {report.compute_energy_j / 1000:8.1f} kJ")
+    print(f"battery remaining    : {report.battery_remaining_percent:8.1f} %")
+    print(f"re-plans             : {report.extra.get('replans', 0):8.0f}")
+
+    print("\nPer-kernel latency on the companion computer:")
+    for kernel, stats in sorted(result.kernel_stats.items()):
+        print(
+            f"  {kernel:<24s} x{stats['count']:<5.0f} "
+            f"mean {stats['mean_s'] * 1000:7.1f} ms  "
+            f"max {stats['max_s'] * 1000:7.1f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

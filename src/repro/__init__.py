@@ -1,0 +1,22 @@
+"""repro — a from-scratch Python reproduction of MAVBench (MICRO 2018).
+
+MAVBench is a closed-loop micro-aerial-vehicle (MAV) simulator plus an
+end-to-end benchmark suite of five drone applications.  This package
+implements the full system: the world/sensor/dynamics/energy simulation
+substrate, a compute-platform model for the companion computer, a ROS-like
+middleware, the perception/planning/control kernel library, the five
+workloads, and the analysis harness that regenerates every table and figure
+in the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import run_workload
+>>> result = run_workload("package_delivery", cores=4, frequency_ghz=2.2)
+>>> result.mission_time_s  # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+from .core.api import WorkloadResult, available_workloads, run_workload
+
+__all__ = ["WorkloadResult", "available_workloads", "run_workload", "__version__"]

@@ -1,0 +1,64 @@
+"""Analysis harness: sweeps, microbenchmarks, datasets, and reporting."""
+
+from .datasets import (
+    COMMERCIAL_MAVS,
+    FAA_FORECAST_2021,
+    FAA_REGISTRATIONS,
+    CommercialMav,
+    endurance_vs_capacity,
+    registration_growth_factor,
+    size_vs_capacity,
+)
+from .sweep import (
+    DEFAULT_GRID,
+    SweepCell,
+    SweepResult,
+    format_heatmap,
+    sweep_operating_points,
+)
+from .microbench import (
+    PowerPhase,
+    SlamSweepPoint,
+    max_velocity_at_fps,
+    mission_power_trace,
+    run_slam_circle,
+    slam_fps_sweep,
+    solo_power_breakdown,
+)
+from .reporting import comparison_row, format_table
+from .flight_log import (
+    load_mission,
+    mission_document,
+    samples_to_rows,
+    write_csv,
+    write_json,
+)
+
+__all__ = [
+    "COMMERCIAL_MAVS",
+    "CommercialMav",
+    "DEFAULT_GRID",
+    "FAA_FORECAST_2021",
+    "FAA_REGISTRATIONS",
+    "PowerPhase",
+    "SlamSweepPoint",
+    "SweepCell",
+    "SweepResult",
+    "comparison_row",
+    "endurance_vs_capacity",
+    "format_heatmap",
+    "format_table",
+    "max_velocity_at_fps",
+    "mission_power_trace",
+    "registration_growth_factor",
+    "run_slam_circle",
+    "size_vs_capacity",
+    "slam_fps_sweep",
+    "solo_power_breakdown",
+    "sweep_operating_points",
+    "load_mission",
+    "mission_document",
+    "samples_to_rows",
+    "write_csv",
+    "write_json",
+]

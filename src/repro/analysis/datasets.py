@@ -1,0 +1,71 @@
+"""Static datasets transcribed from the paper's motivation figures.
+
+Fig. 1 is mined from FAA registration counts; Fig. 2 compares commercial
+MAVs' battery capacity against endurance and size.  These are data
+artifacts, not simulation outputs, so we carry them as checked-in tables
+and regenerate the figures from them (plus our battery model for the
+Fig. 2a endurance curve cross-check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Fig. 1 — FAA-registered UAV units per period (cumulative counts shown
+#: in the paper: pre-2015 ~0, then 466,933 / 711,680 / 943,536).
+FAA_REGISTRATIONS: List[Tuple[str, int]] = [
+    ("Pre 2015", 0),
+    ("2015-2016", 466_933),
+    ("2016-2017", 711_680),
+    ("2017-Present", 943_536),
+]
+
+#: FAA forecast cited in the paper: >4M units by 2021.
+FAA_FORECAST_2021 = 4_000_000
+
+
+@dataclass(frozen=True)
+class CommercialMav:
+    """One commercial MAV data point for Fig. 2."""
+
+    name: str
+    wing_type: str  # "fixed" or "rotor"
+    battery_mah: float
+    battery_cells: int
+    endurance_min: float  # manufacturer-rated flight time
+    size_mm: float  # characteristic dimension (diagonal/wingspan)
+    hover_power_w: float  # approximate electrical draw in level flight
+
+
+#: Fig. 2 — popular MAVs on the market (manufacturer specifications).
+COMMERCIAL_MAVS: List[CommercialMav] = [
+    CommercialMav("Disco FPV", "fixed", 2700, 3, 45.0, 1150, 80.0),
+    CommercialMav("Bebop 2 Power", "rotor", 3350, 3, 30.0, 380, 90.0),
+    CommercialMav("DJI Matrice 100", "rotor", 5700, 6, 22.0, 650, 330.0),
+    CommercialMav("3DR Solo", "rotor", 5200, 4, 20.0, 460, 300.0),
+    CommercialMav("DJI Spark", "rotor", 1480, 3, 16.0, 170, 60.0),
+    CommercialMav("DJI Mavic Pro", "rotor", 3830, 3, 27.0, 335, 100.0),
+    CommercialMav("Racing drone (5in)", "rotor", 1300, 4, 5.0, 220, 250.0),
+    CommercialMav("Yuneec Typhoon H", "rotor", 5400, 4, 25.0, 520, 280.0),
+]
+
+
+def registration_growth_factor() -> float:
+    """The 'over 200%' two-year growth the paper highlights."""
+    start = FAA_REGISTRATIONS[1][1]
+    end = FAA_REGISTRATIONS[3][1]
+    return end / start
+
+
+def endurance_vs_capacity() -> List[Tuple[str, str, float, float]]:
+    """(name, wing_type, battery_mah, endurance_hours) rows for Fig. 2a."""
+    return [
+        (m.name, m.wing_type, m.battery_mah, m.endurance_min / 60.0)
+        for m in COMMERCIAL_MAVS
+    ]
+
+
+def size_vs_capacity() -> List[Tuple[str, float, float]]:
+    """(name, battery_mah, size_mm) rows for Fig. 2b."""
+    return [(m.name, m.battery_mah, m.size_mm) for m in COMMERCIAL_MAVS]

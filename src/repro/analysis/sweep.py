@@ -1,0 +1,147 @@
+"""Operating-point sweep harness — the engine behind Figs. 10-14.
+
+Runs a workload over the TX2's {2,3,4} cores x {0.8,1.5,2.2} GHz grid
+(optionally averaged over seeds) and reduces the results to the heatmap
+tables the paper presents: average velocity, mission time, and energy per
+operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.api import WorkloadResult, run_workload
+
+OperatingPoint = Tuple[int, float]  # (cores, frequency_ghz)
+
+DEFAULT_GRID: List[OperatingPoint] = [
+    (c, f) for c in (2, 3, 4) for f in (0.8, 1.5, 2.2)
+]
+
+
+@dataclass
+class SweepCell:
+    """Aggregated results for one operating point."""
+
+    cores: int
+    frequency_ghz: float
+    velocity_ms: float
+    mission_time_s: float
+    energy_kj: float
+    success_rate: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """A full heatmap grid for one workload."""
+
+    workload: str
+    cells: List[SweepCell]
+
+    def cell(self, cores: int, frequency_ghz: float) -> SweepCell:
+        for c in self.cells:
+            if c.cores == cores and abs(c.frequency_ghz - frequency_ghz) < 1e-9:
+                return c
+        raise KeyError(f"no cell for ({cores}, {frequency_ghz})")
+
+    def metric_grid(self, metric: str) -> Dict[OperatingPoint, float]:
+        return {
+            (c.cores, c.frequency_ghz): getattr(c, metric) for c in self.cells
+        }
+
+    def best_over_worst(self, metric: str, lower_is_better: bool = True) -> float:
+        """Improvement factor between the worst and best grid corner."""
+        values = [getattr(c, metric) for c in self.cells]
+        values = [v for v in values if np.isfinite(v) and v > 0]
+        if not values:
+            return float("nan")
+        if lower_is_better:
+            return max(values) / min(values)
+        return max(values) / min(values)
+
+    def corner_ratio(self, metric: str) -> float:
+        """slow-corner (2c, 0.8 GHz) value / fast-corner (4c, 2.2 GHz)."""
+        slow = getattr(self.cell(2, 0.8), metric)
+        fast = getattr(self.cell(4, 2.2), metric)
+        if fast == 0:
+            return float("nan")
+        return slow / fast
+
+
+def sweep_operating_points(
+    workload: str,
+    grid: Optional[Sequence[OperatingPoint]] = None,
+    seeds: Sequence[int] = (1,),
+    workload_kwargs: Optional[Dict] = None,
+    **run_kwargs,
+) -> SweepResult:
+    """Run ``workload`` across the operating-point grid.
+
+    Multiple seeds are averaged per cell (mission outcomes of the
+    randomized planners vary run to run, as the paper also observed).
+    """
+    cells: List[SweepCell] = []
+    for cores, freq in grid or DEFAULT_GRID:
+        velocities, times, energies, successes = [], [], [], []
+        extras: Dict[str, List[float]] = {}
+        for seed in seeds:
+            result = run_workload(
+                workload,
+                cores=cores,
+                frequency_ghz=freq,
+                seed=seed,
+                workload_kwargs=dict(workload_kwargs or {}),
+                **run_kwargs,
+            )
+            report = result.report
+            velocities.append(report.average_velocity_ms)
+            times.append(report.mission_time_s)
+            energies.append(report.total_energy_j / 1000.0)
+            successes.append(1.0 if report.success else 0.0)
+            for key, value in report.extra.items():
+                extras.setdefault(key, []).append(value)
+        cells.append(
+            SweepCell(
+                cores=cores,
+                frequency_ghz=freq,
+                velocity_ms=float(np.mean(velocities)),
+                mission_time_s=float(np.mean(times)),
+                energy_kj=float(np.mean(energies)),
+                success_rate=float(np.mean(successes)),
+                extra={k: float(np.mean(v)) for k, v in extras.items()},
+            )
+        )
+    return SweepResult(workload=workload, cells=cells)
+
+
+def format_heatmap(
+    result: SweepResult,
+    metric: str = "mission_time_s",
+    extra_key: Optional[str] = None,
+    fmt: str = "{:.1f}",
+) -> str:
+    """Render a sweep grid in the paper's heatmap layout.
+
+    Rows: core counts (4 at the top, as in Figs. 10-14); columns: clock
+    frequencies ascending.
+    """
+    cores_levels = sorted({c.cores for c in result.cells}, reverse=True)
+    freq_levels = sorted({c.frequency_ghz for c in result.cells})
+    header = "cores\\GHz | " + " | ".join(f"{f:>7.1f}" for f in freq_levels)
+    lines = [header, "-" * len(header)]
+    for cores in cores_levels:
+        row = [f"{cores:>9d}"]
+        for freq in freq_levels:
+            cell = result.cell(cores, freq)
+            value = (
+                cell.extra.get(extra_key, float("nan"))
+                if extra_key
+                else getattr(cell, metric)
+            )
+            row.append(f"{fmt.format(value):>7}")
+        lines.append(" | ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``     fly one workload at one operating point and print its QoF report
+``sweep``   run a workload across TX2 operating points and print heatmaps
+``list``    list available workloads, environments, kernels, and detectors
+
+Examples
+--------
+::
+
+    python -m repro run package_delivery --cores 4 --frequency 2.2
+    python -m repro sweep mapping --seeds 1 2
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import format_heatmap, format_table, sweep_operating_points
+from .compute.kernels import DEFAULT_KERNELS
+from .core.api import available_workloads, run_workload
+from .perception.detection import DETECTORS
+from .world.generator import ENVIRONMENTS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MAVBench reproduction: closed-loop MAV benchmarking",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="fly one workload once")
+    run_p.add_argument("workload", choices=available_workloads())
+    run_p.add_argument("--cores", type=int, default=4)
+    run_p.add_argument("--frequency", type=float, default=2.2)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument(
+        "--depth-noise", type=float, default=0.0,
+        help="RGB-D depth noise std in meters (Table II knob)",
+    )
+    run_p.add_argument(
+        "--kernel-stats", action="store_true",
+        help="print per-kernel latency statistics",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="sweep a workload across TX2 operating points"
+    )
+    sweep_p.add_argument("workload", choices=available_workloads())
+    sweep_p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    sweep_p.add_argument(
+        "--metric",
+        choices=["velocity_ms", "mission_time_s", "energy_kj"],
+        default="mission_time_s",
+    )
+
+    sub.add_parser("list", help="list workloads, environments, kernels")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_workload(
+        args.workload,
+        cores=args.cores,
+        frequency_ghz=args.frequency,
+        seed=args.seed,
+        depth_noise_std=args.depth_noise,
+    )
+    report = result.report
+    print(report.summary())
+    rows = [
+        ("mission time (s)", report.mission_time_s),
+        ("flight distance (m)", report.flight_distance_m),
+        ("average velocity (m/s)", report.average_velocity_ms),
+        ("hover time (s)", report.hover_time_s),
+        ("total energy (kJ)", report.total_energy_j / 1000.0),
+        ("rotor energy (kJ)", report.rotor_energy_j / 1000.0),
+        ("compute energy (kJ)", report.compute_energy_j / 1000.0),
+        ("battery remaining (%)", report.battery_remaining_percent),
+    ]
+    rows += sorted(report.extra.items())
+    print(format_table(["metric", "value"], rows))
+    if args.kernel_stats:
+        print()
+        print(
+            format_table(
+                ["kernel", "count", "mean (ms)", "max (ms)"],
+                [
+                    (k, int(v["count"]), v["mean_s"] * 1000, v["max_s"] * 1000)
+                    for k, v in sorted(result.kernel_stats.items())
+                ],
+            )
+        )
+    return 0 if report.success else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    result = sweep_operating_points(args.workload, seeds=tuple(args.seeds))
+    print(f"workload: {args.workload}  (seeds: {args.seeds})\n")
+    for metric, fmt in [
+        ("velocity_ms", "{:.2f}"),
+        ("mission_time_s", "{:.1f}"),
+        ("energy_kj", "{:.1f}"),
+    ]:
+        print(f"--- {metric} ---")
+        print(format_heatmap(result, metric, fmt=fmt))
+        print()
+    print(
+        f"corner ratio (2c/0.8GHz over 4c/2.2GHz) on {args.metric}: "
+        f"{result.corner_ratio(args.metric):.2f}x"
+    )
+    return 0
+
+
+def _cmd_list() -> int:
+    print("workloads   :", ", ".join(available_workloads()))
+    print("environments:", ", ".join(sorted(ENVIRONMENTS)))
+    print("kernels     :", ", ".join(sorted(DEFAULT_KERNELS)))
+    print("detectors   :", ", ".join(sorted(DETECTORS)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Compute substrate: platform models, kernel runtimes, scheduler, cloud.
+
+Substitutes for the NVIDIA Jetson TX2 companion computer (hardware-in-the-
+loop in the paper) and the cloud node of the performance case study.
+"""
+
+from .platform import (
+    CLOUD_I7_GTX1080,
+    JETSON_TX2,
+    PIXHAWK,
+    PlatformConfig,
+    PlatformSpec,
+    tx2_operating_points,
+)
+from .kernels import (
+    DEFAULT_KERNELS,
+    WORKLOAD_KERNEL_OVERRIDES,
+    KernelModel,
+    KernelProfile,
+    octomap_runtime_scale,
+)
+from .scheduler import ComputeScheduler, Job
+from .cloud import (
+    FIVE_G_LINK,
+    KERNEL_PAYLOADS,
+    LTE_LINK,
+    CloudOffloadModel,
+    NetworkLink,
+)
+
+__all__ = [
+    "CLOUD_I7_GTX1080",
+    "CloudOffloadModel",
+    "ComputeScheduler",
+    "DEFAULT_KERNELS",
+    "FIVE_G_LINK",
+    "JETSON_TX2",
+    "Job",
+    "KERNEL_PAYLOADS",
+    "KernelModel",
+    "KernelProfile",
+    "LTE_LINK",
+    "NetworkLink",
+    "PIXHAWK",
+    "PlatformConfig",
+    "PlatformSpec",
+    "WORKLOAD_KERNEL_OVERRIDES",
+    "octomap_runtime_scale",
+    "tx2_operating_points",
+]

@@ -1,0 +1,107 @@
+"""Sensor-cloud offload model for the performance case study (Fig. 16).
+
+The paper compares a "fully-on-edge" drone (all kernels on the TX2)
+against a "fully-in-cloud" drone whose planning-stage kernels run on an
+Intel i7 4740 @ 4 GHz with a GTX 1080, connected over a 1 Gb/s LAN that
+"mimics a future 5G network".  Offloading a kernel trades compute time for
+network transfer time:
+
+    t_offload = t_uplink(payload) + t_remote + t_downlink(result)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .kernels import KernelModel
+from .platform import CLOUD_I7_GTX1080, JETSON_TX2, PlatformConfig
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A symmetric network link between the drone and a remote node."""
+
+    bandwidth_mbps: float = 1000.0  # 1 Gb/s LAN, the paper's 5G stand-in
+    latency_ms: float = 2.0  # one-way
+    reliability: float = 1.0  # fraction of transfers that succeed
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= self.reliability <= 1.0:
+            raise ValueError("reliability must be in [0, 1]")
+
+    def transfer_time_s(self, payload_bytes: float) -> float:
+        """One-way transfer time for ``payload_bytes`` including latency."""
+        serialize = payload_bytes * 8.0 / (self.bandwidth_mbps * 1e6)
+        return self.latency_ms / 1000.0 + serialize
+
+
+#: Typical payload sizes (bytes) for offloaded kernel inputs/outputs.
+KERNEL_PAYLOADS: Dict[str, Dict[str, float]] = {
+    "frontier_exploration": {"up": 2.0e6, "down": 4.0e3},  # octomap up, path down
+    "shortest_path": {"up": 2.0e6, "down": 4.0e3},
+    "octomap": {"up": 1.2e6, "down": 2.0e6},  # point cloud up, map down
+    "object_detection_yolo": {"up": 0.5e6, "down": 1.0e3},  # image up, boxes down
+    "slam": {"up": 0.5e6, "down": 0.5e3},
+}
+
+#: 4G/LTE-class link for ablations against the paper's 1 Gb/s assumption.
+LTE_LINK = NetworkLink(bandwidth_mbps=50.0, latency_ms=40.0, reliability=0.98)
+FIVE_G_LINK = NetworkLink(bandwidth_mbps=1000.0, latency_ms=2.0)
+
+
+@dataclass
+class CloudOffloadModel:
+    """Computes effective kernel latency when offloaded to the cloud.
+
+    Attributes
+    ----------
+    edge_config:
+        Operating point of the onboard companion computer.
+    cloud_config:
+        Operating point of the remote node.
+    link:
+        The network between them.
+    offloaded_kernels:
+        Kernels to run remotely; all others run on the edge.
+    """
+
+    edge_config: PlatformConfig = field(
+        default_factory=lambda: PlatformConfig(JETSON_TX2, 4, 2.2)
+    )
+    cloud_config: PlatformConfig = field(
+        default_factory=lambda: PlatformConfig(CLOUD_I7_GTX1080, 8, 4.0)
+    )
+    link: NetworkLink = field(default_factory=lambda: FIVE_G_LINK)
+    offloaded_kernels: frozenset = frozenset({"frontier_exploration",
+                                              "shortest_path"})
+    kernel_model: KernelModel = field(default_factory=KernelModel)
+
+    def is_offloaded(self, kernel: str) -> bool:
+        return kernel in self.offloaded_kernels
+
+    def effective_runtime_s(
+        self,
+        kernel: str,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Latency the drone observes for one invocation of ``kernel``."""
+        if not self.is_offloaded(kernel):
+            return self.kernel_model.runtime_s(kernel, self.edge_config, rng)
+        payload = KERNEL_PAYLOADS.get(kernel, {"up": 1.0e6, "down": 1.0e4})
+        uplink = self.link.transfer_time_s(payload["up"])
+        downlink = self.link.transfer_time_s(payload["down"])
+        remote = self.kernel_model.runtime_s(kernel, self.cloud_config, rng)
+        return uplink + remote + downlink
+
+    def speedup(self, kernel: str) -> float:
+        """Edge runtime / offloaded runtime for ``kernel`` (deterministic)."""
+        edge = self.kernel_model.runtime_s(kernel, self.edge_config)
+        offloaded = self.effective_runtime_s(kernel)
+        if offloaded <= 0:
+            return float("inf")
+        return edge / offloaded

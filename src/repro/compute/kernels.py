@@ -1,0 +1,230 @@
+"""Kernel runtime model calibrated against Table I of the paper.
+
+Table I profiles every computational kernel of the five workloads on the
+TX2 at its top operating point (4 cores, 2.2 GHz).  Our model attaches to
+each kernel:
+
+* ``base_ms``        — runtime at the calibration point (4 cores, 2.2 GHz);
+* ``serial_fraction``— Amdahl's-law serial fraction governing core scaling;
+* ``freq_exponent``  — runtime ~ (1/f)^freq_exponent.  1.0 for CPU-bound
+  kernels; < 1 for GPU-heavy kernels whose CPU clock only affects pre/post
+  processing (object detection); > 1 for kernels with cache/memory effects
+  that make clock scaling superlinear (the paper reports up to 9.2X/10X
+  total speedups for motion planning and tracking over a 5.5X naive
+  clock x core ratio);
+* ``uses_gpu``       — whether the invocation occupies the GPU (power);
+* ``jitter``         — lognormal sigma of run-to-run variation (randomized
+  sampling-based planners vary a lot; fixed pipelines very little).
+
+Runtime at an operating point (c cores, f GHz) with reference (C, F):
+
+    t(c, f) = base * (F/f)^alpha * A(c)/A(C) / perf_multiplier
+    A(n) = s + (1 - s)/n          (Amdahl)
+
+The calibration targets the speedups the paper reports between the
+(2 cores, 0.8 GHz) and (4 cores, 2.2 GHz) corners, per workload:
+OctoMap 2.9X (PD) / 6X (Mapping) / 6.6X (SAR); motion planning 9.2X (PD) /
+6.3X (Mapping) / 6.8X (SAR) / 3X (Scanning); detection 1.8X (SAR) /
+2.49X (AP); tracking 10X (AP).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .platform import PlatformConfig
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Performance profile of one computational kernel.
+
+    See the module docstring for the runtime formula.
+    """
+
+    name: str
+    base_ms: float
+    serial_fraction: float = 0.1
+    freq_exponent: float = 1.0
+    uses_gpu: bool = False
+    cores_used: int = 1
+    jitter: float = 0.0
+    reference_cores: int = 4
+
+    def __post_init__(self) -> None:
+        if self.base_ms < 0:
+            raise ValueError("base runtime must be non-negative")
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise ValueError("serial fraction must be in [0, 1]")
+        if self.reference_cores < 1:
+            raise ValueError("reference core count must be >= 1")
+
+    def _amdahl(self, cores: int) -> float:
+        s = self.serial_fraction
+        return s + (1.0 - s) / max(cores, 1)
+
+    def runtime_ms(
+        self,
+        config: PlatformConfig,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Runtime (ms) of one invocation at the given operating point."""
+        freq_factor = (1.0 / config.frequency_ratio) ** self.freq_exponent
+        core_factor = self._amdahl(config.cores) / self._amdahl(
+            self.reference_cores
+        )
+        runtime = (
+            self.base_ms * freq_factor * core_factor / config.spec.perf_multiplier
+        )
+        if self.jitter > 0 and rng is not None:
+            runtime *= float(rng.lognormal(mean=0.0, sigma=self.jitter))
+        return runtime
+
+    def runtime_s(
+        self,
+        config: PlatformConfig,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        return self.runtime_ms(config, rng) / 1000.0
+
+    def speedup(self, slow: PlatformConfig, fast: PlatformConfig) -> float:
+        """Deterministic speedup going from ``slow`` to ``fast``."""
+        return self.runtime_ms(slow) / self.runtime_ms(fast)
+
+
+def _p(name: str, base_ms: float, **kw) -> KernelProfile:
+    return KernelProfile(name=name, base_ms=base_ms, **kw)
+
+
+#: Default per-kernel profiles (Table I values at 4 cores / 2.2 GHz).
+DEFAULT_KERNELS: Dict[str, KernelProfile] = {
+    k.name: k
+    for k in [
+        _p("point_cloud", 2.0, serial_fraction=0.1, freq_exponent=1.0,
+           cores_used=1),
+        _p("octomap", 500.0, serial_fraction=0.05, freq_exponent=1.1,
+           cores_used=1, jitter=0.05),
+        _p("collision_check", 1.0, serial_fraction=0.2, freq_exponent=1.0),
+        _p("object_detection_yolo", 307.0, serial_fraction=0.7,
+           freq_exponent=0.8, uses_gpu=True, cores_used=1, jitter=0.03),
+        _p("object_detection_hog", 420.0, serial_fraction=0.15,
+           freq_exponent=1.0, cores_used=2, jitter=0.03),
+        _p("object_detection_haar", 180.0, serial_fraction=0.25,
+           freq_exponent=1.0, cores_used=1, jitter=0.03),
+        _p("tracking_buffered", 80.0, serial_fraction=0.0,
+           freq_exponent=1.45, cores_used=1, jitter=0.02),
+        _p("tracking_realtime", 18.0, serial_fraction=0.0,
+           freq_exponent=1.45, cores_used=1, jitter=0.02),
+        _p("localization_gps", 0.05, serial_fraction=1.0, freq_exponent=1.0),
+        _p("slam", 48.0, serial_fraction=0.25, freq_exponent=1.0,
+           cores_used=2, jitter=0.05),
+        _p("pid", 0.1, serial_fraction=1.0, freq_exponent=1.0),
+        _p("shortest_path", 182.0, serial_fraction=0.0, freq_exponent=1.35,
+           cores_used=1, jitter=0.25),
+        _p("frontier_exploration", 2650.0, serial_fraction=0.05,
+           freq_exponent=1.2, cores_used=1, jitter=0.15),
+        _p("lawnmower", 89.0, serial_fraction=0.5, freq_exponent=1.0),
+        _p("smoothing", 25.0, serial_fraction=0.3, freq_exponent=1.0),
+        _p("path_tracking", 1.0, serial_fraction=0.8, freq_exponent=1.0),
+    ]
+}
+
+#: Per-workload overrides: (workload, kernel) -> profile.  Table I shows
+#: the same kernel costs different amounts in different workloads (input
+#: sizes differ), and the paper reports different scaling per workload.
+WORKLOAD_KERNEL_OVERRIDES: Dict[Tuple[str, str], KernelProfile] = {
+    ("package_delivery", "octomap"): _p(
+        "octomap", 630.0, serial_fraction=0.6, freq_exponent=0.95,
+        jitter=0.05),
+    ("mapping", "octomap"): _p(
+        "octomap", 482.0, serial_fraction=0.05, freq_exponent=1.1,
+        jitter=0.05),
+    ("search_rescue", "octomap"): _p(
+        "octomap", 427.0, serial_fraction=0.02, freq_exponent=1.15,
+        jitter=0.05),
+    ("package_delivery", "slam"): _p(
+        "slam", 55.0, serial_fraction=0.25, freq_exponent=1.0,
+        cores_used=2, jitter=0.05),
+    ("mapping", "slam"): _p(
+        "slam", 46.0, serial_fraction=0.25, freq_exponent=1.0,
+        cores_used=2, jitter=0.05),
+    ("search_rescue", "slam"): _p(
+        "slam", 45.0, serial_fraction=0.25, freq_exponent=1.0,
+        cores_used=2, jitter=0.05),
+    ("search_rescue", "object_detection_yolo"): _p(
+        "object_detection_yolo", 271.0, serial_fraction=0.8,
+        freq_exponent=0.55, uses_gpu=True, jitter=0.03),
+    ("mapping", "frontier_exploration"): _p(
+        "frontier_exploration", 2647.0, serial_fraction=0.05,
+        freq_exponent=1.2, jitter=0.15),
+    ("search_rescue", "frontier_exploration"): _p(
+        "frontier_exploration", 2693.0, serial_fraction=0.03,
+        freq_exponent=1.25, jitter=0.15),
+}
+
+
+@dataclass
+class KernelModel:
+    """Resolves kernel runtimes for a workload at an operating point.
+
+    The model is "plug-and-play" like the paper's kernels: overrides let a
+    workload swap, e.g., YOLO for HOG, or rescale OctoMap with resolution.
+    """
+
+    workload: Optional[str] = None
+    overrides: Dict[str, KernelProfile] = field(default_factory=dict)
+
+    def profile(self, kernel: str) -> KernelProfile:
+        """Resolve a kernel profile (workload override > default).
+
+        Raises
+        ------
+        KeyError
+            For unknown kernel names.
+        """
+        if kernel in self.overrides:
+            return self.overrides[kernel]
+        if self.workload is not None:
+            key = (self.workload, kernel)
+            if key in WORKLOAD_KERNEL_OVERRIDES:
+                return WORKLOAD_KERNEL_OVERRIDES[key]
+        if kernel not in DEFAULT_KERNELS:
+            known = ", ".join(sorted(DEFAULT_KERNELS))
+            raise KeyError(f"unknown kernel '{kernel}' (known: {known})")
+        return DEFAULT_KERNELS[kernel]
+
+    def runtime_s(
+        self,
+        kernel: str,
+        config: PlatformConfig,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Runtime (s) of one ``kernel`` invocation on ``config``."""
+        return self.profile(kernel).runtime_s(config, rng)
+
+    def set_override(self, kernel: str, profile: KernelProfile) -> None:
+        self.overrides[kernel] = profile
+
+    def scale_kernel(self, kernel: str, factor: float) -> None:
+        """Multiply a kernel's base runtime by ``factor`` (e.g. OctoMap
+        resolution scaling or sensor-noise-induced extra work)."""
+        base = self.profile(kernel)
+        self.overrides[kernel] = replace(base, base_ms=base.base_ms * factor)
+
+
+def octomap_runtime_scale(resolution_m: float, reference_m: float = 0.15) -> float:
+    """OctoMap runtime multiplier as a function of voxel resolution.
+
+    Fig. 18: going from <0.2 m to 1.0 m voxels cuts processing from >0.4 s
+    to <0.1 s — a ~4.5X improvement for a ~6.5X coarser map.  Ray
+    insertion cost grows roughly with traversed-voxel count per ray
+    (~1/resolution) plus a tree-depth (log) term; an inverse power law with
+    exponent ~0.8 reproduces the measured curve shape.
+    """
+    if resolution_m <= 0:
+        raise ValueError("resolution must be positive")
+    return (reference_m / resolution_m) ** 0.8

@@ -1,0 +1,161 @@
+"""Companion-computer platform models.
+
+Substitute for the NVIDIA Jetson TX2 (and the cloud-side Intel i7 + GTX
+1080) used in the paper.  A platform is described by its core count, the
+set of selectable clock frequencies, and a CPU power model.  The paper's
+sensitivity studies sweep the TX2's quad ARM A57 cluster over {2, 3, 4}
+cores and {0.8, 1.5, 2.2} GHz (the Denver cores are disabled); our
+:class:`PlatformConfig` captures exactly that operating-point grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Static description of a compute platform.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform name.
+    max_cores:
+        Number of usable CPU cores.
+    frequencies_ghz:
+        Selectable clock frequencies, ascending.
+    reference_frequency_ghz:
+        Frequency at which kernel base runtimes are calibrated.
+    idle_power_w:
+        Power draw with all cores idle (SoC + memory + carrier board).
+    core_dynamic_power_w:
+        Dynamic power of one fully busy core at the reference frequency.
+    gpu_power_w:
+        Additional power when the GPU-heavy kernels (detection) run.
+    perf_multiplier:
+        Single-thread throughput relative to the TX2 at its reference
+        frequency.  The cloud i7 is ~2.5x faster per core.
+    """
+
+    name: str
+    max_cores: int
+    frequencies_ghz: Tuple[float, ...]
+    reference_frequency_ghz: float
+    idle_power_w: float = 2.5
+    core_dynamic_power_w: float = 1.8
+    gpu_power_w: float = 4.0
+    perf_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_cores < 1:
+            raise ValueError("platform needs at least one core")
+        if not self.frequencies_ghz:
+            raise ValueError("platform needs at least one frequency")
+        if self.reference_frequency_ghz not in self.frequencies_ghz:
+            raise ValueError(
+                "reference frequency must be one of the selectable frequencies"
+            )
+
+
+#: The paper's companion computer: Jetson TX2, quad ARM A57 cluster
+#: (Denver cores disabled for determinism, as in Section V-C).
+JETSON_TX2 = PlatformSpec(
+    name="Jetson TX2",
+    max_cores=4,
+    frequencies_ghz=(0.8, 1.5, 2.2),
+    reference_frequency_ghz=2.2,
+    idle_power_w=2.5,
+    core_dynamic_power_w=1.8,
+    gpu_power_w=4.0,
+    perf_multiplier=1.0,
+)
+
+#: The cloud node of the performance case study: i7-4740 @ 4 GHz + GTX 1080.
+CLOUD_I7_GTX1080 = PlatformSpec(
+    name="Cloud i7 + GTX 1080",
+    max_cores=8,
+    frequencies_ghz=(4.0,),
+    reference_frequency_ghz=4.0,
+    idle_power_w=40.0,
+    core_dynamic_power_w=12.0,
+    gpu_power_w=120.0,
+    perf_multiplier=2.5,
+)
+
+#: A Cortex-M3-class flight controller — only runs the flight stack.
+PIXHAWK = PlatformSpec(
+    name="Pixhawk (Cortex-M3)",
+    max_cores=1,
+    frequencies_ghz=(0.072,),
+    reference_frequency_ghz=0.072,
+    idle_power_w=0.2,
+    core_dynamic_power_w=0.3,
+    gpu_power_w=0.0,
+    perf_multiplier=0.01,
+)
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """A platform at a chosen operating point (active cores + frequency).
+
+    This is the unit the sensitivity heatmaps sweep: 9 operating points of
+    the TX2 = {2, 3, 4} cores x {0.8, 1.5, 2.2} GHz.
+    """
+
+    spec: PlatformSpec = JETSON_TX2
+    cores: int = 4
+    frequency_ghz: float = 2.2
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.cores <= self.spec.max_cores:
+            raise ValueError(
+                f"{self.spec.name} supports 1..{self.spec.max_cores} cores, "
+                f"got {self.cores}"
+            )
+        if self.frequency_ghz not in self.spec.frequencies_ghz:
+            raise ValueError(
+                f"{self.spec.name} supports frequencies "
+                f"{self.spec.frequencies_ghz}, got {self.frequency_ghz}"
+            )
+
+    @property
+    def frequency_ratio(self) -> float:
+        """This operating point's clock relative to the reference clock."""
+        return self.frequency_ghz / self.spec.reference_frequency_ghz
+
+    def cpu_power_w(self, busy_cores: float, gpu_active: bool = False) -> float:
+        """Compute-subsystem power at this operating point.
+
+        Dynamic power scales ~ f^2.7 with the clock (voltage rides with
+        frequency on the TX2's DVFS rails); idle power is constant.
+
+        Parameters
+        ----------
+        busy_cores:
+            Average number of cores doing work (may be fractional).
+        gpu_active:
+            Whether a GPU kernel (object detection) is executing.
+        """
+        busy = min(max(busy_cores, 0.0), float(self.cores))
+        dyn = self.spec.core_dynamic_power_w * busy * self.frequency_ratio**2.7
+        gpu = self.spec.gpu_power_w if gpu_active else 0.0
+        return self.spec.idle_power_w + dyn + gpu
+
+    def max_cpu_power_w(self) -> float:
+        """Power with every core busy and the GPU active."""
+        return self.cpu_power_w(self.cores, gpu_active=True)
+
+    def with_operating_point(self, cores: int, frequency_ghz: float) -> "PlatformConfig":
+        return replace(self, cores=cores, frequency_ghz=frequency_ghz)
+
+
+def tx2_operating_points() -> List[PlatformConfig]:
+    """The paper's 3x3 sweep grid: {2,3,4} cores x {0.8,1.5,2.2} GHz."""
+    return [
+        PlatformConfig(spec=JETSON_TX2, cores=c, frequency_ghz=f)
+        for c in (2, 3, 4)
+        for f in (0.8, 1.5, 2.2)
+    ]

@@ -1,0 +1,216 @@
+"""Compute scheduler: kernel jobs executing on the companion computer.
+
+Models the ROS-node execution the paper runs on the TX2: each kernel
+invocation becomes a job occupying one or more cores for its modeled
+runtime.  When more jobs are ready than cores available, jobs queue —
+exactly the contention that makes core scaling matter for the concurrent
+workloads (Mapping/SAR run perception, planning, and control nodes in
+parallel; see Fig. 7).
+
+The scheduler advances with the simulation clock: :meth:`advance_to` moves
+time forward, retiring finished jobs and starting queued ones.  Energy
+accounting integrates busy-core-time so the compute power model can report
+average compute power.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .kernels import KernelModel
+from .platform import PlatformConfig
+
+_job_ids = itertools.count()
+
+
+@dataclass
+class Job:
+    """One kernel invocation in flight (or queued)."""
+
+    kernel: str
+    duration_s: float
+    cores: int
+    uses_gpu: bool
+    submitted_at: float
+    on_done: Optional[Callable[["Job"], None]] = None
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time spent waiting for a core."""
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.submitted_at
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: queueing + execution."""
+        if self.finished_at is None:
+            return 0.0
+        return self.finished_at - self.submitted_at
+
+
+@dataclass
+class ComputeScheduler:
+    """FIFO multi-core job scheduler driven by the simulation clock."""
+
+    config: PlatformConfig
+    kernel_model: KernelModel = field(default_factory=KernelModel)
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        self.now = 0.0
+        self._free_cores = self.config.cores
+        self._running: List[Job] = []  # heap keyed by finish time
+        self._queue: List[Job] = []
+        self._busy_core_seconds = 0.0
+        self._gpu_seconds = 0.0
+        self._completed: List[Job] = []
+        self._energy_j = 0.0
+        self._last_energy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Job submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kernel: str,
+        on_done: Optional[Callable[[Job], None]] = None,
+        duration_s: Optional[float] = None,
+    ) -> Job:
+        """Submit one invocation of ``kernel``; runs when cores free up.
+
+        ``duration_s`` overrides the modeled runtime (used when the caller
+        measured the real data-structure operation, e.g. OctoMap insertion).
+        """
+        profile = self.kernel_model.profile(kernel)
+        if duration_s is None:
+            duration_s = profile.runtime_s(self.config, self.rng)
+        cores = min(profile.cores_used, self.config.cores)
+        job = Job(
+            kernel=kernel,
+            duration_s=duration_s,
+            cores=cores,
+            uses_gpu=profile.uses_gpu,
+            submitted_at=self.now,
+            on_done=on_done,
+        )
+        self._queue.append(job)
+        self._try_start_jobs()
+        return job
+
+    def _try_start_jobs(self) -> None:
+        """Start queued jobs in FIFO order while cores are available."""
+        started = True
+        while started and self._queue:
+            started = False
+            head = self._queue[0]
+            if head.cores <= self._free_cores:
+                self._queue.pop(0)
+                head.started_at = self.now
+                head.finished_at = self.now + head.duration_s
+                self._free_cores -= head.cores
+                heapq.heappush(
+                    self._running, (head.finished_at, head.job_id, head)
+                )
+                started = True
+
+    # ------------------------------------------------------------------
+    # Time advance
+    # ------------------------------------------------------------------
+    def advance_to(self, t: float) -> List[Job]:
+        """Advance the clock to ``t``; return jobs that completed.
+
+        Completion callbacks fire in finish-time order.  Busy-core time is
+        integrated piecewise between job completions for the power model.
+        """
+        if t < self.now:
+            raise ValueError(f"cannot move time backwards ({t} < {self.now})")
+        finished: List[Job] = []
+        while self._running and self._running[0][0] <= t:
+            finish_time, _jid, job = heapq.heappop(self._running)
+            self._integrate_busy(finish_time)
+            self.now = finish_time
+            self._free_cores += job.cores
+            self._busy_core_seconds += 0.0  # integration handled above
+            finished.append(job)
+            self._completed.append(job)
+            self._try_start_jobs()
+        self._integrate_busy(t)
+        self.now = t
+        for job in finished:
+            if job.on_done is not None:
+                job.on_done(job)
+        return finished
+
+    def _integrate_busy(self, t: float) -> None:
+        """Accumulate busy-core-seconds and compute energy up to ``t``."""
+        dt = t - self._last_energy_time
+        if dt <= 0:
+            return
+        busy = self.busy_cores
+        gpu = self.gpu_active
+        self._busy_core_seconds += busy * dt
+        if gpu:
+            self._gpu_seconds += dt
+        self._energy_j += self.config.cpu_power_w(busy, gpu) * dt
+        self._last_energy_time = t
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def busy_cores(self) -> int:
+        return self.config.cores - self._free_cores
+
+    @property
+    def gpu_active(self) -> bool:
+        return any(job.uses_gpu for _, _, job in self._running)
+
+    @property
+    def pending_jobs(self) -> int:
+        return len(self._queue) + len(self._running)
+
+    @property
+    def completed_jobs(self) -> List[Job]:
+        return list(self._completed)
+
+    @property
+    def compute_energy_j(self) -> float:
+        """Total compute-subsystem energy consumed so far (J)."""
+        return self._energy_j
+
+    @property
+    def busy_core_seconds(self) -> float:
+        return self._busy_core_seconds
+
+    def average_compute_power_w(self) -> float:
+        """Mean compute power over the elapsed simulation time."""
+        if self.now <= 0:
+            return self.config.cpu_power_w(0.0)
+        return self._energy_j / self.now
+
+    def kernel_latency_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-kernel count/mean/max latency over all completed jobs."""
+        stats: Dict[str, List[float]] = {}
+        for job in self._completed:
+            stats.setdefault(job.kernel, []).append(job.latency_s)
+        return {
+            kernel: {
+                "count": float(len(vals)),
+                "mean_s": float(np.mean(vals)),
+                "max_s": float(np.max(vals)),
+            }
+            for kernel, vals in stats.items()
+        }

@@ -1,0 +1,10 @@
+"""Control kernels: PID and trajectory path tracking.
+
+From-scratch implementations of the control stage of the MAVBench
+pipeline (Fig. 5).
+"""
+
+from .pid import Pid, VectorPid
+from .path_tracking import PathTracker, TrackingStatus
+
+__all__ = ["PathTracker", "Pid", "TrackingStatus", "VectorPid"]

@@ -1,0 +1,148 @@
+"""Path tracking: follow a time-parameterized trajectory, correcting drift.
+
+"MAVBench includes a computational kernel that guides MAVs to follow
+trajectories while repeatedly checking and correcting the error in the
+MAV's position" (Section IV-C).  The tracker samples the reference
+trajectory, and commands the feed-forward reference velocity plus a
+proportional correction of the position error.
+
+The reference is *governed*: it advances with wall time only while the
+vehicle keeps up.  When an external speed limit (the Eq.-2 bound, the
+reactive obstacle brake, the unknown-space crawl) slows the vehicle below
+the trajectory's planned profile, the reference slows with it instead of
+racing ahead — otherwise the proportional pull toward a distant reference
+point would cut corners straight through obstacles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..planning.smoothing import Trajectory
+from ..world.geometry import norm
+from .pid import VectorPid
+
+
+@dataclass
+class TrackingStatus:
+    """Tracker output for one control step."""
+
+    velocity_command: np.ndarray
+    cross_track_error: float
+    progress: float  # 0..1 fraction of trajectory duration elapsed
+    finished: bool
+
+
+@dataclass
+class PathTracker:
+    """Trajectory-following controller with a governed reference.
+
+    Attributes
+    ----------
+    trajectory:
+        Reference to follow (retarget with :meth:`set_trajectory`).
+    position_gain:
+        Proportional gain on position error (feed-forward + P correction).
+    max_speed:
+        Clamp on the commanded speed.
+    governor_full_error / governor_freeze_error:
+        Cross-track error (m) below which the reference advances at full
+        rate, and above which it freezes entirely (linear in between).
+    """
+
+    trajectory: Optional[Trajectory] = None
+    position_gain: float = 1.2
+    max_speed: float = 10.0
+    finish_tolerance: float = 0.6
+    governor_full_error: float = 1.0
+    governor_freeze_error: float = 3.0
+
+    def __post_init__(self) -> None:
+        self._ref_elapsed = 0.0
+        self._last_now: Optional[float] = None
+        self._errors: List[float] = []
+
+    def set_trajectory(self, trajectory: Trajectory, now: float) -> None:
+        """Begin following a new trajectory at simulated time ``now``."""
+        self.trajectory = trajectory
+        self._ref_elapsed = 0.0
+        self._last_now = now
+        self._errors = []
+
+    @property
+    def active(self) -> bool:
+        return self.trajectory is not None and bool(self.trajectory.points)
+
+    def update(self, position: np.ndarray, now: float) -> TrackingStatus:
+        """Compute the velocity command for the current instant."""
+        if not self.active or self._last_now is None:
+            return TrackingStatus(np.zeros(3), 0.0, 1.0, True)
+        traj = self.trajectory
+        t0 = traj.points[0].time
+        position = np.asarray(position, dtype=float)
+
+        # Governor: advance the reference proportionally to how well the
+        # vehicle is keeping up (full rate below governor_full_error,
+        # frozen above governor_freeze_error).  Only the *along-track lag*
+        # counts — the distance by which the reference leads the vehicle
+        # along its direction of travel.  A vehicle that overshot the
+        # reference (negative lag, e.g. corner overshoot at speed) must
+        # see the reference advance at full rate so it can re-converge;
+        # freezing on absolute error there deadlocks the tracker.
+        ref = traj.sample(t0 + self._ref_elapsed)
+        error_vec_now = ref.position - position
+        ref_speed = float(norm(ref.velocity))
+        if ref_speed > 0.1:
+            lag = float(np.dot(error_vec_now, ref.velocity)) / ref_speed
+        else:
+            lag = 0.0
+        span = self.governor_freeze_error - self.governor_full_error
+        if span > 0:
+            rate = 1.0 - (lag - self.governor_full_error) / span
+        else:
+            rate = 1.0
+        rate = float(np.clip(rate, 0.0, 1.0))
+        dt = max(now - self._last_now, 0.0)
+        self._last_now = now
+        self._ref_elapsed += dt * rate
+
+        ref = traj.sample(t0 + self._ref_elapsed)
+        error_vec = ref.position - position
+        error = float(norm(error_vec))
+        self._errors.append(error)
+        command = ref.velocity + self.position_gain * error_vec
+        speed = norm(command)
+        if speed > self.max_speed:
+            command = command * (self.max_speed / speed)
+        end = traj.points[-1]
+        progress = (
+            min(self._ref_elapsed / traj.duration, 1.0)
+            if traj.duration > 0
+            else 1.0
+        )
+        finished = (
+            progress >= 1.0
+            and float(norm(end.position - position)) <= self.finish_tolerance
+        )
+        return TrackingStatus(
+            velocity_command=command,
+            cross_track_error=error,
+            progress=progress,
+            finished=finished,
+        )
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def mean_error(self) -> float:
+        if not self._errors:
+            return 0.0
+        return float(np.mean(self._errors))
+
+    def max_error(self) -> float:
+        if not self._errors:
+            return 0.0
+        return float(np.max(self._errors))

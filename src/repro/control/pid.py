@@ -1,0 +1,97 @@
+"""PID controller.
+
+The Aerial Photography workload plans motion with a PID loop that keeps
+the tracked target near the image center (Fig. 7b).  A generic scalar PID
+with anti-windup plus a convenience multi-axis wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Pid:
+    """A scalar PID controller with output clamping and anti-windup.
+
+    Attributes
+    ----------
+    kp, ki, kd:
+        Gains.
+    output_limit:
+        Symmetric clamp on the output (None = unclamped).
+    integral_limit:
+        Symmetric clamp on the integral term (anti-windup).
+    """
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+    output_limit: Optional[float] = None
+    integral_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self._integral = 0.0
+        self._prev_error: Optional[float] = None
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._prev_error = None
+
+    def update(self, error: float, dt: float) -> float:
+        """One control step; returns the actuation command."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self._integral += error * dt
+        if self.integral_limit is not None:
+            self._integral = float(
+                np.clip(self._integral, -self.integral_limit, self.integral_limit)
+            )
+        derivative = 0.0
+        if self._prev_error is not None:
+            derivative = (error - self._prev_error) / dt
+        self._prev_error = error
+        out = self.kp * error + self.ki * self._integral + self.kd * derivative
+        if self.output_limit is not None:
+            out = float(np.clip(out, -self.output_limit, self.output_limit))
+        return out
+
+
+@dataclass
+class VectorPid:
+    """Independent PID loops over each axis of a vector error."""
+
+    axes: Sequence[Pid]
+
+    @classmethod
+    def uniform(
+        cls,
+        n: int,
+        kp: float,
+        ki: float = 0.0,
+        kd: float = 0.0,
+        output_limit: Optional[float] = None,
+        integral_limit: Optional[float] = None,
+    ) -> "VectorPid":
+        return cls(
+            axes=[
+                Pid(kp, ki, kd, output_limit, integral_limit) for _ in range(n)
+            ]
+        )
+
+    def update(self, error: np.ndarray, dt: float) -> np.ndarray:
+        error = np.asarray(error, dtype=float)
+        if error.shape != (len(self.axes),):
+            raise ValueError(
+                f"error must have shape ({len(self.axes)},), got {error.shape}"
+            )
+        return np.array(
+            [pid.update(float(e), dt) for pid, e in zip(self.axes, error)]
+        )
+
+    def reset(self) -> None:
+        for pid in self.axes:
+            pid.reset()

@@ -1,0 +1,38 @@
+"""Core: the closed-loop simulator, QoF metrics, workloads, and the API."""
+
+from .velocity import (
+    PAPER_A_MAX,
+    PAPER_STOP_DISTANCE,
+    max_velocity,
+    max_velocity_curve,
+    response_time_for_velocity,
+)
+from .qof import HOVER_SPEED_THRESHOLD, QofRecorder, QofReport, QofSample
+from .simulator import Simulation, SimulationConfig
+from .api import (
+    WorkloadResult,
+    available_workloads,
+    make_simulation,
+    run_workload,
+)
+from .workloads import WORKLOADS, Workload
+
+__all__ = [
+    "HOVER_SPEED_THRESHOLD",
+    "PAPER_A_MAX",
+    "PAPER_STOP_DISTANCE",
+    "QofRecorder",
+    "QofReport",
+    "QofSample",
+    "Simulation",
+    "SimulationConfig",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadResult",
+    "available_workloads",
+    "make_simulation",
+    "max_velocity",
+    "max_velocity_curve",
+    "response_time_for_velocity",
+    "run_workload",
+]

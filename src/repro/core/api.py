@@ -1,0 +1,136 @@
+"""Top-level convenience API.
+
+``run_workload`` assembles the full closed-loop stack (world + vehicle +
+sensors + compute + energy) for a named workload at a chosen operating
+point and runs the mission — the one-call entry point the examples and
+benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..compute.kernels import KernelModel
+from ..compute.platform import JETSON_TX2, PlatformConfig, PlatformSpec
+from ..sensors.camera import CameraIntrinsics, RgbdCamera
+from ..sensors.noise import DepthNoise
+from .qof import QofReport
+from .simulator import Simulation, SimulationConfig
+from .workloads import WORKLOADS, Workload
+
+
+@dataclass
+class WorkloadResult:
+    """Everything a study needs from one mission run."""
+
+    workload: str
+    platform: PlatformConfig
+    report: QofReport
+    kernel_stats: Dict[str, Dict[str, float]]
+
+    @property
+    def mission_time_s(self) -> float:
+        return self.report.mission_time_s
+
+    @property
+    def average_velocity_ms(self) -> float:
+        return self.report.average_velocity_ms
+
+    @property
+    def total_energy_kj(self) -> float:
+        return self.report.total_energy_j / 1000.0
+
+    @property
+    def success(self) -> bool:
+        return self.report.success
+
+
+def available_workloads() -> List[str]:
+    """Names accepted by :func:`run_workload`."""
+    return sorted(WORKLOADS)
+
+
+def make_simulation(
+    workload: Workload,
+    cores: int = 4,
+    frequency_ghz: float = 2.2,
+    spec: PlatformSpec = JETSON_TX2,
+    depth_noise_std: float = 0.0,
+    seed: int = 0,
+    dt: float = 0.05,
+    max_mission_time_s: float = 2400.0,
+    camera_max_range_m: float = 20.0,
+) -> Simulation:
+    """Assemble and bind a :class:`Simulation` for ``workload``."""
+    platform = PlatformConfig(spec=spec, cores=cores, frequency_ghz=frequency_ghz)
+    kernel_model = KernelModel(workload=workload.name)
+    world = workload.build_world()
+    camera = RgbdCamera(
+        intrinsics=CameraIntrinsics(
+            width=32, height=24, max_range_m=camera_max_range_m
+        ),
+        depth_noise=(
+            DepthNoise(std=depth_noise_std, seed=seed + 101)
+            if depth_noise_std > 0
+            else None
+        ),
+    )
+    sim = Simulation(
+        world=world,
+        platform=platform,
+        kernel_model=kernel_model,
+        camera=camera,
+        config=SimulationConfig(
+            dt=dt, max_mission_time_s=max_mission_time_s, seed=seed
+        ),
+    )
+    sim.vehicle.state.position = workload.start_position(world)
+    workload.bind(sim)
+    return sim
+
+
+def run_workload(
+    name: str,
+    cores: int = 4,
+    frequency_ghz: float = 2.2,
+    seed: int = 0,
+    depth_noise_std: float = 0.0,
+    workload_kwargs: Optional[Dict] = None,
+    **sim_kwargs,
+) -> WorkloadResult:
+    """Run one workload end to end at one operating point.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_workloads`.
+    cores, frequency_ghz:
+        TX2 operating point (the heatmap axes).
+    depth_noise_std:
+        RGB-D depth noise (the Table II knob), in meters.
+    workload_kwargs:
+        Extra constructor arguments for the workload class.
+    sim_kwargs:
+        Extra arguments for :func:`make_simulation`.
+    """
+    if name not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload '{name}' (choose from {available_workloads()})"
+        )
+    workload = WORKLOADS[name](seed=seed, **(workload_kwargs or {}))
+    sim = make_simulation(
+        workload,
+        cores=cores,
+        frequency_ghz=frequency_ghz,
+        depth_noise_std=depth_noise_std,
+        seed=seed,
+        **sim_kwargs,
+    )
+    report = workload.run()
+    return WorkloadResult(
+        workload=name,
+        platform=sim.platform,
+        report=report,
+        kernel_stats=sim.scheduler.kernel_latency_stats(),
+    )

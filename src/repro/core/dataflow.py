@@ -1,0 +1,268 @@
+"""The Fig. 7 application dataflows as executable node graphs.
+
+Each MAVBench application is, on the real system, a set of ROS nodes
+wired by publisher/subscriber FIFOs and service calls (Fig. 7).  The
+mission logic in :mod:`repro.core.workloads` drives the closed loop
+directly for efficiency; this module expresses the same dataflows on the
+:mod:`repro.middleware` substrate, which is useful for
+
+* studying node-level concurrency and queueing on the scheduler (which
+  kernels contend for cores, where frames get dropped),
+* validating that the middleware reproduces the paper's dataflow
+  semantics end to end.
+
+``build_dataflow(name, graph)`` instantiates the named application's node
+graph; driving ``graph.spin_once`` then executes the pipeline, with every
+node's processing charged to the shared compute scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..compute.scheduler import Job
+from ..middleware.clock import Timer
+from ..middleware.node import Node, NodeGraph
+
+
+class SensorNode(Node):
+    """Publishes sensor frames at a fixed rate (AirSim interface stand-in).
+
+    Publishing itself is free (DMA from the sensor); downstream kernels
+    pay compute.
+    """
+
+    def __init__(
+        self, name: str, topic: str, rate_hz: float, payload_factory=None
+    ) -> None:
+        super().__init__(name)
+        self.topic_name = topic
+        self.rate_hz = rate_hz
+        self.payload_factory = payload_factory or (lambda t: {"stamp": t})
+        self._timer: Optional[Timer] = None
+        self.frames_published = 0
+
+    def on_attach(self, graph: NodeGraph) -> None:
+        self._timer = graph.make_timer(1.0 / self.rate_hz)
+
+    def try_start(self, graph: NodeGraph) -> bool:
+        if self._timer is not None and self._timer.due():
+            self.publish(self.topic_name, self.payload_factory(graph.clock.now))
+            self.frames_published += 1
+        return False  # publishing occupies no cores
+
+
+class KernelNode(Node):
+    """Consumes one input topic, runs a kernel, publishes to an output.
+
+    The workhorse of Fig. 7: OctoMap generation, object detection, SLAM,
+    point-cloud generation are all instances.  ``latest_only`` drops the
+    queue backlog (a real-time node processes the freshest frame; the
+    dropped count is the paper's missed-frames effect).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kernel: str,
+        input_topic: str,
+        output_topic: Optional[str] = None,
+        queue_size: int = 2,
+        latest_only: bool = True,
+    ) -> None:
+        super().__init__(name)
+        self.kernel = kernel
+        self.input_topic = input_topic
+        self.output_topic = output_topic
+        self.queue_size = queue_size
+        self.latest_only = latest_only
+        self.processed = 0
+
+    def on_attach(self, graph: NodeGraph) -> None:
+        self._sub = self.subscribe(self.input_topic, queue_size=self.queue_size)
+
+    def try_start(self, graph: NodeGraph) -> bool:
+        msg = self._sub.latest() if self.latest_only else self._sub.pop()
+        if msg is None:
+            return False
+        self.run_kernel(self.kernel, context=msg)
+        return True
+
+    def on_complete(self, graph: NodeGraph, job: Job, context: Any) -> None:
+        self.processed += 1
+        if self.output_topic is not None:
+            self.publish(
+                self.output_topic,
+                {"from": self.name, "input": context.data, "job": job.kernel},
+            )
+
+    @property
+    def dropped_frames(self) -> int:
+        return self._sub.dropped
+
+
+def _scanning(graph: NodeGraph) -> List[Node]:
+    """Fig. 7a: GPS -> lawnmower mission/motion planner -> path tracking."""
+    return [
+        graph.add_node(SensorNode("gps", "position", rate_hz=10.0)),
+        graph.add_node(
+            KernelNode("mission_planner", "localization_gps", "position",
+                       "mission")
+        ),
+        graph.add_node(
+            KernelNode("motion_planner", "lawnmower", "mission", "trajectory")
+        ),
+        graph.add_node(
+            KernelNode("path_tracker", "path_tracking", "trajectory",
+                       "rotor_commands")
+        ),
+    ]
+
+
+def _aerial_photography(graph: NodeGraph) -> List[Node]:
+    """Fig. 7b: camera -> detection + tracking -> PID -> path tracking."""
+    return [
+        graph.add_node(SensorNode("camera", "image_raw", rate_hz=30.0)),
+        graph.add_node(
+            KernelNode("detector", "object_detection_yolo", "image_raw",
+                       "bounding_box")
+        ),
+        graph.add_node(
+            KernelNode("tracker", "tracking_realtime", "image_raw",
+                       "bounding_box")
+        ),
+        graph.add_node(
+            KernelNode("pid", "pid", "bounding_box", "trajectory")
+        ),
+        graph.add_node(
+            KernelNode("path_tracker", "path_tracking", "trajectory",
+                       "rotor_commands")
+        ),
+    ]
+
+
+def _occupancy_front(graph: NodeGraph) -> List[Node]:
+    """Shared perception chain of Figs. 7c/7d/7e."""
+    return [
+        graph.add_node(SensorNode("camera", "image_depth", rate_hz=10.0)),
+        graph.add_node(SensorNode("imu", "imu", rate_hz=100.0)),
+        graph.add_node(
+            KernelNode("point_cloud", "point_cloud", "image_depth", "cloud")
+        ),
+        graph.add_node(KernelNode("slam", "slam", "image_depth", "pose")),
+        graph.add_node(
+            KernelNode("octomap_generator", "octomap", "cloud", "octomap")
+        ),
+        graph.add_node(
+            KernelNode("collision_checker", "collision_check", "octomap",
+                       "collision")
+        ),
+    ]
+
+
+def _package_delivery(graph: NodeGraph) -> List[Node]:
+    """Fig. 7c: occupancy front end + shortest-path planning + tracking."""
+    nodes = _occupancy_front(graph)
+    nodes.append(
+        graph.add_node(
+            KernelNode("motion_planner", "shortest_path", "octomap",
+                       "trajectory")
+        )
+    )
+    nodes.append(
+        graph.add_node(
+            KernelNode("smoother", "smoothing", "trajectory",
+                       "smooth_trajectory")
+        )
+    )
+    nodes.append(
+        graph.add_node(
+            KernelNode("path_tracker", "path_tracking", "smooth_trajectory",
+                       "rotor_commands")
+        )
+    )
+    return nodes
+
+
+def _mapping(graph: NodeGraph) -> List[Node]:
+    """Fig. 7d: occupancy front end + frontier exploration + tracking."""
+    nodes = _occupancy_front(graph)
+    nodes.append(
+        graph.add_node(
+            KernelNode("motion_planner", "frontier_exploration", "octomap",
+                       "trajectory")
+        )
+    )
+    nodes.append(
+        graph.add_node(
+            KernelNode("path_tracker", "path_tracking", "trajectory",
+                       "rotor_commands")
+        )
+    )
+    return nodes
+
+
+def _search_rescue(graph: NodeGraph) -> List[Node]:
+    """Fig. 7e: mapping dataflow + an object-detection node."""
+    nodes = _mapping(graph)
+    nodes.append(
+        graph.add_node(
+            KernelNode("detector", "object_detection_yolo", "image_depth",
+                       "object_detected")
+        )
+    )
+    return nodes
+
+
+DATAFLOWS = {
+    "scanning": _scanning,
+    "aerial_photography": _aerial_photography,
+    "package_delivery": _package_delivery,
+    "mapping": _mapping,
+    "search_rescue": _search_rescue,
+}
+
+
+def build_dataflow(name: str, graph: NodeGraph) -> List[Node]:
+    """Instantiate the named application's Fig. 7 node graph.
+
+    Raises
+    ------
+    KeyError
+        For unknown application names.
+    """
+    if name not in DATAFLOWS:
+        known = ", ".join(sorted(DATAFLOWS))
+        raise KeyError(f"unknown dataflow '{name}' (known: {known})")
+    return DATAFLOWS[name](graph)
+
+
+@dataclass
+class DataflowStats:
+    """Throughput/drop accounting after spinning a dataflow."""
+
+    processed: Dict[str, int]
+    dropped: Dict[str, int]
+    published: Dict[str, int]
+
+
+def spin_dataflow(
+    graph: NodeGraph, nodes: List[Node], duration_s: float, dt: float = 0.01
+) -> DataflowStats:
+    """Spin the graph for ``duration_s`` of simulated time and summarize."""
+    steps = int(duration_s / dt)
+    for _ in range(steps):
+        graph.spin_once(dt)
+    processed = {
+        n.name: n.processed for n in nodes if isinstance(n, KernelNode)
+    }
+    dropped = {
+        n.name: n.dropped_frames for n in nodes if isinstance(n, KernelNode)
+    }
+    published = {
+        n.name: n.frames_published for n in nodes if isinstance(n, SensorNode)
+    }
+    return DataflowStats(
+        processed=processed, dropped=dropped, published=published
+    )

@@ -1,0 +1,164 @@
+"""Quality-of-Flight (QoF) metrics collection.
+
+"MAVBench platform collects statistics of both sorts" — universal metrics
+(mission time, energy) and application-specific ones (map coverage error,
+distance of the target from the frame center).  The :class:`QofRecorder`
+samples the closed loop every tick and computes the universal metrics;
+workloads attach their specific metrics to the final report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..dynamics.state import VehicleState
+
+
+@dataclass
+class QofSample:
+    """One tick's worth of flight statistics."""
+
+    time: float
+    position: np.ndarray
+    speed: float
+    rotor_power_w: float
+    compute_power_w: float
+    hovering: bool
+
+
+@dataclass
+class QofReport:
+    """Aggregated quality-of-flight metrics for one mission."""
+
+    mission_time_s: float
+    flight_distance_m: float
+    average_velocity_ms: float
+    max_velocity_ms: float
+    hover_time_s: float
+    total_energy_j: float
+    rotor_energy_j: float
+    compute_energy_j: float
+    average_rotor_power_w: float
+    average_compute_power_w: float
+    battery_remaining_percent: float
+    success: bool
+    failure_reason: Optional[str] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "OK" if self.success else f"FAIL({self.failure_reason})"
+        return (
+            f"[{status}] t={self.mission_time_s:.1f}s "
+            f"v_avg={self.average_velocity_ms:.2f}m/s "
+            f"E={self.total_energy_j / 1000:.1f}kJ "
+            f"hover={self.hover_time_s:.1f}s "
+            f"batt={self.battery_remaining_percent:.1f}%"
+        )
+
+
+#: Speed below which an airborne drone counts as hovering.
+HOVER_SPEED_THRESHOLD = 0.3
+
+
+class QofRecorder:
+    """Accumulates per-tick samples and reduces them to a report."""
+
+    def __init__(self) -> None:
+        self._samples: List[QofSample] = []
+        self._distance = 0.0
+        self._rotor_energy = 0.0
+        self._compute_energy = 0.0
+        self._hover_time = 0.0
+        self._last_position: Optional[np.ndarray] = None
+
+    def record(
+        self,
+        state: VehicleState,
+        rotor_power_w: float,
+        compute_power_w: float,
+        dt: float,
+        airborne: bool,
+    ) -> None:
+        """Record one tick."""
+        hovering = airborne and state.speed < HOVER_SPEED_THRESHOLD
+        if self._last_position is not None:
+            self._distance += float(
+                np.linalg.norm(state.position - self._last_position)
+            )
+        self._last_position = state.position.copy()
+        self._rotor_energy += rotor_power_w * dt
+        self._compute_energy += compute_power_w * dt
+        if hovering:
+            self._hover_time += dt
+        self._samples.append(
+            QofSample(
+                time=state.time,
+                position=state.position.copy(),
+                speed=state.speed,
+                rotor_power_w=rotor_power_w,
+                compute_power_w=compute_power_w,
+                hovering=hovering,
+            )
+        )
+
+    @property
+    def samples(self) -> List[QofSample]:
+        return self._samples
+
+    @property
+    def elapsed_s(self) -> float:
+        if not self._samples:
+            return 0.0
+        return self._samples[-1].time - self._samples[0].time
+
+    def report(
+        self,
+        success: bool,
+        battery_remaining_percent: float,
+        failure_reason: Optional[str] = None,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> QofReport:
+        """Reduce the sample history to a :class:`QofReport`."""
+        mission_time = self.elapsed_s
+        speeds = [s.speed for s in self._samples]
+        avg_velocity = (
+            self._distance / mission_time if mission_time > 0 else 0.0
+        )
+        rotor_avg = (
+            self._rotor_energy / mission_time if mission_time > 0 else 0.0
+        )
+        compute_avg = (
+            self._compute_energy / mission_time if mission_time > 0 else 0.0
+        )
+        return QofReport(
+            mission_time_s=mission_time,
+            flight_distance_m=self._distance,
+            average_velocity_ms=avg_velocity,
+            max_velocity_ms=float(max(speeds, default=0.0)),
+            hover_time_s=self._hover_time,
+            total_energy_j=self._rotor_energy + self._compute_energy,
+            rotor_energy_j=self._rotor_energy,
+            compute_energy_j=self._compute_energy,
+            average_rotor_power_w=rotor_avg,
+            average_compute_power_w=compute_avg,
+            battery_remaining_percent=battery_remaining_percent,
+            success=success,
+            failure_reason=failure_reason,
+            extra=dict(extra or {}),
+        )
+
+    def power_trace(self) -> List[Dict[str, float]]:
+        """Time series of total power — the Fig. 9b mission-power trace."""
+        return [
+            {
+                "time": s.time,
+                "rotor_w": s.rotor_power_w,
+                "compute_w": s.compute_power_w,
+                "total_w": s.rotor_power_w + s.compute_power_w,
+            }
+            for s in self._samples
+        ]

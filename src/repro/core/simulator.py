@@ -1,0 +1,250 @@
+"""The closed-loop MAV simulator.
+
+This is MAVBench's "closed-loop simulation platform": the environment,
+sensors, flight dynamics, companion-computer compute model, middleware,
+and energy/battery models advancing together in lock-step.  Information
+flows exactly as in Fig. 3/4: sensors sample the simulated environment,
+kernels process the data on the (modeled) companion computer, flight
+commands go to the flight controller, and the vehicle's motion changes
+what the sensors see next.
+
+One :class:`Simulation` owns the whole stack; a workload (see
+``repro.core.workloads``) drives it through the same interfaces the
+paper's applications use on the real TX2: sensor captures, kernel job
+submissions, and flight-controller commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..compute.kernels import KernelModel
+from ..compute.platform import JETSON_TX2, PlatformConfig
+from ..compute.scheduler import ComputeScheduler, Job
+from ..dynamics.flight_controller import FlightController, FlightMode
+from ..dynamics.quadrotor import Quadrotor
+from ..dynamics.state import VehicleParams, VehicleState
+from ..energy.battery import Battery
+from ..energy.power_model import RotorPowerModel
+from ..middleware.clock import SimClock
+from ..middleware.node import NodeGraph
+from ..sensors.camera import DepthImage, RgbdCamera
+from ..sensors.imu_gps import Gps, Imu
+from ..world.environment import World
+from ..world.geometry import vec
+from .qof import QofRecorder, QofReport
+
+
+@dataclass
+class SimulationConfig:
+    """Global knobs of the closed-loop simulation (Section III-D).
+
+    Attributes
+    ----------
+    dt:
+        Physics tick (s).  AirSim runs physics at 1 kHz; our point-mass
+        model is stable and accurate at 20 Hz, which keeps pure-Python
+        missions fast.
+    max_mission_time_s:
+        Watchdog: missions exceeding this are failed.
+    seed:
+        Master seed; all stochastic components derive from it.
+    """
+
+    dt: float = 0.05
+    max_mission_time_s: float = 2400.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.max_mission_time_s <= 0:
+            raise ValueError("mission timeout must be positive")
+
+
+class Simulation:
+    """The assembled closed-loop stack.
+
+    Parameters
+    ----------
+    world:
+        The environment (substitutes Unreal).
+    platform:
+        Companion-computer operating point (substitutes the TX2).
+    kernel_model:
+        Kernel runtime model, usually workload-specific.
+    vehicle_params:
+        Airframe limits.
+    camera:
+        The RGB-D sensor (noise injected here for the reliability study).
+    battery, rotor_power:
+        Energy substrate.
+    config:
+        Global simulation knobs.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        platform: Optional[PlatformConfig] = None,
+        kernel_model: Optional[KernelModel] = None,
+        vehicle_params: Optional[VehicleParams] = None,
+        camera: Optional[RgbdCamera] = None,
+        detection_camera: Optional[RgbdCamera] = None,
+        battery: Optional[Battery] = None,
+        rotor_power: Optional[RotorPowerModel] = None,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.world = world
+        self.config = config or SimulationConfig()
+        self.platform = platform or PlatformConfig(JETSON_TX2, 4, 2.2)
+        self.kernel_model = kernel_model or KernelModel()
+        self.rng = np.random.default_rng(self.config.seed)
+
+        params = vehicle_params or VehicleParams()
+        self.vehicle = Quadrotor(params=params)
+        self.flight_controller = FlightController(self.vehicle)
+        self.camera = camera or RgbdCamera()
+        # The RGB detection channel: higher resolution than the depth ray
+        # caster (detectors consume pixels, mapping consumes rays).  Only
+        # frustum/projection queries run on it, so it costs no ray casting.
+        from ..sensors.camera import CameraIntrinsics as _CI
+
+        self.detection_camera = detection_camera or RgbdCamera(
+            intrinsics=_CI(width=320, height=240, max_range_m=30.0)
+        )
+        self.imu = Imu()
+        self.gps = Gps()
+        self.battery = battery or Battery()
+        self.rotor_power = rotor_power or RotorPowerModel(mass_kg=params.mass_kg)
+
+        self.clock = SimClock()
+        self.scheduler = ComputeScheduler(
+            config=self.platform,
+            kernel_model=self.kernel_model,
+            rng=np.random.default_rng(self.config.seed + 1),
+        )
+        self.graph = NodeGraph(clock=self.clock, scheduler=self.scheduler)
+        self.qof = QofRecorder()
+        self.wind = np.zeros(3)
+
+        self._failure_reason: Optional[str] = None
+        self.collisions = 0
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def state(self) -> VehicleState:
+        return self.vehicle.state
+
+    @property
+    def failed(self) -> bool:
+        return self._failure_reason is not None
+
+    @property
+    def failure_reason(self) -> Optional[str]:
+        return self._failure_reason
+
+    def fail(self, reason: str) -> None:
+        """Mark the mission as failed (first reason wins)."""
+        if self._failure_reason is None:
+            self._failure_reason = reason
+
+    # ------------------------------------------------------------------
+    # Sensor access (what the workloads call)
+    # ------------------------------------------------------------------
+    def capture_depth(self) -> DepthImage:
+        """Grab an RGB-D depth frame from the vehicle's current pose."""
+        s = self.state
+        return self.camera.capture_depth(
+            self.world, s.position, s.yaw, time=self.now
+        )
+
+    def submit_kernel(
+        self,
+        kernel: str,
+        on_done: Optional[Callable[[Job], None]] = None,
+        duration_s: Optional[float] = None,
+    ) -> Job:
+        """Submit a kernel job on the companion computer."""
+        return self.scheduler.submit(kernel, on_done=on_done, duration_s=duration_s)
+
+    def kernel_runtime_s(self, kernel: str) -> float:
+        """Deterministic modeled runtime of ``kernel`` at this operating
+        point (used for Eq.-2 response-time estimates)."""
+        return self.kernel_model.runtime_s(kernel, self.platform)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the whole closed loop by one tick."""
+        dt = self.config.dt
+        self.flight_controller.update(dt)
+        self.vehicle.step(dt, wind=self.wind)
+        self.clock.advance(dt)
+        self.scheduler.advance_to(self.clock.now)
+        self._check_collision()
+        self._integrate_energy(dt)
+
+    def _check_collision(self) -> None:
+        s = self.state
+        if s.position[2] > 0.3 and self.world.is_occupied(
+            s.position, time=self.now, margin=self.vehicle.params.radius_m * 0.5
+        ):
+            self.collisions += 1
+            self.fail("collision")
+
+    def _integrate_energy(self, dt: float) -> None:
+        s = self.state
+        airborne = self.flight_controller.airborne
+        rotor_w = (
+            self.rotor_power.power_for_state(s, wind_xy=self.wind[:2])
+            if airborne
+            else 0.0
+        )
+        compute_w = self.platform.cpu_power_w(
+            self.scheduler.busy_cores, self.scheduler.gpu_active
+        )
+        self.battery.draw(rotor_w + compute_w, dt)
+        if self.battery.depleted:
+            self.fail("battery_depleted")
+        self.qof.record(s, rotor_w, compute_w, dt, airborne)
+
+    def run_until(
+        self,
+        predicate: Callable[["Simulation"], bool],
+        on_tick: Optional[Callable[["Simulation"], None]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> bool:
+        """Step until ``predicate`` is true; returns False on timeout/failure."""
+        deadline = self.now + (timeout_s or self.config.max_mission_time_s)
+        while not predicate(self):
+            if self.failed:
+                return False
+            if self.now >= deadline:
+                self.fail("timeout")
+                return False
+            if on_tick is not None:
+                on_tick(self)
+            self.step()
+        return True
+
+    def report(
+        self, success: bool, extra: Optional[Dict[str, float]] = None
+    ) -> QofReport:
+        """Final QoF report for the mission."""
+        return self.qof.report(
+            success=success and not self.failed,
+            battery_remaining_percent=self.battery.remaining_percent,
+            failure_reason=self._failure_reason,
+            extra=extra,
+        )

@@ -1,0 +1,84 @@
+"""Compute-bounded maximum velocity — Equation (2) of the paper.
+
+"For a given flight velocity, a collision-free flight is only possible if
+the drone can process its surrounding fast enough to react to it. ...
+a drone's maximum velocity is determined based on the pixel to response
+time":
+
+    v_max = a_max * (sqrt(dt^2 + 2 d / a_max) - dt)        (Eq. 2)
+
+where ``dt`` is the sensor-to-actuation processing time, ``d`` the
+required stopping distance, and ``a_max`` the braking deceleration limit.
+
+Fig. 8a plots this for the paper's simulated drone: v_max between 8.83 m/s
+(dt = 0) and 1.57 m/s (dt = 4 s); those endpoints pin the paper's
+parameters at a_max = 6 m/s^2 and d = 6.5 m, which we adopt as defaults.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Parameters recovered from Fig. 8a's endpoints (see module docstring).
+PAPER_A_MAX = 6.0
+PAPER_STOP_DISTANCE = 6.5
+
+
+def max_velocity(
+    process_time_s: float,
+    stop_distance_m: float = PAPER_STOP_DISTANCE,
+    a_max: float = PAPER_A_MAX,
+) -> float:
+    """Eq. (2): the collision-avoidance-bounded maximum velocity.
+
+    Parameters
+    ----------
+    process_time_s:
+        Pixel-to-response latency of the perception/planning/control
+        pipeline (s).
+    stop_distance_m:
+        Distance budget within which the drone must come to a halt
+        (sensing range minus a safety margin).
+    a_max:
+        Maximum braking deceleration (m/s^2).
+    """
+    if process_time_s < 0:
+        raise ValueError("process time must be non-negative")
+    if stop_distance_m <= 0 or a_max <= 0:
+        raise ValueError("stopping distance and deceleration must be positive")
+    dt = process_time_s
+    return a_max * (math.sqrt(dt * dt + 2.0 * stop_distance_m / a_max) - dt)
+
+
+def max_velocity_curve(
+    process_times_s: Sequence[float],
+    stop_distance_m: float = PAPER_STOP_DISTANCE,
+    a_max: float = PAPER_A_MAX,
+) -> List[Tuple[float, float]]:
+    """Eq. (2) evaluated over a sweep of processing times (Fig. 8a data)."""
+    return [
+        (float(t), max_velocity(float(t), stop_distance_m, a_max))
+        for t in process_times_s
+    ]
+
+
+def response_time_for_velocity(
+    velocity: float,
+    stop_distance_m: float = PAPER_STOP_DISTANCE,
+    a_max: float = PAPER_A_MAX,
+) -> float:
+    """Invert Eq. (2): the slowest pipeline that still permits ``velocity``.
+
+    Solving v = a (sqrt(dt^2 + 2d/a) - dt) for dt:
+
+        dt = d / v - v / (2 a)
+
+    Returns 0 when even an instantaneous pipeline cannot reach ``velocity``
+    (i.e. ``velocity`` exceeds sqrt(2 a d)).
+    """
+    if velocity <= 0:
+        raise ValueError("velocity must be positive")
+    dt = stop_distance_m / velocity - velocity / (2.0 * a_max)
+    return max(dt, 0.0)

@@ -1,0 +1,28 @@
+"""The five MAVBench workloads (Section IV-B, Fig. 6/7)."""
+
+from .base import OccupancyPipeline, Workload, warm_up_map
+from .scanning import ScanningWorkload
+from .package_delivery import PackageDeliveryWorkload
+from .mapping3d import MappingWorkload
+from .search_rescue import SearchRescueWorkload
+from .aerial_photography import AerialPhotographyWorkload
+
+WORKLOADS = {
+    ScanningWorkload.name: ScanningWorkload,
+    PackageDeliveryWorkload.name: PackageDeliveryWorkload,
+    MappingWorkload.name: MappingWorkload,
+    SearchRescueWorkload.name: SearchRescueWorkload,
+    AerialPhotographyWorkload.name: AerialPhotographyWorkload,
+}
+
+__all__ = [
+    "AerialPhotographyWorkload",
+    "MappingWorkload",
+    "OccupancyPipeline",
+    "PackageDeliveryWorkload",
+    "ScanningWorkload",
+    "SearchRescueWorkload",
+    "WORKLOADS",
+    "Workload",
+    "warm_up_map",
+]

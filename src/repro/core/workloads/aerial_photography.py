@@ -1,0 +1,274 @@
+"""Aerial Photography workload.
+
+"We design the MAV to follow a moving target with the help of computer
+vision algorithms.  The MAV uses a combination of object detection and
+tracking algorithms to identify its relative distance from a target
+(Perception).  Using a PID controller, it then plans motions to keep the
+target near the center of the MAV's camera frame (Planning)" (Fig. 7b).
+
+Metrics (Fig. 14): *error* — distance between the bounding-box center and
+the frame center (normalized by frame width here, so it is resolution-
+independent) — and *mission time*, where **longer is better**: "The drone
+only flies while it can track the person."  Faster detection/tracking
+kernels mean fresher box positions, tighter PID control, lower error, and
+longer tracking before the target is lost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...control.pid import Pid
+from ...perception.detection import DETECTORS, BoundingBox, ObjectDetector
+from ...perception.tracking import CorrelationTracker
+from ...world.environment import World, empty_world
+from ...world.geometry import vec
+from ...world.obstacles import DynamicObstacle, make_person
+from ..qof import QofReport
+from ..simulator import Simulation
+from .base import Workload
+
+
+class AerialPhotographyWorkload(Workload):
+    """Follow a walking person, keeping them centered in frame.
+
+    Parameters
+    ----------
+    target_speed:
+        The subject's walking speed (dynamic-obstacle knob).
+    standoff_m:
+        Desired following distance.
+    max_duration_s:
+        Session length cap; the mission ends early if the target is lost
+        for longer than ``lost_timeout_s``.
+    tracker_mode:
+        "realtime" or "buffered" (Table I's two tracking kernels).
+    """
+
+    name = "aerial_photography"
+
+    def __init__(
+        self,
+        detector_name: str = "yolo",
+        tracker_mode: str = "realtime",
+        target_speed: float = 1.2,
+        standoff_m: float = 8.0,
+        altitude: float = 4.0,
+        max_duration_s: float = 120.0,
+        lost_timeout_s: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if detector_name not in DETECTORS:
+            raise ValueError(f"unknown detector '{detector_name}'")
+        self.detector = ObjectDetector(
+            model=DETECTORS[detector_name], target_kinds=("person",), seed=seed
+        )
+        self.tracker = CorrelationTracker(
+            mode=tracker_mode, search_radius_px=40.0, seed=seed
+        )
+        self.target_speed = target_speed
+        self.standoff_m = standoff_m
+        self.altitude = altitude
+        self.max_duration_s = max_duration_s
+        self.lost_timeout_s = lost_timeout_s
+        self._person: Optional[DynamicObstacle] = None
+        self._errors_px: List[float] = []
+        self.tracked_time_s = 0.0
+        self.detector_frames = 0
+        self._perception_busy = False
+        self._last_box: Optional[BoundingBox] = None
+        self._last_seen_time = 0.0
+
+    # ------------------------------------------------------------------
+    def build_world(self) -> World:
+        world = empty_world((120.0, 120.0, 30.0), name="photo-park")
+        rng = np.random.default_rng(self.seed)
+        # The subject patrols a large loop through the park.
+        loop = [
+            (10.0, 0.0, 0.9),
+            (40.0, 10.0, 0.9),
+            (45.0, 40.0, 0.9),
+            (10.0, 45.0, 0.9),
+            (-20.0, 20.0, 0.9),
+        ]
+        self._person = make_person(
+            loop[0], waypoints=loop, speed=self.target_speed, name="subject"
+        )
+        world.add(self._person)
+        return world
+
+    def start_position(self, world: World) -> np.ndarray:
+        """Launch within camera range of the subject's starting point."""
+        return vec(0.0, -8.0, 0.0)
+
+    # ------------------------------------------------------------------
+    # Perception node: detector to (re)acquire, tracker to follow.
+    # ------------------------------------------------------------------
+    def _perception_tick(self, sim: Simulation) -> None:
+        if self._perception_busy:
+            return
+        self._perception_busy = True
+        position = sim.state.position.copy()
+        yaw = sim.state.yaw
+        frame_time = sim.now
+        use_tracker = self.tracker.tracking
+
+        def _done(job) -> None:
+            self._perception_busy = False
+            true_center = self._project_target(sim, position, yaw)
+            if use_tracker:
+                status = self.tracker.update(true_center)
+                if status.tracking and status.center_px is not None:
+                    self._record_box_center(sim, status.center_px, frame_time)
+            else:
+                self.detector_frames += 1
+                boxes = self.detector.detect(
+                    sim.detection_camera, sim.world, position, yaw,
+                    time=frame_time,
+                )
+                target_boxes = [
+                    b for b in boxes if b.obstacle_name == self._person.name
+                ]
+                if target_boxes:
+                    box = max(target_boxes, key=lambda b: b.confidence)
+                    self.tracker.initialize(box)
+                    self._record_box_center(sim, box.center_px, frame_time)
+
+        kernel = (
+            self.tracker.kernel_name if use_tracker else self.detector.model.name
+        )
+        sim.submit_kernel(kernel, on_done=_done)
+
+    def _project_target(
+        self, sim: Simulation, position: np.ndarray, yaw: float
+    ) -> Optional[Tuple[float, float]]:
+        proj = sim.detection_camera.project(
+            self._person.position_at(sim.now), position, yaw
+        )
+        if proj is None:
+            return None
+        return (proj[0], proj[1])
+
+    def _record_box_center(
+        self, sim: Simulation, center: Tuple[float, float], stamp: float
+    ) -> None:
+        self._last_box = BoundingBox(
+            center_px=center, size_px=(0, 0), confidence=1.0, label="person"
+        )
+        self._last_seen_time = stamp
+        intr = sim.detection_camera.intrinsics
+        offset = math.hypot(
+            center[0] - intr.width / 2.0, center[1] - intr.height / 2.0
+        )
+        self._errors_px.append(offset)
+
+    # ------------------------------------------------------------------
+    # Planning: PID on the image-space error + standoff control.
+    # ------------------------------------------------------------------
+    def _control_tick(self, sim: Simulation) -> None:
+        self._perception_tick(sim)
+        if self._last_box is None:
+            # Acquisition: drift toward the subject's briefed start area so
+            # the detector gets a large enough target to lock onto.
+            brief = self._person.waypoints[0]
+            delta = brief - sim.state.position
+            delta[2] = self.altitude - sim.state.position[2]
+            dist = float(np.linalg.norm(delta[:2]))
+            if dist > self.standoff_m:
+                sim.flight_controller.fly_velocity(
+                    delta / max(dist, 1.0) * 2.0
+                )
+            else:
+                sim.flight_controller.hover()
+            return
+        # Stale perception means stale commands: all control below acts on
+        # the last *observed* box, so quality degrades with kernel latency.
+        staleness = sim.now - self._last_seen_time
+        intr = sim.detection_camera.intrinsics
+        half_fov = math.radians(intr.horizontal_fov_deg) / 2.0
+        # Yaw: turn so the observed box center moves to the frame center.
+        err_x = (self._last_box.center_px[0] - intr.width / 2.0) / (
+            intr.width / 2.0
+        )
+        yaw_correction = self._yaw_pid.update(-err_x * half_fov, sim.config.dt)
+        yaw_target = sim.state.yaw + yaw_correction
+        # Range: close to the standoff distance along the observed bearing.
+        target_pos = self._person.position_at(self._last_seen_time)
+        delta = target_pos - sim.state.position
+        horizontal = delta.copy()
+        horizontal[2] = 0.0
+        dist = float(np.linalg.norm(horizontal))
+        toward = horizontal / dist if dist > 1e-6 else np.zeros(3)
+        range_error = dist - self.standoff_m
+        speed_cmd = self._range_pid.update(range_error, sim.config.dt)
+        velocity = toward * speed_cmd
+        velocity[2] = 1.0 * (self.altitude - sim.state.position[2])
+        sim.flight_controller.fly_velocity(velocity, yaw=yaw_target)
+        if staleness < 2.0:
+            self.tracked_time_s += sim.config.dt
+
+    # ------------------------------------------------------------------
+    def run(self) -> QofReport:
+        sim = self._sim
+        self._yaw_pid = Pid(kp=3.0, ki=0.2, kd=0.3, output_limit=2.0,
+                            integral_limit=0.5)
+        self._range_pid = Pid(kp=1.2, ki=0.05, kd=0.2, output_limit=6.0,
+                              integral_limit=2.0)
+        sim.flight_controller.takeoff(self.altitude)
+        if not sim.run_until(
+            lambda s: s.flight_controller.at_target(), timeout_s=60.0
+        ):
+            return sim.report(False, extra=self.extra_metrics())
+        # Face the subject initially.
+        target = self._person.position_at(sim.now)
+        yaw0 = math.atan2(
+            target[1] - sim.state.position[1], target[0] - sim.state.position[0]
+        )
+        sim.vehicle.state.yaw = yaw0
+        self._last_seen_time = sim.now
+        end_time = sim.now + self.max_duration_s
+
+        acquisition_deadline = sim.now + 20.0
+
+        def _session_over(s: Simulation) -> bool:
+            if s.now >= end_time:
+                return True
+            if self._last_box is None:
+                # Still acquiring the subject for the first time.
+                return s.now >= acquisition_deadline
+            lost_for = s.now - self._last_seen_time
+            return lost_for > self.lost_timeout_s
+
+        sim.run_until(
+            _session_over,
+            on_tick=self._control_tick,
+            timeout_s=self.max_duration_s + 60.0,
+        )
+        sim.flight_controller.land()
+        sim.run_until(
+            lambda s: s.flight_controller.mode.value == "landed", timeout_s=30.0
+        )
+        # Success = followed the subject for most of the session.
+        success = self.tracked_time_s >= 0.5 * self.max_duration_s
+        return sim.report(success, extra=self.extra_metrics())
+
+    # ------------------------------------------------------------------
+    def extra_metrics(self) -> Dict[str, float]:
+        metrics = super().extra_metrics()
+        intr = (
+            self.sim.detection_camera.intrinsics if self.sim is not None else None
+        )
+        if self._errors_px and intr is not None:
+            metrics["error_norm"] = float(
+                np.mean(self._errors_px) / intr.width
+            )
+            metrics["error_px"] = float(np.mean(self._errors_px))
+        metrics["tracked_time_s"] = self.tracked_time_s
+        metrics["detector_frames"] = float(self.detector_frames)
+        metrics["tracker_losses"] = float(self.tracker.lost_count)
+        return metrics

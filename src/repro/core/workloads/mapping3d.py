@@ -1,0 +1,217 @@
+"""3D Mapping workload.
+
+"This workload instructs a MAV to build a 3D map of an unknown polygonal
+environment specified by its boundaries. ... the map is sampled and a
+heuristic is used to select an energy efficient (i.e. short) path with a
+high exploratory promise" (Fig. 7d).
+
+The mission alternates frontier-exploration planning (the drone hovers
+while the expensive ``frontier_exploration`` kernel runs — 2.6 s even at
+the TX2's top operating point) with flight to the chosen viewpoint under
+continuous mapping.  Both mechanisms of Section V-A are therefore live:
+slower compute means *more hover time* (planning) and *lower max velocity*
+(staler map via Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...control.path_tracking import PathTracker
+from ...planning.frontier import FrontierExplorer
+from ...planning.rrt import RrtPlanner
+from ...planning.smoothing import smooth_trajectory
+from ...world.environment import World
+from ...world.generator import forest_world
+from ...world.geometry import AABB, vec
+from ..qof import QofReport
+from ..simulator import Simulation
+from .base import OccupancyPipeline, Workload, warm_up_map
+
+
+class MappingWorkload(Workload):
+    """Explore and map a bounded unknown region.
+
+    Parameters
+    ----------
+    coverage_target:
+        Mission completes when this fraction of the region is observed.
+    octomap_resolution:
+        Belief-map voxel size.
+    mapping_ceiling:
+        Upper z of the region to map (keeps the coverage volume honest —
+        the drone maps the flyable layer, not the whole sky).
+    """
+
+    name = "mapping"
+
+    def __init__(
+        self,
+        coverage_target: float = 0.70,
+        octomap_resolution: float = 0.8,
+        cruise_speed: float = 8.0,
+        altitude: float = 4.0,
+        mapping_ceiling: float = 9.0,
+        max_explore_rounds: int = 60,
+        world: Optional[World] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if not 0.0 < coverage_target <= 1.0:
+            raise ValueError("coverage target must be in (0, 1]")
+        self.coverage_target = coverage_target
+        self.octomap_resolution = octomap_resolution
+        self.cruise_speed = cruise_speed
+        self.altitude = altitude
+        self.mapping_ceiling = mapping_ceiling
+        self.max_explore_rounds = max_explore_rounds
+        self._world = world
+        self.pipeline: Optional[OccupancyPipeline] = None
+        self.explore_rounds = 0
+        self.final_coverage = 0.0
+
+    # ------------------------------------------------------------------
+    def build_world(self) -> World:
+        if self._world is not None:
+            return self._world
+        return forest_world(size=60.0, n_trees=25, seed=self.seed)
+
+    def _map_region(self, sim: Simulation) -> AABB:
+        lo = sim.world.bounds.lo.copy()
+        hi = sim.world.bounds.hi.copy()
+        hi[2] = min(hi[2], self.mapping_ceiling)
+        return AABB(lo, hi)
+
+    # ------------------------------------------------------------------
+    def _explore_once(self, sim: Simulation, explorer: FrontierExplorer) -> bool:
+        """One explore round: plan (hover) then fly to the viewpoint."""
+        self.explore_rounds += 1
+        sim.flight_controller.hover()
+        done = {"flag": False, "plan": None}
+
+        def _frontier_done(job) -> None:
+            planner = RrtPlanner(
+                self.pipeline.checker,
+                explorer.octomap.bounds,
+                step_size=3.0,
+                max_iterations=1500,
+                seed=int(sim.rng.integers(1 << 31)),
+            )
+            done["plan"] = explorer.plan_to_view(sim.state.position, planner)
+            done["flag"] = True
+
+        sim.submit_kernel("frontier_exploration", on_done=_frontier_done)
+        if not sim.run_until(
+            lambda s: done["flag"],
+            on_tick=lambda s: self.pipeline.tick(),
+            timeout_s=600.0,
+        ):
+            return False
+        plan = done["plan"]
+        if plan is None or not plan.success:
+            # No reachable frontier this round — sense and try again.
+            return self._hover_sense(sim, 1.0)
+
+        trajectory = smooth_trajectory(
+            plan.waypoints,
+            max_speed=min(self.cruise_speed, self.pipeline.allowed_velocity()),
+            max_acceleration=sim.vehicle.params.max_acceleration_ms2,
+            checker=self.pipeline.checker,
+            blend_radius=1.5,
+            start_time=sim.now,
+            seed=self.seed,
+        )
+        tracker = PathTracker(max_speed=self.cruise_speed)
+        tracker.set_trajectory(trajectory, now=sim.now)
+        stall = {"anchor": sim.state.position.copy(), "since": sim.now,
+                 "flag": False}
+
+        def _on_tick(s: Simulation) -> None:
+            self.pipeline.tick()
+            moved = float(np.linalg.norm(s.state.position - stall["anchor"]))
+            if moved > 0.5:
+                stall["anchor"] = s.state.position.copy()
+                stall["since"] = s.now
+            elif s.now - stall["since"] > 6.0:
+                # Pinned against a believed obstacle: abandon this view and
+                # let the next exploration round pick a reachable one.
+                stall["flag"] = True
+            status = tracker.update(s.state.position, s.now)
+            cmd = self.pipeline.safety_filter(
+                status.velocity_command, self.cruise_speed
+            )
+            s.flight_controller.fly_velocity(cmd)
+
+        return sim.run_until(
+            lambda s: stall["flag"]
+            or tracker.update(s.state.position, s.now).finished
+            or s.now >= trajectory.points[-1].time + 15.0,
+            on_tick=_on_tick,
+            timeout_s=300.0,
+        )
+
+    def _hover_sense(self, sim: Simulation, duration_s: float) -> bool:
+        sim.flight_controller.hover()
+        end = sim.now + duration_s
+        return sim.run_until(
+            lambda s: s.now >= end,
+            on_tick=lambda s: self.pipeline.tick(),
+            timeout_s=duration_s + 30.0,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> QofReport:
+        sim = self._sim
+        region = self._map_region(sim)
+        self.pipeline = OccupancyPipeline(
+            sim,
+            resolution=self.octomap_resolution,
+            map_bounds=region,
+            max_rays=80,
+        )
+        explorer = FrontierExplorer(
+            self.pipeline.octomap,
+            self.pipeline.checker,
+            sensor_range=self.sim.camera.intrinsics.max_range_m,
+            seed=self.seed,
+        )
+        sim.flight_controller.takeoff(self.altitude)
+        if not sim.run_until(
+            lambda s: s.flight_controller.at_target(), timeout_s=60.0
+        ):
+            return sim.report(False, extra=self.extra_metrics())
+        warm_up_map(self.pipeline, sweeps=8)
+        sim.submit_kernel("slam")
+
+        coverage = self.pipeline.octomap.coverage_fraction(region)
+        while (
+            coverage < self.coverage_target
+            and self.explore_rounds < self.max_explore_rounds
+            and not sim.failed
+        ):
+            if not self._explore_once(sim, explorer):
+                break
+            coverage = self.pipeline.octomap.coverage_fraction(region)
+        self.final_coverage = coverage
+
+        sim.flight_controller.land()
+        sim.run_until(
+            lambda s: s.flight_controller.mode.value == "landed", timeout_s=30.0
+        )
+        success = coverage >= self.coverage_target
+        if not success and not sim.failed:
+            sim.fail("coverage_not_reached")
+        return sim.report(success, extra=self.extra_metrics())
+
+    # ------------------------------------------------------------------
+    def extra_metrics(self) -> Dict[str, float]:
+        metrics = super().extra_metrics()
+        metrics["coverage"] = self.final_coverage
+        metrics["explore_rounds"] = float(self.explore_rounds)
+        if self.pipeline is not None:
+            metrics["map_updates"] = float(self.pipeline.updates_completed)
+            metrics["map_cells"] = float(self.pipeline.octomap.memory_cells())
+        return metrics

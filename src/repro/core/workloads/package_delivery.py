@@ -1,0 +1,318 @@
+"""Package Delivery workload.
+
+"A MAV navigates through an obstacle-filled environment to reach some
+arbitrary destination, deliver a package and come back to its origin."
+Pipeline (Fig. 7c): point cloud + SLAM + OctoMap (Perception), collision
+check + shortest-path + smoothing (Planning), path tracking (Control).
+While flying, the map is continuously updated and the path re-planned when
+newly observed obstacles obstruct it — which is how depth-sensor noise
+turns into extra re-plans and longer missions in the Table II study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ...control.path_tracking import PathTracker
+from ...planning.prm import PrmPlanner
+from ...planning.rrt import PlanResult, RrtPlanner, RrtStarPlanner
+from ...planning.smoothing import Trajectory, smooth_trajectory
+from ...world.environment import World
+from ...world.generator import urban_world
+from ...world.geometry import vec
+from ..qof import QofReport
+from ..simulator import Simulation
+from .base import OccupancyPipeline, Workload, warm_up_map
+
+_PLANNERS = {
+    "rrt": RrtPlanner,
+    "rrt_star": RrtStarPlanner,
+    "prm": PrmPlanner,
+}
+
+
+class PackageDeliveryWorkload(Workload):
+    """Deliver a package to a goal point and return home.
+
+    Parameters
+    ----------
+    goal:
+        Delivery coordinates; ``None`` picks a far free point automatically.
+    planner_name:
+        "rrt" (default), "rrt_star", or "prm" — the plug-and-play knob.
+    octomap_resolution:
+        Belief-map voxel size.
+    cruise_speed:
+        Upper bound on commanded speed (the Eq.-2 bound may be lower).
+    resolution_policy:
+        Optional callable ``f(sim, pipeline) -> resolution`` evaluated
+        before each planning phase — the dynamic-resolution case study
+        hook (Fig. 19).
+    """
+
+    name = "package_delivery"
+
+    def __init__(
+        self,
+        goal: Optional[np.ndarray] = None,
+        planner_name: str = "rrt",
+        octomap_resolution: float = 0.5,
+        cruise_speed: float = 8.0,
+        altitude: float = 3.0,
+        delivery_hover_s: float = 2.0,
+        resolution_policy: Optional[Callable] = None,
+        world: Optional[World] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        if planner_name not in _PLANNERS:
+            raise ValueError(
+                f"unknown planner '{planner_name}' "
+                f"(choose from {sorted(_PLANNERS)})"
+            )
+        self.goal = None if goal is None else np.asarray(goal, dtype=float)
+        self.planner_name = planner_name
+        self.octomap_resolution = octomap_resolution
+        self.cruise_speed = cruise_speed
+        self.altitude = altitude
+        self.delivery_hover_s = delivery_hover_s
+        self.resolution_policy = resolution_policy
+        self._world = world
+        self.pipeline: Optional[OccupancyPipeline] = None
+        self.plans_failed = 0
+        self.delivered = False
+
+    # ------------------------------------------------------------------
+    def build_world(self) -> World:
+        if self._world is not None:
+            return self._world
+        return urban_world(
+            blocks=3, block_size=22.0, street_width=14.0,
+            building_density=0.6, max_height=12.0, seed=self.seed,
+        )
+
+    def _default_goal(self, sim: Simulation) -> np.ndarray:
+        """A free point near the far corner of the world."""
+        bounds = sim.world.bounds
+        target = bounds.lo + (bounds.hi - bounds.lo) * vec(0.82, 0.82, 0.0)
+        target[2] = self.altitude
+        rng = np.random.default_rng(self.seed + 7)
+        for _ in range(200):
+            candidate = target + rng.normal(0.0, 4.0, size=3)
+            candidate[2] = self.altitude
+            if sim.world.is_free(candidate, margin=1.0):
+                return candidate
+        return target
+
+    # ------------------------------------------------------------------
+    # Planning helpers
+    # ------------------------------------------------------------------
+    def _planning_bounds(self, sim: Simulation):
+        """Sampling region for the planners: capped at the mission ceiling
+        so the drone threads the environment instead of overflying it."""
+        from ...world.geometry import AABB
+
+        lo = sim.world.bounds.lo.copy()
+        hi = sim.world.bounds.hi.copy()
+        lo[2] = max(lo[2], 1.0)
+        hi[2] = min(hi[2], self.altitude + 3.0)
+        return AABB(lo, hi)
+
+    def _make_planner(self, sim: Simulation):
+        cls = _PLANNERS[self.planner_name]
+        kwargs = dict(
+            checker=self.pipeline.checker,
+            bounds=self._planning_bounds(sim),
+            seed=int(sim.rng.integers(1 << 31)),
+        )
+        if self.planner_name in ("rrt", "rrt_star"):
+            kwargs.update(step_size=3.0, max_iterations=3000)
+        return cls(**kwargs)
+
+    def _plan_and_smooth(
+        self, sim: Simulation, goal: np.ndarray
+    ) -> Optional[Trajectory]:
+        """Hover while the planning + smoothing kernels execute, then
+        return the smoothed trajectory (or None on planning failure)."""
+        if self.resolution_policy is not None:
+            sim.current_goal = goal  # lookahead hint for dynamic policies
+            new_res = self.resolution_policy(sim, self.pipeline)
+            if self.pipeline.set_resolution(new_res):
+                # Fresh-map rebuild: yaw-sweep the surroundings into the
+                # new map, then keep sensing briefly before planning.
+                warm_up_map(self.pipeline, sweeps=8)
+                self._sense_in_place(sim, duration_s=2.0)
+        sim.flight_controller.hover()
+        done = {"plan": False, "smooth": False}
+        result_holder: Dict[str, Optional[PlanResult]] = {"plan": None}
+
+        def _plan_done(job) -> None:
+            planner = self._make_planner(sim)
+            result_holder["plan"] = planner.plan(sim.state.position, goal)
+            done["plan"] = True
+
+        sim.submit_kernel("shortest_path", on_done=_plan_done)
+        if not sim.run_until(lambda s: done["plan"], timeout_s=300.0):
+            return None
+        plan = result_holder["plan"]
+        if plan is None or not plan.success:
+            self.plans_failed += 1
+            return None
+
+        def _smooth_done(job) -> None:
+            done["smooth"] = True
+
+        sim.submit_kernel("smoothing", on_done=_smooth_done)
+        if not sim.run_until(lambda s: done["smooth"], timeout_s=60.0):
+            return None
+        return smooth_trajectory(
+            plan.waypoints,
+            max_speed=min(self.cruise_speed, self.pipeline.allowed_velocity()),
+            max_acceleration=sim.vehicle.params.max_acceleration_ms2,
+            checker=self.pipeline.checker,
+            blend_radius=1.5,
+            start_time=sim.now,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Leg execution (fly one planned trajectory, re-planning as needed)
+    # ------------------------------------------------------------------
+    def _fly_leg(self, sim: Simulation, goal: np.ndarray) -> bool:
+        """Fly from the current position to ``goal``; True on arrival."""
+        max_replans = 30
+        attempts = 0
+        while attempts <= max_replans:
+            attempts += 1
+            trajectory = self._plan_and_smooth(sim, goal)
+            if trajectory is None:
+                if sim.failed:
+                    return False
+                # Planning failed: gather more map knowledge and retry.
+                if attempts > max_replans:
+                    sim.fail("planning_failed")
+                    return False
+                if not self._sense_in_place(sim, duration_s=2.0):
+                    return False
+                continue
+            tracker = PathTracker(max_speed=self.cruise_speed)
+            tracker.set_trajectory(trajectory, now=sim.now)
+            blocked = {"flag": False}
+            check_gate = {"busy": False}
+            stall = {"anchor": sim.state.position.copy(), "since": sim.now}
+
+            def _on_tick(s: Simulation) -> None:
+                self.pipeline.tick()
+                # Stall detection: the reactive brake can pin the drone
+                # against a believed obstacle; treat that as a blocked path
+                # and force a re-plan from the current position.
+                moved = float(
+                    np.linalg.norm(s.state.position - stall["anchor"])
+                )
+                if moved > 0.5:
+                    stall["anchor"] = s.state.position.copy()
+                    stall["since"] = s.now
+                elif s.now - stall["since"] > 6.0:
+                    blocked["flag"] = True
+                status = tracker.update(s.state.position, s.now)
+                cmd = self.pipeline.safety_filter(
+                    status.velocity_command, self.cruise_speed
+                )
+                s.flight_controller.fly_velocity(cmd)
+                # Periodic collision re-validation of the remaining path.
+                if not check_gate["busy"]:
+                    check_gate["busy"] = True
+
+                    def _check_done(job) -> None:
+                        check_gate["busy"] = False
+                        # Re-validate the next few seconds of the reference
+                        # trajectory against the (updated) belief map.  The
+                        # current position is excluded: a drone braked at an
+                        # inflated-obstacle boundary legitimately sits in
+                        # occupied belief space while its path escapes it.
+                        if s.now - trajectory.points[0].time < 1.0:
+                            return  # grace period on a fresh trajectory
+                        horizon = [
+                            trajectory.sample(s.now + dt_ahead).position
+                            for dt_ahead in (0.75, 1.5, 2.25, 3.0)
+                        ]
+                        if not self.pipeline.checker.path_free(horizon):
+                            blocked["flag"] = True
+
+                    s.submit_kernel("collision_check", on_done=_check_done)
+
+            arrived = sim.run_until(
+                lambda s: (
+                    blocked["flag"]
+                    or tracker.update(s.state.position, s.now).finished
+                    or float(np.linalg.norm(s.state.position - goal)) < 1.0
+                ),
+                on_tick=_on_tick,
+                timeout_s=sim.config.max_mission_time_s,
+            )
+            if not arrived:
+                return False
+            if blocked["flag"]:
+                self.replans += 1
+                continue
+            return True
+        sim.fail("replans_exhausted")
+        return False
+
+    def _sense_in_place(self, sim: Simulation, duration_s: float) -> bool:
+        """Hover and keep the mapping pipeline running for ``duration_s``."""
+        sim.flight_controller.hover()
+        end = sim.now + duration_s
+        return sim.run_until(
+            lambda s: s.now >= end,
+            on_tick=lambda s: self.pipeline.tick(),
+            timeout_s=duration_s + 30.0,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> QofReport:
+        sim = self._sim
+        self.pipeline = OccupancyPipeline(
+            sim,
+            resolution=self.octomap_resolution,
+            stop_distance_m=6.5,
+        )
+        goal = self.goal if self.goal is not None else self._default_goal(sim)
+        home = sim.state.position.copy() + vec(0.0, 0.0, self.altitude)
+
+        sim.flight_controller.takeoff(self.altitude)
+        if not sim.run_until(
+            lambda s: s.flight_controller.at_target(), timeout_s=60.0
+        ):
+            return sim.report(False, extra=self.extra_metrics())
+        warm_up_map(self.pipeline, sweeps=8)
+        # Localization keeps running in the background (SLAM node).
+        sim.submit_kernel("slam")
+
+        # Outbound leg, delivery, return leg.
+        if not self._fly_leg(sim, goal):
+            return sim.report(False, extra=self.extra_metrics())
+        self.delivered = True
+        if not self._sense_in_place(sim, self.delivery_hover_s):
+            return sim.report(False, extra=self.extra_metrics())
+        if not self._fly_leg(sim, home):
+            return sim.report(False, extra=self.extra_metrics())
+
+        sim.flight_controller.land()
+        sim.run_until(
+            lambda s: s.flight_controller.mode.value == "landed", timeout_s=30.0
+        )
+        return sim.report(True, extra=self.extra_metrics())
+
+    # ------------------------------------------------------------------
+    def extra_metrics(self) -> Dict[str, float]:
+        metrics = super().extra_metrics()
+        metrics["plans_failed"] = float(self.plans_failed)
+        metrics["delivered"] = 1.0 if self.delivered else 0.0
+        if self.pipeline is not None:
+            metrics["map_updates"] = float(self.pipeline.updates_completed)
+            metrics["allowed_velocity_ms"] = self.pipeline.allowed_velocity()
+        return metrics

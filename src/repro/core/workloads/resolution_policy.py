@@ -1,0 +1,124 @@
+"""OctoMap resolution policies — the Fig. 19 energy case study.
+
+The paper: "Since the drone's environment constantly changes, a dynamic
+approach where a runtime sets the resolution is ideally desirable. ...
+by switching between the two resolutions according to the environment's
+obstacle density, the dynamic approach is able to balance OctoMap
+computation with mission feasibility and energy, holistically."
+
+A policy is a callable ``f(sim, pipeline) -> resolution_m`` evaluated at
+each planning phase.  Three policies are provided:
+
+* :func:`static_policy` — a fixed resolution (the 0.15 m / 0.80 m
+  baselines of Fig. 19);
+* :func:`density_policy` — the dynamic approach: fine resolution in
+  dense (indoor) surroundings, coarse in open (outdoor) ones;
+* :func:`belief_density_policy` — the same decision taken from the
+  drone's own map instead of ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ...world.geometry import AABB
+
+#: Resolutions used in the paper's study (footnote: 0.15 m keeps an
+#: average 0.82 m door passable for a 0.65 m drone; 0.80 m does not).
+FINE_RESOLUTION = 0.15
+COARSE_RESOLUTION = 0.80
+
+ResolutionPolicy = Callable[["Simulation", "OccupancyPipeline"], float]
+
+
+def static_policy(resolution: float) -> ResolutionPolicy:
+    """Always use ``resolution`` (the static baselines)."""
+
+    def policy(sim, pipeline) -> float:
+        return resolution
+
+    return policy
+
+
+def density_policy(
+    fine: float = FINE_RESOLUTION,
+    coarse: float = COARSE_RESOLUTION,
+    density_threshold: float = 0.006,
+    radius_m: float = 15.0,
+) -> ResolutionPolicy:
+    """Dynamic switching on local obstacle density (ground-truth knob).
+
+    The paper's runtime switches "according to the environment's obstacle
+    density"; we measure the occupied-volume fraction within ``radius_m``
+    of the vehicle and use the fine map when it exceeds the threshold.
+    """
+
+    state = {"current": coarse}
+
+    def _local_density(sim, center: np.ndarray, radius: float) -> float:
+        lo = np.maximum(center - radius, sim.world.bounds.lo)
+        hi = np.minimum(center + radius, sim.world.bounds.hi)
+        if np.any(lo >= hi):
+            return 0.0
+        return sim.world.density(AABB(lo, hi))
+
+    def policy(sim, pipeline) -> float:
+        # Look ahead along the upcoming leg (toward the goal the mission
+        # published, if any): the fine map must be in place *before* the
+        # dense region is first mapped, or the coarse map bakes in closed
+        # doorways that send the planner on detours.
+        probes = [sim.state.position]
+        goal = getattr(sim, "current_goal", None)
+        if goal is not None:
+            delta = np.asarray(goal, dtype=float) - sim.state.position
+            dist = float(np.linalg.norm(delta))
+            if dist > 1e-6:
+                direction = delta / dist
+                probes += [
+                    sim.state.position + direction * min(d, dist)
+                    for d in (radius_m * 0.5, radius_m)
+                ]
+        density = max(
+            _local_density(sim, np.asarray(p, dtype=float), radius_m * 0.6)
+            for p in probes
+        )
+        # Hysteresis: switch to fine at the threshold, back to coarse only
+        # when density drops well below it — flip-flopping at the boundary
+        # would rebuild the map every plan and thrash away its knowledge.
+        if state["current"] == coarse and density >= density_threshold:
+            state["current"] = fine
+        elif state["current"] == fine and density < density_threshold / 3.0:
+            state["current"] = coarse
+        return state["current"]
+
+    return policy
+
+
+def belief_density_policy(
+    fine: float = FINE_RESOLUTION,
+    coarse: float = COARSE_RESOLUTION,
+    occupied_threshold: float = 0.015,
+    radius_m: float = 10.0,
+) -> ResolutionPolicy:
+    """Dynamic switching on the *believed* local occupancy.
+
+    Counts occupied voxels in the belief map around the vehicle; needs no
+    ground-truth access, so it is deployable on a real drone.
+    """
+
+    def policy(sim, pipeline) -> float:
+        om = pipeline.octomap
+        center = sim.state.position
+        occupied = om.occupied_centers()
+        if occupied.shape[0] == 0:
+            return coarse
+        near = (
+            np.linalg.norm(occupied - center[None, :], axis=1) <= radius_m
+        ).sum()
+        volume = (2 * radius_m) ** 3
+        fraction = near * om.resolution**3 / volume
+        return fine if fraction >= occupied_threshold else coarse
+
+    return policy

@@ -1,0 +1,146 @@
+"""Scanning workload — aerial coverage of a rectangular area.
+
+"A MAV scans an area specified by its width and length while collecting
+sensory information about conditions on the ground.  It is a common
+agricultural use case."  Pipeline mapping (Fig. 7a): GPS localization
+(Perception) -> lawnmower motion planning (Planning) -> path tracking
+(Control).
+
+Planning runs once up front — which is exactly why the paper finds compute
+scaling has a *trivial* effect on this workload ("the overhead of planning
+for a 5 minute flight is less than .001%"): the drone flies at its cruise
+velocity regardless of the operating point, as Fig. 10 shows (7.5 m/s at
+every configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...control.path_tracking import PathTracker
+from ...planning.lawnmower import CoverageArea, lawnmower_path
+from ...planning.smoothing import smooth_trajectory
+from ...world.environment import World
+from ...world.generator import farm_world
+from ...world.geometry import vec
+from ..qof import QofReport
+from .base import Workload
+
+
+class ScanningWorkload(Workload):
+    """Lawnmower coverage of a farm field.
+
+    Parameters
+    ----------
+    area_width, area_length:
+        The scan rectangle (m).
+    altitude:
+        Flight altitude; high enough that obstacles are irrelevant.
+    lane_spacing:
+        Sweep spacing (camera ground footprint).
+    cruise_speed:
+        Mechanically-bound scan velocity (compute does not bound it here).
+    """
+
+    name = "scanning"
+
+    def __init__(
+        self,
+        area_width: float = 100.0,
+        area_length: float = 60.0,
+        altitude: float = 15.0,
+        lane_spacing: float = 12.0,
+        cruise_speed: float = 7.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed=seed)
+        self.area = CoverageArea(
+            center_x=0.0, center_y=0.0, width=area_width, length=area_length
+        )
+        self.altitude = altitude
+        self.lane_spacing = lane_spacing
+        self.cruise_speed = cruise_speed
+        self._plan_done = False
+        self._waypoints: List[np.ndarray] = []
+        self.planning_time_s = 0.0
+
+    # ------------------------------------------------------------------
+    def build_world(self) -> World:
+        return farm_world(
+            width=self.area.width * 1.2,
+            length=self.area.length * 1.5,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> QofReport:
+        sim = self._sim
+        # Perception: GPS fix before planning.
+        sim.submit_kernel("localization_gps")
+        # Take off.
+        sim.flight_controller.takeoff(self.altitude)
+        ok = sim.run_until(
+            lambda s: s.flight_controller.at_target(), timeout_s=60.0
+        )
+        if not ok:
+            return sim.report(False, extra=self.extra_metrics())
+
+        # Planning: one lawnmower computation; the drone hovers meanwhile.
+        plan_start = sim.now
+        self._plan_done = False
+
+        def _lawnmower_done(job) -> None:
+            self._waypoints = lawnmower_path(
+                self.area, altitude=self.altitude, lane_spacing=self.lane_spacing
+            )
+            self._plan_done = True
+
+        sim.submit_kernel("lawnmower", on_done=_lawnmower_done)
+        ok = sim.run_until(lambda s: self._plan_done, timeout_s=120.0)
+        if not ok:
+            return sim.report(False, extra=self.extra_metrics())
+        self.planning_time_s = sim.now - plan_start
+
+        # Smoothing (cheap) and control: track the sweep at cruise speed.
+        trajectory = smooth_trajectory(
+            [sim.state.position] + self._waypoints,
+            max_speed=self.cruise_speed,
+            max_acceleration=sim.vehicle.params.max_acceleration_ms2,
+            checker=None,  # no obstacles at altitude
+            blend_radius=2.0,
+            start_time=sim.now,
+            seed=self.seed,
+        )
+        tracker = PathTracker(max_speed=self.cruise_speed)
+        tracker.set_trajectory(trajectory, now=sim.now)
+        self._tracker = tracker
+
+        def _track(s) -> None:
+            status = tracker.update(s.state.position, s.now)
+            s.flight_controller.fly_velocity(status.velocity_command)
+            if s.scheduler.pending_jobs == 0:
+                s.submit_kernel("path_tracking")
+
+        ok = sim.run_until(
+            lambda s: tracker.update(s.state.position, s.now).finished,
+            on_tick=_track,
+            timeout_s=sim.config.max_mission_time_s,
+        )
+        if not ok:
+            return sim.report(False, extra=self.extra_metrics())
+
+        sim.flight_controller.land()
+        sim.run_until(
+            lambda s: s.flight_controller.mode.value == "landed", timeout_s=30.0
+        )
+        return sim.report(True, extra=self.extra_metrics())
+
+    # ------------------------------------------------------------------
+    def extra_metrics(self) -> Dict[str, float]:
+        metrics = super().extra_metrics()
+        metrics["planning_time_s"] = self.planning_time_s
+        metrics["area_m2"] = self.area.width * self.area.length
+        return metrics

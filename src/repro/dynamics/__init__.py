@@ -1,0 +1,18 @@
+"""Dynamics substrate: quadrotor model and flight controller.
+
+Substitutes for AirSim's physics engine and the PX4 flight stack.
+"""
+
+from .state import DJI_MATRICE_100, SOLO_3DR, VehicleParams, VehicleState
+from .quadrotor import Quadrotor
+from .flight_controller import FlightController, FlightMode
+
+__all__ = [
+    "DJI_MATRICE_100",
+    "SOLO_3DR",
+    "FlightController",
+    "FlightMode",
+    "Quadrotor",
+    "VehicleParams",
+    "VehicleState",
+]

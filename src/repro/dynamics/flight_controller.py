@@ -1,0 +1,161 @@
+"""Software flight controller: high-level commands lowered to velocity setpoints.
+
+Substitute for the PX4 flight stack / AirSim's software-simulated flight
+controller.  The workloads issue the same high-level commands the paper's
+companion computer sends over MAVLink — take off, land, fly to a waypoint,
+follow a velocity — and the flight controller lowers them to velocity
+setpoints for the :class:`~repro.dynamics.quadrotor.Quadrotor`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..world.geometry import norm, unit, vec
+from .quadrotor import Quadrotor
+from .state import VehicleState
+
+
+class FlightMode(enum.Enum):
+    """Current flight-controller mode."""
+
+    IDLE = "idle"
+    ARMING = "arming"
+    TAKEOFF = "takeoff"
+    HOVER = "hover"
+    FLYING = "flying"
+    LANDING = "landing"
+    LANDED = "landed"
+
+
+@dataclass
+class FlightController:
+    """Lowers high-level flight commands to velocity setpoints.
+
+    Attributes
+    ----------
+    vehicle:
+        The quadrotor being controlled.
+    takeoff_altitude:
+        Target altitude (m) for :meth:`takeoff`.
+    waypoint_tolerance:
+        Distance (m) at which a waypoint counts as reached.
+    cruise_speed:
+        Default speed used when flying to waypoints.
+    """
+
+    vehicle: Quadrotor
+    takeoff_altitude: float = 2.5
+    waypoint_tolerance: float = 0.75
+    cruise_speed: float = 5.0
+
+    def __post_init__(self) -> None:
+        self.mode = FlightMode.IDLE
+        self._target: Optional[np.ndarray] = None
+        self._target_speed: float = self.cruise_speed
+        self._arm_time_remaining = 0.0
+
+    # ------------------------------------------------------------------
+    # High-level command interface (the MAVLink-equivalent surface)
+    # ------------------------------------------------------------------
+    def arm(self, arm_duration: float = 1.0) -> None:
+        """Begin motor arming; the vehicle stays put for ``arm_duration``."""
+        self.mode = FlightMode.ARMING
+        self._arm_time_remaining = max(float(arm_duration), 0.0)
+
+    def takeoff(self, altitude: Optional[float] = None) -> None:
+        """Climb vertically to the takeoff altitude."""
+        if altitude is not None:
+            self.takeoff_altitude = float(altitude)
+        if self.mode == FlightMode.IDLE:
+            self.arm(0.0)
+        self.mode = FlightMode.TAKEOFF
+
+    def hover(self) -> None:
+        """Hold position."""
+        self.mode = FlightMode.HOVER
+        self._target = None
+        self.vehicle.command_hover()
+
+    def fly_to(self, target: np.ndarray, speed: Optional[float] = None) -> None:
+        """Fly in a straight line toward ``target`` at ``speed``."""
+        self._target = np.asarray(target, dtype=float).copy()
+        self._target_speed = float(speed) if speed is not None else self.cruise_speed
+        self.mode = FlightMode.FLYING
+
+    def fly_velocity(
+        self, velocity: np.ndarray, yaw: Optional[float] = None
+    ) -> None:
+        """Directly command a velocity vector (used by path tracking)."""
+        self.mode = FlightMode.FLYING
+        self._target = None
+        self.vehicle.command_velocity(np.asarray(velocity, dtype=float), yaw=yaw)
+
+    def land(self) -> None:
+        """Descend to ground level and disarm."""
+        self.mode = FlightMode.LANDING
+
+    # ------------------------------------------------------------------
+    # Per-tick update
+    # ------------------------------------------------------------------
+    def update(self, dt: float) -> None:
+        """Refresh the velocity setpoint for the current mode.
+
+        Called once per simulation tick *before* the quadrotor integrates.
+        """
+        state = self.vehicle.state
+        if self.mode == FlightMode.ARMING:
+            self._arm_time_remaining -= dt
+            self.vehicle.command_hover()
+            if self._arm_time_remaining <= 0:
+                self.mode = FlightMode.HOVER
+        elif self.mode == FlightMode.TAKEOFF:
+            if state.position[2] >= self.takeoff_altitude - 0.1:
+                self.hover()
+            else:
+                climb = min(
+                    self.vehicle.params.max_vertical_speed_ms,
+                    2.0 * (self.takeoff_altitude - state.position[2]),
+                )
+                self.vehicle.command_velocity(vec(0.0, 0.0, climb))
+        elif self.mode == FlightMode.FLYING and self._target is not None:
+            delta = self._target - state.position
+            dist = norm(delta)
+            if dist <= self.waypoint_tolerance:
+                self.hover()
+            else:
+                # Slow down on approach so the waypoint is not overshot.
+                speed = min(self._target_speed, max(0.8, 1.5 * dist))
+                self.vehicle.command_velocity(unit(delta) * speed)
+        elif self.mode == FlightMode.LANDING:
+            if state.position[2] <= 0.05:
+                self.mode = FlightMode.LANDED
+                self.vehicle.command_hover()
+                self.vehicle.state.velocity[:] = 0.0
+                self.vehicle.state.position[2] = 0.0
+            else:
+                descend = -min(1.5, max(0.3, state.position[2]))
+                self.vehicle.command_velocity(vec(0.0, 0.0, descend))
+        elif self.mode in (FlightMode.HOVER, FlightMode.IDLE, FlightMode.LANDED):
+            self.vehicle.command_hover()
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    @property
+    def airborne(self) -> bool:
+        return self.mode in (
+            FlightMode.TAKEOFF,
+            FlightMode.HOVER,
+            FlightMode.FLYING,
+            FlightMode.LANDING,
+        )
+
+    def at_target(self) -> bool:
+        """True if the last fly_to target has been reached (now hovering)."""
+        return self.mode == FlightMode.HOVER and self._target is None

@@ -1,0 +1,140 @@
+"""Point-mass quadrotor dynamics.
+
+Substitute for AirSim's 1 kHz physics engine.  The paper's architecture
+results depend on kinematics — velocity, acceleration, stopping distance,
+hover — not rotor-level aerodynamics, so a velocity-command point-mass model
+with acceleration limits and linear drag reproduces the relevant behaviour.
+
+The model integrates:
+
+    a = clamp(K * (v_cmd - v), a_max) - c_d * v
+    v' = clamp(v + a * dt, v_max)
+    p' = p + v * dt
+
+which gives first-order velocity response with bounded acceleration, the
+same abstraction AirSim's "simple flight" velocity controller exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..world.geometry import norm, vec, wrap_angle
+from .state import VehicleParams, VehicleState
+
+
+@dataclass
+class Quadrotor:
+    """A velocity-commanded point-mass quadrotor.
+
+    Attributes
+    ----------
+    params:
+        Physical limits of the airframe.
+    state:
+        Current kinematic state; mutated by :meth:`step`.
+    velocity_gain:
+        Proportional gain mapping velocity error to commanded acceleration.
+    """
+
+    params: VehicleParams = field(default_factory=VehicleParams)
+    state: VehicleState = field(default_factory=VehicleState)
+    velocity_gain: float = 3.0
+
+    def __post_init__(self) -> None:
+        self._velocity_command = np.zeros(3)
+        self._yaw_command: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def command_velocity(
+        self, velocity: np.ndarray, yaw: Optional[float] = None
+    ) -> None:
+        """Set the velocity setpoint (clamped to the airframe max speed)."""
+        v = np.asarray(velocity, dtype=float)
+        speed = norm(v)
+        if speed > self.params.max_speed_ms:
+            v = v * (self.params.max_speed_ms / speed)
+        self._velocity_command = v
+        self._yaw_command = None if yaw is None else wrap_angle(float(yaw))
+
+    def command_hover(self) -> None:
+        """Zero the velocity setpoint (hover in place)."""
+        self.command_velocity(np.zeros(3))
+
+    @property
+    def velocity_command(self) -> np.ndarray:
+        return self._velocity_command.copy()
+
+    # ------------------------------------------------------------------
+    # Integration
+    # ------------------------------------------------------------------
+    def step(self, dt: float, wind: Optional[np.ndarray] = None) -> VehicleState:
+        """Advance the dynamics by ``dt`` seconds and return the new state.
+
+        Parameters
+        ----------
+        dt:
+            Integration step (s); must be positive.
+        wind:
+            Optional world-frame wind velocity (m/s) adding a drag-coupled
+            disturbance.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        s = self.state
+        v_err = self._velocity_command - s.velocity
+        accel = self.velocity_gain * v_err
+        # Linear drag relative to the air mass.
+        airspeed = s.velocity - (wind if wind is not None else 0.0)
+        accel = accel - self.params.drag_coefficient * airspeed
+        a_mag = norm(accel)
+        if a_mag > self.params.max_acceleration_ms2:
+            accel = accel * (self.params.max_acceleration_ms2 / a_mag)
+        new_velocity = s.velocity + accel * dt
+        speed = norm(new_velocity)
+        if speed > self.params.max_speed_ms:
+            new_velocity = new_velocity * (self.params.max_speed_ms / speed)
+        # Vertical speed limit is separate (climb rate is rotor-bound).
+        vz_max = self.params.max_vertical_speed_ms
+        new_velocity[2] = float(np.clip(new_velocity[2], -vz_max, vz_max))
+        new_position = s.position + new_velocity * dt
+        new_yaw = self._integrate_yaw(dt, new_velocity)
+        self.state = VehicleState(
+            position=new_position,
+            velocity=new_velocity,
+            acceleration=(new_velocity - s.velocity) / dt,
+            yaw=new_yaw,
+            time=s.time + dt,
+        )
+        return self.state
+
+    def _integrate_yaw(self, dt: float, velocity: np.ndarray) -> float:
+        """Slew yaw toward the command (or the direction of travel)."""
+        s = self.state
+        if self._yaw_command is not None:
+            target = self._yaw_command
+        elif float(np.hypot(velocity[0], velocity[1])) > 0.2:
+            target = float(np.arctan2(velocity[1], velocity[0]))
+        else:
+            return s.yaw
+        err = wrap_angle(target - s.yaw)
+        max_step = self.params.max_yaw_rate_rads * dt
+        step = float(np.clip(err, -max_step, max_step))
+        return wrap_angle(s.yaw + step)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def stopping_distance(self, speed: Optional[float] = None) -> float:
+        """Distance to brake from ``speed`` at the max deceleration.
+
+        d = v^2 / (2 a_max) — the quantity Eq. (2) of the paper uses to
+        bound collision-safe velocity.
+        """
+        v = self.state.speed if speed is None else float(speed)
+        return v * v / (2.0 * self.params.max_acceleration_ms2)

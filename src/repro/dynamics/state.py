@@ -1,0 +1,97 @@
+"""Vehicle state containers shared across the dynamics and control stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..world.geometry import Pose, norm, vec, wrap_angle
+
+
+@dataclass
+class VehicleState:
+    """Full kinematic state of the MAV at an instant.
+
+    Attributes
+    ----------
+    position:
+        World-frame position (m).
+    velocity:
+        World-frame velocity (m/s).
+    acceleration:
+        World-frame acceleration (m/s^2) over the last integration step.
+    yaw:
+        Heading (rad), wrapped to (-pi, pi].
+    time:
+        Simulation time (s) this state was captured at.
+    """
+
+    position: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    velocity: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    acceleration: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    yaw: float = 0.0
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float).copy()
+        self.velocity = np.asarray(self.velocity, dtype=float).copy()
+        self.acceleration = np.asarray(self.acceleration, dtype=float).copy()
+        self.yaw = wrap_angle(float(self.yaw))
+
+    @property
+    def speed(self) -> float:
+        """Magnitude of the velocity vector (m/s)."""
+        return norm(self.velocity)
+
+    @property
+    def horizontal_speed(self) -> float:
+        return float(np.hypot(self.velocity[0], self.velocity[1]))
+
+    @property
+    def pose(self) -> Pose:
+        return Pose(self.position.copy(), self.yaw)
+
+    def copy(self) -> "VehicleState":
+        return VehicleState(
+            position=self.position,
+            velocity=self.velocity,
+            acceleration=self.acceleration,
+            yaw=self.yaw,
+            time=self.time,
+        )
+
+
+@dataclass(frozen=True)
+class VehicleParams:
+    """Physical limits and properties of the simulated MAV.
+
+    Defaults model a DJI Matrice 100-class quadrotor, the vehicle the
+    paper's heatmap studies simulate (mass ~2.4 kg with battery, max speed
+    ~17 m/s mechanical, but compute-bounded well below that).
+    """
+
+    mass_kg: float = 2.4
+    max_speed_ms: float = 17.0
+    max_acceleration_ms2: float = 5.0
+    max_vertical_speed_ms: float = 4.0
+    max_yaw_rate_rads: float = 2.0
+    radius_m: float = 0.325  # half the 0.65 m diagonal width cited in the paper
+    drag_coefficient: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.mass_kg <= 0:
+            raise ValueError("mass must be positive")
+        if self.max_speed_ms <= 0 or self.max_acceleration_ms2 <= 0:
+            raise ValueError("speed and acceleration limits must be positive")
+
+
+DJI_MATRICE_100 = VehicleParams()
+
+SOLO_3DR = VehicleParams(
+    mass_kg=1.8,
+    max_speed_ms=24.0,
+    max_acceleration_ms2=6.0,
+    radius_m=0.25,
+)

@@ -1,0 +1,18 @@
+"""Energy substrate: rotor power model (Eq. 1) and coulomb-counter battery."""
+
+from .power_model import (
+    MATRICE_100_COEFFICIENTS,
+    SOLO_COEFFICIENTS,
+    PowerModelCoefficients,
+    RotorPowerModel,
+)
+from .battery import COMMERCIAL_PACKS, Battery
+
+__all__ = [
+    "Battery",
+    "COMMERCIAL_PACKS",
+    "MATRICE_100_COEFFICIENTS",
+    "PowerModelCoefficients",
+    "RotorPowerModel",
+    "SOLO_COEFFICIENTS",
+]

@@ -1,0 +1,25 @@
+"""ROS-like middleware substrate: clock, topics, services, nodes.
+
+Substitutes for the Robot Operating System runtime the paper's workloads
+run within on the TX2.
+"""
+
+from .clock import SimClock, Timer
+from .topics import Message, Subscription, Topic, TopicRegistry
+from .services import Service, ServiceError, ServiceRegistry
+from .node import CallbackNode, Node, NodeGraph
+
+__all__ = [
+    "CallbackNode",
+    "Message",
+    "Node",
+    "NodeGraph",
+    "Service",
+    "ServiceError",
+    "ServiceRegistry",
+    "SimClock",
+    "Subscription",
+    "Timer",
+    "Topic",
+    "TopicRegistry",
+]

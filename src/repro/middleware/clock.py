@@ -1,0 +1,68 @@
+"""Simulated clock shared by all middleware components.
+
+ROS nodes in the paper run against wall-clock time on the TX2; our nodes
+run against this simulated clock so experiments are perfectly reproducible
+(one of MAVBench's stated goals: "ensure reproducible runs across
+experiments").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulation clock."""
+
+    now: float = 0.0
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds (must be non-negative)."""
+        if dt < 0:
+            raise ValueError("clock cannot move backwards")
+        self.now += dt
+        return self.now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to absolute time ``t``."""
+        if t < self.now:
+            raise ValueError(f"clock cannot move backwards ({t} < {self.now})")
+        self.now = t
+        return self.now
+
+
+@dataclass
+class Timer:
+    """A periodic timer tied to a :class:`SimClock`.
+
+    Fires (returns True from :meth:`due`) every ``period`` seconds of
+    simulated time.  Used to model ROS rate loops (e.g. a 5 Hz camera
+    publisher is a Timer with period 0.2).
+    """
+
+    clock: SimClock
+    period: float
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("timer period must be positive")
+        self._next_fire = self.offset
+
+    def due(self) -> bool:
+        """True (and schedules the next fire) if the period has elapsed."""
+        if self.clock.now + 1e-12 >= self._next_fire:
+            # Catch up without bursting: jump to the next future deadline.
+            while self._next_fire <= self.clock.now + 1e-12:
+                self._next_fire += self.period
+            return True
+        return False
+
+    @property
+    def next_fire_time(self) -> float:
+        return self._next_fire
+
+    def reset(self) -> None:
+        self._next_fire = self.clock.now + self.period

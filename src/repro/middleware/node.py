@@ -1,0 +1,185 @@
+"""ROS-like nodes and the node graph runtime.
+
+A :class:`Node` is one concurrently-running process of Fig. 7 — e.g. the
+OctoMap generator, the motion planner, or path tracking.  Nodes own
+subscriptions and publishers, and execute work as *kernel jobs* on the
+shared :class:`~repro.compute.scheduler.ComputeScheduler`, so node
+concurrency costs cores exactly as it does on the TX2.
+
+Execution model per simulation tick (:meth:`NodeGraph.spin_once`):
+
+1. every idle node is offered a chance to start work (``try_start``);
+   a node typically consumes a pending message and submits a kernel job;
+2. the scheduler advances to the new simulation time, completing jobs;
+3. completed jobs trigger the owning node's ``on_complete``, which usually
+   publishes a result message downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..compute.scheduler import ComputeScheduler, Job
+from .clock import SimClock, Timer
+from .services import ServiceRegistry
+from .topics import Subscription, Topic, TopicRegistry
+
+
+class Node:
+    """Base class for a processing node.
+
+    Subclasses (or instances configured with callables) implement:
+
+    * ``try_start(graph)`` — called when the node is idle; may submit a
+      kernel job via :meth:`run_kernel` and return True if work started;
+    * ``on_complete(graph, job, context)`` — called when the node's kernel
+      job finishes.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.busy = False
+        self.jobs_completed = 0
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._graph: Optional["NodeGraph"] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def subscribe(self, topic_name: str, queue_size: int = 10) -> Subscription:
+        if self._graph is None:
+            raise RuntimeError(f"node '{self.name}' is not attached to a graph")
+        sub = self._graph.topics.topic(topic_name).subscribe(queue_size)
+        self._subscriptions[topic_name] = sub
+        return sub
+
+    def subscription(self, topic_name: str) -> Subscription:
+        return self._subscriptions[topic_name]
+
+    def publish(self, topic_name: str, data: Any) -> None:
+        if self._graph is None:
+            raise RuntimeError(f"node '{self.name}' is not attached to a graph")
+        self._graph.topics.topic(topic_name).publish(
+            data, stamp=self._graph.clock.now
+        )
+
+    # ------------------------------------------------------------------
+    # Kernel execution
+    # ------------------------------------------------------------------
+    def run_kernel(
+        self,
+        kernel: str,
+        context: Any = None,
+        duration_s: Optional[float] = None,
+    ) -> Job:
+        """Submit ``kernel`` on the shared scheduler; node goes busy."""
+        if self._graph is None:
+            raise RuntimeError(f"node '{self.name}' is not attached to a graph")
+        self.busy = True
+
+        def _done(job: Job) -> None:
+            self.busy = False
+            self.jobs_completed += 1
+            self.on_complete(self._graph, job, context)
+
+        return self._graph.scheduler.submit(
+            kernel, on_done=_done, duration_s=duration_s
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def on_attach(self, graph: "NodeGraph") -> None:
+        """Called when the node joins a graph; wire subscriptions here."""
+
+    def try_start(self, graph: "NodeGraph") -> bool:
+        """Offer the idle node a chance to begin work. Returns True if it
+        started a job."""
+        return False
+
+    def on_complete(self, graph: "NodeGraph", job: Job, context: Any) -> None:
+        """Called when this node's kernel job finishes."""
+
+
+class CallbackNode(Node):
+    """A node defined by plain callables instead of a subclass.
+
+    Parameters
+    ----------
+    name:
+        Node name.
+    try_start:
+        ``fn(node, graph) -> bool``.
+    on_complete:
+        ``fn(node, graph, job, context) -> None``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        try_start: Optional[Callable[["CallbackNode", "NodeGraph"], bool]] = None,
+        on_complete: Optional[
+            Callable[["CallbackNode", "NodeGraph", Job, Any], None]
+        ] = None,
+    ) -> None:
+        super().__init__(name)
+        self._try_start = try_start
+        self._on_complete = on_complete
+
+    def try_start(self, graph: "NodeGraph") -> bool:
+        if self._try_start is None:
+            return False
+        return self._try_start(self, graph)
+
+    def on_complete(self, graph: "NodeGraph", job: Job, context: Any) -> None:
+        if self._on_complete is not None:
+            self._on_complete(self, graph, job, context)
+
+
+@dataclass
+class NodeGraph:
+    """The running node graph: clock + topics + services + scheduler + nodes."""
+
+    clock: SimClock
+    scheduler: ComputeScheduler
+    topics: TopicRegistry = field(default_factory=TopicRegistry)
+    services: ServiceRegistry = field(default_factory=ServiceRegistry)
+
+    def __post_init__(self) -> None:
+        self._nodes: List[Node] = []
+
+    def add_node(self, node: Node) -> Node:
+        node._graph = self
+        self._nodes.append(node)
+        node.on_attach(self)
+        return node
+
+    def node(self, name: str) -> Node:
+        for n in self._nodes:
+            if n.name == name:
+                return n
+        raise KeyError(f"no node named '{name}'")
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes)
+
+    def make_timer(self, period: float, offset: float = 0.0) -> Timer:
+        return Timer(self.clock, period, offset)
+
+    def spin_once(self, dt: float) -> None:
+        """Advance the graph by ``dt`` of simulated time.
+
+        Idle nodes get a start opportunity both before and after the
+        scheduler advances, so a job completing mid-tick can immediately
+        hand work to a downstream node.
+        """
+        for node in self._nodes:
+            if not node.busy:
+                node.try_start(self)
+        self.clock.advance(dt)
+        self.scheduler.advance_to(self.clock.now)
+        for node in self._nodes:
+            if not node.busy:
+                node.try_start(self)

@@ -1,0 +1,67 @@
+"""Blocking service calls — the ROS client/server model.
+
+The dotted red arrows of Fig. 7 are client/server (service) edges: the
+caller blocks until the server produces a response.  In our simulated
+middleware, "blocking" means the caller node stays busy until the service
+handler's compute job finishes on the scheduler; the handler itself is a
+plain callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generic, Optional, TypeVar
+
+Req = TypeVar("Req")
+Resp = TypeVar("Resp")
+
+
+class ServiceError(RuntimeError):
+    """Raised when a service call cannot be completed."""
+
+
+class Service(Generic[Req, Resp]):
+    """A named request/response endpoint."""
+
+    def __init__(self, name: str, handler: Callable[[Req], Resp]) -> None:
+        self.name = name
+        self._handler = handler
+        self.call_count = 0
+
+    def call(self, request: Req) -> Resp:
+        """Invoke the handler synchronously.
+
+        Raises
+        ------
+        ServiceError
+            If the handler raises; the original exception is chained.
+        """
+        self.call_count += 1
+        try:
+            return self._handler(request)
+        except Exception as exc:  # noqa: BLE001 - service boundary
+            raise ServiceError(f"service '{self.name}' failed: {exc}") from exc
+
+
+class ServiceRegistry:
+    """Name -> Service lookup."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, Service] = {}
+
+    def advertise(self, name: str, handler: Callable) -> Service:
+        """Register a service; re-advertising a name replaces the handler."""
+        service = Service(name, handler)
+        self._services[name] = service
+        return service
+
+    def lookup(self, name: str) -> Service:
+        if name not in self._services:
+            raise ServiceError(f"no such service: '{name}'")
+        return self._services[name]
+
+    def call(self, name: str, request: Any) -> Any:
+        return self.lookup(name).call(request)
+
+    def names(self):
+        return sorted(self._services)

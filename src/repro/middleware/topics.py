@@ -1,0 +1,113 @@
+"""Publisher/subscriber message passing — the ROS topic model.
+
+The paper: "ROS provides peer-to-peer communication between nodes, either
+through blocking 'service' calls, or through non-blocking FIFOs (known as
+the Publisher/Subscriber paradigm)."  This module implements the
+non-blocking FIFO side; :mod:`repro.middleware.services` the blocking side.
+
+Each subscriber gets its own bounded FIFO; publishing never blocks, and a
+full queue drops the *oldest* message (matching ROS queue_size semantics),
+which is exactly the frame-dropping behaviour the Search-and-Rescue study
+relies on ("a faster object detection kernel prevents the drone from
+missing sampled frames").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Message(Generic[T]):
+    """An envelope carrying a payload plus its publication timestamp."""
+
+    data: T
+    stamp: float
+    seq: int = 0
+
+
+class Subscription(Generic[T]):
+    """A subscriber's private FIFO onto a topic."""
+
+    def __init__(self, topic: "Topic", queue_size: int = 10) -> None:
+        if queue_size < 1:
+            raise ValueError("queue size must be >= 1")
+        self.topic = topic
+        self._queue: Deque[Message[T]] = deque(maxlen=queue_size)
+        self.dropped = 0
+
+    def _push(self, msg: Message[T]) -> None:
+        if len(self._queue) == self._queue.maxlen:
+            self.dropped += 1
+        self._queue.append(msg)
+
+    def pop(self) -> Optional[Message[T]]:
+        """Oldest pending message, or None when empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def latest(self) -> Optional[Message[T]]:
+        """Newest pending message, discarding older ones."""
+        if not self._queue:
+            return None
+        msg = self._queue[-1]
+        self._queue.clear()
+        return msg
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def clear(self) -> None:
+        self._queue.clear()
+
+
+class Topic(Generic[T]):
+    """A named many-to-many channel."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._subs: List[Subscription[T]] = []
+        self._seq = 0
+        self.publish_count = 0
+
+    def subscribe(self, queue_size: int = 10) -> Subscription[T]:
+        sub = Subscription(self, queue_size=queue_size)
+        self._subs.append(sub)
+        return sub
+
+    def publish(self, data: T, stamp: float) -> Message[T]:
+        """Deliver ``data`` to every subscriber queue (non-blocking)."""
+        self._seq += 1
+        self.publish_count += 1
+        msg = Message(data=data, stamp=stamp, seq=self._seq)
+        for sub in self._subs:
+            sub._push(msg)
+        return msg
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subs)
+
+
+class TopicRegistry:
+    """Name -> Topic lookup, the rosmaster equivalent."""
+
+    def __init__(self) -> None:
+        self._topics: Dict[str, Topic] = {}
+
+    def topic(self, name: str) -> Topic:
+        """Get or create the topic called ``name``."""
+        if name not in self._topics:
+            self._topics[name] = Topic(name)
+        return self._topics[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._topics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._topics

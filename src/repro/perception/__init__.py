@@ -1,0 +1,68 @@
+"""Perception kernels: point cloud, OctoMap, SLAM, detection, tracking.
+
+From-scratch implementations of the perception stage of the MAVBench
+pipeline (Fig. 5).
+"""
+
+from .point_cloud import PointCloud, depth_to_point_cloud
+from .octomap import (
+    LOG_ODDS_HIT,
+    LOG_ODDS_MAX,
+    LOG_ODDS_MIN,
+    LOG_ODDS_MISS,
+    OCCUPANCY_THRESHOLD,
+    OctoMap,
+    log_odds,
+    probability,
+)
+from .slam import SlamStatus, VisualSlam, generate_landmarks, max_velocity_for_fps
+from .detection import (
+    DETECTORS,
+    HAAR,
+    HOG,
+    YOLO,
+    BoundingBox,
+    DetectorModel,
+    ObjectDetector,
+)
+from .tracking import CorrelationTracker, TrackerState
+from .map_quality import MapQuality, evaluate_map, resolution_quality_sweep
+from .localization import (
+    GpsLocalizer,
+    GroundTruthLocalizer,
+    Localizer,
+    SlamLocalizer,
+)
+
+__all__ = [
+    "BoundingBox",
+    "CorrelationTracker",
+    "DETECTORS",
+    "DetectorModel",
+    "GpsLocalizer",
+    "GroundTruthLocalizer",
+    "HAAR",
+    "HOG",
+    "LOG_ODDS_HIT",
+    "LOG_ODDS_MAX",
+    "LOG_ODDS_MIN",
+    "LOG_ODDS_MISS",
+    "Localizer",
+    "OCCUPANCY_THRESHOLD",
+    "ObjectDetector",
+    "OctoMap",
+    "PointCloud",
+    "SlamLocalizer",
+    "SlamStatus",
+    "TrackerState",
+    "VisualSlam",
+    "YOLO",
+    "depth_to_point_cloud",
+    "generate_landmarks",
+    "log_odds",
+    "MapQuality",
+    "evaluate_map",
+    "max_velocity_for_fps",
+    "resolution_quality_sweep",
+    "probability",
+]

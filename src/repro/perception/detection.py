@@ -1,0 +1,186 @@
+"""Simulated object detectors (YOLO / HOG / Haar).
+
+Substitute for the real detector networks.  The workloads consume a
+detector through (a) its latency — supplied by the kernel runtime model —
+and (b) its output: bounding boxes with workload-relevant accuracy
+characteristics.  Each simulated detector model takes the ground-truth
+frustum visibility from the camera and decides, per object, whether it is
+detected, with what box jitter, and what false positives appear.
+
+Detection probability follows the photorealism study the paper cites
+(precision varying with apparent size / range): large, close, unoccluded
+objects are detected reliably; small or distant ones are missed more.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sensors.camera import Detection2D, RgbdCamera
+from ..world.environment import World
+
+
+@dataclass(frozen=True)
+class DetectorModel:
+    """Accuracy profile of one detector implementation.
+
+    Attributes
+    ----------
+    name:
+        Kernel name, matching the compute model ("object_detection_yolo",
+        "object_detection_hog", "object_detection_haar").
+    base_recall:
+        Detection probability of an ideal (close, large, unoccluded) target.
+    min_apparent_px:
+        Apparent size below which detection probability decays to zero.
+    box_jitter_px:
+        Std of bounding-box center error in pixels.
+    false_positive_rate:
+        Expected false positives per frame.
+    """
+
+    name: str
+    base_recall: float
+    min_apparent_px: float
+    box_jitter_px: float
+    false_positive_rate: float
+
+
+YOLO = DetectorModel(
+    name="object_detection_yolo",
+    base_recall=0.95,
+    min_apparent_px=4.0,
+    box_jitter_px=1.0,
+    false_positive_rate=0.01,
+)
+HOG = DetectorModel(
+    name="object_detection_hog",
+    base_recall=0.85,
+    min_apparent_px=8.0,
+    box_jitter_px=2.5,
+    false_positive_rate=0.05,
+)
+HAAR = DetectorModel(
+    name="object_detection_haar",
+    base_recall=0.75,
+    min_apparent_px=10.0,
+    box_jitter_px=3.5,
+    false_positive_rate=0.08,
+)
+
+DETECTORS = {"yolo": YOLO, "hog": HOG, "haar": HAAR}
+
+
+@dataclass
+class BoundingBox:
+    """A detection output box in pixel coordinates."""
+
+    center_px: Tuple[float, float]
+    size_px: Tuple[float, float]
+    confidence: float
+    label: str
+    obstacle_name: Optional[str] = None  # ground-truth link (None for FPs)
+    distance_m: Optional[float] = None
+
+    def center_offset_px(self, width: int, height: int) -> float:
+        """Distance from the box center to the image center, in pixels —
+        the aerial-photography error metric."""
+        dx = self.center_px[0] - width / 2.0
+        dy = self.center_px[1] - height / 2.0
+        return math.hypot(dx, dy)
+
+
+@dataclass
+class ObjectDetector:
+    """Runs a :class:`DetectorModel` over the camera's frustum contents."""
+
+    model: DetectorModel = YOLO
+    target_kinds: Sequence[str] = ("person",)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self.frames_processed = 0
+        self.true_positives = 0
+        self.false_negatives = 0
+
+    def detect(
+        self,
+        camera: RgbdCamera,
+        world: World,
+        position: np.ndarray,
+        yaw: float,
+        time: float = 0.0,
+    ) -> List[BoundingBox]:
+        """Produce bounding boxes for the current view."""
+        self.frames_processed += 1
+        visible = camera.visible_objects(
+            world, position, yaw, kinds=list(self.target_kinds), time=time
+        )
+        boxes: List[BoundingBox] = []
+        for det in visible:
+            p_detect = self._detection_probability(det)
+            if self._rng.random() < p_detect:
+                self.true_positives += 1
+                boxes.append(self._make_box(det))
+            else:
+                self.false_negatives += 1
+        n_fp = self._rng.poisson(self.model.false_positive_rate)
+        for _ in range(n_fp):
+            boxes.append(self._make_false_positive(camera))
+        return boxes
+
+    def _detection_probability(self, det: Detection2D) -> float:
+        if det.occluded:
+            return 0.05  # nearly always missed when center is blocked
+        apparent = min(det.extent_px)
+        if apparent <= self.model.min_apparent_px:
+            return 0.0
+        # Smooth ramp from 0 at the minimum size to base recall at 2.5x it.
+        ramp = min(
+            (apparent - self.model.min_apparent_px)
+            / (1.5 * self.model.min_apparent_px),
+            1.0,
+        )
+        return self.model.base_recall * ramp
+
+    def _make_box(self, det: Detection2D) -> BoundingBox:
+        jitter = self._rng.normal(0.0, self.model.box_jitter_px, size=2)
+        cx = det.center_px[0] + float(jitter[0])
+        cy = det.center_px[1] + float(jitter[1])
+        conf = float(
+            np.clip(self._rng.normal(self.model.base_recall, 0.05), 0.05, 1.0)
+        )
+        return BoundingBox(
+            center_px=(cx, cy),
+            size_px=det.extent_px,
+            confidence=conf,
+            label=det.obstacle.kind,
+            obstacle_name=det.obstacle.name,
+            distance_m=det.distance_m,
+        )
+
+    def _make_false_positive(self, camera: RgbdCamera) -> BoundingBox:
+        intr = camera.intrinsics
+        cx = float(self._rng.uniform(0, intr.width))
+        cy = float(self._rng.uniform(0, intr.height))
+        return BoundingBox(
+            center_px=(cx, cy),
+            size_px=(
+                float(self._rng.uniform(3, 15)),
+                float(self._rng.uniform(6, 30)),
+            ),
+            confidence=float(self._rng.uniform(0.05, 0.45)),
+            label="person",
+            obstacle_name=None,
+            distance_m=None,
+        )
+
+    @property
+    def recall(self) -> float:
+        total = self.true_positives + self.false_negatives
+        return self.true_positives / total if total else 0.0

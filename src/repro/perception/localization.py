@@ -1,0 +1,95 @@
+"""Pluggable localization sources.
+
+MAVBench "comes pre-packaged with multiple localization solutions that can
+be used interchangeably": simulated GPS, visual SLAM (ORB-SLAM2 /
+VINS-Mono), and ground truth.  This module provides the common interface
+plus the GPS- and ground-truth-backed implementations; the SLAM-backed one
+wraps :class:`~repro.perception.slam.VisualSlam`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..dynamics.state import VehicleState
+from ..sensors.imu_gps import Gps
+from .slam import VisualSlam
+
+
+class Localizer(abc.ABC):
+    """Interface: produce a position estimate from the true state.
+
+    ``kernel_name`` names the compute kernel whose latency the scheduler
+    charges per localization update.
+    """
+
+    kernel_name: str = "localization_gps"
+
+    @abc.abstractmethod
+    def update(self, state: VehicleState) -> Optional[np.ndarray]:
+        """New position estimate, or None if localization failed."""
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the source is currently producing estimates."""
+        return True
+
+
+@dataclass
+class GroundTruthLocalizer(Localizer):
+    """Perfect localization (the paper's ground-truth option)."""
+
+    kernel_name = "localization_gps"
+
+    def update(self, state: VehicleState) -> Optional[np.ndarray]:
+        return state.position.copy()
+
+
+class GpsLocalizer(Localizer):
+    """GPS-backed localization."""
+
+    kernel_name = "localization_gps"
+
+    def __init__(self, gps: Optional[Gps] = None) -> None:
+        self.gps = gps or Gps()
+        self._last_fix: Optional[np.ndarray] = None
+
+    def update(self, state: VehicleState) -> Optional[np.ndarray]:
+        fix = self.gps.read(state)
+        if not fix.valid:
+            return self._last_fix
+        self._last_fix = fix.position
+        return fix.position
+
+    @property
+    def healthy(self) -> bool:
+        return self._last_fix is not None
+
+
+class SlamLocalizer(Localizer):
+    """Visual-SLAM-backed localization (ORB-SLAM2 stand-in)."""
+
+    kernel_name = "slam"
+
+    def __init__(self, slam: VisualSlam) -> None:
+        self.slam = slam
+        self._tracked = True
+
+    def update(self, state: VehicleState) -> Optional[np.ndarray]:
+        status = self.slam.process_frame(
+            state.position, state.yaw, timestamp=state.time
+        )
+        self._tracked = status.tracked
+        return status.pose_estimate
+
+    @property
+    def healthy(self) -> bool:
+        return self._tracked
+
+    @property
+    def failure_rate(self) -> float:
+        return self.slam.failure_rate

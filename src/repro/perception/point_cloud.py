@@ -1,0 +1,90 @@
+"""Point-cloud generation from depth images.
+
+The first perception kernel of the Package Delivery / Mapping / SAR
+pipelines (Fig. 7): reproject a depth image into a world-frame point
+cloud that the OctoMap generator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sensors.camera import DepthImage
+
+
+@dataclass
+class PointCloud:
+    """A set of world-frame points plus the sensor origin that saw them.
+
+    ``hits`` are returns from real surfaces; ``misses`` are the endpoints
+    of max-range rays (known-free space along the whole ray).  OctoMap
+    needs both: hits add occupied voxels, misses only clear free space.
+    """
+
+    origin: np.ndarray
+    hits: np.ndarray  # (N, 3)
+    misses: np.ndarray  # (M, 3) endpoints of max-range rays
+    timestamp: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return int(self.hits.shape[0])
+
+    def subsample(self, max_points: int, seed: int = 0) -> "PointCloud":
+        """Randomly keep at most ``max_points`` hits (and misses).
+
+        The closed-loop simulator subsamples clouds before octree insertion
+        to bound per-frame insertion cost, mirroring the voxel-filter ROS
+        preprocessing MAVBench applies before OctoMap.
+        """
+        rng = np.random.default_rng(seed)
+
+        def pick(arr: np.ndarray) -> np.ndarray:
+            if arr.shape[0] <= max_points:
+                return arr
+            idx = rng.choice(arr.shape[0], size=max_points, replace=False)
+            return arr[idx]
+
+        return PointCloud(
+            origin=self.origin,
+            hits=pick(self.hits),
+            misses=pick(self.misses),
+            timestamp=self.timestamp,
+        )
+
+
+def depth_to_point_cloud(
+    image: DepthImage, stride: int = 1, min_depth: float = 0.05
+) -> PointCloud:
+    """Reproject a :class:`DepthImage` into a world-frame point cloud.
+
+    Parameters
+    ----------
+    image:
+        The depth frame (carries its own ray geometry).
+    stride:
+        Keep every ``stride``-th pixel (1 = all pixels).
+    min_depth:
+        Returns closer than this are discarded as self-hits.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    depth = image.depth.reshape(-1)
+    dirs = image.directions
+    if stride > 1:
+        depth = depth[::stride]
+        dirs = dirs[::stride]
+    valid = depth >= min_depth
+    depth = depth[valid]
+    dirs = dirs[valid]
+    points = image.origin[None, :] + dirs * depth[:, None]
+    hit_mask = depth < image.max_range - 1e-6
+    return PointCloud(
+        origin=image.origin.copy(),
+        hits=points[hit_mask],
+        misses=points[~hit_mask],
+        timestamp=image.timestamp,
+    )

@@ -1,0 +1,205 @@
+"""Visual-SLAM localization with compute-dependent tracking failure.
+
+Substitute for ORB-SLAM2 / VINS-Mono.  The paper's microbenchmark
+(Fig. 8b) shows the effect we must reproduce: SLAM tracks features across
+successive frames, and "the faster the speed of the drone, the higher the
+likelihood of its localization failure because the environment changes
+rapidly around a fast drone" — more frames per second (more compute)
+permits higher velocity at a bounded failure rate.
+
+Model: the world carries a field of visual landmarks.  Each processed
+frame observes the landmarks inside the camera frustum; tracking succeeds
+when enough landmarks overlap with the previous frame's set.  Between
+consecutive frames the camera moves ``v / fps`` meters, so the overlap —
+and with it the tracking success probability — falls as velocity rises or
+FPS drops.  The pose estimate integrates noisy odometry; a tracking loss
+causes a relocalization stall and an error spike, exactly the
+"backtracking / extra time for re-localization" cost the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..world.environment import World
+from ..world.geometry import norm, wrap_angle
+
+
+def generate_landmarks(
+    world: World, count: int = 400, seed: int = 0
+) -> np.ndarray:
+    """Scatter visual landmarks through the world (on obstacle faces where
+    possible, free space otherwise)."""
+    rng = np.random.default_rng(seed)
+    lo, hi = world.bounds.lo, world.bounds.hi
+    points = rng.uniform(lo, hi, size=(count, 3))
+    # Snap a fraction of the landmarks onto obstacle surfaces: textured
+    # structure is where real features live.
+    statics = world.static_obstacles
+    if statics:
+        for i in range(0, count, 3):
+            obs = statics[int(rng.integers(len(statics)))]
+            face_point = obs.box.closest_point(points[i])
+            points[i] = face_point
+    return points
+
+
+@dataclass
+class SlamStatus:
+    """Result of processing one frame."""
+
+    tracked: bool
+    matched_landmarks: int
+    pose_estimate: np.ndarray
+    error_m: float
+    timestamp: float
+
+
+@dataclass
+class VisualSlam:
+    """Landmark-tracking SLAM front end.
+
+    Attributes
+    ----------
+    landmarks:
+        World-frame landmark positions, shape (N, 3).
+    fov_deg:
+        Camera horizontal field of view.
+    max_range:
+        Landmark visibility range (m).
+    min_matches:
+        Matched-landmark count below which tracking is lost.
+    odometry_noise_std:
+        Per-frame integration noise (m) when tracking holds.
+    relocalization_s:
+        Stall time after a tracking loss before tracking can resume.
+    """
+
+    landmarks: np.ndarray
+    fov_deg: float = 90.0
+    max_range: float = 18.0
+    min_matches: int = 12
+    odometry_noise_std: float = 0.02
+    relocalization_s: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.landmarks = np.asarray(self.landmarks, dtype=float)
+        self._rng = np.random.default_rng(self.seed)
+        self._prev_visible: Optional[Set[int]] = None
+        self._prev_position: Optional[np.ndarray] = None
+        self._estimate: Optional[np.ndarray] = None
+        self._reloc_until = -math.inf
+        self.failures = 0
+        self.frames = 0
+
+    # ------------------------------------------------------------------
+    def visible_landmark_ids(
+        self, position: np.ndarray, yaw: float
+    ) -> Set[int]:
+        """Indices of landmarks inside the camera frustum right now."""
+        position = np.asarray(position, dtype=float)
+        delta = self.landmarks - position[None, :]
+        dist = np.linalg.norm(delta, axis=1)
+        in_range = (dist > 0.2) & (dist <= self.max_range)
+        bearing = np.arctan2(delta[:, 1], delta[:, 0])
+        half_fov = math.radians(self.fov_deg) / 2.0
+        ang = np.abs(((bearing - yaw + np.pi) % (2 * np.pi)) - np.pi)
+        in_fov = ang <= half_fov
+        return set(np.nonzero(in_range & in_fov)[0].tolist())
+
+    def process_frame(
+        self,
+        true_position: np.ndarray,
+        yaw: float,
+        timestamp: float,
+    ) -> SlamStatus:
+        """Process one camera frame at simulated time ``timestamp``.
+
+        The caller controls the frame rate — calling this more often (i.e.
+        more compute / higher FPS) means less camera motion between frames
+        and therefore higher landmark overlap.
+        """
+        true_position = np.asarray(true_position, dtype=float)
+        self.frames += 1
+        visible = self.visible_landmark_ids(true_position, yaw)
+        if self._estimate is None:
+            self._estimate = true_position.copy()
+        in_relocalization = timestamp < self._reloc_until
+
+        if self._prev_visible is None:
+            matches = len(visible)
+            tracked = matches >= self.min_matches
+        else:
+            matches = len(visible & self._prev_visible)
+            tracked = matches >= self.min_matches and not in_relocalization
+
+        if tracked and self._prev_position is not None:
+            # Integrate noisy odometry from the previous processed frame.
+            motion = true_position - self._prev_position
+            noise = self._rng.normal(
+                0.0, self.odometry_noise_std, size=3
+            ) * max(norm(motion), 0.05)
+            self._estimate = self._estimate + motion + noise
+        elif not tracked:
+            self.failures += 1
+            self._reloc_until = timestamp + self.relocalization_s
+            # Relocalization snaps back to truth with a residual error,
+            # modeling a successful (but costly) global relocalization.
+            self._estimate = true_position + self._rng.normal(0.0, 0.3, size=3)
+
+        self._prev_visible = visible
+        self._prev_position = true_position.copy()
+        error = norm(self._estimate - true_position)
+        return SlamStatus(
+            tracked=tracked,
+            matched_landmarks=matches,
+            pose_estimate=self._estimate.copy(),
+            error_m=error,
+            timestamp=timestamp,
+        )
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of processed frames that lost tracking."""
+        if self.frames == 0:
+            return 0.0
+        return self.failures / self.frames
+
+    def reset(self) -> None:
+        self._prev_visible = None
+        self._prev_position = None
+        self._estimate = None
+        self._reloc_until = -math.inf
+        self.failures = 0
+        self.frames = 0
+
+
+def max_velocity_for_fps(
+    fps: float,
+    landmark_visibility_m: float = 18.0,
+    fov_deg: float = 90.0,
+    max_failure_rate: float = 0.2,
+    overlap_needed: float = 0.55,
+) -> float:
+    """Closed-form estimate of the SLAM-bounded max velocity (Fig. 8b).
+
+    Between frames the camera translates ``v / fps``; the fraction of the
+    frustum still shared with the previous frame shrinks roughly linearly
+    in that motion relative to the visibility range.  Requiring the shared
+    fraction to stay above ``overlap_needed`` (with headroom shrinking as
+    the allowed failure rate drops) bounds velocity:
+
+        v_max ~= fps * visibility * (1 - overlap_needed) * (1 + margin)
+
+    The shape is what matters: v_max grows linearly with FPS and saturates
+    at the airframe's mechanical limit in the closed loop.
+    """
+    if fps <= 0:
+        return 0.0
+    margin = max_failure_rate  # more tolerated failures -> more speed
+    return fps * landmark_visibility_m * (1.0 - overlap_needed) * (1.0 + margin)

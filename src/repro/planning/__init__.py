@@ -1,0 +1,57 @@
+"""Planning kernels: collision checking, RRT/RRT*, PRM+A*, lawnmower,
+frontier exploration, and path smoothing.
+
+From-scratch implementations of the planning stage of the MAVBench
+pipeline (substituting for OMPL and the next-best-view planner).
+"""
+
+from .collision import CollisionChecker, GroundTruthChecker
+from .astar import SearchResult, astar, dijkstra_all
+from .rrt import PlanResult, RrtPlanner, RrtStarPlanner
+from .prm import PrmPlanner
+from .lawnmower import (
+    CoverageArea,
+    coverage_length,
+    lanes_required,
+    lawnmower_path,
+)
+from .frontier import FrontierExplorer, Viewpoint
+from .smoothing import (
+    Trajectory,
+    TrajectoryPoint,
+    round_corners,
+    shortcut_path,
+    smooth_trajectory,
+    time_parameterize,
+)
+
+PLANNERS = {
+    "rrt": RrtPlanner,
+    "rrt_star": RrtStarPlanner,
+    "prm": PrmPlanner,
+}
+
+__all__ = [
+    "CollisionChecker",
+    "CoverageArea",
+    "FrontierExplorer",
+    "GroundTruthChecker",
+    "PLANNERS",
+    "PlanResult",
+    "PrmPlanner",
+    "RrtPlanner",
+    "RrtStarPlanner",
+    "SearchResult",
+    "Trajectory",
+    "TrajectoryPoint",
+    "Viewpoint",
+    "astar",
+    "coverage_length",
+    "dijkstra_all",
+    "lanes_required",
+    "lawnmower_path",
+    "round_corners",
+    "shortcut_path",
+    "smooth_trajectory",
+    "time_parameterize",
+]

@@ -1,0 +1,118 @@
+"""A* graph search.
+
+The paper pairs sampling-based roadmaps (PRM) with "a path-planning
+algorithm, such as A*" (Hart, Nilsson, Raphael 1968).  This is a generic
+implementation over an adjacency-list graph with arbitrary node ids,
+used by the PRM planner and the frontier-exploration planner.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+NodeId = Hashable
+
+
+@dataclass
+class SearchResult:
+    """Outcome of an A* query."""
+
+    path: List[NodeId]
+    cost: float
+    expanded: int
+
+    @property
+    def found(self) -> bool:
+        return bool(self.path)
+
+
+def astar(
+    start: NodeId,
+    goal: NodeId,
+    neighbors: Callable[[NodeId], List[Tuple[NodeId, float]]],
+    heuristic: Callable[[NodeId], float],
+) -> SearchResult:
+    """A* from ``start`` to ``goal``.
+
+    Parameters
+    ----------
+    start, goal:
+        Node identifiers (any hashable).
+    neighbors:
+        ``f(node) -> [(neighbor, edge_cost), ...]``.
+    heuristic:
+        Admissible estimate of cost-to-goal, ``h(node)``.
+
+    Returns
+    -------
+    A :class:`SearchResult`; ``path`` is empty when the goal is unreachable.
+    """
+    counter = itertools.count()  # tie-breaker for heap stability
+    open_heap: List[Tuple[float, int, NodeId]] = [
+        (heuristic(start), next(counter), start)
+    ]
+    g_score: Dict[NodeId, float] = {start: 0.0}
+    came_from: Dict[NodeId, NodeId] = {}
+    closed: set = set()
+    expanded = 0
+    while open_heap:
+        _f, _tie, current = heapq.heappop(open_heap)
+        if current in closed:
+            continue
+        if current == goal:
+            return SearchResult(
+                path=_reconstruct(came_from, current),
+                cost=g_score[current],
+                expanded=expanded,
+            )
+        closed.add(current)
+        expanded += 1
+        for nbr, cost in neighbors(current):
+            if cost < 0:
+                raise ValueError("A* requires non-negative edge costs")
+            tentative = g_score[current] + cost
+            if tentative < g_score.get(nbr, float("inf")):
+                g_score[nbr] = tentative
+                came_from[nbr] = current
+                heapq.heappush(
+                    open_heap, (tentative + heuristic(nbr), next(counter), nbr)
+                )
+    return SearchResult(path=[], cost=float("inf"), expanded=expanded)
+
+
+def _reconstruct(came_from: Dict[NodeId, NodeId], node: NodeId) -> List[NodeId]:
+    path = [node]
+    while node in came_from:
+        node = came_from[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def dijkstra_all(
+    start: NodeId,
+    neighbors: Callable[[NodeId], List[Tuple[NodeId, float]]],
+    max_cost: float = float("inf"),
+) -> Dict[NodeId, float]:
+    """Single-source shortest-path costs (A* with h=0, all targets).
+
+    Used by frontier exploration to cost candidate viewpoints.
+    """
+    dist: Dict[NodeId, float] = {start: 0.0}
+    counter = itertools.count()
+    heap: List[Tuple[float, int, NodeId]] = [(0.0, next(counter), start)]
+    done: set = set()
+    while heap:
+        d, _tie, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for nbr, cost in neighbors(node):
+            nd = d + cost
+            if nd <= max_cost and nd < dist.get(nbr, float("inf")):
+                dist[nbr] = nd
+                heapq.heappush(heap, (nd, next(counter), nbr))
+    return dist

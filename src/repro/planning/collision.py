@@ -1,0 +1,147 @@
+"""Collision checking against an OctoMap (and against ground truth).
+
+The planners never touch the ground-truth world — like the paper's stack,
+they query the drone's *belief* (the OctoMap), so map resolution and
+sensor noise shape planning behaviour exactly as in the case studies.
+Ground-truth checking is provided separately for validation/metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..perception.octomap import OctoMap
+from ..world.environment import World
+from ..world.geometry import AABB, norm
+
+
+@dataclass
+class CollisionChecker:
+    """Point/segment collision queries against an occupancy map.
+
+    Attributes
+    ----------
+    octomap:
+        The belief map to query.
+    drone_radius:
+        Half-extent of the drone; obstacle clearance required.
+    treat_unknown_as_occupied:
+        Conservative mode: unexplored space blocks flight.  The mapping /
+        exploration workloads fly into unknown space, so they disable it;
+        package delivery keeps it on for safety along the final path.
+    """
+
+    octomap: OctoMap
+    drone_radius: float = 0.325
+    treat_unknown_as_occupied: bool = False
+
+    def point_free(self, point: np.ndarray) -> bool:
+        """True if the drone centered at ``point`` collides with nothing."""
+        p = np.asarray(point, dtype=float)
+        body = AABB.from_center(p, (self.drone_radius * 2,) * 3)
+        if self.octomap.region_occupied(body):
+            return False
+        if self.treat_unknown_as_occupied:
+            if self.octomap.region_unknown_fraction(body) > 0.5:
+                return False
+        return True
+
+    def segment_free(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        step: Optional[float] = None,
+    ) -> bool:
+        """True if the straight segment a->b is collision-free.
+
+        Samples the segment at ``step`` spacing (default: half a voxel).
+        """
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        if step is None:
+            step = self.octomap.resolution / 2.0
+        length = norm(b - a)
+        n = max(int(np.ceil(length / step)), 1)
+        for i in range(n + 1):
+            point = a + (b - a) * (i / n)
+            if not self.point_free(point):
+                return False
+        return True
+
+    def path_free(self, waypoints) -> bool:
+        """True if every leg of the polyline is collision-free."""
+        pts = [np.asarray(p, dtype=float) for p in waypoints]
+        return all(
+            self.segment_free(p, q) for p, q in zip(pts[:-1], pts[1:])
+        )
+
+    def first_blocked_index(self, waypoints) -> Optional[int]:
+        """Index of the first waypoint whose incoming leg is blocked.
+
+        Package delivery uses this to decide *where* a newly observed
+        obstacle obstructs the planned trajectory, triggering a re-plan.
+        """
+        pts = [np.asarray(p, dtype=float) for p in waypoints]
+        for i, (p, q) in enumerate(zip(pts[:-1], pts[1:])):
+            if not self.segment_free(p, q):
+                return i + 1
+        return None
+
+
+def escape_point(
+    checker: CollisionChecker,
+    start: np.ndarray,
+    rng: np.random.Generator,
+    max_radius: float = 3.0,
+    tries: int = 60,
+) -> Optional[np.ndarray]:
+    """A free point near ``start`` for planners whose start is in collision.
+
+    A drone braked right at an (inflated) obstacle boundary sits inside
+    occupied belief space; planners need a nearby free point to plan from.
+    Samples at growing radii; returns None if everything nearby is blocked.
+    """
+    start = np.asarray(start, dtype=float)
+    for i in range(tries):
+        radius = max_radius * (i + 1) / tries
+        offset = rng.normal(0.0, 1.0, size=3)
+        offset[2] *= 0.3  # prefer lateral escapes over vertical ones
+        n = norm(offset)
+        if n < 1e-9:
+            continue
+        candidate = start + offset / n * radius
+        if checker.point_free(candidate):
+            return candidate
+    return None
+
+
+@dataclass
+class GroundTruthChecker:
+    """Collision queries against the true world (validation only)."""
+
+    world: World
+    drone_radius: float = 0.325
+
+    def point_free(self, point: np.ndarray, time: float = 0.0) -> bool:
+        return self.world.is_free(
+            np.asarray(point, dtype=float), time=time, margin=self.drone_radius
+        )
+
+    def segment_free(
+        self, a: np.ndarray, b: np.ndarray, time: float = 0.0
+    ) -> bool:
+        return not self.world.segment_collides(
+            np.asarray(a, dtype=float),
+            np.asarray(b, dtype=float),
+            time=time,
+            margin=self.drone_radius,
+        )
+
+    def path_free(self, waypoints, time: float = 0.0) -> bool:
+        pts = [np.asarray(p, dtype=float) for p in waypoints]
+        return all(
+            self.segment_free(p, q, time) for p, q in zip(pts[:-1], pts[1:])
+        )

@@ -1,0 +1,173 @@
+"""Frontier-based exploration planning ("next best view").
+
+Substitute for Bircher et al.'s receding-horizon next-best-view planner
+used by the 3D Mapping and Search-and-Rescue workloads.  The paper
+describes the heuristic directly: "the map is sampled and a heuristic is
+used to select an energy efficient (i.e. short) path with a high
+exploratory promise (i.e. with many unknown areas along the edges)".
+
+Implementation: candidate viewpoints are sampled in known-free space near
+the frontier (free voxels adjacent to unknown space); each candidate is
+scored by
+
+    gain(v) = unknown_volume_visible(v) * exp(-lambda * travel_distance(v))
+
+and the best candidate wins — Bircher's exact gain formulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..perception.octomap import OctoMap
+from ..world.geometry import AABB, norm
+from .collision import CollisionChecker
+from .rrt import PlanResult, RrtPlanner
+
+
+@dataclass
+class Viewpoint:
+    """A candidate next view with its exploration score."""
+
+    position: np.ndarray
+    gain: float
+    travel_cost: float
+    score: float
+
+
+class FrontierExplorer:
+    """Selects next-best-view targets to map unknown space.
+
+    Parameters
+    ----------
+    octomap:
+        Current belief map (must have ``bounds`` set — coverage target).
+    checker:
+        Collision oracle over the same map.
+    sensor_range:
+        Range within which a viewpoint converts unknown to known space.
+    distance_lambda:
+        Travel-cost discount rate in the gain exponent.
+    """
+
+    def __init__(
+        self,
+        octomap: OctoMap,
+        checker: CollisionChecker,
+        sensor_range: float = 10.0,
+        n_candidates: int = 30,
+        distance_lambda: float = 0.15,
+        seed: int = 0,
+    ) -> None:
+        if octomap.bounds is None:
+            raise ValueError("frontier exploration needs bounded map region")
+        self.octomap = octomap
+        self.checker = checker
+        self.sensor_range = sensor_range
+        self.n_candidates = n_candidates
+        self.distance_lambda = distance_lambda
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def frontier_keys(self, max_keys: int = 2000) -> List[Tuple[int, int, int]]:
+        """Free voxels with at least one unknown 6-neighbor."""
+        frontier = []
+        for key in self.octomap.free_keys():
+            i, j, k = key
+            for di, dj, dk in (
+                (1, 0, 0), (-1, 0, 0), (0, 1, 0),
+                (0, -1, 0), (0, 0, 1), (0, 0, -1),
+            ):
+                nkey = (i + di, j + dj, k + dk)
+                if self.octomap.log_odds_at(self.octomap.center_of(nkey)) is None:
+                    center = self.octomap.center_of(nkey)
+                    if self.octomap.bounds.contains(center):
+                        frontier.append(key)
+                        break
+            if len(frontier) >= max_keys:
+                break
+        return frontier
+
+    def sample_viewpoints(self, current: np.ndarray) -> List[Viewpoint]:
+        """Score candidate viewpoints near the frontier."""
+        frontier = self.frontier_keys()
+        candidates: List[Viewpoint] = []
+        if not frontier:
+            return candidates
+        idx = self.rng.choice(
+            len(frontier), size=min(self.n_candidates, len(frontier)), replace=False
+        )
+        for i in np.atleast_1d(idx):
+            key = frontier[int(i)]
+            pos = self.octomap.center_of(key)
+            if not self.checker.point_free(pos):
+                continue
+            gain = self._information_gain(pos)
+            travel = float(norm(pos - current))
+            score = gain * math.exp(-self.distance_lambda * travel)
+            candidates.append(
+                Viewpoint(position=pos, gain=gain, travel_cost=travel, score=score)
+            )
+        return candidates
+
+    #: Monte-Carlo sample count for the information-gain estimate.  Exact
+    #: voxel iteration over a sensor-range box is O((2r/res)^3) ~ 10^5
+    #: lookups per candidate; 256 samples estimate the unknown fraction to
+    #: a few percent, which is plenty for candidate ranking.
+    GAIN_SAMPLES = 256
+
+    def _information_gain(self, viewpoint: np.ndarray) -> float:
+        """Unknown volume within sensor range of ``viewpoint`` (sampled)."""
+        box = AABB.from_center(viewpoint, (self.sensor_range * 2,) * 3)
+        bounds = self.octomap.bounds
+        lo = np.maximum(box.lo, bounds.lo)
+        hi = np.minimum(box.hi, bounds.hi)
+        if np.any(lo >= hi):
+            return 0.0
+        samples = self.rng.uniform(lo, hi, size=(self.GAIN_SAMPLES, 3))
+        unknown = sum(
+            1 for p in samples if self.octomap.log_odds_at(p) is None
+        )
+        volume = float(np.prod(hi - lo))
+        return (unknown / self.GAIN_SAMPLES) * volume
+
+    # ------------------------------------------------------------------
+    def next_best_view(self, current: np.ndarray) -> Optional[Viewpoint]:
+        """The highest-scoring candidate, or None when exploration is done."""
+        candidates = self.sample_viewpoints(np.asarray(current, dtype=float))
+        if not candidates:
+            return None
+        return max(candidates, key=lambda v: v.score)
+
+    def plan_to_view(
+        self,
+        current: np.ndarray,
+        planner: Optional[RrtPlanner] = None,
+    ) -> Optional[PlanResult]:
+        """Pick the next best view and plan a collision-free path to it."""
+        view = self.next_best_view(current)
+        if view is None:
+            return None
+        current = np.asarray(current, dtype=float)
+        if self.checker.segment_free(current, view.position):
+            return PlanResult(
+                waypoints=[current, view.position],
+                cost=view.travel_cost,
+                iterations=0,
+                success=True,
+            )
+        if planner is None:
+            planner = RrtPlanner(
+                self.checker,
+                self.octomap.bounds,
+                seed=int(self.rng.integers(1 << 31)),
+            )
+        return planner.plan(current, view.position)
+
+    def exploration_complete(self, threshold: float = 0.95) -> bool:
+        """True when the map covers ``threshold`` of its bounded region."""
+        return self.octomap.coverage_fraction() >= threshold

@@ -1,0 +1,95 @@
+"""Lawnmower coverage planning for the Scanning workload.
+
+"Agricultural MAVs are frequently tasked with flying over farms in a
+simple, lawnmower pattern, where the high-altitude of the MAV means that
+obstacles can be assumed to be nonexistent."  The planner computes the
+boustrophedon sweep over a rectangle: parallel passes spaced by the sensor
+footprint, alternating direction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..world.geometry import path_length, vec
+
+
+@dataclass(frozen=True)
+class CoverageArea:
+    """Rectangle to scan, axis-aligned, specified by center and size."""
+
+    center_x: float
+    center_y: float
+    width: float  # extent along x
+    length: float  # extent along y
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.length <= 0:
+            raise ValueError("coverage area must have positive extent")
+
+
+def lawnmower_path(
+    area: CoverageArea,
+    altitude: float,
+    lane_spacing: float,
+    start_corner: str = "southwest",
+) -> List[np.ndarray]:
+    """Waypoints of a boustrophedon sweep over ``area``.
+
+    Parameters
+    ----------
+    area:
+        Rectangle to cover.
+    altitude:
+        Flight altitude (m) — constant over the sweep.
+    lane_spacing:
+        Distance between adjacent passes; set it to the sensor ground
+        footprint for gap-free coverage.
+    start_corner:
+        One of "southwest", "southeast", "northwest", "northeast".
+
+    Returns
+    -------
+    Waypoints tracing passes parallel to the x axis, stepping along y.
+    """
+    if lane_spacing <= 0:
+        raise ValueError("lane spacing must be positive")
+    if altitude <= 0:
+        raise ValueError("altitude must be positive")
+    corners = {"southwest", "southeast", "northwest", "northeast"}
+    if start_corner not in corners:
+        raise ValueError(f"start_corner must be one of {sorted(corners)}")
+
+    n_lanes = max(int(math.ceil(area.length / lane_spacing)) + 1, 2)
+    actual_spacing = area.length / (n_lanes - 1)
+    x_west = area.center_x - area.width / 2
+    x_east = area.center_x + area.width / 2
+    y_south = area.center_y - area.length / 2
+
+    west_first = start_corner in ("southwest", "northwest")
+    south_first = start_corner in ("southwest", "southeast")
+
+    waypoints: List[np.ndarray] = []
+    for lane in range(n_lanes):
+        y_off = lane * actual_spacing
+        y = y_south + (y_off if south_first else area.length - y_off)
+        left_to_right = (lane % 2 == 0) == west_first
+        xs = (x_west, x_east) if left_to_right else (x_east, x_west)
+        waypoints.append(vec(xs[0], y, altitude))
+        waypoints.append(vec(xs[1], y, altitude))
+    return waypoints
+
+
+def coverage_length(area: CoverageArea, lane_spacing: float) -> float:
+    """Total path length of the sweep (excluding transit to the area)."""
+    path = lawnmower_path(area, altitude=10.0, lane_spacing=lane_spacing)
+    return path_length(path)
+
+
+def lanes_required(area: CoverageArea, lane_spacing: float) -> int:
+    """Number of passes needed for gap-free coverage."""
+    return max(int(math.ceil(area.length / lane_spacing)) + 1, 2)

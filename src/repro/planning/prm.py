@@ -1,0 +1,172 @@
+"""Probabilistic roadmap (PRM) planner paired with A*.
+
+Kavraki et al.'s multi-query roadmap: sample collision-free vertices,
+connect k-nearest neighbors with collision-free edges, then answer
+queries by connecting start/goal to the roadmap and running A* over it —
+exactly the "generating a set of possible paths ... then choosing an
+optimal one among them using a path-planning algorithm, such as A*"
+pipeline the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..world.geometry import AABB, norm
+from .astar import astar
+from .collision import CollisionChecker
+from .rrt import PlanResult
+
+
+class PrmPlanner:
+    """A PRM over the current occupancy belief.
+
+    Parameters
+    ----------
+    checker:
+        Collision oracle.
+    bounds:
+        Sampling region.
+    n_samples:
+        Roadmap vertex budget.
+    k_neighbors:
+        Connection attempts per vertex.
+    """
+
+    name = "prm"
+
+    def __init__(
+        self,
+        checker: CollisionChecker,
+        bounds: AABB,
+        n_samples: int = 300,
+        k_neighbors: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if n_samples < 2:
+            raise ValueError("roadmap needs at least 2 samples")
+        self.checker = checker
+        self.bounds = bounds
+        self.n_samples = n_samples
+        self.k_neighbors = k_neighbors
+        self.rng = np.random.default_rng(seed)
+        self._vertices: List[np.ndarray] = []
+        self._edges: Dict[int, List[Tuple[int, float]]] = {}
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Roadmap construction
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """(Re-)sample the roadmap against the current belief map."""
+        self._vertices = []
+        self._edges = {}
+        tries = 0
+        while len(self._vertices) < self.n_samples and tries < self.n_samples * 20:
+            tries += 1
+            p = self.rng.uniform(self.bounds.lo, self.bounds.hi)
+            if self.checker.point_free(p):
+                self._vertices.append(p)
+        for i in range(len(self._vertices)):
+            self._edges[i] = []
+        if len(self._vertices) >= 2:
+            arr = np.stack(self._vertices)
+            for i, p in enumerate(self._vertices):
+                d2 = np.sum((arr - p[None, :]) ** 2, axis=1)
+                order = np.argsort(d2)
+                connected = 0
+                for j in order[1:]:
+                    if connected >= self.k_neighbors:
+                        break
+                    j = int(j)
+                    if any(n == j for n, _ in self._edges[i]):
+                        connected += 1
+                        continue
+                    if self.checker.segment_free(p, self._vertices[j]):
+                        w = float(np.sqrt(d2[j]))
+                        self._edges[i].append((j, w))
+                        self._edges[j].append((i, w))
+                        connected += 1
+        self._built = True
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(v) for v in self._edges.values()) // 2
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def plan(self, start: np.ndarray, goal: np.ndarray) -> PlanResult:
+        """Connect start/goal to the roadmap and search with A*."""
+        if not self._built:
+            self.build()
+        start = np.asarray(start, dtype=float)
+        goal = np.asarray(goal, dtype=float)
+        # Direct connection shortcut.
+        if self.checker.segment_free(start, goal):
+            return PlanResult(
+                waypoints=[start, goal],
+                cost=norm(goal - start),
+                iterations=0,
+                success=True,
+            )
+        if not self._vertices:
+            return PlanResult([], float("inf"), 0, False)
+        start_links = self._connect_point(start)
+        goal_links = self._connect_point(goal)
+        if not start_links or not goal_links:
+            return PlanResult([], float("inf"), 0, False)
+        goal_link_map = dict(goal_links)
+
+        def neighbors(node):
+            if node == "start":
+                return [(i, w) for i, w in start_links]
+            out: List[Tuple[object, float]] = list(self._edges.get(node, []))
+            if node in goal_link_map:
+                out.append(("goal", goal_link_map[node]))
+            return out
+
+        def heuristic(node) -> float:
+            if node == "start":
+                return float(norm(goal - start))
+            if node == "goal":
+                return 0.0
+            return float(norm(goal - self._vertices[node]))
+
+        result = astar("start", "goal", neighbors, heuristic)
+        if not result.found:
+            return PlanResult([], float("inf"), result.expanded, False)
+        waypoints = [start]
+        for node in result.path[1:-1]:
+            waypoints.append(self._vertices[node])
+        waypoints.append(goal)
+        return PlanResult(
+            waypoints=waypoints,
+            cost=result.cost,
+            iterations=result.expanded,
+            success=True,
+        )
+
+    def _connect_point(
+        self, point: np.ndarray, k: Optional[int] = None
+    ) -> List[Tuple[int, float]]:
+        """Collision-free connections from a free point to roadmap vertices."""
+        k = k or self.k_neighbors
+        arr = np.stack(self._vertices)
+        d2 = np.sum((arr - point[None, :]) ** 2, axis=1)
+        order = np.argsort(d2)
+        links: List[Tuple[int, float]] = []
+        for j in order:
+            if len(links) >= k:
+                break
+            j = int(j)
+            if self.checker.segment_free(point, self._vertices[j]):
+                links.append((j, float(np.sqrt(d2[j]))))
+        return links

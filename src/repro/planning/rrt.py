@@ -1,0 +1,248 @@
+"""Rapidly-exploring Random Trees: RRT and RRT*.
+
+Substitute for OMPL's sampling-based shortest-path planners (LaValle 1998;
+Karaman & Frazzoli's RRT* rewiring).  These are the "shortest path"
+planners of the Package Delivery workload, plug-and-play interchangeable
+with the PRM+A* planner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..world.geometry import AABB, norm
+from .collision import CollisionChecker
+
+
+@dataclass
+class PlanResult:
+    """Output of a motion-planning query."""
+
+    waypoints: List[np.ndarray]
+    cost: float
+    iterations: int
+    success: bool
+
+    @property
+    def length(self) -> float:
+        if len(self.waypoints) < 2:
+            return 0.0
+        return float(
+            sum(
+                norm(b - a)
+                for a, b in zip(self.waypoints[:-1], self.waypoints[1:])
+            )
+        )
+
+
+@dataclass
+class _TreeNode:
+    point: np.ndarray
+    parent: Optional[int]
+    cost: float
+
+
+class RrtPlanner:
+    """Single-query RRT with goal biasing.
+
+    Parameters
+    ----------
+    checker:
+        Collision oracle (queries the OctoMap belief).
+    bounds:
+        Sampling region.
+    step_size:
+        Maximum edge extension length (m).
+    goal_bias:
+        Probability of sampling the goal instead of a random point.
+    max_iterations:
+        Sample budget before declaring failure.
+    """
+
+    name = "rrt"
+
+    def __init__(
+        self,
+        checker: CollisionChecker,
+        bounds: AABB,
+        step_size: float = 2.0,
+        goal_bias: float = 0.1,
+        max_iterations: int = 2000,
+        goal_tolerance: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if step_size <= 0:
+            raise ValueError("step size must be positive")
+        if not 0.0 <= goal_bias <= 1.0:
+            raise ValueError("goal bias must be in [0, 1]")
+        self.checker = checker
+        self.bounds = bounds
+        self.step_size = step_size
+        self.goal_bias = goal_bias
+        self.max_iterations = max_iterations
+        self.goal_tolerance = goal_tolerance
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def plan(self, start: np.ndarray, goal: np.ndarray) -> PlanResult:
+        start = np.asarray(start, dtype=float)
+        goal = np.asarray(goal, dtype=float)
+        prefix: List[np.ndarray] = []
+        if not self.checker.point_free(start):
+            from .collision import escape_point
+
+            escaped = escape_point(self.checker, start, self.rng)
+            if escaped is None:
+                return PlanResult([], float("inf"), 0, False)
+            prefix = [start]
+            start = escaped
+        nodes: List[_TreeNode] = [_TreeNode(start, None, 0.0)]
+        points = [start]
+        for it in range(1, self.max_iterations + 1):
+            target = self._sample(goal)
+            near_idx = self._nearest(points, target)
+            new_point = self._steer(points[near_idx], target)
+            if not self.checker.segment_free(points[near_idx], new_point):
+                continue
+            cost = nodes[near_idx].cost + norm(new_point - points[near_idx])
+            nodes.append(_TreeNode(new_point, near_idx, cost))
+            points.append(new_point)
+            if norm(new_point - goal) <= self.goal_tolerance:
+                if self.checker.segment_free(new_point, goal):
+                    nodes.append(
+                        _TreeNode(goal, len(nodes) - 1, cost + norm(goal - new_point))
+                    )
+                    return PlanResult(
+                        waypoints=prefix + self._extract(nodes, len(nodes) - 1),
+                        cost=nodes[-1].cost,
+                        iterations=it,
+                        success=True,
+                    )
+        return PlanResult([], float("inf"), self.max_iterations, False)
+
+    # ------------------------------------------------------------------
+    def _sample(self, goal: np.ndarray) -> np.ndarray:
+        if self.rng.random() < self.goal_bias:
+            return goal.copy()
+        return self.rng.uniform(self.bounds.lo, self.bounds.hi)
+
+    @staticmethod
+    def _nearest(points: List[np.ndarray], target: np.ndarray) -> int:
+        arr = np.stack(points)
+        d2 = np.sum((arr - target[None, :]) ** 2, axis=1)
+        return int(np.argmin(d2))
+
+    def _steer(self, from_point: np.ndarray, to_point: np.ndarray) -> np.ndarray:
+        delta = to_point - from_point
+        dist = norm(delta)
+        if dist <= self.step_size or dist == 0:
+            return to_point.copy()
+        return from_point + delta * (self.step_size / dist)
+
+    @staticmethod
+    def _extract(nodes: List[_TreeNode], idx: int) -> List[np.ndarray]:
+        path = []
+        cursor: Optional[int] = idx
+        while cursor is not None:
+            path.append(nodes[cursor].point)
+            cursor = nodes[cursor].parent
+        path.reverse()
+        return path
+
+
+class RrtStarPlanner(RrtPlanner):
+    """RRT* — asymptotically optimal variant with neighborhood rewiring.
+
+    After extending toward a sample, the new node is connected to the
+    lowest-cost parent within a shrinking neighborhood radius, and nearby
+    nodes are rewired through it when that shortens their path.
+    """
+
+    name = "rrt_star"
+
+    def __init__(self, *args, rewire_radius: float = 4.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.rewire_radius = rewire_radius
+
+    def plan(self, start: np.ndarray, goal: np.ndarray) -> PlanResult:
+        start = np.asarray(start, dtype=float)
+        goal = np.asarray(goal, dtype=float)
+        prefix: List[np.ndarray] = []
+        if not self.checker.point_free(start):
+            from .collision import escape_point
+
+            escaped = escape_point(self.checker, start, self.rng)
+            if escaped is None:
+                return PlanResult([], float("inf"), 0, False)
+            prefix = [start]
+            start = escaped
+        nodes: List[_TreeNode] = [_TreeNode(start, None, 0.0)]
+        points = [start]
+        best_goal_idx: Optional[int] = None
+        best_goal_cost = float("inf")
+        for it in range(1, self.max_iterations + 1):
+            target = self._sample(goal)
+            near_idx = self._nearest(points, target)
+            new_point = self._steer(points[near_idx], target)
+            if not self.checker.segment_free(points[near_idx], new_point):
+                continue
+            # Choose best parent within the rewire radius.
+            radius = self._radius(len(nodes))
+            neighbor_ids = self._near_ids(points, new_point, radius)
+            parent = near_idx
+            best_cost = nodes[near_idx].cost + norm(new_point - points[near_idx])
+            for nid in neighbor_ids:
+                cand = nodes[nid].cost + norm(new_point - points[nid])
+                if cand < best_cost and self.checker.segment_free(
+                    points[nid], new_point
+                ):
+                    parent = nid
+                    best_cost = cand
+            new_idx = len(nodes)
+            nodes.append(_TreeNode(new_point, parent, best_cost))
+            points.append(new_point)
+            # Rewire neighbors through the new node.
+            for nid in neighbor_ids:
+                through = best_cost + norm(points[nid] - new_point)
+                if through < nodes[nid].cost and self.checker.segment_free(
+                    new_point, points[nid]
+                ):
+                    nodes[nid] = _TreeNode(points[nid], new_idx, through)
+            # Track goal connections.
+            if norm(new_point - goal) <= self.goal_tolerance:
+                if self.checker.segment_free(new_point, goal):
+                    goal_cost = best_cost + norm(goal - new_point)
+                    if goal_cost < best_goal_cost:
+                        best_goal_cost = goal_cost
+                        best_goal_idx = new_idx
+        if best_goal_idx is None:
+            return PlanResult([], float("inf"), self.max_iterations, False)
+        path = prefix + self._extract(nodes, best_goal_idx)
+        path.append(goal.copy())
+        return PlanResult(
+            waypoints=path,
+            cost=best_goal_cost,
+            iterations=self.max_iterations,
+            success=True,
+        )
+
+    def _radius(self, n: int) -> float:
+        """Shrinking neighborhood radius ~ (log n / n)^(1/3) in 3D."""
+        if n < 2:
+            return self.rewire_radius
+        return min(
+            self.rewire_radius,
+            self.rewire_radius * (math.log(n) / n) ** (1.0 / 3.0) * 4.0,
+        )
+
+    @staticmethod
+    def _near_ids(
+        points: List[np.ndarray], target: np.ndarray, radius: float
+    ) -> List[int]:
+        arr = np.stack(points)
+        d2 = np.sum((arr - target[None, :]) ** 2, axis=1)
+        return np.nonzero(d2 <= radius * radius)[0].tolist()

@@ -1,0 +1,264 @@
+"""Path smoothing: piecewise-linear paths to dynamically feasible trajectories.
+
+The motion planners "return piecewise trajectories that are composed of
+straight lines with sharp turns.  However, sharp turns require high
+accelerations from a MAV, consuming high amounts of energy.  Thus, we use
+this kernel to convert these piecewise paths to smooth, polynomial
+trajectories" (Section IV-C).
+
+Two stages, matching practice:
+
+1. **Shortcutting** — random segment shortcuts remove zig-zags left by the
+   sampling-based planner (collision-checked).
+2. **Corner rounding + time parameterization** — corners are replaced by
+   quadratic Bezier blends, then the waypoint sequence is time-stamped
+   with a trapezoidal velocity profile honoring speed and acceleration
+   limits, slowing into curvature.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..world.geometry import norm, path_length, unit
+from .collision import CollisionChecker
+
+
+@dataclass
+class TrajectoryPoint:
+    """One sample of a time-parameterized trajectory."""
+
+    position: np.ndarray
+    velocity: np.ndarray
+    time: float
+
+
+@dataclass
+class Trajectory:
+    """A smooth, time-stamped trajectory (the MultiDOFTrajectory of Fig. 7)."""
+
+    points: List[TrajectoryPoint]
+
+    @property
+    def duration(self) -> float:
+        if not self.points:
+            return 0.0
+        return self.points[-1].time - self.points[0].time
+
+    @property
+    def length(self) -> float:
+        return path_length([p.position for p in self.points])
+
+    def sample(self, t: float) -> TrajectoryPoint:
+        """Linear interpolation of the trajectory at time ``t`` (clamped)."""
+        if not self.points:
+            raise ValueError("cannot sample an empty trajectory")
+        pts = self.points
+        if t <= pts[0].time:
+            return pts[0]
+        if t >= pts[-1].time:
+            return pts[-1]
+        for a, b in zip(pts[:-1], pts[1:]):
+            if a.time <= t <= b.time:
+                span = b.time - a.time
+                alpha = 0.0 if span <= 0 else (t - a.time) / span
+                pos = a.position + alpha * (b.position - a.position)
+                vel = a.velocity + alpha * (b.velocity - a.velocity)
+                return TrajectoryPoint(position=pos, velocity=vel, time=t)
+        return pts[-1]
+
+    def max_speed(self) -> float:
+        return max((norm(p.velocity) for p in self.points), default=0.0)
+
+
+def shortcut_path(
+    waypoints: Sequence[np.ndarray],
+    checker: Optional[CollisionChecker],
+    attempts: int = 50,
+    seed: int = 0,
+) -> List[np.ndarray]:
+    """Randomized shortcutting: try to replace subpaths with straight lines."""
+    pts = [np.asarray(p, dtype=float) for p in waypoints]
+    if len(pts) <= 2 or checker is None:
+        # Without a collision oracle, shortcutting would cut corners the
+        # planner put there deliberately (e.g. lawnmower turns) — skip.
+        return pts
+    rng = np.random.default_rng(seed)
+    for _ in range(attempts):
+        if len(pts) <= 2:
+            break
+        i = int(rng.integers(0, len(pts) - 2))
+        j = int(rng.integers(i + 2, len(pts)))
+        if checker.segment_free(pts[i], pts[j]):
+            pts = pts[: i + 1] + pts[j:]
+    return pts
+
+
+def round_corners(
+    waypoints: Sequence[np.ndarray],
+    blend_radius: float = 1.0,
+    samples_per_corner: int = 4,
+) -> List[np.ndarray]:
+    """Replace sharp corners with quadratic Bezier blends."""
+    pts = [np.asarray(p, dtype=float) for p in waypoints]
+    if len(pts) <= 2 or blend_radius <= 0:
+        return pts
+    out: List[np.ndarray] = [pts[0]]
+    for prev, corner, nxt in zip(pts[:-2], pts[1:-1], pts[2:]):
+        d_in = norm(corner - prev)
+        d_out = norm(nxt - corner)
+        r = min(blend_radius, d_in / 2.0, d_out / 2.0)
+        if r < 1e-6 or d_in < 1e-9 or d_out < 1e-9:
+            out.append(corner)
+            continue
+        entry = corner - unit(corner - prev) * r
+        exit_ = corner + unit(nxt - corner) * r
+        out.append(entry)
+        for s in range(1, samples_per_corner + 1):
+            t = s / (samples_per_corner + 1)
+            # Quadratic Bezier: entry -> corner (control) -> exit.
+            p = (
+                (1 - t) ** 2 * entry
+                + 2 * (1 - t) * t * corner
+                + t**2 * exit_
+            )
+            out.append(p)
+        out.append(exit_)
+    out.append(pts[-1])
+    return out
+
+
+def _segment_time(
+    s: float, v_in: float, v_out: float, v_max: float, a: float
+) -> float:
+    """Minimum time to traverse a straight segment of length ``s`` entering
+    at ``v_in`` and exiting at ``v_out`` under speed/acceleration limits
+    (triangular or trapezoidal velocity profile)."""
+    if s <= 1e-12:
+        return 0.0
+    v_peak_sq = a * s + (v_in * v_in + v_out * v_out) / 2.0
+    v_peak = math.sqrt(max(v_peak_sq, 0.0))
+    if v_peak <= v_max:
+        return max((2.0 * v_peak - v_in - v_out) / a, s / max(v_max, 1e-9))
+    t_acc = (v_max - v_in) / a
+    t_dec = (v_max - v_out) / a
+    d_acc = (v_max * v_max - v_in * v_in) / (2.0 * a)
+    d_dec = (v_max * v_max - v_out * v_out) / (2.0 * a)
+    cruise = max(s - d_acc - d_dec, 0.0)
+    return t_acc + t_dec + cruise / v_max
+
+
+def _densify(pts: List[np.ndarray], max_segment: float) -> List[np.ndarray]:
+    """Insert intermediate points so no segment exceeds ``max_segment``."""
+    out: List[np.ndarray] = [pts[0]]
+    for a, b in zip(pts[:-1], pts[1:]):
+        length = norm(b - a)
+        n = max(int(math.ceil(length / max_segment)), 1)
+        for i in range(1, n + 1):
+            out.append(a + (b - a) * (i / n))
+    return out
+
+
+def _turn_angles(pts: List[np.ndarray]) -> List[float]:
+    """Interior turn angle (rad) at each waypoint (0 at the endpoints)."""
+    angles = [0.0]
+    for prev, cur, nxt in zip(pts[:-2], pts[1:-1], pts[2:]):
+        v1 = cur - prev
+        v2 = nxt - cur
+        n1, n2 = norm(v1), norm(v2)
+        if n1 < 1e-9 or n2 < 1e-9:
+            angles.append(0.0)
+            continue
+        cosang = float(np.clip(np.dot(v1, v2) / (n1 * n2), -1.0, 1.0))
+        angles.append(math.acos(cosang))
+    angles.append(0.0)
+    return angles
+
+
+def time_parameterize(
+    waypoints: Sequence[np.ndarray],
+    max_speed: float,
+    max_acceleration: float,
+    start_time: float = 0.0,
+) -> Trajectory:
+    """Assign times/velocities with a trapezoidal profile.
+
+    Speed at each waypoint is limited by the local turn angle (full speed
+    on straights, slow through sharp corners), and between waypoints by
+    the acceleration limit (forward/backward pass, like TOPP-RA's bound
+    propagation on a polyline).
+    """
+    if max_speed <= 0 or max_acceleration <= 0:
+        raise ValueError("speed and acceleration limits must be positive")
+    pts = [np.asarray(p, dtype=float) for p in waypoints]
+    if len(pts) == 0:
+        return Trajectory(points=[])
+    if len(pts) == 1:
+        return Trajectory(
+            points=[TrajectoryPoint(pts[0], np.zeros(3), start_time)]
+        )
+    # Densify long segments so the trapezoidal profile can accelerate to
+    # full speed mid-segment instead of being pinned by endpoint limits.
+    chunk = max(max_speed**2 / (2.0 * max_acceleration) / 2.0, 0.5)
+    pts = _densify(pts, chunk)
+    angles = _turn_angles(pts)
+    # Corner speed limit: full speed for straight, ~0 for a U-turn.
+    v_limit = [
+        max_speed * max(0.1, math.cos(min(a, math.pi / 2)))
+        for a in angles
+    ]
+    v_limit[0] = 0.0 if len(pts) > 1 else max_speed
+    v_limit[-1] = 0.0
+    v = list(v_limit)
+    seg = [norm(b - a) for a, b in zip(pts[:-1], pts[1:])]
+    # Forward pass: acceleration limit.
+    for i in range(1, len(pts)):
+        v_reach = math.sqrt(v[i - 1] ** 2 + 2 * max_acceleration * seg[i - 1])
+        v[i] = min(v[i], v_reach)
+    # Backward pass: deceleration limit.
+    for i in range(len(pts) - 2, -1, -1):
+        v_reach = math.sqrt(v[i + 1] ** 2 + 2 * max_acceleration * seg[i])
+        v[i] = min(v[i], v_reach)
+    # Timestamps from the kinematic profile within each segment: the
+    # vehicle may accelerate past the endpoint speeds mid-segment (up to
+    # max_speed), so segment time is the accelerate-(cruise-)decelerate
+    # time, never the degenerate endpoint average (which would be zero
+    # for a short hop starting and ending at rest).
+    times = [start_time]
+    for i, s in enumerate(seg):
+        times.append(
+            times[-1]
+            + _segment_time(s, v[i], v[i + 1], max_speed, max_acceleration)
+        )
+    points = []
+    for i, p in enumerate(pts):
+        if i < len(pts) - 1 and seg[i] > 1e-9:
+            direction = (pts[i + 1] - p) / seg[i]
+        elif i > 0 and seg[i - 1] > 1e-9:
+            direction = (p - pts[i - 1]) / seg[i - 1]
+        else:
+            direction = np.zeros(3)
+        points.append(
+            TrajectoryPoint(position=p, velocity=direction * v[i], time=times[i])
+        )
+    return Trajectory(points=points)
+
+
+def smooth_trajectory(
+    waypoints: Sequence[np.ndarray],
+    max_speed: float,
+    max_acceleration: float,
+    checker: Optional[CollisionChecker] = None,
+    blend_radius: float = 1.0,
+    shortcut_attempts: int = 50,
+    start_time: float = 0.0,
+    seed: int = 0,
+) -> Trajectory:
+    """The full smoothing kernel: shortcut, round corners, time-parameterize."""
+    pts = shortcut_path(waypoints, checker, attempts=shortcut_attempts, seed=seed)
+    pts = round_corners(pts, blend_radius=blend_radius)
+    return time_parameterize(pts, max_speed, max_acceleration, start_time)

@@ -1,0 +1,10 @@
+"""Reliability substrate: compute-subsystem fault injection.
+
+Implements the Section VI-C extension: "we can also inject errors
+directly into the compute subsystem to 'simulate' soft errors and
+transient bit flips in logic."
+"""
+
+from .fault_injection import FaultInjector, FaultModel
+
+__all__ = ["FaultInjector", "FaultModel"]

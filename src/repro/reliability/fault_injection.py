@@ -1,0 +1,152 @@
+"""Compute-subsystem fault injection (Section VI-C's extension hook).
+
+"In addition to injecting noise in the sensor subsystem, we can also
+inject errors directly into the compute subsystem to 'simulate' soft
+errors and transient bit flips in logic.  Such a capability can be used
+to conduct vulnerability analysis."
+
+Faults are modeled at the kernel-invocation level, which is where soft
+errors manifest to the rest of the stack:
+
+* **silent data corruption** — the kernel returns a wrong result (a
+  detection box teleports, a planner waypoint is perturbed);
+* **crash/retry** — the kernel invocation dies and is re-executed,
+  multiplying its effective latency;
+* **hang** — the invocation takes an arbitrarily long time (watchdog
+  territory).
+
+An injector wraps a :class:`~repro.compute.kernels.KernelModel` and
+perturbs runtimes; data-level corruption hooks are exposed for the
+perception outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..compute.kernels import KernelModel
+from ..compute.platform import PlatformConfig
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Per-invocation fault probabilities and magnitudes.
+
+    Attributes
+    ----------
+    crash_probability:
+        Chance an invocation crashes and re-executes (latency doubles or
+        worse; geometric retries).
+    hang_probability:
+        Chance an invocation hangs for ``hang_duration_s``.
+    corruption_probability:
+        Chance the invocation's *output* is corrupted (consumer-visible;
+        exposed via :meth:`FaultInjector.corrupt_vector`).
+    corruption_std:
+        Magnitude of numeric corruption.
+    """
+
+    crash_probability: float = 0.0
+    hang_probability: float = 0.0
+    hang_duration_s: float = 5.0
+    corruption_probability: float = 0.0
+    corruption_std: float = 1.0
+
+    def __post_init__(self) -> None:
+        for p in (
+            self.crash_probability,
+            self.hang_probability,
+            self.corruption_probability,
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("fault probabilities must be in [0, 1]")
+
+
+@dataclass
+class FaultInjector:
+    """Wraps a kernel model, injecting latency faults per invocation."""
+
+    base_model: KernelModel
+    fault_model: FaultModel = field(default_factory=FaultModel)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self.crashes = 0
+        self.hangs = 0
+        self.corruptions = 0
+        self.invocations = 0
+
+    # ------------------------------------------------------------------
+    # KernelModel-compatible surface
+    # ------------------------------------------------------------------
+    def profile(self, kernel: str):
+        return self.base_model.profile(kernel)
+
+    def runtime_s(
+        self,
+        kernel: str,
+        config: PlatformConfig,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Modeled runtime with injected latency faults."""
+        self.invocations += 1
+        runtime = self.base_model.runtime_s(kernel, config, rng)
+        fm = self.fault_model
+        if fm.crash_probability > 0:
+            # Geometric retries: each attempt may crash again.
+            attempts = 1
+            while (
+                self._rng.random() < fm.crash_probability and attempts < 10
+            ):
+                attempts += 1
+            if attempts > 1:
+                self.crashes += attempts - 1
+                runtime *= attempts
+        if fm.hang_probability > 0 and self._rng.random() < fm.hang_probability:
+            self.hangs += 1
+            runtime += fm.hang_duration_s
+        return runtime
+
+    def set_override(self, kernel: str, profile) -> None:
+        self.base_model.set_override(kernel, profile)
+
+    def scale_kernel(self, kernel: str, factor: float) -> None:
+        self.base_model.scale_kernel(kernel, factor)
+
+    @property
+    def workload(self):
+        return self.base_model.workload
+
+    @property
+    def overrides(self):
+        return self.base_model.overrides
+
+    # ------------------------------------------------------------------
+    # Data corruption hooks
+    # ------------------------------------------------------------------
+    def corrupt_vector(self, value: np.ndarray) -> np.ndarray:
+        """Maybe corrupt a numeric kernel output (returns a copy)."""
+        value = np.asarray(value, dtype=float).copy()
+        fm = self.fault_model
+        if (
+            fm.corruption_probability > 0
+            and self._rng.random() < fm.corruption_probability
+        ):
+            self.corruptions += 1
+            idx = int(self._rng.integers(value.size))
+            flat = value.reshape(-1)
+            flat[idx] += float(self._rng.normal(0.0, fm.corruption_std))
+        return value
+
+    # ------------------------------------------------------------------
+    def fault_counts(self) -> Dict[str, int]:
+        return {
+            "invocations": self.invocations,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "corruptions": self.corruptions,
+        }

@@ -1,0 +1,27 @@
+"""Sensor substrate: RGB-D camera, IMU, GPS, and noise models.
+
+Substitutes for AirSim's sensor simulation.
+"""
+
+from .camera import (
+    CameraIntrinsics,
+    DepthImage,
+    Detection2D,
+    RgbdCamera,
+)
+from .imu_gps import Gps, GpsFix, Imu, ImuReading
+from .noise import BiasedNoise, DepthNoise, GaussianNoise
+
+__all__ = [
+    "BiasedNoise",
+    "CameraIntrinsics",
+    "DepthImage",
+    "DepthNoise",
+    "Detection2D",
+    "GaussianNoise",
+    "Gps",
+    "GpsFix",
+    "Imu",
+    "ImuReading",
+    "RgbdCamera",
+]

@@ -1,0 +1,112 @@
+"""IMU and GPS sensor models.
+
+Substitutes for AirSim's inertial and GPS sensor simulation.  Both sensors
+read the ground-truth vehicle state and corrupt it with configurable noise;
+GPS additionally supports degradation (reduced availability / higher noise)
+to model the "degradation of GPS signal due to obstacles" the paper lists
+as a fidelity knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..dynamics.state import VehicleState
+from .noise import GaussianNoise
+
+
+@dataclass
+class ImuReading:
+    """One IMU sample: body acceleration and yaw rate (plus yaw for
+    convenience, as AirSim's IMU message carries orientation)."""
+
+    acceleration: np.ndarray
+    yaw: float
+    yaw_rate: float
+    timestamp: float
+
+
+@dataclass
+class Imu:
+    """An IMU with additive Gaussian noise on acceleration and yaw."""
+
+    accel_noise: GaussianNoise = field(
+        default_factory=lambda: GaussianNoise(std=0.05, seed=11)
+    )
+    yaw_noise: GaussianNoise = field(
+        default_factory=lambda: GaussianNoise(std=0.005, seed=12)
+    )
+    rate_hz: float = 100.0
+
+    def __post_init__(self) -> None:
+        self._last_yaw: Optional[float] = None
+        self._last_time: Optional[float] = None
+
+    def read(self, state: VehicleState) -> ImuReading:
+        accel = self.accel_noise.apply(state.acceleration)
+        yaw = float(self.yaw_noise.apply(np.array([state.yaw]))[0])
+        if self._last_time is not None and state.time > self._last_time:
+            yaw_rate = (yaw - (self._last_yaw or 0.0)) / (
+                state.time - self._last_time
+            )
+        else:
+            yaw_rate = 0.0
+        self._last_yaw = yaw
+        self._last_time = state.time
+        return ImuReading(
+            acceleration=accel,
+            yaw=yaw,
+            yaw_rate=float(yaw_rate),
+            timestamp=state.time,
+        )
+
+
+@dataclass
+class GpsFix:
+    """One GPS sample. ``valid`` is False when the signal is degraded out."""
+
+    position: np.ndarray
+    valid: bool
+    timestamp: float
+
+
+@dataclass
+class Gps:
+    """A GPS receiver with position noise and availability degradation.
+
+    Attributes
+    ----------
+    noise:
+        Horizontal position noise (consumer GPS: ~1-2 m std).
+    availability:
+        Probability a fix is produced at all (1.0 = open sky).
+    """
+
+    noise: GaussianNoise = field(
+        default_factory=lambda: GaussianNoise(std=1.0, seed=21)
+    )
+    availability: float = 1.0
+    rate_hz: float = 10.0
+    seed: int = 22
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.availability <= 1.0:
+            raise ValueError("availability must be in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    def read(self, state: VehicleState) -> GpsFix:
+        valid = bool(self._rng.random() < self.availability)
+        if not valid:
+            return GpsFix(
+                position=np.full(3, np.nan), valid=False, timestamp=state.time
+            )
+        pos = self.noise.apply(state.position)
+        return GpsFix(position=pos, valid=True, timestamp=state.time)
+
+    def degrade(self, availability: float, noise_std: float) -> None:
+        """Degrade the signal (e.g. urban canyon / indoors)."""
+        self.availability = availability
+        self.noise = GaussianNoise(std=noise_std, seed=self.seed + 1)

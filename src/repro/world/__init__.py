@@ -1,0 +1,77 @@
+"""World substrate: geometry, environments, and procedural generators.
+
+Substitutes for the Unreal Engine environments used by the paper.
+"""
+
+from .geometry import (
+    AABB,
+    Pose,
+    Ray,
+    path_length,
+    ray_aabb_intersection,
+    rotation_matrix,
+    segment_intersects_aabb,
+    unit,
+    vec,
+    wrap_angle,
+    yaw_rotation,
+)
+from .obstacles import (
+    DynamicObstacle,
+    Obstacle,
+    make_box_obstacle,
+    make_person,
+    obstacle_density,
+)
+from .environment import World, empty_world
+from .serialization import (
+    load_world,
+    save_world,
+    world_from_dict,
+    world_to_dict,
+)
+from .generator import (
+    ENVIRONMENTS,
+    campus_world,
+    add_moving_people,
+    disaster_world,
+    farm_world,
+    forest_world,
+    indoor_world,
+    make_environment,
+    urban_world,
+)
+
+__all__ = [
+    "AABB",
+    "Pose",
+    "Ray",
+    "World",
+    "Obstacle",
+    "DynamicObstacle",
+    "ENVIRONMENTS",
+    "add_moving_people",
+    "campus_world",
+    "disaster_world",
+    "empty_world",
+    "farm_world",
+    "forest_world",
+    "indoor_world",
+    "make_box_obstacle",
+    "make_environment",
+    "make_person",
+    "obstacle_density",
+    "path_length",
+    "ray_aabb_intersection",
+    "rotation_matrix",
+    "segment_intersects_aabb",
+    "unit",
+    "urban_world",
+    "vec",
+    "wrap_angle",
+    "yaw_rotation",
+    "load_world",
+    "save_world",
+    "world_from_dict",
+    "world_to_dict",
+]

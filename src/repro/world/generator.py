@@ -1,0 +1,384 @@
+"""Procedural environment generators.
+
+The Unreal marketplace supplies MAVBench with urban, jungle, indoor, and
+mountain maps; the paper additionally programs environment knobs such as
+static obstacle density and dynamic obstacle speed.  These generators build
+the equivalent worlds procedurally and deterministically (seeded), covering
+the scenarios the five workloads need:
+
+* ``farm``      — open field for Scanning (no obstacles at altitude).
+* ``urban``     — buildings on a street grid for Package Delivery (outdoor).
+* ``indoor``    — rooms, walls, and door openings for the OctoMap case study.
+* ``forest``    — scattered tall thin obstacles, medium density.
+* ``disaster``  — collapsed-building rubble for Search and Rescue, with
+                  survivors (person obstacles) hidden among debris.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .environment import World, empty_world
+from .geometry import AABB, vec
+from .obstacles import DynamicObstacle, make_box_obstacle, make_person
+
+
+def farm_world(
+    width: float = 120.0,
+    length: float = 120.0,
+    seed: int = 0,
+) -> World:
+    """Open farmland: flat, obstacle-free above crop height.
+
+    Scanning flies a lawnmower pattern at altitude, so the world needs no
+    obstacles — just bounds and a handful of low crop rows that never reach
+    flight altitude.
+    """
+    rng = np.random.default_rng(seed)
+    world = empty_world((width, length, 40.0), name="farm")
+    n_rows = 8
+    for i in range(n_rows):
+        y = -length / 2 + (i + 0.5) * length / n_rows
+        height = float(rng.uniform(0.3, 0.9))
+        world.add(
+            make_box_obstacle(
+                center=(0.0, y, height / 2),
+                size=(width * 0.9, 1.0, height),
+                kind="crop",
+            )
+        )
+    return world
+
+
+def urban_world(
+    blocks: int = 4,
+    block_size: float = 30.0,
+    street_width: float = 12.0,
+    building_density: float = 0.7,
+    max_height: float = 25.0,
+    seed: int = 0,
+) -> World:
+    """A street-grid city: buildings on blocks, streets in between.
+
+    ``building_density`` is the probability that a lot holds a building —
+    this is the paper's "(static) obstacle density" knob.
+    """
+    if not 0.0 <= building_density <= 1.0:
+        raise ValueError("building_density must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    pitch = block_size + street_width
+    span = blocks * pitch + street_width
+    world = empty_world((span, span, max_height + 15.0), name="urban")
+    origin = -span / 2 + street_width + block_size / 2
+    for i in range(blocks):
+        for j in range(blocks):
+            if rng.random() > building_density:
+                continue
+            cx = origin + i * pitch
+            cy = origin + j * pitch
+            w = float(rng.uniform(0.5, 0.95)) * block_size
+            d = float(rng.uniform(0.5, 0.95)) * block_size
+            h = float(rng.uniform(6.0, max_height))
+            world.add(
+                make_box_obstacle(
+                    center=(cx, cy, h / 2), size=(w, d, h), kind="building"
+                )
+            )
+    return world
+
+
+def indoor_world(
+    rooms_x: int = 3,
+    rooms_y: int = 2,
+    room_size: float = 8.0,
+    door_width: float = 0.82,
+    wall_thickness: float = 0.2,
+    ceiling: float = 3.0,
+    seed: int = 0,
+) -> World:
+    """An indoor floor plan: a grid of rooms joined by door openings.
+
+    The door width default (0.82 m) matches the paper's note that OctoMap
+    resolution must let a 0.65 m drone recognize an average door as a
+    passageway.  Walls between adjacent rooms carry a centered door gap;
+    a coarse occupancy map inflates the wall segments until the gap
+    disappears — exactly the failure mode of Fig. 17d / Fig. 19.
+    """
+    rng = np.random.default_rng(seed)
+    span_x = rooms_x * room_size
+    span_y = rooms_y * room_size
+    world = empty_world((span_x + 4, span_y + 4, ceiling + 2.0), name="indoor")
+    x0, y0 = -span_x / 2, -span_y / 2
+
+    def wall(cx: float, cy: float, wx: float, wy: float) -> None:
+        world.add(
+            make_box_obstacle(
+                center=(cx, cy, ceiling / 2),
+                size=(wx, wy, ceiling),
+                kind="wall",
+            )
+        )
+
+    # Perimeter walls.
+    wall(0.0, y0, span_x + wall_thickness, wall_thickness)
+    wall(0.0, -y0, span_x + wall_thickness, wall_thickness)
+    wall(x0, 0.0, wall_thickness, span_y + wall_thickness)
+    wall(-x0, 0.0, wall_thickness, span_y + wall_thickness)
+
+    def wall_with_door(
+        fixed: float, lo: float, hi: float, axis: str, door_at: float
+    ) -> None:
+        """A wall along ``axis`` from lo..hi with a door gap at ``door_at``."""
+        half_gap = door_width / 2
+        seg_a = (lo, door_at - half_gap)
+        seg_b = (door_at + half_gap, hi)
+        for seg_lo, seg_hi in (seg_a, seg_b):
+            if seg_hi - seg_lo <= 1e-6:
+                continue
+            mid = (seg_lo + seg_hi) / 2
+            length = seg_hi - seg_lo
+            if axis == "x":
+                wall(mid, fixed, length, wall_thickness)
+            else:
+                wall(fixed, mid, wall_thickness, length)
+
+    # Interior walls along x (separating rows of rooms) with doors.
+    for j in range(1, rooms_y):
+        y = y0 + j * room_size
+        for i in range(rooms_x):
+            lo = x0 + i * room_size
+            hi = lo + room_size
+            door_at = float(rng.uniform(lo + 1.5, hi - 1.5))
+            wall_with_door(y, lo, hi, axis="x", door_at=door_at)
+    # Interior walls along y (separating columns) with doors.
+    for i in range(1, rooms_x):
+        x = x0 + i * room_size
+        for j in range(rooms_y):
+            lo = y0 + j * room_size
+            hi = lo + room_size
+            door_at = float(rng.uniform(lo + 1.5, hi - 1.5))
+            wall_with_door(x, lo, hi, axis="y", door_at=door_at)
+    return world
+
+
+def forest_world(
+    size: float = 100.0,
+    n_trees: int = 60,
+    seed: int = 0,
+) -> World:
+    """Scattered tall thin obstacles (tree trunks + canopies)."""
+    rng = np.random.default_rng(seed)
+    world = empty_world((size, size, 35.0), name="forest")
+    for _ in range(n_trees):
+        x = float(rng.uniform(-size / 2 + 2, size / 2 - 2))
+        y = float(rng.uniform(-size / 2 + 2, size / 2 - 2))
+        h = float(rng.uniform(8.0, 20.0))
+        trunk_w = float(rng.uniform(0.4, 1.0))
+        world.add(
+            make_box_obstacle(
+                center=(x, y, h / 2), size=(trunk_w, trunk_w, h), kind="tree"
+            )
+        )
+        canopy = float(rng.uniform(2.0, 5.0))
+        world.add(
+            make_box_obstacle(
+                center=(x, y, h + canopy / 2),
+                size=(canopy, canopy, canopy),
+                kind="canopy",
+            )
+        )
+    return world
+
+
+def disaster_world(
+    size: float = 80.0,
+    n_debris: int = 50,
+    n_survivors: int = 3,
+    seed: int = 0,
+) -> World:
+    """Collapsed-building rubble field with survivors for Search and Rescue.
+
+    Survivors are static ``person`` obstacles placed in free pockets between
+    debris; the SAR workload's detector looks for the ``person`` tag.
+    """
+    rng = np.random.default_rng(seed)
+    world = empty_world((size, size, 25.0), name="disaster")
+    for _ in range(n_debris):
+        x = float(rng.uniform(-size / 2 + 2, size / 2 - 2))
+        y = float(rng.uniform(-size / 2 + 2, size / 2 - 2))
+        w = float(rng.uniform(2.0, 8.0))
+        d = float(rng.uniform(2.0, 8.0))
+        h = float(rng.uniform(1.0, 6.0))
+        world.add(
+            make_box_obstacle(center=(x, y, h / 2), size=(w, d, h), kind="debris")
+        )
+    placed = 0
+    tries = 0
+    while placed < n_survivors and tries < 500:
+        tries += 1
+        # Survivors hide in the far (north-east) half of the site: the MAV
+        # launches from the south-west corner, so finding one requires
+        # actually exploring rather than a lucky first glance.
+        x = float(rng.uniform(0.0, size / 2 - 3))
+        y = float(rng.uniform(0.0, size / 2 - 3))
+        person = make_person((x, y, 0.9), name=f"survivor-{placed}")
+        if not any(
+            person.box.intersects(o.box) for o in world.static_obstacles
+        ):
+            world.add(person)
+            placed += 1
+    return world
+
+
+def add_moving_people(
+    world: World,
+    count: int,
+    speed: float = 1.2,
+    seed: int = 0,
+    z: float = 0.9,
+) -> list:
+    """Scatter patrolling people into ``world`` (dynamic-obstacle knob).
+
+    Each person patrols a random rectangle within the world bounds at
+    ``speed`` m/s — the paper's "(dynamic) obstacle speed" knob.
+    """
+    rng = np.random.default_rng(seed)
+    lo, hi = world.bounds.lo, world.bounds.hi
+    people = []
+    for k in range(count):
+        x = float(rng.uniform(lo[0] + 3, hi[0] - 3))
+        y = float(rng.uniform(lo[1] + 3, hi[1] - 3))
+        dx = float(rng.uniform(3.0, 10.0))
+        dy = float(rng.uniform(3.0, 10.0))
+        waypoints = [
+            (x, y, z),
+            (min(x + dx, hi[0] - 1), y, z),
+            (min(x + dx, hi[0] - 1), min(y + dy, hi[1] - 1), z),
+            (x, min(y + dy, hi[1] - 1), z),
+        ]
+        person = make_person((x, y, z), waypoints=waypoints, speed=speed)
+        world.add(person)
+        people.append(person)
+    return people
+
+
+def campus_world(
+    outdoor_length: float = 50.0,
+    rooms_x: int = 2,
+    rooms_y: int = 2,
+    room_size: float = 8.0,
+    door_width: float = 1.4,
+    ceiling: float = 5.0,
+    seed: int = 0,
+) -> World:
+    """A mixed outdoor/indoor delivery scenario (the Fig. 19 environment).
+
+    The west half is open ground (low obstacle density — a coarse OctoMap
+    suffices and is cheap); the east half is a building with rooms joined
+    by doorways (high obstacle density — only a fine map keeps the doors
+    passable).  The drone launches outdoors; the delivery goal sits in the
+    far room, so every mission must transition between the two regimes —
+    exactly what the dynamic-resolution policy exploits.
+    """
+    rng = np.random.default_rng(seed)
+    span_x = rooms_x * room_size
+    span_y = rooms_y * room_size
+    total_x = outdoor_length + span_x + 4
+    total_y = max(span_y + 8, 24.0)
+    world = empty_world((total_x, total_y, ceiling + 6.0), name="campus")
+    # A couple of scattered outdoor obstacles (trees) in the west half.
+    west_lo = -total_x / 2
+    for _ in range(4):
+        x = float(rng.uniform(west_lo + 6, west_lo + outdoor_length - 6))
+        y = float(rng.uniform(-total_y / 2 + 4, total_y / 2 - 4))
+        h = float(rng.uniform(3.0, 6.0))
+        world.add(
+            make_box_obstacle(center=(x, y, h / 2), size=(1, 1, h), kind="tree")
+        )
+    # The building occupies the east side.
+    bx0 = west_lo + outdoor_length  # west face of the building
+    by0 = -span_y / 2
+    thickness = 0.5
+
+    def wall(cx: float, cy: float, wx: float, wy: float) -> None:
+        world.add(
+            make_box_obstacle(
+                center=(cx, cy, ceiling / 2),
+                size=(wx, wy, ceiling),
+                kind="wall",
+            )
+        )
+
+    def wall_with_door(
+        fixed: float, lo: float, hi: float, axis: str, door_at: float
+    ) -> None:
+        half = door_width / 2
+        for seg_lo, seg_hi in ((lo, door_at - half), (door_at + half, hi)):
+            if seg_hi - seg_lo <= 1e-6:
+                continue
+            mid = (seg_lo + seg_hi) / 2
+            length = seg_hi - seg_lo
+            if axis == "x":
+                wall(mid, fixed, length, thickness)
+            else:
+                wall(fixed, mid, thickness, length)
+
+    east = bx0 + span_x
+    # Perimeter: west face has the entrance door (centered on the first
+    # room so it does not abut the interior dividing walls); others solid.
+    entrance_y = by0 + room_size / 2.0
+    wall_with_door(bx0, by0, by0 + span_y, axis="y", door_at=entrance_y)
+    wall(east, 0.0, thickness, span_y + thickness)
+    wall(bx0 + span_x / 2, by0, span_x + thickness, thickness)
+    wall(bx0 + span_x / 2, -by0, span_x + thickness, thickness)
+    # Interior walls with doors.
+    for i in range(1, rooms_x):
+        x = bx0 + i * room_size
+        for j in range(rooms_y):
+            lo = by0 + j * room_size
+            door_at = float(rng.uniform(lo + 2.0, lo + room_size - 2.0))
+            wall_with_door(x, lo, lo + room_size, axis="y", door_at=door_at)
+    for j in range(1, rooms_y):
+        y = by0 + j * room_size
+        for i in range(rooms_x):
+            lo = bx0 + i * room_size
+            door_at = float(rng.uniform(lo + 2.0, lo + room_size - 2.0))
+            wall_with_door(y, lo, lo + room_size, axis="x", door_at=door_at)
+    # Roof: without it, planners would simply overfly the walls.
+    world.add(
+        make_box_obstacle(
+            center=(bx0 + span_x / 2, 0.0, ceiling + 0.15),
+            size=(span_x + thickness, span_y + thickness, 0.3),
+            kind="roof",
+        )
+    )
+    return world
+
+
+ENVIRONMENTS = {
+    "campus": campus_world,
+    "farm": farm_world,
+    "urban": urban_world,
+    "indoor": indoor_world,
+    "forest": forest_world,
+    "disaster": disaster_world,
+}
+
+
+def make_environment(name: str, **kwargs) -> World:
+    """Factory over all named environments.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a known environment.
+    """
+    try:
+        factory = ENVIRONMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(ENVIRONMENTS))
+        raise KeyError(f"unknown environment '{name}' (known: {known})") from None
+    return factory(**kwargs)

@@ -1,0 +1,155 @@
+"""Static and dynamic obstacles populating the simulated world.
+
+The paper extends AirSim/Unreal with "dynamic and static obstacle creation
+capabilities" and exposes environment knobs such as obstacle density and
+dynamic-obstacle speed.  This module provides the same capabilities for our
+AABB world: static boxes (buildings, walls, trees, furniture) and dynamic
+boxes that move along waypoint loops (people, vehicles).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .geometry import AABB, norm, vec
+
+_obstacle_ids = itertools.count()
+
+
+@dataclass
+class Obstacle:
+    """A static axis-aligned obstacle.
+
+    Attributes
+    ----------
+    box:
+        Geometry of the obstacle.
+    kind:
+        Free-form category tag, e.g. ``"building"``, ``"tree"``, ``"wall"``,
+        ``"person"``.  Detection kernels filter on this tag.
+    name:
+        Unique identifier within a world.
+    """
+
+    box: AABB
+    kind: str = "generic"
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"{self.kind}-{next(_obstacle_ids)}"
+
+    @property
+    def is_dynamic(self) -> bool:
+        return False
+
+    def box_at(self, time: float) -> AABB:
+        """Obstacle geometry at simulation time ``time`` (static: constant)."""
+        return self.box
+
+
+@dataclass
+class DynamicObstacle(Obstacle):
+    """An obstacle that patrols a closed loop of waypoints at constant speed.
+
+    Dynamic obstacles model moving people/vehicles.  The aerial-photography
+    workload uses one as the tracked subject; package delivery uses them as
+    moving hazards.
+    """
+
+    waypoints: Sequence[np.ndarray] = field(default_factory=list)
+    speed: float = 1.0  # m/s along the patrol loop
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.waypoints = [np.asarray(w, dtype=float) for w in self.waypoints]
+        if len(self.waypoints) < 2:
+            # Degenerate patrol: stay at the initial center.
+            self.waypoints = [self.box.center, self.box.center]
+        if self.speed < 0:
+            raise ValueError("dynamic obstacle speed must be non-negative")
+        self._leg_lengths = [
+            norm(b - a)
+            for a, b in zip(self.waypoints, self.waypoints[1:] + [self.waypoints[0]])
+        ]
+        self._loop_length = sum(self._leg_lengths)
+
+    @property
+    def is_dynamic(self) -> bool:
+        return True
+
+    def position_at(self, time: float) -> np.ndarray:
+        """Center position at time ``time`` along the patrol loop."""
+        if self._loop_length <= 0 or self.speed <= 0:
+            return self.waypoints[0].copy()
+        s = (self.speed * time) % self._loop_length
+        pts = list(self.waypoints) + [self.waypoints[0]]
+        n_legs = len(self._leg_lengths)
+        for i, (a, b, leg) in enumerate(
+            zip(pts[:-1], pts[1:], self._leg_lengths)
+        ):
+            if s <= leg or i == n_legs - 1:
+                if leg <= 0:
+                    return a.copy()
+                frac = min(s / leg, 1.0)
+                return a + frac * (b - a)
+            s -= leg
+        return self.waypoints[0].copy()
+
+    def velocity_at(self, time: float) -> np.ndarray:
+        """Instantaneous velocity vector (finite difference over 10 ms)."""
+        dt = 0.01
+        return (self.position_at(time + dt) - self.position_at(time)) / dt
+
+    def box_at(self, time: float) -> AABB:
+        return AABB.from_center(self.position_at(time), self.box.size)
+
+
+def make_box_obstacle(
+    center: Sequence[float],
+    size: Sequence[float],
+    kind: str = "generic",
+    name: str = "",
+) -> Obstacle:
+    """Convenience constructor for a static box obstacle."""
+    return Obstacle(box=AABB.from_center(center, size), kind=kind, name=name)
+
+
+def make_person(
+    position: Sequence[float],
+    waypoints: Optional[Sequence[Sequence[float]]] = None,
+    speed: float = 1.2,
+    name: str = "",
+) -> DynamicObstacle:
+    """A person-sized dynamic obstacle (0.5 x 0.5 x 1.8 m).
+
+    Average human walking speed (~1.2 m/s) is the default patrol speed.
+    """
+    pos = vec(*position)
+    box = AABB.from_center(pos, (0.5, 0.5, 1.8))
+    wps = [vec(*w) for w in waypoints] if waypoints else [pos, pos]
+    return DynamicObstacle(
+        box=box, kind="person", name=name, waypoints=wps, speed=speed
+    )
+
+
+def obstacle_density(obstacles: List[Obstacle], region: AABB) -> float:
+    """Fraction of ``region`` volume occupied by obstacles.
+
+    This is the environment knob the OctoMap case study keys off: indoor
+    environments are "high obstacle density", outdoor ones low.
+    """
+    if region.volume <= 0:
+        return 0.0
+    occupied = 0.0
+    for obs in obstacles:
+        b = obs.box
+        lo = np.maximum(b.lo, region.lo)
+        hi = np.minimum(b.hi, region.hi)
+        if np.all(lo <= hi):
+            occupied += float(np.prod(hi - lo))
+    return min(occupied / region.volume, 1.0)

@@ -1,0 +1,113 @@
+"""World serialization: save/load environments as JSON.
+
+The paper's environments come from the Unreal marketplace; ours are
+procedural.  Serialization makes specific scenario instances shareable
+artifacts — a benchmark result can name the exact world file it flew in,
+and users can hand-author scenarios without touching the generators.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, TextIO, Union
+
+import numpy as np
+
+from .environment import World
+from .geometry import AABB, vec
+from .obstacles import DynamicObstacle, Obstacle
+
+FORMAT_VERSION = 1
+
+
+def world_to_dict(world: World) -> Dict:
+    """A JSON-serializable description of ``world``."""
+    obstacles: List[Dict] = []
+    for obs in world.obstacles:
+        entry: Dict = {
+            "kind": obs.kind,
+            "name": obs.name,
+            "lo": obs.box.lo.tolist(),
+            "hi": obs.box.hi.tolist(),
+        }
+        if isinstance(obs, DynamicObstacle):
+            entry["waypoints"] = [w.tolist() for w in obs.waypoints]
+            entry["speed"] = obs.speed
+        obstacles.append(entry)
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": world.name,
+        "bounds": {
+            "lo": world.bounds.lo.tolist(),
+            "hi": world.bounds.hi.tolist(),
+        },
+        "obstacles": obstacles,
+    }
+
+
+def world_from_dict(data: Dict) -> World:
+    """Rebuild a :class:`World` from :func:`world_to_dict` output.
+
+    Raises
+    ------
+    ValueError
+        On unknown format versions or malformed entries.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported world format version: {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    bounds = AABB(
+        np.asarray(data["bounds"]["lo"], dtype=float),
+        np.asarray(data["bounds"]["hi"], dtype=float),
+    )
+    world = World(bounds=bounds, name=data.get("name", "unnamed"))
+    for entry in data.get("obstacles", []):
+        box = AABB(
+            np.asarray(entry["lo"], dtype=float),
+            np.asarray(entry["hi"], dtype=float),
+        )
+        if "waypoints" in entry:
+            world.add(
+                DynamicObstacle(
+                    box=box,
+                    kind=entry.get("kind", "generic"),
+                    name=entry.get("name", ""),
+                    waypoints=[
+                        np.asarray(w, dtype=float)
+                        for w in entry["waypoints"]
+                    ],
+                    speed=float(entry.get("speed", 1.0)),
+                )
+            )
+        else:
+            world.add(
+                Obstacle(
+                    box=box,
+                    kind=entry.get("kind", "generic"),
+                    name=entry.get("name", ""),
+                )
+            )
+    return world
+
+
+def save_world(world: World, destination: Union[str, TextIO]) -> None:
+    """Write ``world`` to a JSON file or stream."""
+    data = world_to_dict(world)
+    if isinstance(destination, str):
+        with open(destination, "w") as f:
+            json.dump(data, f, indent=2)
+    else:
+        json.dump(data, destination, indent=2)
+
+
+def load_world(source: Union[str, TextIO]) -> World:
+    """Read a world written by :func:`save_world`."""
+    if isinstance(source, str):
+        with open(source) as f:
+            data = json.load(f)
+    else:
+        data = json.load(source)
+    return world_from_dict(data)

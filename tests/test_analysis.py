@@ -1,0 +1,147 @@
+"""Tests for the analysis harness: datasets, sweeps, microbench, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    COMMERCIAL_MAVS,
+    FAA_REGISTRATIONS,
+    SweepCell,
+    SweepResult,
+    format_heatmap,
+    format_table,
+    max_velocity_at_fps,
+    mission_power_trace,
+    registration_growth_factor,
+    run_slam_circle,
+    solo_power_breakdown,
+)
+
+
+class TestDatasets:
+    def test_faa_counts_monotone(self):
+        counts = [units for _, units in FAA_REGISTRATIONS]
+        assert counts == sorted(counts)
+
+    def test_growth_over_2x(self):
+        assert registration_growth_factor() > 2.0
+
+    def test_commercial_mavs_have_both_wing_types(self):
+        wings = {m.wing_type for m in COMMERCIAL_MAVS}
+        assert wings == {"fixed", "rotor"}
+
+    def test_all_specs_positive(self):
+        for m in COMMERCIAL_MAVS:
+            assert m.battery_mah > 0
+            assert m.endurance_min > 0
+            assert m.size_mm > 0
+            assert m.hover_power_w > 0
+
+
+class TestSlamMicrobench:
+    def test_run_slam_circle_basic(self):
+        point = run_slam_circle(velocity_ms=2.0, fps=4.0, seed=1)
+        assert point.mission_time_s == pytest.approx(
+            2 * np.pi * 25.0 / 2.0, rel=1e-6
+        )
+        assert 0.0 <= point.failure_rate <= 1.0
+        assert point.energy_kj > 0
+
+    def test_higher_velocity_more_failures(self):
+        slow = run_slam_circle(velocity_ms=1.0, fps=0.5, seed=1)
+        fast = run_slam_circle(velocity_ms=10.0, fps=0.5, seed=1)
+        assert fast.failure_rate >= slow.failure_rate
+
+    def test_higher_fps_fewer_failures(self):
+        low = run_slam_circle(velocity_ms=6.0, fps=0.5, seed=1)
+        high = run_slam_circle(velocity_ms=6.0, fps=4.0, seed=1)
+        assert high.failure_rate <= low.failure_rate
+
+    def test_max_velocity_respects_bound(self):
+        point = max_velocity_at_fps(2.0, seed=1)
+        assert point.failure_rate <= 0.2
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_slam_circle(velocity_ms=0.0, fps=1.0)
+        with pytest.raises(ValueError):
+            run_slam_circle(velocity_ms=1.0, fps=0.0)
+
+
+class TestPowerBench:
+    def test_solo_breakdown_rotor_dominates(self):
+        breakdown = solo_power_breakdown()
+        assert breakdown["rotors_w"] > 10 * breakdown["compute_w"]
+
+    def test_mission_trace_phases(self):
+        phases = mission_power_trace(cruise_speed=5.0)
+        names = [p.name for p in phases]
+        assert names == ["arming", "hover", "flying", "landing"]
+        by_name = {p.name: p.power_w for p in phases}
+        assert by_name["flying"] > by_name["arming"]
+
+
+def _toy_sweep():
+    cells = []
+    for c in (2, 3, 4):
+        for f in (0.8, 1.5, 2.2):
+            speed_factor = c * f
+            cells.append(
+                SweepCell(
+                    cores=c,
+                    frequency_ghz=f,
+                    velocity_ms=speed_factor,
+                    mission_time_s=100.0 / speed_factor,
+                    energy_kj=50.0 / speed_factor,
+                    success_rate=1.0,
+                    extra={"replans": 1.0},
+                )
+            )
+    return SweepResult(workload="toy", cells=cells)
+
+
+class TestSweepResult:
+    def test_cell_lookup(self):
+        sweep = _toy_sweep()
+        cell = sweep.cell(3, 1.5)
+        assert cell.cores == 3
+        with pytest.raises(KeyError):
+            sweep.cell(5, 1.5)
+
+    def test_corner_ratio(self):
+        sweep = _toy_sweep()
+        expected = (100.0 / (2 * 0.8)) / (100.0 / (4 * 2.2))
+        assert sweep.corner_ratio("mission_time_s") == pytest.approx(expected)
+
+    def test_metric_grid(self):
+        grid = _toy_sweep().metric_grid("velocity_ms")
+        assert len(grid) == 9
+        assert grid[(4, 2.2)] == pytest.approx(8.8)
+
+    def test_format_heatmap_layout(self):
+        text = format_heatmap(_toy_sweep(), "mission_time_s")
+        lines = text.splitlines()
+        assert "cores" in lines[0]
+        # 4-core row printed first, as in the paper's figures.
+        assert lines[2].strip().startswith("4")
+
+    def test_format_heatmap_extra_key(self):
+        text = format_heatmap(_toy_sweep(), extra_key="replans", fmt="{:.0f}")
+        assert "1" in text
+
+
+class TestFormatTable:
+    def test_basic_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 0.001]])
+        assert "a" in text and "b" in text
+        assert "2.50" in text
+        assert "0.001" in text
+
+    def test_title(self):
+        text = format_table(["h"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["looooooong"], ["x"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2])

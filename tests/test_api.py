@@ -1,0 +1,84 @@
+"""Tests for the top-level API (run_workload / make_simulation)."""
+
+import numpy as np
+import pytest
+
+from repro import WorkloadResult, available_workloads, run_workload
+from repro.compute import CLOUD_I7_GTX1080
+from repro.core.api import make_simulation
+from repro.core.workloads import ScanningWorkload
+
+
+class TestRunWorkload:
+    def test_result_structure(self):
+        result = run_workload("scanning", cores=4, frequency_ghz=2.2, seed=1)
+        assert isinstance(result, WorkloadResult)
+        assert result.workload == "scanning"
+        assert result.platform.cores == 4
+        assert result.mission_time_s > 0
+        assert result.average_velocity_ms > 0
+        assert result.total_energy_kj > 0
+        assert result.success
+        assert "lawnmower" in result.kernel_stats
+
+    def test_workload_kwargs_forwarded(self):
+        result = run_workload(
+            "scanning",
+            seed=1,
+            workload_kwargs={"area_width": 30.0, "area_length": 20.0},
+        )
+        assert result.report.extra["area_m2"] == pytest.approx(600.0)
+
+    def test_invalid_operating_point(self):
+        with pytest.raises(ValueError):
+            run_workload("scanning", cores=9)
+        with pytest.raises(ValueError):
+            run_workload("scanning", frequency_ghz=3.3)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            run_workload("skywriting")
+
+    def test_available_workloads_sorted(self):
+        names = available_workloads()
+        assert names == sorted(names)
+        assert len(names) == 5
+
+
+class TestMakeSimulation:
+    def test_platform_spec_override(self):
+        workload = ScanningWorkload(seed=1)
+        sim = make_simulation(
+            workload, cores=8, frequency_ghz=4.0, spec=CLOUD_I7_GTX1080
+        )
+        assert sim.platform.spec.name == "Cloud i7 + GTX 1080"
+
+    def test_depth_noise_wiring(self):
+        workload = ScanningWorkload(seed=1)
+        sim = make_simulation(workload, depth_noise_std=0.7, seed=1)
+        assert sim.camera.depth_noise is not None
+        assert sim.camera.depth_noise.std == 0.7
+
+    def test_no_noise_by_default(self):
+        workload = ScanningWorkload(seed=1)
+        sim = make_simulation(workload, seed=1)
+        assert sim.camera.depth_noise is None
+
+    def test_workload_bound_and_positioned(self):
+        workload = ScanningWorkload(seed=1)
+        sim = make_simulation(workload, seed=1)
+        assert workload.sim is sim
+        assert sim.world.is_free(
+            sim.state.position + np.array([0, 0, 1.5]), margin=0.5
+        )
+
+    def test_kernel_model_workload_scoped(self):
+        workload = ScanningWorkload(seed=1)
+        sim = make_simulation(workload, seed=1)
+        assert sim.kernel_model.workload == "scanning"
+
+    def test_seeded_determinism_across_assemblies(self):
+        a = run_workload("scanning", seed=4)
+        b = run_workload("scanning", seed=4)
+        assert a.mission_time_s == b.mission_time_s
+        assert a.total_energy_kj == pytest.approx(b.total_energy_kj)

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliList:
+    def test_list_prints_inventory(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "package_delivery" in out
+        assert "octomap" in out
+        assert "yolo" in out
+        assert "urban" in out
+
+
+class TestCliRun:
+    def test_run_scanning(self, capsys):
+        code = main(
+            ["run", "scanning", "--cores", "4", "--frequency", "2.2",
+             "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mission time" in out
+        assert "[OK]" in out
+
+    def test_run_with_kernel_stats(self, capsys):
+        code = main(["run", "scanning", "--seed", "1", "--kernel-stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lawnmower" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "time_travel"])
+
+    def test_invalid_operating_point_errors(self):
+        with pytest.raises(ValueError):
+            main(["run", "scanning", "--cores", "7"])
+
+
+class TestCliParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_sweep_metric_choices(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "scanning", "--metric", "vibes"])

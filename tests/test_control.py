@@ -1,0 +1,147 @@
+"""Tests for the control kernels: PID and path tracking."""
+
+import numpy as np
+import pytest
+
+from repro.control import PathTracker, Pid, VectorPid
+from repro.planning.smoothing import time_parameterize
+from repro.world.geometry import vec
+
+
+class TestPid:
+    def test_proportional_only(self):
+        pid = Pid(kp=2.0)
+        assert pid.update(1.0, dt=0.1) == pytest.approx(2.0)
+
+    def test_integral_accumulates(self):
+        pid = Pid(kp=0.0, ki=1.0)
+        pid.update(1.0, dt=0.5)
+        out = pid.update(1.0, dt=0.5)
+        assert out == pytest.approx(1.0)
+
+    def test_derivative_term(self):
+        pid = Pid(kp=0.0, kd=1.0)
+        pid.update(0.0, dt=0.1)
+        out = pid.update(1.0, dt=0.1)
+        assert out == pytest.approx(10.0)
+
+    def test_output_limit(self):
+        pid = Pid(kp=100.0, output_limit=5.0)
+        assert pid.update(10.0, dt=0.1) == 5.0
+        assert pid.update(-10.0, dt=0.1) == -5.0
+
+    def test_integral_anti_windup(self):
+        pid = Pid(kp=0.0, ki=1.0, integral_limit=2.0)
+        for _ in range(100):
+            pid.update(10.0, dt=1.0)
+        assert pid.update(0.0, dt=1.0) == pytest.approx(2.0)
+
+    def test_reset(self):
+        pid = Pid(kp=1.0, ki=1.0, kd=1.0)
+        pid.update(5.0, dt=0.1)
+        pid.reset()
+        assert pid.update(0.0, dt=0.1) == 0.0
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            Pid(kp=1.0).update(1.0, dt=0.0)
+
+    def test_closed_loop_converges(self):
+        """PID driving a first-order plant settles at the setpoint."""
+        pid = Pid(kp=2.0, ki=0.5, output_limit=10.0, integral_limit=5.0)
+        state = 0.0
+        setpoint = 3.0
+        for _ in range(400):
+            u = pid.update(setpoint - state, dt=0.05)
+            state += (u - 0.3 * state) * 0.05
+        assert state == pytest.approx(setpoint, abs=0.2)
+
+
+class TestVectorPid:
+    def test_uniform_construction(self):
+        vp = VectorPid.uniform(3, kp=1.0)
+        out = vp.update(np.array([1.0, 2.0, 3.0]), dt=0.1)
+        assert np.allclose(out, [1.0, 2.0, 3.0])
+
+    def test_shape_validation(self):
+        vp = VectorPid.uniform(3, kp=1.0)
+        with pytest.raises(ValueError):
+            vp.update(np.array([1.0, 2.0]), dt=0.1)
+
+    def test_reset_all_axes(self):
+        vp = VectorPid.uniform(2, kp=0.0, ki=1.0)
+        vp.update(np.array([1.0, 1.0]), dt=1.0)
+        vp.reset()
+        out = vp.update(np.array([0.0, 0.0]), dt=1.0)
+        assert np.allclose(out, 0.0)
+
+
+def _straight_trajectory(length=20.0, speed=4.0, start_time=0.0):
+    return time_parameterize(
+        [vec(0, 0, 2), vec(length, 0, 2)],
+        max_speed=speed,
+        max_acceleration=3.0,
+        start_time=start_time,
+    )
+
+
+class TestPathTracker:
+    def test_inactive_without_trajectory(self):
+        tracker = PathTracker()
+        status = tracker.update(vec(0, 0, 0), now=0.0)
+        assert status.finished
+        assert np.allclose(status.velocity_command, 0.0)
+
+    def test_follows_straight_line(self):
+        tracker = PathTracker(max_speed=5.0)
+        tracker.set_trajectory(_straight_trajectory(), now=0.0)
+        pos = vec(0, 0, 2)
+        t = 0.0
+        dt = 0.05
+        for _ in range(600):
+            status = tracker.update(pos, now=t)
+            pos = pos + status.velocity_command * dt
+            t += dt
+            if status.finished:
+                break
+        assert status.finished
+        assert np.linalg.norm(pos - vec(20, 0, 2)) < 1.0
+        assert tracker.mean_error() < 1.0
+
+    def test_command_speed_clamped(self):
+        tracker = PathTracker(max_speed=2.0)
+        tracker.set_trajectory(_straight_trajectory(speed=8.0), now=0.0)
+        status = tracker.update(vec(-5, 0, 2), now=0.0)
+        assert np.linalg.norm(status.velocity_command) <= 2.0 + 1e-9
+
+    def test_governor_freezes_reference_when_behind(self):
+        """A vehicle pinned in place must not see the reference run away —
+        the regression that made braked drones cut corners."""
+        tracker = PathTracker(max_speed=5.0)
+        tracker.set_trajectory(_straight_trajectory(length=40.0), now=0.0)
+        pos = vec(0, 0, 2)  # never moves
+        errors = []
+        for i in range(200):
+            status = tracker.update(pos, now=i * 0.05)
+            errors.append(status.cross_track_error)
+        # With the governor, error saturates near the freeze threshold
+        # instead of growing to the full path length.
+        assert max(errors) < tracker.governor_freeze_error + 1.0
+
+    def test_progress_reaches_one(self):
+        tracker = PathTracker(max_speed=5.0)
+        traj = _straight_trajectory(length=5.0)
+        tracker.set_trajectory(traj, now=10.0)
+        pos = vec(0, 0, 2)
+        t = 10.0
+        for _ in range(400):
+            status = tracker.update(pos, now=t)
+            pos = pos + status.velocity_command * 0.05
+            t += 0.05
+        assert status.progress == pytest.approx(1.0)
+
+    def test_max_error_metric(self):
+        tracker = PathTracker(max_speed=5.0)
+        tracker.set_trajectory(_straight_trajectory(), now=0.0)
+        tracker.update(vec(0, 2.5, 2), now=0.0)
+        assert tracker.max_error() >= 2.5 - 1e-9

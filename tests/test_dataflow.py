@@ -1,0 +1,98 @@
+"""Tests for the Fig. 7 dataflow graphs on the middleware substrate."""
+
+import pytest
+
+from repro.compute import ComputeScheduler, JETSON_TX2, KernelModel, PlatformConfig
+from repro.core.dataflow import (
+    DATAFLOWS,
+    KernelNode,
+    SensorNode,
+    build_dataflow,
+    spin_dataflow,
+)
+from repro.middleware import NodeGraph, SimClock
+
+
+def _graph(workload=None, cores=4, freq=2.2):
+    clock = SimClock()
+    scheduler = ComputeScheduler(
+        config=PlatformConfig(JETSON_TX2, cores, freq),
+        kernel_model=KernelModel(workload=workload),
+    )
+    return NodeGraph(clock=clock, scheduler=scheduler)
+
+
+class TestDataflowConstruction:
+    def test_all_five_dataflows_build(self):
+        for name in DATAFLOWS:
+            graph = _graph(workload=name)
+            nodes = build_dataflow(name, graph)
+            assert len(nodes) >= 4
+            assert len(graph.nodes) == len(nodes)
+
+    def test_unknown_dataflow_raises(self):
+        with pytest.raises(KeyError):
+            build_dataflow("laundry", _graph())
+
+    def test_package_delivery_topology(self):
+        """Fig. 7c wiring: depth image feeds point cloud and SLAM; the
+        octomap feeds both collision checking and planning."""
+        graph = _graph(workload="package_delivery")
+        build_dataflow("package_delivery", graph)
+        assert "image_depth" in graph.topics
+        assert graph.topics.topic("image_depth").subscriber_count >= 2
+        assert graph.topics.topic("octomap").subscriber_count >= 2
+
+
+class TestDataflowExecution:
+    def test_scanning_pipeline_flows_end_to_end(self):
+        graph = _graph(workload="scanning")
+        nodes = build_dataflow("scanning", graph)
+        stats = spin_dataflow(graph, nodes, duration_s=3.0)
+        assert stats.published["gps"] > 20
+        assert stats.processed["path_tracker"] > 0
+
+    def test_mapping_pipeline_produces_maps(self):
+        graph = _graph(workload="mapping")
+        nodes = build_dataflow("mapping", graph)
+        stats = spin_dataflow(graph, nodes, duration_s=10.0)
+        assert stats.processed["point_cloud"] > 0
+        assert stats.processed["octomap_generator"] > 0
+        # Frontier exploration is the 2.6 s bottleneck: far fewer runs.
+        assert (
+            stats.processed["motion_planner"]
+            < stats.processed["point_cloud"]
+        )
+
+    def test_detection_drops_frames_on_slow_platform(self):
+        """The SAR missed-frames effect: the 30 Hz camera outruns the
+        detector, and a slower platform drops more frames."""
+
+        def dropped(cores, freq):
+            graph = _graph(workload="aerial_photography", cores=cores,
+                           freq=freq)
+            nodes = build_dataflow("aerial_photography", graph)
+            stats = spin_dataflow(graph, nodes, duration_s=8.0)
+            return stats.dropped["detector"]
+
+        assert dropped(2, 0.8) > dropped(4, 2.2) * 0.9
+        assert dropped(2, 0.8) > 0
+
+    def test_core_contention_shapes_throughput(self):
+        """More cores let concurrent nodes process more frames overall."""
+
+        def throughput(cores):
+            graph = _graph(workload="search_rescue", cores=cores, freq=2.2)
+            nodes = build_dataflow("search_rescue", graph)
+            stats = spin_dataflow(graph, nodes, duration_s=12.0)
+            return sum(stats.processed.values())
+
+        assert throughput(4) >= throughput(2)
+
+    def test_sensor_rate_respected(self):
+        graph = _graph(workload="scanning")
+        node = SensorNode("cam", "frames", rate_hz=5.0)
+        graph.add_node(node)
+        for _ in range(int(4.0 / 0.01)):
+            graph.spin_once(0.01)
+        assert node.frames_published == pytest.approx(20, abs=2)

@@ -1,0 +1,210 @@
+"""Tests for the quadrotor dynamics and flight controller."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamics import (
+    DJI_MATRICE_100,
+    FlightController,
+    FlightMode,
+    Quadrotor,
+    VehicleParams,
+    VehicleState,
+)
+from repro.world.geometry import vec
+
+
+def fly(quad, seconds, dt=0.02, wind=None):
+    for _ in range(int(seconds / dt)):
+        quad.step(dt, wind=wind)
+    return quad.state
+
+
+class TestVehicleState:
+    def test_speed(self):
+        s = VehicleState(velocity=vec(3, 4, 0))
+        assert s.speed == pytest.approx(5.0)
+        assert s.horizontal_speed == pytest.approx(5.0)
+
+    def test_yaw_wrapped(self):
+        s = VehicleState(yaw=3 * np.pi)
+        assert -np.pi < s.yaw <= np.pi
+
+    def test_copy_is_independent(self):
+        s = VehicleState(position=vec(1, 2, 3))
+        c = s.copy()
+        c.position[0] = 99
+        assert s.position[0] == 1
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            VehicleParams(mass_kg=-1)
+        with pytest.raises(ValueError):
+            VehicleParams(max_speed_ms=0)
+
+
+class TestQuadrotor:
+    def test_reaches_commanded_velocity(self):
+        quad = Quadrotor()
+        quad.command_velocity(vec(3, 0, 0))
+        state = fly(quad, 5.0)
+        assert state.velocity[0] == pytest.approx(3.0, abs=0.2)
+
+    def test_velocity_command_clamped_to_max_speed(self):
+        quad = Quadrotor()
+        quad.command_velocity(vec(100, 0, 0))
+        assert np.linalg.norm(quad.velocity_command) <= quad.params.max_speed_ms
+
+    def test_acceleration_limited(self):
+        quad = Quadrotor()
+        quad.command_velocity(vec(10, 0, 0))
+        for _ in range(100):
+            state = quad.step(0.02)
+            accel = np.linalg.norm(state.acceleration)
+            assert accel <= quad.params.max_acceleration_ms2 + 1e-6
+
+    def test_vertical_speed_limited(self):
+        quad = Quadrotor()
+        quad.command_velocity(vec(0, 0, 10))
+        state = fly(quad, 3.0)
+        assert state.velocity[2] <= quad.params.max_vertical_speed_ms + 1e-9
+
+    def test_hover_command_stops(self):
+        quad = Quadrotor()
+        quad.command_velocity(vec(5, 0, 0))
+        fly(quad, 3.0)
+        quad.command_hover()
+        state = fly(quad, 4.0)
+        assert state.speed < 0.1
+
+    def test_yaw_follows_motion(self):
+        quad = Quadrotor()
+        quad.command_velocity(vec(0, 3, 0))
+        state = fly(quad, 4.0)
+        assert state.yaw == pytest.approx(np.pi / 2, abs=0.15)
+
+    def test_explicit_yaw_command(self):
+        quad = Quadrotor()
+        quad.command_velocity(vec(0, 0, 0), yaw=1.0)
+        state = fly(quad, 3.0)
+        assert state.yaw == pytest.approx(1.0, abs=0.05)
+
+    def test_rejects_nonpositive_dt(self):
+        quad = Quadrotor()
+        with pytest.raises(ValueError):
+            quad.step(0.0)
+
+    def test_wind_pushes_drone(self):
+        quad = Quadrotor()
+        quad.command_hover()
+        state = fly(quad, 5.0, wind=vec(5, 0, 0))
+        # Drag couples the wind into the vehicle: nonzero downwind drift.
+        assert state.velocity[0] > 0.01
+
+    def test_stopping_distance(self):
+        quad = Quadrotor()
+        d = quad.stopping_distance(speed=10.0)
+        assert d == pytest.approx(100.0 / (2 * quad.params.max_acceleration_ms2))
+
+    def test_time_advances(self):
+        quad = Quadrotor()
+        fly(quad, 1.0, dt=0.05)
+        assert quad.state.time == pytest.approx(1.0)
+
+    @given(
+        vx=st.floats(-5, 5), vy=st.floats(-5, 5), vz=st.floats(-2, 2)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_converges_to_any_reachable_command(self, vx, vy, vz):
+        quad = Quadrotor()
+        quad.command_velocity(vec(vx, vy, vz))
+        state = fly(quad, 6.0)
+        cmd = quad.velocity_command
+        assert np.linalg.norm(state.velocity - cmd) < 0.5
+
+
+class TestFlightController:
+    def _sim(self, fc, quad, seconds, dt=0.02):
+        for _ in range(int(seconds / dt)):
+            fc.update(dt)
+            quad.step(dt)
+
+    def test_takeoff_reaches_altitude(self):
+        quad = Quadrotor()
+        fc = FlightController(quad)
+        fc.takeoff(3.0)
+        self._sim(fc, quad, 10.0)
+        assert quad.state.position[2] == pytest.approx(3.0, abs=0.3)
+        assert fc.mode == FlightMode.HOVER
+
+    def test_fly_to_waypoint(self):
+        quad = Quadrotor()
+        fc = FlightController(quad)
+        fc.takeoff(2.0)
+        self._sim(fc, quad, 8.0)
+        fc.fly_to(vec(10, 5, 2), speed=4.0)
+        self._sim(fc, quad, 20.0)
+        assert np.linalg.norm(quad.state.position - vec(10, 5, 2)) < 1.0
+        assert fc.at_target()
+
+    def test_landing(self):
+        quad = Quadrotor()
+        fc = FlightController(quad)
+        fc.takeoff(3.0)
+        self._sim(fc, quad, 10.0)
+        fc.land()
+        self._sim(fc, quad, 15.0)
+        assert fc.mode == FlightMode.LANDED
+        assert quad.state.position[2] == pytest.approx(0.0, abs=0.05)
+
+    def test_arming_delays_flight(self):
+        quad = Quadrotor()
+        fc = FlightController(quad)
+        fc.arm(arm_duration=1.0)
+        assert fc.mode == FlightMode.ARMING
+        self._sim(fc, quad, 2.0)
+        assert fc.mode == FlightMode.HOVER
+
+    def test_hover_is_stationary(self):
+        quad = Quadrotor()
+        fc = FlightController(quad)
+        fc.takeoff(2.0)
+        self._sim(fc, quad, 8.0)
+        p0 = quad.state.position.copy()
+        self._sim(fc, quad, 5.0)
+        assert np.linalg.norm(quad.state.position - p0) < 0.2
+
+    def test_airborne_flag(self):
+        quad = Quadrotor()
+        fc = FlightController(quad)
+        assert not fc.airborne
+        fc.takeoff(2.0)
+        assert fc.airborne
+        self._sim(fc, quad, 8.0)
+        fc.land()
+        self._sim(fc, quad, 10.0)
+        assert not fc.airborne
+
+    def test_fly_velocity_direct(self):
+        quad = Quadrotor()
+        fc = FlightController(quad)
+        fc.takeoff(2.0)
+        self._sim(fc, quad, 8.0)
+        fc.fly_velocity(vec(2, 0, 0))
+        self._sim(fc, quad, 3.0)
+        assert quad.state.velocity[0] == pytest.approx(2.0, abs=0.3)
+
+    def test_approach_slowdown_prevents_overshoot(self):
+        quad = Quadrotor()
+        fc = FlightController(quad, waypoint_tolerance=0.5)
+        fc.takeoff(2.0)
+        self._sim(fc, quad, 8.0)
+        fc.fly_to(vec(5, 0, 2), speed=10.0)
+        max_x = 0.0
+        for _ in range(int(20.0 / 0.02)):
+            fc.update(0.02)
+            quad.step(0.02)
+            max_x = max(max_x, quad.state.position[0])
+        assert max_x < 6.0

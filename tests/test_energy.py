@@ -1,0 +1,186 @@
+"""Tests for the rotor power model (Eq. 1) and the battery model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamics.state import VehicleState
+from repro.energy import (
+    COMMERCIAL_PACKS,
+    Battery,
+    MATRICE_100_COEFFICIENTS,
+    PowerModelCoefficients,
+    RotorPowerModel,
+    SOLO_COEFFICIENTS,
+)
+from repro.world.geometry import vec
+
+
+class TestRotorPowerModel:
+    def test_hover_power_in_paper_range(self):
+        """Off-the-shelf MAVs draw 300-400 W for the rotors (Section I)."""
+        model = RotorPowerModel(mass_kg=2.4)
+        assert 250.0 <= model.hover_power() <= 400.0
+
+    def test_power_increases_with_speed(self):
+        model = RotorPowerModel()
+        powers = [model.steady_flight_power(v) for v in (0, 2, 5, 10)]
+        assert powers == sorted(powers)
+        assert powers[-1] > powers[0]
+
+    def test_power_increases_with_acceleration(self):
+        model = RotorPowerModel()
+        low = model.power(vec(5, 0, 0), vec(0, 0, 0))
+        high = model.power(vec(5, 0, 0), vec(3, 0, 0))
+        assert high > low
+
+    def test_vertical_motion_costs_power(self):
+        model = RotorPowerModel()
+        hover = model.hover_power()
+        climb = model.power(vec(0, 0, 3), vec(0, 0, 0))
+        assert climb > hover
+
+    def test_power_floored_at_hover(self):
+        """Rotors cannot regenerate: braking never reports below hover."""
+        model = RotorPowerModel()
+        headwind = model.power(
+            vec(5, 0, 0), vec(0, 0, 0), wind_xy=np.array([-50.0, 0.0])
+        )
+        assert headwind >= model.hover_power()
+
+    def test_power_for_state(self):
+        model = RotorPowerModel()
+        s = VehicleState(velocity=vec(4, 0, 0), acceleration=vec(1, 0, 0))
+        assert model.power_for_state(s) == model.power(s.velocity, s.acceleration)
+
+    def test_heavier_drone_draws_more(self):
+        light = RotorPowerModel(mass_kg=1.5)
+        heavy = RotorPowerModel(mass_kg=3.5)
+        assert heavy.hover_power() > light.hover_power()
+
+    def test_coefficients_validation(self):
+        with pytest.raises(ValueError):
+            PowerModelCoefficients(beta=(1.0, 2.0))
+
+    def test_solo_hover_near_measured(self):
+        """Fig. 9a: the 3DR Solo rotors draw ~287 W."""
+        model = RotorPowerModel(
+            coefficients=SOLO_COEFFICIENTS, mass_kg=1.8
+        )
+        assert model.hover_power() == pytest.approx(287.0, rel=0.2)
+
+    @given(
+        v=st.floats(0, 15, allow_nan=False), a=st.floats(0, 5, allow_nan=False)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_power_always_positive(self, v, a):
+        model = RotorPowerModel()
+        assert model.power(vec(v, 0, 0), vec(a, 0, 0)) > 0
+
+
+class TestBattery:
+    def test_initial_state(self):
+        b = Battery(capacity_mah=5000, cells=4)
+        assert b.soc == pytest.approx(1.0)
+        assert b.remaining_percent == pytest.approx(100.0)
+        assert not b.depleted
+
+    def test_capacity_conversion(self):
+        b = Battery(capacity_mah=1000, cells=3)
+        assert b.capacity_coulombs == pytest.approx(3600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=0)
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=100, cells=0)
+
+    def test_draw_reduces_charge(self):
+        b = Battery(capacity_mah=5000, cells=4)
+        before = b.remaining_coulombs
+        b.draw(power_w=100.0, dt=10.0)
+        assert b.remaining_coulombs < before
+
+    def test_coulomb_counting_matches_hand_calculation(self):
+        b = Battery(capacity_mah=5000, cells=4, internal_resistance_ohm=0.0)
+        v = b.open_circuit_voltage()
+        used = b.draw(power_w=v * 2.0, dt=10.0)  # 2 A for 10 s
+        assert used == pytest.approx(20.0, rel=1e-6)
+
+    def test_depletes_under_sustained_load(self):
+        b = Battery(capacity_mah=100, cells=3)
+        while not b.depleted:
+            b.draw(power_w=500.0, dt=1.0)
+        assert b.soc == 0.0
+
+    def test_voltage_drops_with_discharge(self):
+        b = Battery(capacity_mah=1000, cells=4)
+        v_full = b.open_circuit_voltage()
+        b.draw(power_w=200.0, dt=3600.0 * 0.5)
+        v_half = b.open_circuit_voltage()
+        assert v_half < v_full
+
+    def test_voltage_knee_below_10_percent(self):
+        b = Battery(capacity_mah=1000, cells=1)
+        b._remaining_coulombs = b.capacity_coulombs * 0.05
+        v = b.open_circuit_voltage()
+        assert v < b.CELL_V_EMPTY + 0.4 * (b.CELL_V_FULL - b.CELL_V_EMPTY)
+
+    def test_loaded_voltage_sags(self):
+        b = Battery(capacity_mah=5000, cells=4, internal_resistance_ohm=0.1)
+        assert b.loaded_voltage(500.0) < b.open_circuit_voltage()
+
+    def test_reset(self):
+        b = Battery(capacity_mah=1000, cells=3)
+        b.draw(300.0, 60.0)
+        b.reset()
+        assert b.soc == pytest.approx(1.0)
+        assert b.energy_drawn_j == 0.0
+
+    def test_energy_accounting(self):
+        b = Battery(capacity_mah=5000, cells=4)
+        b.draw(100.0, 10.0)
+        b.draw(50.0, 10.0)
+        assert b.energy_drawn_j == pytest.approx(1500.0)
+
+    def test_negative_inputs_rejected(self):
+        b = Battery()
+        with pytest.raises(ValueError):
+            b.draw(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            b.draw(1.0, -1.0)
+
+    def test_endurance_estimate_scales_inversely_with_power(self):
+        b = Battery(capacity_mah=5000, cells=4)
+        t_low = b.endurance_estimate_s(100.0)
+        t_high = b.endurance_estimate_s(400.0)
+        assert t_low > 3 * t_high
+
+    def test_endurance_infinite_at_zero_power(self):
+        assert Battery().endurance_estimate_s(0.0) == float("inf")
+
+    def test_bigger_pack_lasts_longer(self):
+        """Fig. 2a: higher battery capacity -> higher endurance."""
+        small = Battery(capacity_mah=1500, cells=3)
+        large = Battery(capacity_mah=5700, cells=6)
+        assert large.endurance_estimate_s(300.0) > small.endurance_estimate_s(300.0)
+
+    def test_commercial_pack_catalog(self):
+        assert "3DR Solo" in COMMERCIAL_PACKS
+        for name, spec in COMMERCIAL_PACKS.items():
+            b = Battery(**spec)
+            assert b.capacity_mah > 0
+
+    @given(
+        p=st.floats(1, 1000, allow_nan=False),
+        dt=st.floats(0.01, 100, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_soc_monotone_nonincreasing(self, p, dt):
+        b = Battery(capacity_mah=5000, cells=4)
+        prev = b.soc
+        for _ in range(5):
+            b.draw(p, dt)
+            assert b.soc <= prev + 1e-12
+            prev = b.soc

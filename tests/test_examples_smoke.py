@@ -1,0 +1,46 @@
+"""Smoke tests: the fast example scripts must stay runnable.
+
+Only the examples that finish in a few seconds are exercised here; the
+mission-heavy ones are covered indirectly by the benchmark harness.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExampleSmoke:
+    def test_examples_directory_complete(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        assert "quickstart.py" in scripts
+        assert len(scripts) >= 7
+
+    def test_flight_log_export(self, tmp_path):
+        result = _run("flight_log_export.py", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        assert "wrote mission document" in result.stdout
+        assert (tmp_path / "scanning_trace.csv").exists()
+
+    def test_dataflow_contention(self):
+        result = _run("dataflow_contention.py")
+        assert result.returncode == 0, result.stderr
+        assert "frames dropped" in result.stdout
+
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "mission outcome" in result.stdout
+        assert "octomap" in result.stdout

@@ -1,0 +1,250 @@
+"""Unit and property tests for repro.world.geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.world.geometry import (
+    AABB,
+    Pose,
+    Ray,
+    batch_ray_aabbs,
+    path_length,
+    ray_aabb_intersection,
+    rotation_matrix,
+    segment_intersects_aabb,
+    unit,
+    vec,
+    wrap_angle,
+    yaw_rotation,
+)
+
+finite = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+positive = st.floats(0.1, 50, allow_nan=False, allow_infinity=False)
+
+
+class TestVecHelpers:
+    def test_vec_builds_float_array(self):
+        v = vec(1, 2, 3)
+        assert v.dtype == float
+        assert v.shape == (3,)
+
+    def test_unit_normalizes(self):
+        u = unit(vec(3, 4, 0))
+        assert np.allclose(u, [0.6, 0.8, 0.0])
+
+    def test_unit_rejects_zero(self):
+        with pytest.raises(ValueError):
+            unit(vec(0, 0, 0))
+
+
+class TestAABB:
+    def test_from_center(self):
+        box = AABB.from_center((0, 0, 5), (2, 4, 10))
+        assert np.allclose(box.lo, [-1, -2, 0])
+        assert np.allclose(box.hi, [1, 2, 10])
+
+    def test_rejects_inverted_corners(self):
+        with pytest.raises(ValueError):
+            AABB(vec(1, 0, 0), vec(0, 0, 0))
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            AABB.from_center((0, 0, 0), (-1, 1, 1))
+
+    def test_contains_boundary(self):
+        box = AABB(vec(0, 0, 0), vec(1, 1, 1))
+        assert box.contains(vec(0, 0, 0))
+        assert box.contains(vec(1, 1, 1))
+        assert not box.contains(vec(1.1, 0.5, 0.5))
+
+    def test_volume(self):
+        box = AABB.from_center((0, 0, 0), (2, 3, 4))
+        assert box.volume == pytest.approx(24.0)
+
+    def test_inflate_grows_every_face(self):
+        box = AABB.from_center((0, 0, 0), (2, 2, 2))
+        grown = box.inflate(0.5)
+        assert np.allclose(grown.size, [3, 3, 3])
+        assert np.allclose(grown.center, box.center)
+
+    def test_intersects_overlap_and_touch(self):
+        a = AABB(vec(0, 0, 0), vec(1, 1, 1))
+        b = AABB(vec(0.5, 0.5, 0.5), vec(2, 2, 2))
+        c = AABB(vec(1, 0, 0), vec(2, 1, 1))  # face touch
+        d = AABB(vec(5, 5, 5), vec(6, 6, 6))
+        assert a.intersects(b)
+        assert a.intersects(c)
+        assert not a.intersects(d)
+
+    def test_distance_to_inside_is_zero(self):
+        box = AABB(vec(0, 0, 0), vec(2, 2, 2))
+        assert box.distance_to(vec(1, 1, 1)) == 0.0
+
+    def test_distance_to_outside(self):
+        box = AABB(vec(0, 0, 0), vec(1, 1, 1))
+        assert box.distance_to(vec(4, 0.5, 0.5)) == pytest.approx(3.0)
+
+    def test_corners_count(self):
+        box = AABB(vec(0, 0, 0), vec(1, 2, 3))
+        corners = box.corners()
+        assert corners.shape == (8, 3)
+        assert {tuple(c) for c in corners} == {
+            (x, y, z) for x in (0, 1) for y in (0, 2) for z in (0, 3)
+        }
+
+    @given(
+        cx=finite, cy=finite, cz=finite,
+        sx=positive, sy=positive, sz=positive,
+        m=st.floats(0, 10, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_inflate_property(self, cx, cy, cz, sx, sy, sz, m):
+        box = AABB.from_center((cx, cy, cz), (sx, sy, sz))
+        grown = box.inflate(m)
+        assert np.all(grown.lo <= box.lo + 1e-9)
+        assert np.all(grown.hi >= box.hi - 1e-9)
+
+
+class TestRayIntersection:
+    def test_head_on_hit(self):
+        box = AABB(vec(5, -1, -1), vec(7, 1, 1))
+        hit = ray_aabb_intersection(Ray(vec(0, 0, 0), vec(1, 0, 0)), box)
+        assert hit is not None
+        t_near, t_far = hit
+        assert t_near == pytest.approx(5.0)
+        assert t_far == pytest.approx(7.0)
+
+    def test_miss(self):
+        box = AABB(vec(5, 5, 5), vec(6, 6, 6))
+        assert ray_aabb_intersection(Ray(vec(0, 0, 0), vec(1, 0, 0)), box) is None
+
+    def test_box_behind_origin(self):
+        box = AABB(vec(-7, -1, -1), vec(-5, 1, 1))
+        assert ray_aabb_intersection(Ray(vec(0, 0, 0), vec(1, 0, 0)), box) is None
+
+    def test_origin_inside_box(self):
+        box = AABB(vec(-1, -1, -1), vec(1, 1, 1))
+        hit = ray_aabb_intersection(Ray(vec(0, 0, 0), vec(1, 0, 0)), box)
+        assert hit is not None
+        assert hit[0] == pytest.approx(0.0)
+        assert hit[1] == pytest.approx(1.0)
+
+    def test_parallel_ray_outside_slab(self):
+        box = AABB(vec(0, 0, 0), vec(1, 1, 1))
+        ray = Ray(vec(-1, 5, 0.5), vec(1, 0, 0))  # y=5 never enters slab
+        assert ray_aabb_intersection(ray, box) is None
+
+    def test_diagonal_hit(self):
+        box = AABB(vec(1, 1, 1), vec(2, 2, 2))
+        ray = Ray(vec(0, 0, 0), vec(1, 1, 1))
+        hit = ray_aabb_intersection(ray, box)
+        assert hit is not None
+        assert hit[0] == pytest.approx(math.sqrt(3), rel=1e-6)
+
+
+class TestSegmentIntersection:
+    def test_crossing_segment(self):
+        box = AABB(vec(0, 0, 0), vec(1, 1, 1))
+        assert segment_intersects_aabb(vec(-1, 0.5, 0.5), vec(2, 0.5, 0.5), box)
+
+    def test_short_segment_stops_before_box(self):
+        box = AABB(vec(10, 0, 0), vec(11, 1, 1))
+        assert not segment_intersects_aabb(vec(0, 0.5, 0.5), vec(5, 0.5, 0.5), box)
+
+    def test_degenerate_segment_inside(self):
+        box = AABB(vec(0, 0, 0), vec(1, 1, 1))
+        assert segment_intersects_aabb(vec(0.5, 0.5, 0.5), vec(0.5, 0.5, 0.5), box)
+
+    def test_degenerate_segment_outside(self):
+        box = AABB(vec(0, 0, 0), vec(1, 1, 1))
+        assert not segment_intersects_aabb(vec(5, 5, 5), vec(5, 5, 5), box)
+
+
+class TestBatchRayCast:
+    def test_matches_scalar_raycast(self):
+        box_lo = np.array([[5.0, -1.0, -1.0]])
+        box_hi = np.array([[7.0, 1.0, 1.0]])
+        dirs = np.array([[1.0, 0, 0], [0, 1.0, 0], [-1.0, 0, 0]])
+        dists = batch_ray_aabbs(vec(0, 0, 0), dirs, box_lo, box_hi, 100.0)
+        assert dists[0] == pytest.approx(5.0)
+        assert dists[1] == pytest.approx(100.0)
+        assert dists[2] == pytest.approx(100.0)
+
+    def test_no_boxes_returns_max_range(self):
+        dirs = np.array([[1.0, 0, 0]])
+        dists = batch_ray_aabbs(
+            vec(0, 0, 0), dirs, np.zeros((0, 3)), np.zeros((0, 3)), 50.0
+        )
+        assert dists[0] == 50.0
+
+    def test_nearest_of_many_boxes_wins(self):
+        los = np.array([[5.0, -1, -1], [2.0, -1, -1]])
+        his = np.array([[6.0, 1, 1], [3.0, 1, 1]])
+        dirs = np.array([[1.0, 0, 0]])
+        dists = batch_ray_aabbs(vec(0, 0, 0), dirs, los, his, 100.0)
+        assert dists[0] == pytest.approx(2.0)
+
+    @given(
+        dx=st.floats(-1, 1), dy=st.floats(-1, 1), dz=st.floats(-1, 1)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_agrees_with_single(self, dx, dy, dz):
+        d = np.array([dx, dy, dz])
+        if np.linalg.norm(d) < 1e-3:
+            return
+        d = d / np.linalg.norm(d)
+        box = AABB(vec(2, -3, -3), vec(4, 3, 3))
+        scalar = ray_aabb_intersection(Ray(vec(0, 0, 0), d), box)
+        batch = batch_ray_aabbs(
+            vec(0, 0, 0), d[None, :], box.lo[None, :], box.hi[None, :], 100.0
+        )[0]
+        if scalar is None:
+            assert batch == pytest.approx(100.0)
+        else:
+            assert batch == pytest.approx(scalar[0], abs=1e-6)
+
+
+class TestRotations:
+    def test_yaw_rotation_quarter_turn(self):
+        r = yaw_rotation(math.pi / 2)
+        assert np.allclose(r @ vec(1, 0, 0), vec(0, 1, 0), atol=1e-12)
+
+    def test_rotation_matrix_is_orthonormal(self):
+        r = rotation_matrix(0.5, 0.3, 0.1)
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.isclose(np.linalg.det(r), 1.0)
+
+    def test_zero_rotation_is_identity(self):
+        assert np.allclose(rotation_matrix(0, 0, 0), np.eye(3))
+
+    @given(st.floats(-20, 20, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_wrap_angle_range(self, theta):
+        w = wrap_angle(theta)
+        assert -math.pi < w <= math.pi + 1e-12
+        # Same direction: cos/sin preserved.
+        assert math.cos(w) == pytest.approx(math.cos(theta), abs=1e-9)
+        assert math.sin(w) == pytest.approx(math.sin(theta), abs=1e-9)
+
+
+class TestPoseAndPath:
+    def test_pose_forward_vector(self):
+        p = Pose(vec(0, 0, 0), yaw=math.pi / 2)
+        assert np.allclose(p.forward(), vec(0, 1, 0), atol=1e-12)
+
+    def test_pose_distance(self):
+        a = Pose(vec(0, 0, 0))
+        b = Pose(vec(3, 4, 0))
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_path_length_simple(self):
+        pts = [vec(0, 0, 0), vec(1, 0, 0), vec(1, 1, 0)]
+        assert path_length(pts) == pytest.approx(2.0)
+
+    def test_path_length_degenerate(self):
+        assert path_length([]) == 0.0
+        assert path_length([vec(1, 2, 3)]) == 0.0

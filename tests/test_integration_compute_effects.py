@@ -1,0 +1,92 @@
+"""Cross-cutting integration tests: the paper's headline compute effects.
+
+These tests verify the *mechanisms* Section V identifies, end to end on
+small fast worlds, rather than reproducing full-figure magnitudes (the
+benchmarks do that):
+
+1. faster compute -> higher Eq.-2 velocity bound (max-velocity effect);
+2. faster compute -> less hover during planning (hover-time effect);
+3. faster missions -> less total energy (rotors dominate);
+4. the compute subsystem draws a small fraction of total power.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import make_simulation
+from repro.core.workloads import MappingWorkload, PackageDeliveryWorkload
+from repro.world import empty_world, make_box_obstacle
+
+
+def _mini_city():
+    world = empty_world((50, 50, 12), name="mini-city")
+    world.add(make_box_obstacle((0, 0, 4), (6, 6, 8), kind="building"))
+    return world
+
+
+@pytest.fixture(scope="module")
+def delivery_runs():
+    """One PD mission per operating-point corner (module-cached)."""
+    results = {}
+    for cores, freq in [(4, 2.2), (2, 0.8)]:
+        workload = PackageDeliveryWorkload(
+            world=_mini_city(), goal=np.array([18.0, 18.0, 3.0]), seed=2
+        )
+        make_simulation(workload, cores=cores, frequency_ghz=freq, seed=2)
+        results[(cores, freq)] = (workload, workload.run())
+    return results
+
+
+class TestComputeEffects:
+    def test_both_corners_deliver(self, delivery_runs):
+        for (_, report) in delivery_runs.values():
+            assert report.success
+
+    def test_velocity_bound_effect(self, delivery_runs):
+        fast_w, _ = delivery_runs[(4, 2.2)]
+        slow_w, _ = delivery_runs[(2, 0.8)]
+        assert (
+            fast_w.pipeline.allowed_velocity()
+            > slow_w.pipeline.allowed_velocity()
+        )
+
+    def test_mission_time_effect(self, delivery_runs):
+        _, fast = delivery_runs[(4, 2.2)]
+        _, slow = delivery_runs[(2, 0.8)]
+        assert fast.mission_time_s < slow.mission_time_s
+
+    def test_energy_effect(self, delivery_runs):
+        _, fast = delivery_runs[(4, 2.2)]
+        _, slow = delivery_runs[(2, 0.8)]
+        assert fast.total_energy_j < slow.total_energy_j
+
+    def test_rotors_dominate_power(self, delivery_runs):
+        """Section V-B: compute is <5% of total system power."""
+        for _, report in delivery_runs.values():
+            assert report.average_compute_power_w < (
+                0.10 * report.average_rotor_power_w
+            )
+
+    def test_more_map_updates_on_faster_platform(self, delivery_runs):
+        fast_w, fast = delivery_runs[(4, 2.2)]
+        slow_w, slow = delivery_runs[(2, 0.8)]
+        fast_rate = fast.extra["map_updates"] / fast.mission_time_s
+        slow_rate = slow.extra["map_updates"] / slow.mission_time_s
+        assert fast_rate > slow_rate * 1.5
+
+
+class TestHoverTimeEffect:
+    def test_mapping_hover_shrinks_with_compute(self):
+        """Frontier exploration dominates hover; faster compute cuts it."""
+        world = empty_world((30, 30, 10), name="arena")
+        world.add(make_box_obstacle((5, 5, 2), (3, 3, 4), kind="crate"))
+        hovers = {}
+        for cores, freq in [(4, 2.2), (2, 0.8)]:
+            workload = MappingWorkload(
+                world=world, coverage_target=0.4, mapping_ceiling=8.0, seed=1
+            )
+            make_simulation(workload, cores=cores, frequency_ghz=freq, seed=1)
+            report = workload.run()
+            assert report.success
+            hovers[(cores, freq)] = report.hover_time_s
+        assert hovers[(4, 2.2)] < hovers[(2, 0.8)]

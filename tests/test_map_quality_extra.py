@@ -1,0 +1,97 @@
+"""Additional property-based tests on core data-structure invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perception.octomap import (
+    LOG_ODDS_MAX,
+    LOG_ODDS_MIN,
+    OCCUPANCY_THRESHOLD,
+    OctoMap,
+)
+from repro.perception.point_cloud import PointCloud
+from repro.world.geometry import AABB, vec
+
+coords = st.floats(-20, 20, allow_nan=False, allow_infinity=False)
+
+
+class TestOctoMapInvariants:
+    @given(
+        points=st.lists(
+            st.tuples(coords, coords, coords), min_size=1, max_size=30
+        ),
+        res=st.sampled_from([0.15, 0.5, 0.8]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_log_odds_always_clamped(self, points, res):
+        om = OctoMap(resolution=res)
+        rng = np.random.default_rng(1)
+        for p in points:
+            if rng.random() < 0.5:
+                om.mark_occupied(p)
+            else:
+                om.mark_free(p)
+        for key in list(om.occupied_keys()) + list(om.free_keys()):
+            value = om._cells[key]
+            assert LOG_ODDS_MIN <= value <= LOG_ODDS_MAX
+
+    @given(
+        ox=coords, oy=coords, oz=coords,
+        ex=coords, ey=coords, ez=coords,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ray_keys_never_include_endpoint_voxel(self, ox, oy, oz, ex, ey, ez):
+        om = OctoMap(resolution=0.5)
+        keys = om.ray_keys(vec(ox, oy, oz), vec(ex, ey, ez))
+        end_key = om.key_for((ex, ey, ez))
+        assert end_key not in keys
+
+    @given(
+        hits=st.lists(
+            st.tuples(st.floats(2, 15), st.floats(-5, 5), st.floats(0, 5)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_scan_hits_always_occupied_after_insert(self, hits):
+        """Within one scan, endpoint evidence must win over carving."""
+        om = OctoMap(resolution=0.5)
+        cloud = PointCloud(
+            origin=vec(0, 0, 2),
+            hits=np.array(hits, dtype=float),
+            misses=np.zeros((0, 3)),
+        )
+        om.insert_scan(cloud, carve_rays=len(hits))
+        for h in hits:
+            assert om.is_occupied(h)
+
+    @given(res_a=st.sampled_from([0.15, 0.25]), res_b=st.sampled_from([0.5, 0.8]))
+    @settings(max_examples=10, deadline=None)
+    def test_rebuild_preserves_occupancy_conservatively(self, res_a, res_b):
+        """Every occupied point stays occupied after re-gridding, in both
+        directions (coarsen then refine)."""
+        om = OctoMap(resolution=res_a)
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 8, size=(40, 3))
+        for p in points:
+            om.mark_occupied(p)
+        coarse = om.rebuilt_at_resolution(res_b)
+        for p in points:
+            assert coarse.is_occupied(p)
+        fine_again = coarse.rebuilt_at_resolution(res_a)
+        for p in points:
+            assert fine_again.is_occupied(p)
+
+    def test_coverage_monotone_under_updates(self):
+        bounds = AABB(vec(0, 0, 0), vec(4, 4, 4))
+        om = OctoMap(resolution=0.5, bounds=bounds)
+        last = 0.0
+        rng = np.random.default_rng(5)
+        for p in rng.uniform(0, 4, size=(60, 3)):
+            om.mark_free(p)
+            coverage = om.coverage_fraction()
+            assert coverage >= last - 1e-12
+            last = coverage

@@ -1,0 +1,257 @@
+"""Tests for the ROS-like middleware: clock, topics, services, nodes."""
+
+import pytest
+
+from repro.compute import ComputeScheduler, JETSON_TX2, KernelModel, PlatformConfig
+from repro.middleware import (
+    CallbackNode,
+    Node,
+    NodeGraph,
+    ServiceError,
+    ServiceRegistry,
+    SimClock,
+    Timer,
+    Topic,
+    TopicRegistry,
+)
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        assert clock.now == pytest.approx(1.5)
+
+    def test_cannot_go_backwards(self):
+        clock = SimClock(now=5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+
+class TestTimer:
+    def test_fires_at_period(self):
+        clock = SimClock()
+        timer = Timer(clock, period=1.0)
+        assert timer.due()  # offset 0: fires immediately
+        assert not timer.due()
+        clock.advance(1.0)
+        assert timer.due()
+
+    def test_catch_up_without_burst(self):
+        clock = SimClock()
+        timer = Timer(clock, period=1.0)
+        timer.due()
+        clock.advance(5.0)
+        assert timer.due()
+        assert not timer.due()  # only one fire despite 5 periods elapsed
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            Timer(SimClock(), period=0.0)
+
+    def test_offset(self):
+        clock = SimClock()
+        timer = Timer(clock, period=1.0, offset=0.5)
+        assert not timer.due()
+        clock.advance(0.6)
+        assert timer.due()
+
+
+class TestTopics:
+    def test_publish_subscribe(self):
+        topic = Topic("depth")
+        sub = topic.subscribe()
+        topic.publish("frame-1", stamp=0.1)
+        msg = sub.pop()
+        assert msg.data == "frame-1"
+        assert msg.stamp == 0.1
+
+    def test_multiple_subscribers_each_get_copy(self):
+        topic = Topic("t")
+        a, b = topic.subscribe(), topic.subscribe()
+        topic.publish(42, stamp=0.0)
+        assert a.pop().data == 42
+        assert b.pop().data == 42
+
+    def test_queue_drops_oldest(self):
+        """ROS queue_size semantics: the frame-dropping behaviour SAR's
+        detection study depends on."""
+        topic = Topic("images")
+        sub = topic.subscribe(queue_size=2)
+        for i in range(5):
+            topic.publish(i, stamp=float(i))
+        assert sub.dropped == 3
+        assert sub.pop().data == 3
+        assert sub.pop().data == 4
+        assert sub.pop() is None
+
+    def test_latest_discards_backlog(self):
+        topic = Topic("t")
+        sub = topic.subscribe(queue_size=10)
+        for i in range(4):
+            topic.publish(i, stamp=float(i))
+        assert sub.latest().data == 3
+        assert sub.pending() == 0
+
+    def test_sequence_numbers_increase(self):
+        topic = Topic("t")
+        sub = topic.subscribe()
+        topic.publish("a", 0.0)
+        topic.publish("b", 0.1)
+        first, second = sub.pop(), sub.pop()
+        assert second.seq > first.seq
+
+    def test_registry_creates_once(self):
+        reg = TopicRegistry()
+        t1 = reg.topic("depth")
+        t2 = reg.topic("depth")
+        assert t1 is t2
+        assert "depth" in reg
+        assert reg.names() == ["depth"]
+
+    def test_queue_size_validation(self):
+        with pytest.raises(ValueError):
+            Topic("t").subscribe(queue_size=0)
+
+
+class TestServices:
+    def test_call(self):
+        reg = ServiceRegistry()
+        reg.advertise("double", lambda x: x * 2)
+        assert reg.call("double", 21) == 42
+
+    def test_missing_service(self):
+        reg = ServiceRegistry()
+        with pytest.raises(ServiceError):
+            reg.call("nope", None)
+
+    def test_handler_exception_wrapped(self):
+        reg = ServiceRegistry()
+
+        def boom(_):
+            raise RuntimeError("kaboom")
+
+        reg.advertise("boom", boom)
+        with pytest.raises(ServiceError, match="kaboom"):
+            reg.call("boom", None)
+
+    def test_call_count(self):
+        reg = ServiceRegistry()
+        svc = reg.advertise("ping", lambda x: x)
+        svc.call(1)
+        svc.call(2)
+        assert svc.call_count == 2
+
+
+def _graph(cores=4):
+    clock = SimClock()
+    scheduler = ComputeScheduler(
+        config=PlatformConfig(JETSON_TX2, cores, 2.2),
+        kernel_model=KernelModel(),
+    )
+    return NodeGraph(clock=clock, scheduler=scheduler)
+
+
+class TestNodeGraph:
+    def test_node_runs_kernel_and_publishes(self):
+        graph = _graph()
+        results = []
+
+        def try_start(node, g):
+            if node.jobs_completed == 0:
+                node.run_kernel("collision_check", context="req-1")
+                return True
+            return False
+
+        def on_complete(node, g, job, context):
+            node.publish("results", context)
+
+        producer = CallbackNode("producer", try_start, on_complete)
+        graph.add_node(producer)
+        sub = graph.topics.topic("results").subscribe()
+        for _ in range(20):
+            graph.spin_once(0.01)
+        msg = sub.pop()
+        assert msg is not None
+        assert msg.data == "req-1"
+        assert producer.jobs_completed == 1
+
+    def test_pipeline_of_two_nodes(self):
+        """A two-stage dataflow: camera -> detector, as in Fig. 7."""
+        graph = _graph()
+
+        def cam_start(node, g):
+            if g.clock.now < 0.001 and node.jobs_completed == 0:
+                node.run_kernel("point_cloud")
+                return True
+            return False
+
+        def cam_done(node, g, job, ctx):
+            node.publish("cloud", "scan")
+
+        camera = CallbackNode("camera", cam_start, cam_done)
+
+        class Detector(Node):
+            def on_attach(self, g):
+                self.sub = self.subscribe("cloud")
+                self.outputs = []
+
+            def try_start(self, g):
+                msg = self.sub.pop()
+                if msg is not None:
+                    self.run_kernel("octomap", context=msg.data)
+                    return True
+                return False
+
+            def on_complete(self, g, job, ctx):
+                self.outputs.append(ctx)
+
+        detector = Detector("detector")
+        graph.add_node(camera)
+        graph.add_node(detector)
+        for _ in range(100):
+            graph.spin_once(0.02)
+        assert detector.outputs == ["scan"]
+
+    def test_busy_node_not_restarted(self):
+        graph = _graph()
+        starts = []
+
+        def try_start(node, g):
+            starts.append(g.clock.now)
+            node.run_kernel("octomap")  # 500 ms
+            return True
+
+        graph.add_node(CallbackNode("n", try_start))
+        for _ in range(10):
+            graph.spin_once(0.01)
+        assert len(starts) == 1  # still busy, no second start
+
+    def test_node_lookup(self):
+        graph = _graph()
+        node = CallbackNode("alpha")
+        graph.add_node(node)
+        assert graph.node("alpha") is node
+        with pytest.raises(KeyError):
+            graph.node("beta")
+
+    def test_unattached_node_errors(self):
+        node = CallbackNode("lonely")
+        with pytest.raises(RuntimeError):
+            node.publish("t", 1)
+        with pytest.raises(RuntimeError):
+            node.run_kernel("pid")
+
+    def test_clock_and_scheduler_stay_in_sync(self):
+        graph = _graph()
+        for _ in range(7):
+            graph.spin_once(0.5)
+        assert graph.clock.now == pytest.approx(3.5)
+        assert graph.scheduler.now == pytest.approx(3.5)

@@ -1,0 +1,281 @@
+"""Tests for the OctoMap occupancy octree."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perception.octomap import (
+    LOG_ODDS_HIT,
+    LOG_ODDS_MAX,
+    LOG_ODDS_MIN,
+    LOG_ODDS_MISS,
+    OctoMap,
+    log_odds,
+    probability,
+)
+from repro.perception.point_cloud import PointCloud
+from repro.world.geometry import AABB, vec
+
+
+class TestLogOdds:
+    def test_round_trip(self):
+        for p in (0.1, 0.5, 0.9):
+            assert probability(log_odds(p)) == pytest.approx(p)
+
+    def test_probability_of_zero_log_odds(self):
+        assert probability(0.0) == pytest.approx(0.5)
+
+    def test_log_odds_rejects_boundaries(self):
+        with pytest.raises(ValueError):
+            log_odds(0.0)
+        with pytest.raises(ValueError):
+            log_odds(1.0)
+
+    @given(st.floats(-10, 10, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_probability_monotone(self, x):
+        assert probability(x) < probability(x + 0.5)
+
+
+class TestVoxelKeys:
+    def test_key_for_origin_cell(self):
+        om = OctoMap(resolution=0.5)
+        assert om.key_for((0.1, 0.1, 0.1)) == (0, 0, 0)
+        assert om.key_for((-0.1, 0.6, 1.2)) == (-1, 1, 2)
+
+    def test_center_round_trip(self):
+        om = OctoMap(resolution=0.25)
+        key = (3, -2, 7)
+        assert om.key_for(om.center_of(key)) == key
+
+    def test_voxel_box_size(self):
+        om = OctoMap(resolution=0.5)
+        box = om.voxel_box((0, 0, 0))
+        assert np.allclose(box.size, 0.5)
+
+    def test_rejects_nonpositive_resolution(self):
+        with pytest.raises(ValueError):
+            OctoMap(resolution=0.0)
+
+    @given(
+        x=st.floats(-50, 50, allow_nan=False),
+        y=st.floats(-50, 50, allow_nan=False),
+        z=st.floats(-50, 50, allow_nan=False),
+        res=st.sampled_from([0.15, 0.25, 0.5, 0.8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_point_is_inside_its_voxel(self, x, y, z, res):
+        om = OctoMap(resolution=res)
+        key = om.key_for((x, y, z))
+        box = om.voxel_box(key)
+        assert box.contains(vec(x, y, z))
+
+
+class TestOccupancyUpdates:
+    def test_unknown_by_default(self):
+        om = OctoMap(resolution=0.5)
+        assert om.is_unknown((1, 1, 1))
+        assert om.occupancy_at((1, 1, 1)) is None
+        assert not om.is_occupied((1, 1, 1))
+        assert not om.is_free((1, 1, 1))
+
+    def test_mark_occupied(self):
+        om = OctoMap(resolution=0.5)
+        om.mark_occupied((1, 1, 1))
+        assert om.is_occupied((1, 1, 1))
+        assert om.occupancy_at((1, 1, 1)) > 0.5
+
+    def test_mark_free(self):
+        om = OctoMap(resolution=0.5)
+        om.mark_free((1, 1, 1))
+        assert om.is_free((1, 1, 1))
+        assert om.occupancy_at((1, 1, 1)) < 0.5
+
+    def test_repeated_hits_clamp(self):
+        om = OctoMap(resolution=0.5)
+        for _ in range(100):
+            om.mark_occupied((0, 0, 0))
+        assert om.log_odds_at((0, 0, 0)) == pytest.approx(LOG_ODDS_MAX)
+
+    def test_repeated_misses_clamp(self):
+        om = OctoMap(resolution=0.5)
+        for _ in range(100):
+            om.mark_free((0, 0, 0))
+        assert om.log_odds_at((0, 0, 0)) == pytest.approx(LOG_ODDS_MIN)
+
+    def test_hit_then_misses_flip_state(self):
+        om = OctoMap(resolution=0.5)
+        om.mark_occupied((0, 0, 0))
+        # LOG_ODDS_HIT=0.85 needs 3 misses of -0.4 to go below 0.
+        for _ in range(3):
+            om.mark_free((0, 0, 0))
+        assert om.is_free((0, 0, 0))
+
+    def test_updates_outside_bounds_ignored(self):
+        om = OctoMap(resolution=0.5, bounds=AABB(vec(0, 0, 0), vec(5, 5, 5)))
+        om.mark_occupied((10, 10, 10))
+        assert om.is_unknown((10, 10, 10))
+        assert len(om) == 0
+
+
+class TestRayInsertion:
+    def test_ray_keys_straight_line(self):
+        om = OctoMap(resolution=1.0)
+        keys = om.ray_keys(vec(0.5, 0.5, 0.5), vec(4.5, 0.5, 0.5))
+        assert keys == [(0, 0, 0), (1, 0, 0), (2, 0, 0), (3, 0, 0)]
+
+    def test_ray_keys_exclude_endpoint_voxel(self):
+        om = OctoMap(resolution=1.0)
+        keys = om.ray_keys(vec(0.5, 0.5, 0.5), vec(2.5, 0.5, 0.5))
+        assert (2, 0, 0) not in keys
+
+    def test_ray_keys_degenerate(self):
+        om = OctoMap(resolution=1.0)
+        assert om.ray_keys(vec(1, 1, 1), vec(1, 1, 1)) == []
+
+    def test_insert_ray_marks_free_and_occupied(self):
+        om = OctoMap(resolution=1.0)
+        om.insert_ray(vec(0.5, 0.5, 0.5), vec(3.5, 0.5, 0.5), hit=True)
+        assert om.is_free((1.5, 0.5, 0.5))
+        assert om.is_occupied((3.5, 0.5, 0.5))
+
+    def test_insert_ray_miss_carves_only(self):
+        om = OctoMap(resolution=1.0)
+        om.insert_ray(vec(0.5, 0.5, 0.5), vec(3.5, 0.5, 0.5), hit=False)
+        assert om.is_free((1.5, 0.5, 0.5))
+        assert not om.is_occupied((3.5, 0.5, 0.5))
+
+    def test_diagonal_ray_connected(self):
+        """DDA traversal must produce face-adjacent voxel steps."""
+        om = OctoMap(resolution=0.5)
+        keys = om.ray_keys(vec(0.1, 0.1, 0.1), vec(4.9, 3.2, 2.7))
+        for a, b in zip(keys[:-1], keys[1:]):
+            manhattan = sum(abs(x - y) for x, y in zip(a, b))
+            assert manhattan == 1
+
+    @given(
+        ex=st.floats(-8, 8), ey=st.floats(-8, 8), ez=st.floats(-8, 8)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ray_endpoint_occupied_property(self, ex, ey, ez):
+        if math.hypot(ex, ey, ez) < 0.5:
+            return
+        om = OctoMap(resolution=0.5)
+        origin = vec(0.1, 0.1, 0.1)
+        end = vec(ex, ey, ez)
+        om.insert_ray(origin, end, hit=True)
+        assert om.is_occupied(end)
+
+
+class TestScanInsertion:
+    def _scan(self):
+        hits = np.array([[3.2, 0.2, 0.2], [3.2, 0.7, 0.2], [3.2, 0.2, 0.7]])
+        misses = np.array([[0.2, 5.0, 0.2]])
+        return PointCloud(origin=vec(0.2, 0.2, 0.2), hits=hits, misses=misses)
+
+    def test_insert_scan_marks_all_endpoints(self):
+        om = OctoMap(resolution=0.5)
+        n = om.insert_scan(self._scan(), carve_rays=2)
+        assert n == 3
+        for p in self._scan().hits:
+            assert om.is_occupied(p)
+
+    def test_insert_scan_carves_free_space(self):
+        om = OctoMap(resolution=0.5)
+        om.insert_scan(self._scan(), carve_rays=10)
+        assert om.is_free((1.7, 0.2, 0.2))
+
+    def test_insert_scan_zero_carve(self):
+        om = OctoMap(resolution=0.5)
+        om.insert_scan(self._scan(), carve_rays=0)
+        assert om.is_unknown((1.7, 0.2, 0.2))
+
+    def test_insert_point_cloud_endpoint_only(self):
+        om = OctoMap(resolution=0.5)
+        om.insert_point_cloud(self._scan(), endpoint_only=True)
+        assert om.is_occupied((3.2, 0.2, 0.2))
+        assert om.is_unknown((1.7, 0.2, 0.2))
+
+
+class TestRegionQueries:
+    def test_region_occupied(self):
+        om = OctoMap(resolution=0.5)
+        om.mark_occupied((2.2, 2.2, 2.2))
+        assert om.region_occupied(AABB(vec(2, 2, 2), vec(2.4, 2.4, 2.4)))
+        assert not om.region_occupied(AABB(vec(5, 5, 5), vec(6, 6, 6)))
+
+    def test_region_occupied_with_margin(self):
+        om = OctoMap(resolution=0.5)
+        om.mark_occupied((2.2, 2.2, 2.2))
+        probe = AABB(vec(2.8, 2.2, 2.2), vec(3.0, 2.4, 2.4))
+        assert not om.region_occupied(probe)
+        assert om.region_occupied(probe, margin=0.5)
+
+    def test_unknown_fraction_all_unknown(self):
+        om = OctoMap(resolution=0.5)
+        assert om.region_unknown_fraction(AABB(vec(0, 0, 0), vec(1, 1, 1))) == 1.0
+
+    def test_unknown_fraction_decreases_with_updates(self):
+        om = OctoMap(resolution=0.5)
+        box = AABB(vec(0, 0, 0), vec(1, 1, 1))
+        before = om.region_unknown_fraction(box)
+        om.mark_free((0.2, 0.2, 0.2))
+        after = om.region_unknown_fraction(box)
+        assert after < before
+
+    def test_coverage_fraction(self):
+        bounds = AABB(vec(0, 0, 0), vec(2, 2, 2))
+        om = OctoMap(resolution=1.0, bounds=bounds)
+        assert om.coverage_fraction() == 0.0
+        for i in range(2):
+            for j in range(2):
+                for k in range(2):
+                    om.mark_free((i + 0.5, j + 0.5, k + 0.5))
+        assert om.coverage_fraction() == pytest.approx(1.0)
+
+    def test_coverage_needs_region(self):
+        om = OctoMap(resolution=0.5)
+        with pytest.raises(ValueError):
+            om.coverage_fraction()
+
+    def test_occupied_centers(self):
+        om = OctoMap(resolution=0.5)
+        om.mark_occupied((0.2, 0.2, 0.2))
+        om.mark_free((5, 5, 5))
+        centers = om.occupied_centers()
+        assert centers.shape == (1, 3)
+        assert np.allclose(centers[0], [0.25, 0.25, 0.25])
+
+
+class TestResolutionRebuild:
+    def test_rebuild_coarser_inflates_obstacles(self):
+        fine = OctoMap(resolution=0.15)
+        fine.mark_occupied((0.05, 0.05, 0.05))
+        coarse = fine.rebuilt_at_resolution(0.8)
+        assert coarse.is_occupied((0.4, 0.4, 0.4))  # whole coarse voxel
+
+    def test_rebuild_occupied_dominates_free(self):
+        fine = OctoMap(resolution=0.15)
+        fine.mark_occupied((0.05, 0.05, 0.05))
+        for _ in range(5):
+            fine.mark_free((0.35, 0.35, 0.35))
+        coarse = fine.rebuilt_at_resolution(0.8)
+        # Max-pooling: occupied fine voxel wins over free siblings.
+        assert coarse.is_occupied((0.4, 0.4, 0.4))
+
+    def test_rebuild_preserves_bounds(self):
+        bounds = AABB(vec(0, 0, 0), vec(5, 5, 5))
+        fine = OctoMap(resolution=0.15, bounds=bounds)
+        coarse = fine.rebuilt_at_resolution(0.5)
+        assert coarse.bounds is bounds
+
+    def test_memory_shrinks_at_coarser_resolution(self):
+        fine = OctoMap(resolution=0.15)
+        rng = np.random.default_rng(0)
+        for p in rng.uniform(0, 4, size=(300, 3)):
+            fine.mark_occupied(p)
+        coarse = fine.rebuilt_at_resolution(0.8)
+        assert coarse.memory_cells() < fine.memory_cells()

@@ -1,0 +1,303 @@
+"""Tests for perception kernels: point cloud, SLAM, detection, tracking,
+localization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dynamics.state import VehicleState
+from repro.perception import (
+    CorrelationTracker,
+    GpsLocalizer,
+    GroundTruthLocalizer,
+    ObjectDetector,
+    SlamLocalizer,
+    VisualSlam,
+    YOLO,
+    HOG,
+    depth_to_point_cloud,
+    generate_landmarks,
+    max_velocity_for_fps,
+)
+from repro.perception.detection import BoundingBox
+from repro.sensors import CameraIntrinsics, RgbdCamera
+from repro.world import empty_world, make_box_obstacle, make_person, vec
+
+
+# ---------------------------------------------------------------------------
+# Point cloud
+# ---------------------------------------------------------------------------
+class TestPointCloud:
+    def _image(self):
+        world = empty_world((40, 40, 20))
+        # Narrow wall: central rays hit it, side rays escape to max range.
+        world.add(make_box_obstacle((6, 0, 5), (1, 8, 10), kind="wall"))
+        cam = RgbdCamera(intrinsics=CameraIntrinsics(width=16, height=12))
+        return cam.capture_depth(world, vec(0, 0, 5), yaw=0.0)
+
+    def test_hits_land_on_wall(self):
+        cloud = depth_to_point_cloud(self._image())
+        assert cloud.size > 0
+        assert np.all(np.abs(cloud.hits[:, 0] - 5.5) < 0.2)
+
+    def test_misses_at_max_range(self):
+        cloud = depth_to_point_cloud(self._image())
+        # Rays over/under the wall escape to max range.
+        assert cloud.misses.shape[0] > 0
+        dists = np.linalg.norm(cloud.misses - cloud.origin, axis=1)
+        assert np.all(dists >= 19.0)
+
+    def test_stride_reduces_points(self):
+        img = self._image()
+        full = depth_to_point_cloud(img, stride=1)
+        half = depth_to_point_cloud(img, stride=2)
+        assert half.size <= full.size // 2 + 1
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            depth_to_point_cloud(self._image(), stride=0)
+
+    def test_subsample_caps_size(self):
+        cloud = depth_to_point_cloud(self._image())
+        small = cloud.subsample(10, seed=1)
+        assert small.hits.shape[0] <= 10
+        assert small.misses.shape[0] <= 10
+
+    def test_subsample_noop_when_small(self):
+        cloud = depth_to_point_cloud(self._image())
+        same = cloud.subsample(10_000)
+        assert same.hits.shape == cloud.hits.shape
+
+
+# ---------------------------------------------------------------------------
+# SLAM
+# ---------------------------------------------------------------------------
+class TestVisualSlam:
+    def _slam(self, seed=0, **kw):
+        world = empty_world((60, 60, 20))
+        for x in range(-25, 26, 10):
+            world.add(make_box_obstacle((x, 18, 5), (2, 2, 10), kind="pillar"))
+        landmarks = generate_landmarks(world, count=500, seed=seed)
+        return VisualSlam(landmarks=landmarks, seed=seed, **kw)
+
+    def test_landmark_generation_in_bounds(self):
+        world = empty_world((60, 60, 20))
+        pts = generate_landmarks(world, count=100, seed=1)
+        assert pts.shape == (100, 3)
+        assert np.all(pts >= world.bounds.lo - 1e-9)
+        assert np.all(pts <= world.bounds.hi + 1e-9)
+
+    def test_slow_motion_keeps_tracking(self):
+        slam = self._slam()
+        t = 0.0
+        for i in range(50):
+            x = i * 0.1  # 0.1 m between frames: high overlap
+            status = slam.process_frame(vec(x, 0, 2), yaw=np.pi / 2, timestamp=t)
+            t += 0.1
+        assert slam.failure_rate < 0.1
+
+    def test_fast_motion_loses_tracking(self):
+        """The Fig. 8b effect: large inter-frame motion breaks tracking."""
+        slam = self._slam()
+        t = 0.0
+        for i in range(30):
+            x = -25 + i * 12.0  # 12 m jumps: frustum barely overlaps
+            slam.process_frame(vec(x, 0, 2), yaw=np.pi / 2, timestamp=t)
+            t += 1.0
+        assert slam.failure_rate > 0.3
+
+    def test_more_fps_allows_more_speed(self):
+        """Same physical speed, double the frame rate -> fewer failures."""
+        speed = 8.0
+
+        def run(fps):
+            slam = self._slam()
+            t = 0.0
+            for i in range(60):
+                x = -28 + speed * t
+                if x > 28:
+                    break
+                slam.process_frame(vec(x, 0, 2), yaw=np.pi / 2, timestamp=t)
+                t += 1.0 / fps
+            return slam.failure_rate
+
+        assert run(10.0) <= run(1.0)
+
+    def test_error_stays_bounded_while_tracking(self):
+        slam = self._slam()
+        t = 0.0
+        errors = []
+        for i in range(80):
+            status = slam.process_frame(
+                vec(i * 0.15, 0, 2), yaw=np.pi / 2, timestamp=t
+            )
+            errors.append(status.error_m)
+            t += 0.1
+        assert np.mean(errors) < 1.0
+
+    def test_reset(self):
+        slam = self._slam()
+        slam.process_frame(vec(0, 0, 2), yaw=0.0, timestamp=0.0)
+        slam.reset()
+        assert slam.frames == 0
+        assert slam.failures == 0
+
+    def test_max_velocity_for_fps_monotone(self):
+        vs = [max_velocity_for_fps(f) for f in (1, 2, 5, 10)]
+        assert vs == sorted(vs)
+        assert max_velocity_for_fps(0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Detection
+# ---------------------------------------------------------------------------
+class TestObjectDetector:
+    def _scene(self, person_dist=8.0):
+        world = empty_world((80, 80, 20))
+        world.add(make_person((person_dist, 0, 0.9), name="target"))
+        cam = RgbdCamera(
+            intrinsics=CameraIntrinsics(width=320, height=240, max_range_m=30)
+        )
+        return world, cam
+
+    def test_detects_close_person(self):
+        world, cam = self._scene(person_dist=6.0)
+        detector = ObjectDetector(model=YOLO, seed=1)
+        found = 0
+        for _ in range(20):
+            boxes = detector.detect(cam, world, vec(0, 0, 1.5), 0.0)
+            if any(b.obstacle_name == "target" for b in boxes):
+                found += 1
+        assert found >= 15
+
+    def test_distance_degrades_recall(self):
+        detector_near = ObjectDetector(model=YOLO, seed=1)
+        detector_far = ObjectDetector(model=YOLO, seed=1)
+        world_near, cam = self._scene(person_dist=5.0)
+        world_far, _ = self._scene(person_dist=28.0)
+        for _ in range(30):
+            detector_near.detect(cam, world_near, vec(0, 0, 1.5), 0.0)
+            detector_far.detect(cam, world_far, vec(0, 0, 1.5), 0.0)
+        assert detector_near.recall > detector_far.recall
+
+    def test_occluded_person_rarely_detected(self):
+        world, cam = self._scene(person_dist=12.0)
+        world.add(make_box_obstacle((6, 0, 2), (1, 4, 4), kind="wall"))
+        detector = ObjectDetector(model=YOLO, seed=2)
+        found = 0
+        for _ in range(30):
+            boxes = detector.detect(cam, world, vec(0, 0, 1.5), 0.0)
+            found += any(b.obstacle_name == "target" for b in boxes)
+        assert found <= 5
+
+    def test_yolo_beats_haar(self):
+        """Model quality ordering: YOLO > HOG/Haar at moderate range."""
+        from repro.perception.detection import HAAR
+
+        world, cam = self._scene(person_dist=10.0)
+        yolo = ObjectDetector(model=YOLO, seed=3)
+        haar = ObjectDetector(model=HAAR, seed=3)
+        for _ in range(40):
+            yolo.detect(cam, world, vec(0, 0, 1.5), 0.0)
+            haar.detect(cam, world, vec(0, 0, 1.5), 0.0)
+        assert yolo.recall >= haar.recall
+
+    def test_false_positives_unlinked(self):
+        world, cam = self._scene()
+        detector = ObjectDetector(model=HOG, seed=4)
+        fps = []
+        for _ in range(100):
+            boxes = detector.detect(cam, world, vec(0, 0, 1.5), np.pi)  # look away
+            fps.extend(b for b in boxes if b.obstacle_name is None)
+        for b in fps:
+            assert b.obstacle_name is None
+            assert b.confidence <= 0.45
+
+    def test_bounding_box_center_offset(self):
+        box = BoundingBox(
+            center_px=(200, 120), size_px=(10, 30), confidence=0.9, label="person"
+        )
+        assert box.center_offset_px(320, 240) == pytest.approx(40.0)
+
+
+# ---------------------------------------------------------------------------
+# Tracking
+# ---------------------------------------------------------------------------
+class TestCorrelationTracker:
+    def _box(self, x=100.0, y=100.0):
+        return BoundingBox((x, y), (10, 30), 0.9, "person")
+
+    def test_initialize_and_follow(self):
+        tracker = CorrelationTracker(seed=1)
+        tracker.initialize(self._box())
+        for i in range(20):
+            state = tracker.update((100.0 + i * 3, 100.0))
+            assert state.tracking
+        assert tracker.lost_count == 0
+
+    def test_large_jump_loses_target(self):
+        tracker = CorrelationTracker(search_radius_px=12, seed=1)
+        tracker.initialize(self._box())
+        state = tracker.update((100.0 + 50.0, 100.0))
+        assert not state.tracking
+        assert tracker.lost_count == 1
+
+    def test_target_leaving_frame_loses(self):
+        tracker = CorrelationTracker(seed=1)
+        tracker.initialize(self._box())
+        state = tracker.update(None)
+        assert not state.tracking
+
+    def test_update_without_init_is_noop(self):
+        tracker = CorrelationTracker(seed=1)
+        state = tracker.update((50.0, 50.0))
+        assert not state.tracking
+        assert tracker.lost_count == 0
+
+    def test_reinitialize_after_loss(self):
+        tracker = CorrelationTracker(search_radius_px=10, seed=1)
+        tracker.initialize(self._box())
+        tracker.update((300.0, 300.0))  # lost
+        tracker.initialize(self._box(200, 50))
+        state = tracker.update((202.0, 52.0))
+        assert state.tracking
+
+    def test_kernel_name_by_mode(self):
+        assert CorrelationTracker(mode="realtime").kernel_name == "tracking_realtime"
+        assert CorrelationTracker(mode="buffered").kernel_name == "tracking_buffered"
+        with pytest.raises(ValueError):
+            CorrelationTracker(mode="psychic")
+
+
+# ---------------------------------------------------------------------------
+# Localization
+# ---------------------------------------------------------------------------
+class TestLocalizers:
+    def test_ground_truth(self):
+        loc = GroundTruthLocalizer()
+        state = VehicleState(position=vec(3, 4, 5))
+        assert np.allclose(loc.update(state), [3, 4, 5])
+        assert loc.healthy
+
+    def test_gps_localizer(self):
+        loc = GpsLocalizer()
+        state = VehicleState(position=vec(10, 20, 5))
+        est = loc.update(state)
+        assert est is not None
+        assert np.linalg.norm(est - state.position) < 10.0
+        assert loc.healthy
+
+    def test_slam_localizer_tracks(self):
+        world = empty_world((60, 60, 20))
+        for x in range(-25, 26, 8):
+            world.add(make_box_obstacle((x, 15, 5), (2, 2, 10)))
+        slam = VisualSlam(landmarks=generate_landmarks(world, 500, seed=2))
+        loc = SlamLocalizer(slam)
+        for i in range(20):
+            state = VehicleState(
+                position=vec(i * 0.1, 0, 2), yaw=np.pi / 2, time=i * 0.1
+            )
+            est = loc.update(state)
+        assert est is not None
+        assert loc.failure_rate < 0.2

@@ -1,0 +1,440 @@
+"""Tests for planning kernels: A*, RRT/RRT*, PRM, lawnmower, smoothing."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perception.octomap import OctoMap
+from repro.planning import (
+    CollisionChecker,
+    CoverageArea,
+    GroundTruthChecker,
+    PrmPlanner,
+    RrtPlanner,
+    RrtStarPlanner,
+    astar,
+    coverage_length,
+    dijkstra_all,
+    lanes_required,
+    lawnmower_path,
+    shortcut_path,
+    smooth_trajectory,
+    time_parameterize,
+)
+from repro.planning.collision import escape_point
+from repro.world import AABB, empty_world, make_box_obstacle, path_length, vec
+
+
+# ---------------------------------------------------------------------------
+# A*
+# ---------------------------------------------------------------------------
+GRID = {
+    "A": [("B", 1.0), ("C", 4.0)],
+    "B": [("C", 1.0), ("D", 5.0)],
+    "C": [("D", 1.0)],
+    "D": [],
+}
+
+
+class TestAstar:
+    def test_finds_shortest_path(self):
+        result = astar("A", "D", lambda n: GRID[n], lambda n: 0.0)
+        assert result.found
+        assert result.path == ["A", "B", "C", "D"]
+        assert result.cost == pytest.approx(3.0)
+
+    def test_unreachable_goal(self):
+        result = astar("D", "A", lambda n: GRID[n], lambda n: 0.0)
+        assert not result.found
+        assert result.cost == float("inf")
+
+    def test_start_is_goal(self):
+        result = astar("A", "A", lambda n: GRID[n], lambda n: 0.0)
+        assert result.found
+        assert result.path == ["A"]
+        assert result.cost == 0.0
+
+    def test_negative_cost_rejected(self):
+        bad = {"A": [("B", -1.0)], "B": []}
+        with pytest.raises(ValueError):
+            astar("A", "B", lambda n: bad[n], lambda n: 0.0)
+
+    def test_heuristic_reduces_expansions(self):
+        """A* with an informative heuristic must not expand more nodes."""
+        n = 20
+        goal = (n - 1, n - 1)
+
+        def neighbors(node):
+            x, y = node
+            out = []
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < n and 0 <= ny < n:
+                    out.append(((nx, ny), 1.0))
+            return out
+
+        def manhattan(node):
+            return abs(node[0] - goal[0]) + abs(node[1] - goal[1])
+
+        blind = astar((0, 0), goal, neighbors, lambda n_: 0.0)
+        informed = astar((0, 0), goal, neighbors, manhattan)
+        assert informed.found and blind.found
+        assert informed.cost == pytest.approx(blind.cost)
+        assert informed.expanded <= blind.expanded
+
+    def test_dijkstra_all_costs(self):
+        dist = dijkstra_all("A", lambda n: GRID[n])
+        assert dist["D"] == pytest.approx(3.0)
+        assert dist["A"] == 0.0
+
+    def test_dijkstra_max_cost_bound(self):
+        dist = dijkstra_all("A", lambda n: GRID[n], max_cost=1.5)
+        assert "D" not in dist
+
+
+# ---------------------------------------------------------------------------
+# Collision checking
+# ---------------------------------------------------------------------------
+def _wall_map(resolution=0.5):
+    """Map with a believed wall at x in [5, 5.5], spanning y,z in [0, 10]."""
+    om = OctoMap(resolution=resolution)
+    for y in np.arange(0.25, 10, resolution):
+        for z in np.arange(0.25, 10, resolution):
+            om.mark_occupied((5.25, y, z))
+    # Everything else in the corridor observed-free.
+    for x in np.arange(0.25, 10, resolution):
+        if 5.0 <= x <= 5.5:
+            continue
+        for y in np.arange(0.25, 10, resolution):
+            for z in np.arange(0.25, 10, resolution):
+                om.mark_free((x, y, z))
+    return om
+
+
+class TestCollisionChecker:
+    def test_point_queries(self):
+        checker = CollisionChecker(_wall_map(), drone_radius=0.3)
+        assert checker.point_free(vec(2, 5, 5))
+        assert not checker.point_free(vec(5.25, 5, 5))
+
+    def test_drone_radius_inflates(self):
+        thin = CollisionChecker(_wall_map(), drone_radius=0.1)
+        fat = CollisionChecker(_wall_map(), drone_radius=1.2)
+        near_wall = vec(4.4, 5, 5)
+        assert thin.point_free(near_wall)
+        assert not fat.point_free(near_wall)
+
+    def test_segment_blocked_by_wall(self):
+        checker = CollisionChecker(_wall_map(), drone_radius=0.3)
+        assert not checker.segment_free(vec(2, 5, 5), vec(8, 5, 5))
+        assert checker.segment_free(vec(2, 2, 5), vec(2, 8, 5))
+
+    def test_unknown_treated_as_free_by_default(self):
+        om = OctoMap(resolution=0.5)
+        checker = CollisionChecker(om, drone_radius=0.3)
+        assert checker.point_free(vec(50, 50, 50))
+
+    def test_unknown_conservative_mode(self):
+        om = OctoMap(resolution=0.5)
+        checker = CollisionChecker(
+            om, drone_radius=0.3, treat_unknown_as_occupied=True
+        )
+        assert not checker.point_free(vec(50, 50, 50))
+
+    def test_first_blocked_index(self):
+        checker = CollisionChecker(_wall_map(), drone_radius=0.3)
+        path = [vec(2, 5, 5), vec(4, 5, 5), vec(8, 5, 5), vec(9, 5, 5)]
+        assert checker.first_blocked_index(path) == 2
+        clear = [vec(2, 2, 5), vec(2, 8, 5)]
+        assert checker.first_blocked_index(clear) is None
+
+    def test_escape_point_from_occupied_start(self):
+        checker = CollisionChecker(_wall_map(), drone_radius=0.3)
+        stuck = vec(5.25, 5, 5)
+        escaped = escape_point(checker, stuck, np.random.default_rng(0))
+        assert escaped is not None
+        assert checker.point_free(escaped)
+
+    def test_ground_truth_checker(self):
+        world = empty_world((20, 20, 10))
+        world.add(make_box_obstacle((5, 0, 2.5), (2, 2, 5)))
+        gt = GroundTruthChecker(world, drone_radius=0.3)
+        assert gt.point_free(vec(0, 0, 2))
+        assert not gt.point_free(vec(5, 0, 2))
+        assert not gt.segment_free(vec(0, 0, 2), vec(10, 0, 2))
+
+
+# ---------------------------------------------------------------------------
+# Sampling-based planners
+# ---------------------------------------------------------------------------
+def _corridor_setup():
+    """A wall with a gap at y in [6, 8]: planners must route through it."""
+    om = OctoMap(resolution=0.5)
+    for y in np.arange(0.25, 10, 0.5):
+        for z in np.arange(0.25, 6, 0.5):
+            if 6.0 <= y <= 8.0:
+                continue
+            om.mark_occupied((5.25, y, z))
+    bounds = AABB(vec(0, 0, 0), vec(10, 10, 6))
+    checker = CollisionChecker(om, drone_radius=0.3)
+    return checker, bounds
+
+
+class TestRrtPlanners:
+    @pytest.mark.parametrize("cls", [RrtPlanner, RrtStarPlanner])
+    def test_plans_through_gap(self, cls):
+        checker, bounds = _corridor_setup()
+        planner = cls(checker, bounds, step_size=1.5, max_iterations=4000, seed=4)
+        result = planner.plan(vec(1, 3, 2), vec(9, 3, 2))
+        assert result.success
+        assert checker.path_free(result.waypoints)
+        assert np.allclose(result.waypoints[0], [1, 3, 2])
+        assert np.allclose(result.waypoints[-1], [9, 3, 2])
+
+    def test_open_space_nearly_straight(self):
+        om = OctoMap(resolution=0.5)
+        checker = CollisionChecker(om, drone_radius=0.3)
+        bounds = AABB(vec(0, 0, 0), vec(10, 10, 10))
+        planner = RrtPlanner(checker, bounds, seed=1, goal_bias=0.3)
+        result = planner.plan(vec(1, 1, 1), vec(9, 9, 9))
+        assert result.success
+        straight = float(np.linalg.norm(vec(9, 9, 9) - vec(1, 1, 1)))
+        assert result.length < straight * 2.0
+
+    def test_failure_when_goal_walled_off(self):
+        om = OctoMap(resolution=0.5)
+        # Solid wall, no gap.
+        for y in np.arange(0.25, 10, 0.5):
+            for z in np.arange(0.25, 10, 0.5):
+                om.mark_occupied((5.25, y, z))
+        checker = CollisionChecker(om, drone_radius=0.3)
+        bounds = AABB(vec(0, 0, 0), vec(10, 10, 10))
+        planner = RrtPlanner(checker, bounds, max_iterations=300, seed=2)
+        result = planner.plan(vec(1, 5, 5), vec(9, 5, 5))
+        assert not result.success
+        assert result.waypoints == []
+
+    def test_seeded_determinism(self):
+        checker, bounds = _corridor_setup()
+        r1 = RrtPlanner(checker, bounds, seed=9).plan(vec(1, 3, 2), vec(9, 3, 2))
+        r2 = RrtPlanner(checker, bounds, seed=9).plan(vec(1, 3, 2), vec(9, 3, 2))
+        assert r1.success == r2.success
+        assert len(r1.waypoints) == len(r2.waypoints)
+
+    def test_rrt_star_not_longer_than_rrt(self):
+        """RRT* rewiring should give paths at most ~as long as plain RRT."""
+        checker, bounds = _corridor_setup()
+        rrt = RrtPlanner(checker, bounds, seed=7, max_iterations=2500)
+        star = RrtStarPlanner(checker, bounds, seed=7, max_iterations=2500)
+        a = rrt.plan(vec(1, 3, 2), vec(9, 3, 2))
+        b = star.plan(vec(1, 3, 2), vec(9, 3, 2))
+        assert a.success and b.success
+        assert b.length <= a.length * 1.25
+
+    def test_parameter_validation(self):
+        checker, bounds = _corridor_setup()
+        with pytest.raises(ValueError):
+            RrtPlanner(checker, bounds, step_size=0.0)
+        with pytest.raises(ValueError):
+            RrtPlanner(checker, bounds, goal_bias=1.5)
+
+    def test_escape_from_occupied_start(self):
+        checker, bounds = _corridor_setup()
+        planner = RrtPlanner(checker, bounds, seed=3, max_iterations=3000)
+        stuck = vec(5.25, 3, 2)  # inside the believed wall
+        result = planner.plan(stuck, vec(9, 3, 2))
+        assert result.success
+        assert np.allclose(result.waypoints[0], stuck)
+
+
+class TestPrmPlanner:
+    def test_plans_through_gap(self):
+        checker, bounds = _corridor_setup()
+        planner = PrmPlanner(checker, bounds, n_samples=250, seed=5)
+        result = planner.plan(vec(1, 3, 2), vec(9, 3, 2))
+        assert result.success
+        assert checker.path_free(result.waypoints)
+
+    def test_direct_shortcut_in_open_space(self):
+        om = OctoMap(resolution=0.5)
+        checker = CollisionChecker(om, drone_radius=0.3)
+        bounds = AABB(vec(0, 0, 0), vec(10, 10, 10))
+        planner = PrmPlanner(checker, bounds, n_samples=50, seed=1)
+        result = planner.plan(vec(1, 1, 1), vec(9, 9, 9))
+        assert result.success
+        assert len(result.waypoints) == 2  # straight line, no roadmap needed
+
+    def test_roadmap_reused_across_queries(self):
+        checker, bounds = _corridor_setup()
+        planner = PrmPlanner(checker, bounds, n_samples=200, seed=5)
+        planner.build()
+        v_count = planner.num_vertices
+        planner.plan(vec(1, 3, 2), vec(9, 3, 2))
+        planner.plan(vec(1, 8, 2), vec(9, 1, 2))
+        assert planner.num_vertices == v_count
+
+    def test_roadmap_has_edges(self):
+        checker, bounds = _corridor_setup()
+        planner = PrmPlanner(checker, bounds, n_samples=150, seed=2)
+        planner.build()
+        assert planner.num_edges > 0
+
+    def test_validation(self):
+        checker, bounds = _corridor_setup()
+        with pytest.raises(ValueError):
+            PrmPlanner(checker, bounds, n_samples=1)
+
+
+# ---------------------------------------------------------------------------
+# Lawnmower
+# ---------------------------------------------------------------------------
+class TestLawnmower:
+    def test_covers_area_boundaries(self):
+        area = CoverageArea(0, 0, 100, 60)
+        path = lawnmower_path(area, altitude=15, lane_spacing=12)
+        xs = [p[0] for p in path]
+        ys = [p[1] for p in path]
+        assert min(xs) == pytest.approx(-50)
+        assert max(xs) == pytest.approx(50)
+        assert min(ys) == pytest.approx(-30)
+        assert max(ys) == pytest.approx(30)
+
+    def test_constant_altitude(self):
+        path = lawnmower_path(CoverageArea(0, 0, 40, 40), 10.0, 8.0)
+        assert all(p[2] == pytest.approx(10.0) for p in path)
+
+    def test_alternating_direction(self):
+        path = lawnmower_path(CoverageArea(0, 0, 40, 40), 10.0, 10.0)
+        # Passes alternate west->east / east->west.
+        first_pass = path[1][0] - path[0][0]
+        second_pass = path[3][0] - path[2][0]
+        assert first_pass * second_pass < 0
+
+    def test_lane_spacing_bounds_gap(self):
+        area = CoverageArea(0, 0, 50, 37)
+        path = lawnmower_path(area, 10.0, lane_spacing=8.0)
+        lane_ys = sorted({round(float(p[1]), 6) for p in path})
+        gaps = [b - a for a, b in zip(lane_ys[:-1], lane_ys[1:])]
+        assert all(g <= 8.0 + 1e-9 for g in gaps)
+
+    def test_lanes_required(self):
+        assert lanes_required(CoverageArea(0, 0, 10, 24), 12.0) == 3
+
+    def test_coverage_length_grows_with_finer_lanes(self):
+        area = CoverageArea(0, 0, 100, 60)
+        assert coverage_length(area, 6.0) > coverage_length(area, 12.0)
+
+    def test_start_corner_variants(self):
+        area = CoverageArea(0, 0, 40, 40)
+        sw = lawnmower_path(area, 10, 10, start_corner="southwest")
+        ne = lawnmower_path(area, 10, 10, start_corner="northeast")
+        assert sw[0][0] == pytest.approx(-20)
+        assert sw[0][1] == pytest.approx(-20)
+        assert ne[0][0] == pytest.approx(20)
+        assert ne[0][1] == pytest.approx(20)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoverageArea(0, 0, -1, 10)
+        with pytest.raises(ValueError):
+            lawnmower_path(CoverageArea(0, 0, 10, 10), 10.0, lane_spacing=0)
+        with pytest.raises(ValueError):
+            lawnmower_path(CoverageArea(0, 0, 10, 10), 10.0, 5.0, "middle")
+
+
+# ---------------------------------------------------------------------------
+# Smoothing
+# ---------------------------------------------------------------------------
+class TestSmoothing:
+    def test_shortcut_without_checker_is_identity(self):
+        pts = [vec(0, 0, 0), vec(5, 5, 0), vec(10, 0, 0)]
+        assert len(shortcut_path(pts, None)) == 3
+
+    def test_shortcut_removes_detour_in_free_space(self):
+        om = OctoMap(resolution=0.5)
+        checker = CollisionChecker(om, drone_radius=0.3)
+        pts = [vec(0, 0, 1), vec(3, 8, 1), vec(6, -8, 1), vec(10, 0, 1)]
+        out = shortcut_path(pts, checker, attempts=100, seed=1)
+        assert path_length(out) < path_length(pts)
+
+    def test_time_parameterize_respects_limits(self):
+        pts = [vec(0, 0, 5), vec(30, 0, 5), vec(30, 30, 5)]
+        traj = time_parameterize(pts, max_speed=5.0, max_acceleration=3.0)
+        assert traj.max_speed() <= 5.0 + 1e-9
+        for a, b in zip(traj.points[:-1], traj.points[1:]):
+            assert b.time > a.time
+
+    def test_short_hop_from_rest_has_sane_duration(self):
+        """Regression: a 2-point hop starting/ending at rest must take
+        roughly the triangular-profile time, not an absurd floor value."""
+        a, b = vec(0, 0, 0), vec(0.7, 0, 0)
+        traj = time_parameterize([a, b], max_speed=8.0, max_acceleration=5.0)
+        expected = 2.0 * math.sqrt(0.7 / 5.0)
+        assert traj.duration == pytest.approx(expected, rel=0.3)
+
+    def test_sharp_corner_slows_vehicle(self):
+        straight = time_parameterize(
+            [vec(0, 0, 0), vec(10, 0, 0), vec(20, 0, 0)], 8.0, 5.0
+        )
+        corner = time_parameterize(
+            [vec(0, 0, 0), vec(10, 0, 0), vec(0, 0.5, 0)], 8.0, 5.0
+        )
+        # Speed at the middle waypoint of a U-turn is near zero.
+        mid_straight = straight.points[len(straight.points) // 2]
+        assert corner.duration > 0
+        # Find the corner waypoint in the corner trajectory:
+        corner_speeds = [
+            float(np.linalg.norm(p.velocity)) for p in corner.points
+        ]
+        assert min(corner_speeds) < float(
+            np.linalg.norm(mid_straight.velocity)
+        )
+
+    def test_trajectory_sampling(self):
+        traj = time_parameterize(
+            [vec(0, 0, 0), vec(10, 0, 0)], max_speed=5.0, max_acceleration=2.5
+        )
+        mid = traj.sample(traj.points[0].time + traj.duration / 2)
+        assert 0 < mid.position[0] < 10
+        before = traj.sample(traj.points[0].time - 5)
+        after = traj.sample(traj.points[-1].time + 5)
+        assert np.allclose(before.position, [0, 0, 0])
+        assert np.allclose(after.position, [10, 0, 0])
+
+    def test_sample_empty_raises(self):
+        from repro.planning.smoothing import Trajectory
+
+        with pytest.raises(ValueError):
+            Trajectory(points=[]).sample(0.0)
+
+    def test_smooth_trajectory_end_to_end(self):
+        om = OctoMap(resolution=0.5)
+        checker = CollisionChecker(om, drone_radius=0.3)
+        pts = [vec(0, 0, 2), vec(10, 0, 2), vec(10, 10, 2)]
+        traj = smooth_trajectory(
+            pts, max_speed=6.0, max_acceleration=4.0, checker=checker
+        )
+        assert traj.duration > 0
+        assert np.allclose(traj.points[0].position, [0, 0, 2])
+        assert np.allclose(traj.points[-1].position, [10, 10, 2], atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_parameterize([vec(0, 0, 0)], max_speed=0.0, max_acceleration=1)
+
+    @given(
+        n=st.integers(2, 6),
+        vmax=st.floats(1.0, 10.0),
+        amax=st.floats(0.5, 8.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_time_monotone_property(self, n, vmax, amax):
+        rng = np.random.default_rng(n)
+        pts = [rng.uniform(0, 20, size=3) for _ in range(n)]
+        traj = time_parameterize(pts, max_speed=vmax, max_acceleration=amax)
+        times = [p.time for p in traj.points]
+        assert all(b >= a for a, b in zip(times[:-1], times[1:]))
+        assert traj.max_speed() <= vmax + 1e-6

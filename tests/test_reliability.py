@@ -1,0 +1,141 @@
+"""Tests for fault injection and the map-quality metric."""
+
+import numpy as np
+import pytest
+
+from repro.compute import JETSON_TX2, KernelModel, PlatformConfig
+from repro.perception import OctoMap, depth_to_point_cloud
+from repro.perception.map_quality import (
+    MapQuality,
+    evaluate_map,
+    resolution_quality_sweep,
+)
+from repro.reliability import FaultInjector, FaultModel
+from repro.sensors import CameraIntrinsics, RgbdCamera
+from repro.world import empty_world, make_box_obstacle, vec
+
+FAST = PlatformConfig(JETSON_TX2, 4, 2.2)
+
+
+class TestFaultModel:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(crash_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(corruption_probability=-0.1)
+
+    def test_default_is_fault_free(self):
+        fm = FaultModel()
+        assert fm.crash_probability == 0.0
+        assert fm.hang_probability == 0.0
+
+
+class TestFaultInjector:
+    def test_no_faults_matches_base_model(self):
+        base = KernelModel()
+        injector = FaultInjector(base_model=base, seed=1)
+        assert injector.runtime_s("octomap", FAST) == pytest.approx(
+            base.runtime_s("octomap", FAST), rel=0.15
+        )
+        assert injector.fault_counts()["crashes"] == 0
+
+    def test_crashes_extend_latency(self):
+        base = KernelModel()
+        injector = FaultInjector(
+            base_model=base,
+            fault_model=FaultModel(crash_probability=0.5),
+            seed=2,
+        )
+        clean = base.runtime_s("octomap", FAST)
+        runtimes = [injector.runtime_s("octomap", FAST) for _ in range(100)]
+        assert injector.fault_counts()["crashes"] > 10
+        assert np.mean(runtimes) > clean * 1.3
+
+    def test_hangs_add_duration(self):
+        injector = FaultInjector(
+            base_model=KernelModel(),
+            fault_model=FaultModel(hang_probability=1.0, hang_duration_s=3.0),
+            seed=3,
+        )
+        runtime = injector.runtime_s("collision_check", FAST)
+        assert runtime > 3.0
+
+    def test_corruption_perturbs_one_element(self):
+        injector = FaultInjector(
+            base_model=KernelModel(),
+            fault_model=FaultModel(
+                corruption_probability=1.0, corruption_std=5.0
+            ),
+            seed=4,
+        )
+        original = np.zeros(5)
+        corrupted = injector.corrupt_vector(original)
+        assert np.array_equal(original, np.zeros(5))  # input untouched
+        assert np.count_nonzero(corrupted) == 1
+
+    def test_kernel_model_surface_compatible(self):
+        """The injector can stand in for a KernelModel in a Simulation."""
+        from repro.core import Simulation, SimulationConfig
+        from repro.world import empty_world
+
+        injector = FaultInjector(
+            base_model=KernelModel(),
+            fault_model=FaultModel(crash_probability=0.3),
+            seed=5,
+        )
+        sim = Simulation(
+            world=empty_world((30, 30, 10)),
+            kernel_model=injector,
+            config=SimulationConfig(seed=5),
+        )
+        done = []
+        sim.submit_kernel("octomap", on_done=lambda j: done.append(j))
+        sim.run_until(lambda s: bool(done), timeout_s=30)
+        assert done
+
+
+class TestMapQuality:
+    def _scene(self):
+        world = empty_world((30, 30, 10))
+        world.add(make_box_obstacle((6, 0, 2), (2, 8, 4), kind="wall"))
+        camera = RgbdCamera(intrinsics=CameraIntrinsics(width=48, height=36))
+        scans = [
+            depth_to_point_cloud(
+                camera.capture_depth(world, vec(-4, y, 2), yaw=0.0)
+            )
+            for y in (-4.0, 0.0, 4.0)
+        ]
+        return world, scans
+
+    def test_accurate_map_scores_high(self):
+        world, scans = self._scene()
+        om = OctoMap(resolution=0.25, bounds=world.bounds)
+        for cloud in scans:
+            om.insert_scan(cloud, carve_rays=80)
+        quality = evaluate_map(om, world, samples=2000, seed=1)
+        assert quality.accuracy > 0.9
+        assert quality.safety_violation_rate < 0.02
+        assert quality.unknown > 0.0  # plenty of space never observed
+
+    def test_empty_map_all_unknown(self):
+        world, _ = self._scene()
+        om = OctoMap(resolution=0.5, bounds=world.bounds)
+        quality = evaluate_map(om, world, samples=500, seed=1)
+        assert quality.unknown == pytest.approx(1.0)
+        assert quality.accuracy == 0.0
+
+    def test_coarse_maps_inflate(self):
+        """Fig. 17 quantified: inflation grows with voxel size."""
+        world, scans = self._scene()
+        results = resolution_quality_sweep(
+            world, scans, resolutions=(0.15, 0.8), seed=1
+        )
+        fine_quality = results[0][1]
+        coarse_quality = results[1][1]
+        assert coarse_quality.inflation_rate > fine_quality.inflation_rate
+
+    def test_sample_validation(self):
+        world, _ = self._scene()
+        om = OctoMap(resolution=0.5, bounds=world.bounds)
+        with pytest.raises(ValueError):
+            evaluate_map(om, world, samples=0)

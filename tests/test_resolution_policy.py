@@ -1,0 +1,92 @@
+"""Tests for the OctoMap resolution policies (Fig. 19 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import make_simulation
+from repro.core.workloads import PackageDeliveryWorkload
+from repro.core.workloads.base import OccupancyPipeline
+from repro.core.workloads.resolution_policy import (
+    COARSE_RESOLUTION,
+    FINE_RESOLUTION,
+    belief_density_policy,
+    density_policy,
+    static_policy,
+)
+from repro.world import campus_world, empty_world, make_box_obstacle, vec
+
+
+def _sim_with_pipeline(world=None, resolution=0.5):
+    workload = PackageDeliveryWorkload(seed=1, world=world or empty_world((40, 40, 12)))
+    sim = make_simulation(workload, cores=4, frequency_ghz=2.2, seed=1)
+    pipeline = OccupancyPipeline(sim, resolution=resolution)
+    return sim, pipeline
+
+
+class TestStaticPolicy:
+    def test_constant(self):
+        sim, pipeline = _sim_with_pipeline()
+        policy = static_policy(0.25)
+        for _ in range(3):
+            assert policy(sim, pipeline) == 0.25
+
+
+class TestDensityPolicy:
+    def test_open_space_uses_coarse(self):
+        sim, pipeline = _sim_with_pipeline(world=empty_world((60, 60, 12)))
+        policy = density_policy()
+        assert policy(sim, pipeline) == COARSE_RESOLUTION
+
+    def test_dense_surroundings_use_fine(self):
+        world = empty_world((40, 40, 12))
+        # A dense cluster around the vehicle's position.
+        for dx in (-4, 0, 4):
+            for dy in (-4, 0, 4):
+                world.add(
+                    make_box_obstacle((dx, dy, 3), (2.5, 2.5, 6), kind="wall")
+                )
+        sim, pipeline = _sim_with_pipeline(world=world)
+        sim.vehicle.state.position = vec(2, 2, 3)
+        policy = density_policy()
+        assert policy(sim, pipeline) == FINE_RESOLUTION
+
+    def test_lookahead_switches_before_dense_region(self):
+        """Approaching the campus building with the goal inside, the
+        policy must pick fine *before* arrival (the goal-direction probe)."""
+        world = campus_world(seed=3)
+        sim, pipeline = _sim_with_pipeline(world=world)
+        sim.vehicle.state.position = vec(2.0, -4.0, 2.0)  # ~13 m from face
+        sim.current_goal = np.array([19.5, -4.0, 2.0])
+        policy = density_policy()
+        assert policy(sim, pipeline) == FINE_RESOLUTION
+
+    def test_hysteresis_prevents_flip_flop(self):
+        world = campus_world(seed=3)
+        sim, pipeline = _sim_with_pipeline(world=world)
+        policy = density_policy()
+        sim.vehicle.state.position = vec(11.0, -4.0, 2.0)  # near building
+        assert policy(sim, pipeline) == FINE_RESOLUTION
+        # Moderate density (below the switch-on threshold but above the
+        # switch-off one) must NOT flip back to coarse.
+        sim.vehicle.state.position = vec(-30.0, -4.0, 2.0)  # near trees
+        assert policy(sim, pipeline) == FINE_RESOLUTION
+        # Truly open space: eventually coarse again.
+        sim.vehicle.state.position = vec(4.0, -4.0, 2.0)
+        assert policy(sim, pipeline) == COARSE_RESOLUTION
+
+
+class TestBeliefDensityPolicy:
+    def test_empty_belief_uses_coarse(self):
+        sim, pipeline = _sim_with_pipeline()
+        policy = belief_density_policy()
+        assert policy(sim, pipeline) == COARSE_RESOLUTION
+
+    def test_occupied_belief_triggers_fine(self):
+        sim, pipeline = _sim_with_pipeline()
+        om = pipeline.octomap
+        rng = np.random.default_rng(0)
+        for p in rng.uniform(-4, 4, size=(600, 3)):
+            om.mark_occupied(p + np.array([0, 0, 4.0]))
+        sim.vehicle.state.position = vec(0, 0, 4)
+        policy = belief_density_policy(occupied_threshold=0.001)
+        assert policy(sim, pipeline) == FINE_RESOLUTION

@@ -1,0 +1,225 @@
+"""Tests for the sensor substrate: cameras, IMU, GPS, noise models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dynamics.state import VehicleState
+from repro.sensors import (
+    BiasedNoise,
+    CameraIntrinsics,
+    DepthNoise,
+    GaussianNoise,
+    Gps,
+    Imu,
+    RgbdCamera,
+)
+from repro.world import empty_world, make_box_obstacle, make_person, vec
+
+
+class TestNoiseModels:
+    def test_zero_std_is_identity(self):
+        noise = GaussianNoise(std=0.0)
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(noise.apply(x), x)
+
+    def test_apply_does_not_mutate_input(self):
+        noise = GaussianNoise(std=1.0, seed=0)
+        x = np.array([1.0, 2.0])
+        noise.apply(x)
+        assert np.array_equal(x, [1.0, 2.0])
+
+    def test_seeded_reproducibility(self):
+        a = GaussianNoise(std=0.5, seed=3).apply(np.zeros(100))
+        b = GaussianNoise(std=0.5, seed=3).apply(np.zeros(100))
+        assert np.array_equal(a, b)
+
+    def test_std_controls_spread(self):
+        small = GaussianNoise(std=0.1, seed=1).apply(np.zeros(2000)).std()
+        large = GaussianNoise(std=1.5, seed=1).apply(np.zeros(2000)).std()
+        assert small == pytest.approx(0.1, rel=0.15)
+        assert large == pytest.approx(1.5, rel=0.15)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(std=-1.0)
+
+    def test_depth_noise_clips_physical_range(self):
+        noise = DepthNoise(std=5.0, seed=2)
+        depth = np.full((10, 10), 1.0)
+        noisy = noise.apply_depth(depth, max_range=20.0)
+        assert np.all(noisy >= 0.0)
+        assert np.all(noisy <= 20.0)
+
+    def test_depth_noise_preserves_no_returns(self):
+        noise = DepthNoise(std=2.0, seed=2)
+        depth = np.full((5, 5), 20.0)  # all at max range
+        noisy = noise.apply_depth(depth, max_range=20.0)
+        assert np.array_equal(noisy, depth)
+
+    def test_biased_noise(self):
+        noise = BiasedNoise(std=0.0, bias=0.5)
+        assert np.allclose(noise.apply(np.zeros(3)), 0.5)
+
+
+class TestCameraIntrinsics:
+    def test_focal_length(self):
+        intr = CameraIntrinsics(width=64, height=48, horizontal_fov_deg=90.0)
+        assert intr.focal_px == pytest.approx(32.0)
+
+    def test_vertical_fov_smaller_than_horizontal(self):
+        intr = CameraIntrinsics(width=64, height=48)
+        assert intr.vertical_fov_deg < intr.horizontal_fov_deg
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CameraIntrinsics(width=0)
+        with pytest.raises(ValueError):
+            CameraIntrinsics(horizontal_fov_deg=200)
+        with pytest.raises(ValueError):
+            CameraIntrinsics(max_range_m=0)
+
+
+class TestDepthCapture:
+    def _world_with_wall(self, distance=5.0):
+        world = empty_world((40, 40, 20))
+        world.add(
+            make_box_obstacle((distance + 0.5, 0, 5), (1, 20, 10), kind="wall")
+        )
+        return world
+
+    def test_wall_appears_at_correct_depth(self):
+        world = self._world_with_wall(5.0)
+        cam = RgbdCamera(intrinsics=CameraIntrinsics(width=16, height=12))
+        img = cam.capture_depth(world, vec(0, 0, 5), yaw=0.0)
+        center = img.depth[6, 8]
+        assert center == pytest.approx(5.0, abs=0.05)
+
+    def test_empty_view_is_max_range(self):
+        world = self._world_with_wall(5.0)
+        cam = RgbdCamera(intrinsics=CameraIntrinsics(width=16, height=12))
+        img = cam.capture_depth(world, vec(0, 0, 5), yaw=math.pi)  # look away
+        assert np.all(img.depth >= cam.intrinsics.max_range_m - 1e-6)
+        assert not img.valid_mask.any()
+
+    def test_depth_noise_applied(self):
+        world = self._world_with_wall(5.0)
+        cam = RgbdCamera(
+            intrinsics=CameraIntrinsics(width=16, height=12),
+            depth_noise=DepthNoise(std=0.5, seed=1),
+        )
+        img = cam.capture_depth(world, vec(0, 0, 5), yaw=0.0)
+        wall_pixels = img.depth[img.depth < 19.0]
+        assert wall_pixels.std() > 0.1
+
+    def test_min_depth_reports_nearest(self):
+        world = self._world_with_wall(5.0)
+        cam = RgbdCamera(intrinsics=CameraIntrinsics(width=16, height=12))
+        img = cam.capture_depth(world, vec(0, 0, 5), yaw=0.0)
+        assert img.min_depth() == pytest.approx(5.0, abs=0.1)
+
+    def test_gimbal_pitch_sees_ground_objects(self):
+        world = empty_world((40, 40, 20))
+        world.add(make_box_obstacle((8, 0, 0.5), (1, 1, 1), kind="crate"))
+        level = RgbdCamera(intrinsics=CameraIntrinsics(width=32, height=24))
+        pitched = RgbdCamera(
+            intrinsics=CameraIntrinsics(width=32, height=24),
+            pitch_rad=0.5,  # positive pitch tilts the optical axis down
+        )
+        img_level = level.capture_depth(world, vec(0, 0, 10), yaw=0.0)
+        img_down = pitched.capture_depth(world, vec(0, 0, 10), yaw=0.0)
+        assert img_down.min_depth() < img_level.min_depth()
+
+
+class TestProjectionAndVisibility:
+    def test_project_centered_object(self):
+        cam = RgbdCamera(intrinsics=CameraIntrinsics(width=64, height=48))
+        proj = cam.project(vec(10, 0, 5), vec(0, 0, 5), yaw=0.0)
+        assert proj is not None
+        u, v, depth = proj
+        assert u == pytest.approx(32.0)
+        assert v == pytest.approx(24.0)
+        assert depth == pytest.approx(10.0)
+
+    def test_project_behind_camera(self):
+        cam = RgbdCamera()
+        assert cam.project(vec(-10, 0, 5), vec(0, 0, 5), yaw=0.0) is None
+
+    def test_project_outside_fov(self):
+        cam = RgbdCamera()
+        assert cam.project(vec(1, 50, 5), vec(0, 0, 5), yaw=0.0) is None
+
+    def test_project_respects_yaw(self):
+        cam = RgbdCamera()
+        # Object due +y; camera yawed to face +y.
+        proj = cam.project(vec(0, 10, 5), vec(0, 0, 5), yaw=math.pi / 2)
+        assert proj is not None
+
+    def test_visible_objects_filters_kind(self):
+        world = empty_world((60, 60, 20))
+        world.add(make_person((10, 0, 0.9), name="alice"))
+        world.add(make_box_obstacle((12, 3, 1), (1, 1, 2), kind="crate"))
+        cam = RgbdCamera(intrinsics=CameraIntrinsics(max_range_m=30))
+        dets = cam.visible_objects(world, vec(0, 0, 1), yaw=0.0, kinds=["person"])
+        assert len(dets) == 1
+        assert dets[0].obstacle.name == "alice"
+        assert not dets[0].occluded
+
+    def test_occlusion_detected(self):
+        world = empty_world((60, 60, 20))
+        world.add(make_person((15, 0, 0.9), name="bob"))
+        world.add(make_box_obstacle((8, 0, 2), (1, 6, 4), kind="wall"))
+        cam = RgbdCamera(intrinsics=CameraIntrinsics(max_range_m=30))
+        dets = cam.visible_objects(world, vec(0, 0, 1), yaw=0.0, kinds=["person"])
+        assert len(dets) == 1
+        assert dets[0].occluded
+
+    def test_apparent_size_shrinks_with_distance(self):
+        world = empty_world((100, 100, 20))
+        world.add(make_person((10, 0, 0.9), name="near"))
+        world.add(make_person((25, 2, 0.9), name="far"))
+        cam = RgbdCamera(intrinsics=CameraIntrinsics(max_range_m=50))
+        dets = {
+            d.obstacle.name: d
+            for d in cam.visible_objects(
+                world, vec(0, 0, 1), yaw=0.0, kinds=["person"]
+            )
+        }
+        assert dets["near"].extent_px[1] > dets["far"].extent_px[1]
+
+
+class TestImuGps:
+    def test_imu_reads_acceleration(self):
+        imu = Imu()
+        state = VehicleState(acceleration=vec(1, 0, 0), time=0.1)
+        reading = imu.read(state)
+        assert reading.acceleration[0] == pytest.approx(1.0, abs=0.3)
+
+    def test_imu_yaw_rate_estimate(self):
+        imu = Imu(yaw_noise=GaussianNoise(std=0.0))
+        imu.read(VehicleState(yaw=0.0, time=0.0))
+        reading = imu.read(VehicleState(yaw=0.1, time=1.0))
+        assert reading.yaw_rate == pytest.approx(0.1, abs=0.02)
+
+    def test_gps_noise(self):
+        gps = Gps(noise=GaussianNoise(std=1.0, seed=1))
+        state = VehicleState(position=vec(100, 50, 10))
+        fixes = np.array([gps.read(state).position for _ in range(200)])
+        assert np.linalg.norm(fixes.mean(axis=0) - state.position) < 0.5
+
+    def test_gps_degradation_drops_fixes(self):
+        gps = Gps(availability=0.0)
+        fix = gps.read(VehicleState(position=vec(1, 2, 3)))
+        assert not fix.valid
+        assert np.all(np.isnan(fix.position))
+
+    def test_gps_degrade_method(self):
+        gps = Gps()
+        gps.degrade(availability=0.5, noise_std=5.0)
+        assert gps.availability == 0.5
+        assert gps.noise.std == 5.0
+
+    def test_gps_availability_validation(self):
+        with pytest.raises(ValueError):
+            Gps(availability=1.5)

@@ -1,0 +1,148 @@
+"""Tests for flight-log export and world serialization."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.flight_log import (
+    load_mission,
+    mission_document,
+    samples_to_rows,
+    write_csv,
+    write_json,
+)
+from repro.core.qof import QofRecorder
+from repro.dynamics.state import VehicleState
+from repro.world import (
+    campus_world,
+    empty_world,
+    make_box_obstacle,
+    make_person,
+    urban_world,
+    vec,
+)
+from repro.world.serialization import (
+    load_world,
+    save_world,
+    world_from_dict,
+    world_to_dict,
+)
+
+
+def _recorder(n=20):
+    rec = QofRecorder()
+    for i in range(n):
+        state = VehicleState(
+            position=vec(i * 0.5, 0, 2), velocity=vec(1, 0, 0), time=i * 0.1
+        )
+        rec.record(state, 300.0, 10.0, 0.1, airborne=True)
+    return rec
+
+
+class TestFlightLog:
+    def test_rows_shape(self):
+        rows = samples_to_rows(_recorder(10))
+        assert len(rows) == 10
+        assert rows[0]["total_power_w"] == pytest.approx(310.0)
+        assert rows[3]["x_m"] == pytest.approx(1.5)
+
+    def test_csv_round_trip(self):
+        stream = io.StringIO()
+        n = write_csv(_recorder(20), stream, decimate=2)
+        assert n == 10
+        stream.seek(0)
+        lines = stream.read().strip().splitlines()
+        assert len(lines) == 11  # header + rows
+        assert lines[0].startswith("time_s,")
+
+    def test_csv_decimate_validation(self):
+        with pytest.raises(ValueError):
+            write_csv(_recorder(), io.StringIO(), decimate=0)
+
+    def test_csv_file_output(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(_recorder(5), str(path))
+        assert path.exists()
+        assert "rotor_power_w" in path.read_text()
+
+    def test_json_document_round_trip(self, tmp_path):
+        rec = _recorder(30)
+        report = rec.report(True, battery_remaining_percent=91.0)
+        path = tmp_path / "mission.json"
+        write_json(report, str(path), recorder=rec, decimate=5,
+                   metadata={"workload": "scanning"})
+        doc = load_mission(str(path))
+        assert doc["success"] is True
+        assert doc["battery_remaining_percent"] == 91.0
+        assert doc["metadata"]["workload"] == "scanning"
+        assert len(doc["trace"]) == 6
+
+    def test_document_without_trace(self):
+        rec = _recorder(5)
+        report = rec.report(False, 50.0, failure_reason="collision")
+        doc = mission_document(report)
+        assert "trace" not in doc
+        assert doc["failure_reason"] == "collision"
+
+
+class TestWorldSerialization:
+    def test_static_round_trip(self):
+        world = empty_world((40, 40, 10), name="test-world")
+        world.add(make_box_obstacle((5, 0, 2), (2, 2, 4), kind="pillar"))
+        clone = world_from_dict(world_to_dict(world))
+        assert clone.name == "test-world"
+        assert np.allclose(clone.bounds.lo, world.bounds.lo)
+        assert len(clone.obstacles) == 1
+        assert clone.obstacles[0].kind == "pillar"
+        assert np.allclose(clone.obstacles[0].box.lo, world.obstacles[0].box.lo)
+
+    def test_dynamic_obstacle_round_trip(self):
+        world = empty_world((40, 40, 10))
+        person = make_person(
+            (0, 0, 0.9), waypoints=[(0, 0, 0.9), (10, 0, 0.9)], speed=1.5
+        )
+        world.add(person)
+        clone = world_from_dict(world_to_dict(world))
+        restored = clone.dynamic_obstacles[0]
+        assert restored.speed == 1.5
+        assert np.allclose(
+            restored.position_at(4.0), person.position_at(4.0)
+        )
+
+    def test_generated_worlds_round_trip(self):
+        for factory in (urban_world, campus_world):
+            world = factory(seed=2)
+            clone = world_from_dict(world_to_dict(world))
+            assert len(clone.obstacles) == len(world.obstacles)
+            assert clone.density() == pytest.approx(world.density())
+
+    def test_file_round_trip(self, tmp_path):
+        world = urban_world(seed=1)
+        path = tmp_path / "city.json"
+        save_world(world, str(path))
+        clone = load_world(str(path))
+        assert len(clone.obstacles) == len(world.obstacles)
+
+    def test_queries_equivalent_after_round_trip(self):
+        world = urban_world(seed=1)
+        clone = world_from_dict(world_to_dict(world))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = rng.uniform(world.bounds.lo, world.bounds.hi)
+            assert world.is_occupied(p) == clone.is_occupied(p)
+
+    def test_unknown_version_rejected(self):
+        data = world_to_dict(empty_world((10, 10, 10)))
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            world_from_dict(data)
+
+    def test_stream_io(self):
+        world = empty_world((10, 10, 5), name="streamed")
+        buf = io.StringIO()
+        save_world(world, buf)
+        buf.seek(0)
+        clone = load_world(buf)
+        assert clone.name == "streamed"

@@ -1,0 +1,184 @@
+"""Integration tests for the closed-loop Simulation and QoF recorder."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HOVER_SPEED_THRESHOLD,
+    QofRecorder,
+    Simulation,
+    SimulationConfig,
+)
+from repro.compute import JETSON_TX2, KernelModel, PlatformConfig
+from repro.dynamics.state import VehicleState
+from repro.world import empty_world, make_box_obstacle, vec
+
+
+def _sim(world=None, cores=4, freq=2.2, dt=0.05, seed=0):
+    return Simulation(
+        world=world or empty_world((60, 60, 20)),
+        platform=PlatformConfig(JETSON_TX2, cores, freq),
+        kernel_model=KernelModel(),
+        config=SimulationConfig(dt=dt, seed=seed),
+    )
+
+
+class TestSimulationLoop:
+    def test_clock_and_scheduler_advance_together(self):
+        sim = _sim()
+        for _ in range(10):
+            sim.step()
+        assert sim.now == pytest.approx(0.5)
+        assert sim.scheduler.now == pytest.approx(0.5)
+        assert sim.state.time == pytest.approx(0.5)
+
+    def test_takeoff_and_landing_cycle(self):
+        sim = _sim()
+        sim.flight_controller.takeoff(3.0)
+        ok = sim.run_until(
+            lambda s: s.flight_controller.at_target(), timeout_s=30
+        )
+        assert ok
+        assert sim.state.position[2] == pytest.approx(3.0, abs=0.3)
+        sim.flight_controller.land()
+        ok = sim.run_until(
+            lambda s: s.flight_controller.mode.value == "landed", timeout_s=30
+        )
+        assert ok
+
+    def test_collision_detection_fails_mission(self):
+        world = empty_world((60, 60, 20))
+        world.add(make_box_obstacle((5, 0, 2.5), (2, 10, 5), kind="wall"))
+        sim = _sim(world=world)
+        sim.flight_controller.takeoff(2.5)
+        sim.run_until(lambda s: s.flight_controller.at_target(), timeout_s=30)
+        sim.flight_controller.fly_to(vec(10, 0, 2.5), speed=5.0)
+        sim.run_until(lambda s: s.failed, timeout_s=30)
+        assert sim.failed
+        assert sim.failure_reason == "collision"
+        assert sim.collisions >= 1
+
+    def test_timeout_fails_mission(self):
+        sim = _sim()
+        sim.flight_controller.takeoff(3.0)
+        ok = sim.run_until(lambda s: False, timeout_s=2.0)
+        assert not ok
+        assert sim.failure_reason == "timeout"
+
+    def test_first_failure_reason_wins(self):
+        sim = _sim()
+        sim.fail("first")
+        sim.fail("second")
+        assert sim.failure_reason == "first"
+
+    def test_battery_drains_while_airborne(self):
+        sim = _sim()
+        sim.flight_controller.takeoff(3.0)
+        sim.run_until(lambda s: s.flight_controller.at_target(), timeout_s=30)
+        soc_after_takeoff = sim.battery.soc
+        end = sim.now + 20.0
+        sim.run_until(lambda s: s.now >= end, timeout_s=40)
+        assert sim.battery.soc < soc_after_takeoff
+
+    def test_grounded_drone_draws_only_compute(self):
+        sim = _sim()
+        for _ in range(100):
+            sim.step()
+        report = sim.report(True)
+        assert report.rotor_energy_j == 0.0
+        assert report.compute_energy_j > 0.0
+
+    def test_kernel_submission_and_latency(self):
+        sim = _sim()
+        done = []
+        sim.submit_kernel("octomap", on_done=lambda j: done.append(j))
+        sim.run_until(lambda s: bool(done), timeout_s=10)
+        job = done[0]
+        assert job.latency_s == pytest.approx(
+            sim.kernel_runtime_s("octomap"), rel=0.25
+        )
+
+    def test_depth_capture_sees_world(self):
+        world = empty_world((60, 60, 20))
+        world.add(make_box_obstacle((6, 0, 2), (1, 8, 4), kind="wall"))
+        sim = _sim(world=world)
+        sim.vehicle.state.position = vec(0, 0, 2)
+        image = sim.capture_depth()
+        assert image.min_depth() < 7.0
+
+    def test_seeded_runs_reproducible(self):
+        def fly(seed):
+            sim = _sim(seed=seed)
+            sim.flight_controller.takeoff(3.0)
+            sim.run_until(
+                lambda s: s.flight_controller.at_target(), timeout_s=30
+            )
+            return sim.report(True)
+
+        a = fly(7)
+        b = fly(7)
+        assert a.mission_time_s == b.mission_time_s
+        assert a.total_energy_j == pytest.approx(b.total_energy_j)
+
+
+class TestQofRecorder:
+    def _state(self, t, speed):
+        return VehicleState(
+            position=vec(speed * t, 0, 2),
+            velocity=vec(speed, 0, 0),
+            time=t,
+        )
+
+    def test_distance_and_velocity(self):
+        rec = QofRecorder()
+        for i in range(101):
+            rec.record(self._state(i * 0.1, 2.0), 300.0, 10.0, 0.1, True)
+        report = rec.report(True, battery_remaining_percent=90.0)
+        assert report.flight_distance_m == pytest.approx(20.0, rel=0.01)
+        assert report.average_velocity_ms == pytest.approx(2.0, rel=0.02)
+        assert report.mission_time_s == pytest.approx(10.0)
+
+    def test_hover_time_counted(self):
+        rec = QofRecorder()
+        for i in range(100):
+            rec.record(self._state(i * 0.1, 0.0), 300.0, 10.0, 0.1, True)
+        report = rec.report(True, battery_remaining_percent=99.0)
+        assert report.hover_time_s == pytest.approx(10.0, rel=0.01)
+
+    def test_fast_flight_not_hovering(self):
+        rec = QofRecorder()
+        rec.record(self._state(0.0, HOVER_SPEED_THRESHOLD * 2), 300, 10, 0.1, True)
+        assert not rec.samples[-1].hovering
+
+    def test_energy_split(self):
+        rec = QofRecorder()
+        for i in range(10):
+            rec.record(self._state(i * 1.0, 1.0), 200.0, 10.0, 1.0, True)
+        report = rec.report(True, battery_remaining_percent=95.0)
+        assert report.rotor_energy_j == pytest.approx(2000.0)
+        assert report.compute_energy_j == pytest.approx(100.0)
+        assert report.total_energy_j == pytest.approx(2100.0)
+
+    def test_power_trace_structure(self):
+        rec = QofRecorder()
+        rec.record(self._state(0.0, 1.0), 250.0, 12.0, 0.1, True)
+        trace = rec.power_trace()
+        assert trace[0]["total_w"] == pytest.approx(262.0)
+
+    def test_failure_report(self):
+        rec = QofRecorder()
+        rec.record(self._state(0.0, 1.0), 250.0, 12.0, 0.1, True)
+        report = rec.report(
+            False, battery_remaining_percent=50.0, failure_reason="collision"
+        )
+        assert not report.success
+        assert "collision" in report.summary()
+
+    def test_summary_format(self):
+        rec = QofRecorder()
+        for i in range(5):
+            rec.record(self._state(i * 0.1, 1.0), 250.0, 12.0, 0.1, True)
+        report = rec.report(True, battery_remaining_percent=88.0)
+        text = report.summary()
+        assert "OK" in text
+        assert "88.0%" in text

@@ -1,0 +1,93 @@
+"""Tests for the Eq.-2 velocity law (core/velocity)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.velocity import (
+    PAPER_A_MAX,
+    PAPER_STOP_DISTANCE,
+    max_velocity,
+    max_velocity_curve,
+    response_time_for_velocity,
+)
+
+
+class TestMaxVelocity:
+    def test_paper_endpoints(self):
+        """Fig. 8a: v in [1.57, 8.83] m/s for dt in [0, 4] s."""
+        assert max_velocity(0.0) == pytest.approx(8.83, abs=0.05)
+        assert max_velocity(4.0) == pytest.approx(1.57, abs=0.05)
+
+    def test_monotone_decreasing_in_process_time(self):
+        values = [max_velocity(t) for t in (0.0, 0.5, 1.0, 2.0, 4.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_instant_pipeline_limit(self):
+        """At dt=0 the bound is sqrt(2 a d)."""
+        v = max_velocity(0.0, stop_distance_m=10.0, a_max=5.0)
+        assert v == pytest.approx(math.sqrt(2 * 5.0 * 10.0))
+
+    def test_longer_stop_distance_allows_more_speed(self):
+        assert max_velocity(1.0, stop_distance_m=10.0) > max_velocity(
+            1.0, stop_distance_m=5.0
+        )
+
+    def test_stronger_brakes_allow_more_speed(self):
+        assert max_velocity(1.0, a_max=8.0) > max_velocity(1.0, a_max=3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_velocity(-1.0)
+        with pytest.raises(ValueError):
+            max_velocity(1.0, stop_distance_m=0.0)
+        with pytest.raises(ValueError):
+            max_velocity(1.0, a_max=-1.0)
+
+    def test_curve_helper(self):
+        curve = max_velocity_curve([0.0, 1.0, 2.0])
+        assert len(curve) == 3
+        assert curve[0][1] > curve[-1][1]
+
+    @given(
+        dt=st.floats(0.0, 10.0),
+        d=st.floats(0.5, 50.0),
+        a=st.floats(0.5, 20.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_physical_consistency(self, dt, d, a):
+        """At v_max, reaction distance + braking distance equals d."""
+        v = max_velocity(dt, stop_distance_m=d, a_max=a)
+        assert v > 0
+        total = v * dt + v * v / (2.0 * a)
+        assert total == pytest.approx(d, rel=1e-6)
+
+
+class TestInverse:
+    def test_round_trip(self):
+        for dt in (0.0, 0.3, 1.0, 2.5, 4.0):
+            v = max_velocity(dt)
+            assert response_time_for_velocity(v) == pytest.approx(dt, abs=1e-9)
+
+    def test_unreachable_velocity_clamps_to_zero(self):
+        v_limit = max_velocity(0.0)
+        assert response_time_for_velocity(v_limit * 1.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            response_time_for_velocity(0.0)
+
+    @given(v=st.floats(0.1, 8.0))
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_monotone(self, v):
+        """Slower target velocity tolerates a longer pipeline."""
+        dt_slow = response_time_for_velocity(v)
+        dt_slower = response_time_for_velocity(max(v - 0.05, 0.05))
+        assert dt_slower >= dt_slow - 1e-9
+
+    def test_paper_constants_recovered(self):
+        """The module's defaults match Fig. 8a's implied parameters."""
+        assert PAPER_A_MAX == pytest.approx(6.0)
+        assert PAPER_STOP_DISTANCE == pytest.approx(6.5)

@@ -1,0 +1,242 @@
+"""End-to-end workload tests (small worlds, fast operating point).
+
+These are integration tests across the entire stack: world + sensors +
+dynamics + compute model + middleware + kernels + mission logic.
+"""
+
+import numpy as np
+import pytest
+
+from repro import available_workloads, run_workload
+from repro.core.api import make_simulation
+from repro.core.workloads import (
+    AerialPhotographyWorkload,
+    MappingWorkload,
+    PackageDeliveryWorkload,
+    ScanningWorkload,
+    SearchRescueWorkload,
+    WORKLOADS,
+)
+from repro.core.workloads.base import OccupancyPipeline, warm_up_map
+from repro.world import empty_world, make_box_obstacle, vec
+
+
+class TestRegistry:
+    def test_all_five_workloads_registered(self):
+        assert set(available_workloads()) == {
+            "scanning",
+            "package_delivery",
+            "mapping",
+            "search_rescue",
+            "aerial_photography",
+        }
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            run_workload("pizza_delivery")
+
+    def test_workload_names_match_classes(self):
+        for name, cls in WORKLOADS.items():
+            assert cls.name == name
+
+
+class TestScanning:
+    def test_small_scan_succeeds(self):
+        workload = ScanningWorkload(
+            area_width=40.0, area_length=24.0, lane_spacing=12.0, seed=1
+        )
+        make_simulation(workload, cores=4, frequency_ghz=2.2, seed=1)
+        report = workload.run()
+        assert report.success
+        assert report.flight_distance_m > 100.0
+        assert report.extra["planning_time_s"] < 1.0
+
+    def test_compute_insensitive(self):
+        """The Fig. 10 property: scanning barely notices the platform."""
+        times = {}
+        for cores, freq in [(4, 2.2), (2, 0.8)]:
+            workload = ScanningWorkload(
+                area_width=40.0, area_length=24.0, seed=1
+            )
+            make_simulation(workload, cores=cores, frequency_ghz=freq, seed=1)
+            times[(cores, freq)] = workload.run().mission_time_s
+        assert times[(2, 0.8)] / times[(4, 2.2)] < 1.05
+
+
+class TestPackageDelivery:
+    def _world(self):
+        world = empty_world((50, 50, 12), name="mini-city")
+        world.add(make_box_obstacle((0, 0, 4), (6, 6, 8), kind="building"))
+        return world
+
+    def test_delivers_and_returns(self):
+        workload = PackageDeliveryWorkload(
+            world=self._world(),
+            goal=np.array([18.0, 18.0, 3.0]),
+            seed=2,
+        )
+        sim = make_simulation(workload, cores=4, frequency_ghz=2.2, seed=2)
+        report = workload.run()
+        assert report.success
+        assert report.extra["delivered"] == 1.0
+        # Returned home: final position near start.
+        assert np.linalg.norm(sim.state.position[:2] - vec(-22, -22, 0)[:2]) < 6.0
+
+    def test_invalid_planner_rejected(self):
+        with pytest.raises(ValueError):
+            PackageDeliveryWorkload(planner_name="teleport")
+
+    def test_plug_and_play_planner(self):
+        workload = PackageDeliveryWorkload(
+            world=self._world(),
+            goal=np.array([15.0, 15.0, 3.0]),
+            planner_name="prm",
+            seed=2,
+        )
+        make_simulation(workload, cores=4, frequency_ghz=2.2, seed=2)
+        report = workload.run()
+        assert report.extra["delivered"] == 1.0
+
+    def test_depth_noise_degrades_mission(self):
+        """The Table II mechanism, at test scale: heavy depth noise makes
+        the mission worse on at least one axis (more re-plans, longer, or
+        outright failure) — never strictly better on all of them."""
+
+        def fly(noise):
+            workload = PackageDeliveryWorkload(
+                world=self._world(), goal=np.array([18.0, 18.0, 3.0]), seed=3
+            )
+            make_simulation(
+                workload, cores=4, frequency_ghz=2.2, seed=3,
+                depth_noise_std=noise,
+            )
+            return workload.run()
+
+        clean = fly(0.0)
+        noisy = fly(1.5)
+        assert clean.success
+        degraded = (
+            not noisy.success
+            or noisy.extra["replans"] + noisy.extra["plans_failed"]
+            >= clean.extra["replans"] + clean.extra["plans_failed"]
+            or noisy.mission_time_s > clean.mission_time_s
+        )
+        assert degraded
+
+
+class TestMapping:
+    def test_maps_small_arena(self):
+        world = empty_world((30, 30, 10), name="arena")
+        world.add(make_box_obstacle((5, 5, 2), (3, 3, 4), kind="crate"))
+        workload = MappingWorkload(
+            world=world, coverage_target=0.5, mapping_ceiling=8.0, seed=1
+        )
+        make_simulation(workload, cores=4, frequency_ghz=2.2, seed=1)
+        report = workload.run()
+        assert report.success
+        assert report.extra["coverage"] >= 0.5
+        assert report.extra["map_cells"] > 100
+
+    def test_coverage_target_validation(self):
+        with pytest.raises(ValueError):
+            MappingWorkload(coverage_target=0.0)
+
+
+class TestSearchRescue:
+    def test_finds_survivor(self):
+        world = empty_world((30, 30, 10), name="site")
+        world.add(make_box_obstacle((0, 8, 2), (4, 2, 4), kind="debris"))
+        from repro.world import make_person
+
+        world.add(make_person((8.0, 8.0, 0.9), name="survivor-0"))
+        workload = SearchRescueWorkload(
+            world=world, coverage_target=0.9, mapping_ceiling=8.0, seed=1
+        )
+        make_simulation(workload, cores=4, frequency_ghz=2.2, seed=1)
+        report = workload.run()
+        assert report.success
+        assert report.extra["found_survivor"] == 1.0
+
+    def test_invalid_detector_rejected(self):
+        with pytest.raises(ValueError):
+            SearchRescueWorkload(detector_name="psychic")
+
+
+class TestAerialPhotography:
+    def test_tracks_subject(self):
+        workload = AerialPhotographyWorkload(max_duration_s=30.0, seed=1)
+        make_simulation(workload, cores=4, frequency_ghz=2.2, seed=1)
+        report = workload.run()
+        assert report.extra["tracked_time_s"] > 15.0
+        assert report.extra["error_norm"] < 0.5
+
+    def test_invalid_detector_rejected(self):
+        with pytest.raises(ValueError):
+            AerialPhotographyWorkload(detector_name="psychic")
+
+    def test_tracker_mode_kernels(self):
+        realtime = AerialPhotographyWorkload(tracker_mode="realtime")
+        buffered = AerialPhotographyWorkload(tracker_mode="buffered")
+        assert realtime.tracker.kernel_name == "tracking_realtime"
+        assert buffered.tracker.kernel_name == "tracking_buffered"
+
+
+class TestOccupancyPipeline:
+    def _pipeline(self, cores=4, freq=2.2, resolution=0.5):
+        workload = PackageDeliveryWorkload(seed=1)
+        world = empty_world((40, 40, 12))
+        world.add(make_box_obstacle((8, 0, 2), (2, 10, 4), kind="wall"))
+        workload._world = world
+        sim = make_simulation(workload, cores=cores, frequency_ghz=freq, seed=1)
+        return sim, OccupancyPipeline(sim, resolution=resolution)
+
+    def test_warm_up_builds_map(self):
+        sim, pipeline = self._pipeline()
+        sim.vehicle.state.position = vec(0, 0, 2)
+        warm_up_map(pipeline, sweeps=8)
+        assert len(pipeline.octomap) > 100
+        assert pipeline.octomap.is_occupied((7.2, 0, 2))
+
+    def test_update_rate_tracks_compute(self):
+        """The core closed-loop coupling: map update latency equals the
+        modeled octomap runtime, so slower platforms update less often."""
+        sim, pipeline = self._pipeline(cores=4, freq=2.2)
+        pipeline.start_update()
+        t0 = sim.now
+        sim.run_until(lambda s: not pipeline.busy, timeout_s=10)
+        fast_latency = sim.now - t0
+
+        sim2, pipeline2 = self._pipeline(cores=2, freq=0.8)
+        pipeline2.start_update()
+        t0 = sim2.now
+        sim2.run_until(lambda s: not pipeline2.busy, timeout_s=10)
+        slow_latency = sim2.now - t0
+        assert slow_latency > fast_latency * 1.5
+
+    def test_allowed_velocity_scales_with_compute(self):
+        _, fast = self._pipeline(cores=4, freq=2.2)
+        _, slow = self._pipeline(cores=2, freq=0.8)
+        assert fast.allowed_velocity() > slow.allowed_velocity()
+
+    def test_resolution_switch_rebuilds(self):
+        sim, pipeline = self._pipeline(resolution=0.25)
+        sim.vehicle.state.position = vec(0, 0, 2)
+        warm_up_map(pipeline, sweeps=4)
+        cells_before = pipeline.octomap.memory_cells()
+        pipeline.set_resolution(0.8)
+        assert pipeline.octomap.resolution == 0.8
+        assert pipeline.octomap.memory_cells() < cells_before
+        assert pipeline.checker.octomap is pipeline.octomap
+
+    def test_coarser_resolution_faster_response(self):
+        _, fine = self._pipeline(resolution=0.15)
+        _, coarse = self._pipeline(resolution=0.8)
+        assert coarse.response_time_s() < fine.response_time_s()
+
+    def test_safety_filter_zeroes_into_wall(self):
+        sim, pipeline = self._pipeline()
+        sim.vehicle.state.position = vec(5.0, 0, 2)  # 2 m from the wall
+        warm_up_map(pipeline, sweeps=8)
+        sim.vehicle.state.velocity = vec(4.0, 0, 0)  # charging at it
+        cmd = pipeline.safety_filter(vec(5.0, 0, 0), cruise=8.0)
+        assert np.linalg.norm(cmd) < 0.5

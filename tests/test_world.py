@@ -1,0 +1,224 @@
+"""Tests for repro.world: obstacles, environments, generators."""
+
+import numpy as np
+import pytest
+
+from repro.world import (
+    AABB,
+    DynamicObstacle,
+    Ray,
+    World,
+    add_moving_people,
+    disaster_world,
+    empty_world,
+    farm_world,
+    forest_world,
+    indoor_world,
+    make_box_obstacle,
+    make_environment,
+    make_person,
+    obstacle_density,
+    urban_world,
+    vec,
+)
+
+
+class TestObstacles:
+    def test_static_obstacle_constant_over_time(self):
+        obs = make_box_obstacle((0, 0, 1), (2, 2, 2), kind="building")
+        assert not obs.is_dynamic
+        assert np.allclose(obs.box_at(0.0).center, obs.box_at(99.0).center)
+
+    def test_obstacle_names_unique(self):
+        a = make_box_obstacle((0, 0, 0), (1, 1, 1))
+        b = make_box_obstacle((0, 0, 0), (1, 1, 1))
+        assert a.name != b.name
+
+    def test_person_dimensions(self):
+        p = make_person((5, 5, 0.9))
+        assert p.kind == "person"
+        assert p.box.size[2] == pytest.approx(1.8)
+
+    def test_dynamic_obstacle_moves_along_loop(self):
+        p = make_person(
+            (0, 0, 0.9), waypoints=[(0, 0, 0.9), (10, 0, 0.9)], speed=1.0
+        )
+        assert np.allclose(p.position_at(0.0), [0, 0, 0.9])
+        assert np.allclose(p.position_at(5.0), [5, 0, 0.9])
+        # Loop: at t=10 it reaches the far end, then comes back.
+        assert np.allclose(p.position_at(15.0), [5, 0, 0.9])
+        assert np.allclose(p.position_at(20.0), [0, 0, 0.9])
+
+    def test_dynamic_obstacle_zero_speed_stays(self):
+        p = make_person((3, 3, 0.9), waypoints=[(3, 3, 0.9), (8, 3, 0.9)], speed=0.0)
+        assert np.allclose(p.position_at(100.0), [3, 3, 0.9])
+
+    def test_dynamic_velocity_magnitude(self):
+        p = make_person(
+            (0, 0, 0.9), waypoints=[(0, 0, 0.9), (100, 0, 0.9)], speed=2.0
+        )
+        v = p.velocity_at(1.0)
+        assert np.linalg.norm(v) == pytest.approx(2.0, rel=0.05)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicObstacle(
+                box=AABB.from_center((0, 0, 0), (1, 1, 1)),
+                waypoints=[vec(0, 0, 0), vec(1, 0, 0)],
+                speed=-1.0,
+            )
+
+    def test_obstacle_density_half_filled(self):
+        region = AABB(vec(0, 0, 0), vec(2, 1, 1))
+        obs = [make_box_obstacle((0.5, 0.5, 0.5), (1, 1, 1))]
+        assert obstacle_density(obs, region) == pytest.approx(0.5)
+
+    def test_obstacle_density_clipped_to_region(self):
+        region = AABB(vec(0, 0, 0), vec(1, 1, 1))
+        obs = [make_box_obstacle((0.5, 0.5, 0.5), (10, 10, 10))]
+        assert obstacle_density(obs, region) == pytest.approx(1.0)
+
+
+class TestWorldQueries:
+    def _simple_world(self):
+        world = empty_world((20, 20, 10))
+        world.add(make_box_obstacle((5, 0, 2.5), (2, 2, 5), kind="pillar"))
+        return world
+
+    def test_is_free_and_occupied(self):
+        world = self._simple_world()
+        assert world.is_free(vec(0, 0, 2))
+        assert world.is_occupied(vec(5, 0, 2))
+        assert not world.is_free(vec(5, 0, 2))
+
+    def test_margin_expands_occupancy(self):
+        world = self._simple_world()
+        p = vec(6.3, 0, 2)  # 0.3 m from the pillar face at x=6
+        assert world.is_free(p)
+        assert world.is_occupied(p, margin=0.5)
+
+    def test_out_of_bounds_not_free(self):
+        world = self._simple_world()
+        assert not world.is_free(vec(100, 0, 2))
+
+    def test_segment_collision(self):
+        world = self._simple_world()
+        assert world.segment_collides(vec(0, 0, 2), vec(10, 0, 2))
+        assert not world.segment_collides(vec(0, 5, 2), vec(10, 5, 2))
+
+    def test_line_of_sight(self):
+        world = self._simple_world()
+        assert world.line_of_sight(vec(0, 5, 2), vec(10, 5, 2))
+        assert not world.line_of_sight(vec(0, 0, 2), vec(10, 0, 2))
+
+    def test_ray_cast_hits_pillar(self):
+        world = self._simple_world()
+        d = world.ray_cast(Ray(vec(0, 0, 2), vec(1, 0, 0)), max_range=50)
+        assert d == pytest.approx(4.0)
+
+    def test_ray_cast_many_matches_single(self):
+        world = self._simple_world()
+        dirs = np.array([[1.0, 0, 0], [0, 1.0, 0]])
+        dists = world.ray_cast_many(vec(0, 0, 2), dirs, max_range=50)
+        assert dists[0] == pytest.approx(4.0)
+        assert dists[1] == pytest.approx(50.0)
+
+    def test_ray_cast_many_sees_dynamic_obstacles(self):
+        world = self._simple_world()
+        person = make_person(
+            (0, -5, 0.9), waypoints=[(0, -5, 0.9), (0, 5, 0.9)], speed=1.0
+        )
+        world.add(person)
+        dirs = np.array([[0.0, -1.0, 0.0]])
+        d0 = world.ray_cast_many(vec(0, 0, 0.9), dirs, max_range=50, time=0.0)
+        # At t=5 the person is at the sensor's location's y=0... use t=3: y=-2.
+        d3 = world.ray_cast_many(vec(0, 0, 0.9), dirs, max_range=50, time=3.0)
+        assert d0[0] > d3[0]
+
+    def test_sample_free_point(self):
+        world = self._simple_world()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = world.sample_free_point(rng, margin=0.2)
+            assert world.is_free(p, margin=0.2)
+
+    def test_sample_free_point_impossible_raises(self):
+        world = empty_world((2, 2, 2))
+        world.add(make_box_obstacle((0, 0, 1), (10, 10, 10)))
+        with pytest.raises(RuntimeError):
+            world.sample_free_point(np.random.default_rng(0), max_tries=50)
+
+    def test_find_by_kind(self):
+        world = self._simple_world()
+        assert len(world.find("pillar")) == 1
+        assert world.find("nonexistent") == []
+
+    def test_cache_invalidation_on_add(self):
+        world = self._simple_world()
+        d_before = world.ray_cast_many(
+            vec(0, 0, 2), np.array([[-1.0, 0, 0]]), max_range=50
+        )[0]
+        world.add(make_box_obstacle((-5, 0, 2.5), (2, 2, 5)))
+        d_after = world.ray_cast_many(
+            vec(0, 0, 2), np.array([[-1.0, 0, 0]]), max_range=50
+        )[0]
+        assert d_before == pytest.approx(50.0)
+        assert d_after == pytest.approx(4.0)
+
+
+class TestGenerators:
+    def test_generators_are_deterministic(self):
+        a = urban_world(seed=3)
+        b = urban_world(seed=3)
+        assert len(a.obstacles) == len(b.obstacles)
+        for oa, ob in zip(a.obstacles, b.obstacles):
+            assert np.allclose(oa.box.lo, ob.box.lo)
+
+    def test_urban_density_knob(self):
+        dense = urban_world(building_density=1.0, seed=0)
+        sparse = urban_world(building_density=0.2, seed=0)
+        assert len(dense.find("building")) > len(sparse.find("building"))
+
+    def test_urban_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            urban_world(building_density=1.5)
+
+    def test_farm_has_no_tall_obstacles(self):
+        world = farm_world(seed=1)
+        assert all(o.box.hi[2] < 2.0 for o in world.static_obstacles)
+
+    def test_indoor_has_walls_and_passable_doors(self):
+        world = indoor_world(seed=2)
+        walls = world.find("wall")
+        assert len(walls) > 4
+        # Doors exist: density is well below a fully-walled grid.
+        assert world.density() < 0.5
+
+    def test_forest_world_tree_count(self):
+        world = forest_world(n_trees=10, seed=0)
+        assert len(world.find("tree")) == 10
+        assert len(world.find("canopy")) == 10
+
+    def test_disaster_world_has_survivors(self):
+        world = disaster_world(n_survivors=2, seed=0)
+        survivors = world.find("person")
+        assert len(survivors) == 2
+        # Survivors don't start inside debris.
+        for s in survivors:
+            assert not any(
+                s.box.intersects(d.box) for d in world.find("debris")
+            )
+
+    def test_make_environment_factory(self):
+        world = make_environment("farm", seed=5)
+        assert world.name == "farm"
+        with pytest.raises(KeyError):
+            make_environment("atlantis")
+
+    def test_add_moving_people(self):
+        world = empty_world((50, 50, 10))
+        people = add_moving_people(world, count=4, speed=2.0, seed=1)
+        assert len(people) == 4
+        assert len(world.dynamic_obstacles) == 4
+        for p in people:
+            assert p.speed == 2.0
