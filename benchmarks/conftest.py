@@ -10,9 +10,69 @@ pytest-benchmark timing loop.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
 from typing import Callable
 
 import pytest
+
+#: Where the per-figure median wall-times land after a benchmark run.
+#: CI uploads this as an artifact so the perf trajectory is visible
+#: PR-over-PR; override with the BENCH_JSON env var.
+BENCH_JSON_DEFAULT = "BENCH_octomap.json"
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Tag every test under benchmarks/ with the ``bench`` marker so the
+    CI fast lane can include/exclude the figure benchmarks wholesale
+    (``-m bench`` / ``-m "not bench"``)."""
+    for item in items:
+        try:
+            in_bench = _BENCH_DIR in Path(str(item.fspath)).resolve().parents
+        except (OSError, ValueError):
+            in_bench = False
+        if in_bench:
+            item.add_marker(pytest.mark.bench)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit BENCH_octomap.json: median/mean wall-time per figure benchmark.
+
+    Written only when pytest-benchmark actually collected timings (i.e. a
+    benchmarks/ run), never on plain unit-test runs.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    results = {}
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        try:
+            results[bench.fullname] = {
+                "median_s": float(stats.median),
+                "mean_s": float(stats.mean),
+                "min_s": float(stats.min),
+                "rounds": int(stats.rounds),
+            }
+        except (AttributeError, TypeError, ValueError):
+            continue
+    if not results:
+        return
+    out_path = Path(
+        os.environ.get("BENCH_JSON", BENCH_JSON_DEFAULT)
+    )
+    if not out_path.is_absolute():
+        out_path = Path(str(session.config.rootdir)) / out_path
+    payload = {
+        "schema": "bench-octomap/1",
+        "benchmarks": results,
+    }
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def run_once(benchmark, fn: Callable, *args, **kwargs):

@@ -31,6 +31,7 @@ from ..energy.battery import Battery
 from ..energy.power_model import RotorPowerModel
 from ..middleware.clock import SimClock
 from ..middleware.node import NodeGraph
+from ..perception.point_cloud import PointCloud, depth_to_point_cloud
 from ..sensors.camera import DepthImage, RgbdCamera
 from ..sensors.imu_gps import Gps, Imu
 from ..world.environment import World
@@ -167,6 +168,14 @@ class Simulation:
         return self.camera.capture_depth(
             self.world, s.position, s.yaw, time=self.now
         )
+
+    def capture_point_cloud(self, stride: int = 1) -> PointCloud:
+        """Depth frame reprojected straight to a world-frame point cloud.
+
+        The array-native entry point of the perception chain: the scan
+        leaves here as (N, 3) hit/miss batches and flows into the batched
+        OctoMap insertion kernels without any per-point Python."""
+        return depth_to_point_cloud(self.capture_depth(), stride=stride)
 
     def submit_kernel(
         self,

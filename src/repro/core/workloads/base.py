@@ -15,7 +15,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -147,8 +147,7 @@ class OccupancyPipeline:
     def start_update(self) -> None:
         """Capture a frame and submit the point-cloud + OctoMap jobs."""
         self._busy = True
-        image = self.sim.capture_depth()
-        self._pending_cloud = depth_to_point_cloud(image, stride=1)
+        self._pending_cloud = self.sim.capture_point_cloud(stride=1)
 
         def _point_cloud_done(job: Job) -> None:
             octomap_runtime = (
@@ -239,13 +238,22 @@ class OccupancyPipeline:
         position = self.sim.state.position
         radius = self.sim.vehicle.params.radius_m
         step = self.octomap.resolution / 2.0
+        # Accumulate the march distances exactly as the scalar loop did
+        # (``dist += step``) so the probe set is bit-identical, then answer
+        # every probe with one batched occupied-box query.
+        dists: List[float] = []
         dist = step
         while dist <= max_dist:
-            probe = position + d * dist
-            body = AABB.from_center(probe, (radius * 2,) * 3)
-            if self.octomap.region_occupied(body):
-                return dist
+            dists.append(dist)
             dist += step
+        if not dists:
+            return max_dist
+        darr = np.asarray(dists)
+        probes = position[None, :] + d[None, :] * darr[:, None]
+        occupied = self.octomap.boxes_occupied(probes - radius, probes + radius)
+        blocked = np.nonzero(occupied)[0]
+        if blocked.size:
+            return float(darr[blocked[0]])
         return max_dist
 
     def safe_speed_limit(self, direction: np.ndarray) -> float:

@@ -22,16 +22,53 @@ benchmarks measure *this very code*.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..world.geometry import AABB
+from ..world.geometry import AABB, EPS
 from .point_cloud import PointCloud
 
 VoxelKey = Tuple[int, int, int]
+
+#: Packed voxel-key layout: 21 bits per axis, biased by 2^20 so indices in
+#: (-2^20, 2^20) pack into one non-negative int64.  That is +-500 km of
+#: world at the finest paper resolution (0.15 m) — far beyond any mission.
+_PACK_BITS = 21
+_PACK_OFFSET = 1 << 20
+
+
+def pack_keys(keys: np.ndarray) -> np.ndarray:
+    """Pack (N, 3) integer voxel keys into sortable int64 scalars."""
+    k = np.asarray(keys, dtype=np.int64).reshape(-1, 3)
+    return (
+        ((k[:, 0] + _PACK_OFFSET) << (2 * _PACK_BITS))
+        + ((k[:, 1] + _PACK_OFFSET) << _PACK_BITS)
+        + (k[:, 2] + _PACK_OFFSET)
+    )
+
+
+def unpack_keys(packed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_keys`; returns (N, 3) int64 keys."""
+    p = np.asarray(packed, dtype=np.int64).reshape(-1)
+    mask = (1 << _PACK_BITS) - 1
+    out = np.empty((p.shape[0], 3), dtype=np.int64)
+    out[:, 0] = (p >> (2 * _PACK_BITS)) - _PACK_OFFSET
+    out[:, 1] = ((p >> _PACK_BITS) & mask) - _PACK_OFFSET
+    out[:, 2] = (p & mask) - _PACK_OFFSET
+    return out
+
+
+def _sorted_membership(sorted_arr: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Boolean mask: which ``queries`` appear in ``sorted_arr``."""
+    if sorted_arr.size == 0 or queries.size == 0:
+        return np.zeros(queries.shape, dtype=bool)
+    idx = np.searchsorted(sorted_arr, queries)
+    idx = np.minimum(idx, sorted_arr.size - 1)
+    return sorted_arr[idx] == queries
 
 #: Standard OctoMap sensor-model parameters (log odds).
 LOG_ODDS_HIT = 0.85
@@ -76,6 +113,14 @@ class OctoMap:
         self._cells: Dict[VoxelKey, float] = {}
         self.insertions = 0
         self.rays_inserted = 0
+        # Sorted packed-key index over _cells, rebuilt lazily after writes.
+        # Updates arrive in scan-sized batches while box/point queries run
+        # every control tick, so an O(N) rebuild amortized across hundreds
+        # of O(log N) vectorized queries is the right trade.
+        self._index_dirty = True
+        self._idx_packed = np.zeros(0, dtype=np.int64)
+        self._idx_values = np.zeros(0, dtype=np.float64)
+        self._idx_occupied = np.zeros(0, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Keys and coordinates
@@ -100,6 +145,25 @@ class OctoMap:
     def _in_bounds(self, point: np.ndarray) -> bool:
         return self.bounds is None or self.bounds.contains(point)
 
+    # Batched key/bounds kernels ---------------------------------------
+    def keys_for_points(self, points: np.ndarray) -> np.ndarray:
+        """Voxel indices for a whole (N, 3) point batch at once."""
+        p = np.asarray(points, dtype=float).reshape(-1, 3)
+        return np.floor(p / self.resolution).astype(np.int64)
+
+    def centers_of_keys(self, keys: np.ndarray) -> np.ndarray:
+        """World centers for an (N, 3) key batch."""
+        k = np.asarray(keys, dtype=float).reshape(-1, 3)
+        return (k + 0.5) * self.resolution
+
+    def _in_bounds_mask(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`AABB.contains` over an (N, 3) point batch."""
+        p = np.asarray(points, dtype=float).reshape(-1, 3)
+        if self.bounds is None:
+            return np.ones(p.shape[0], dtype=bool)
+        lo, hi = self.bounds.lo, self.bounds.hi
+        return np.all((p >= lo - EPS) & (p <= hi + EPS), axis=1)
+
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
@@ -108,7 +172,41 @@ class OctoMap:
         value = self._cells.get(key, 0.0) + delta
         value = min(max(value, LOG_ODDS_MIN), LOG_ODDS_MAX)
         self._cells[key] = value
+        self._index_dirty = True
         return value
+
+    def _apply_log_odds_batch(
+        self,
+        packed: np.ndarray,
+        delta: float,
+        counts: Optional[np.ndarray] = None,
+    ) -> None:
+        """Apply ``delta`` (optionally ``counts`` times per voxel) to a batch
+        of *unique* packed voxel keys, clamping exactly like
+        :meth:`update_cell`.
+
+        All deltas in one batch share a sign, so clamping once after the
+        summed update is bit-identical to clamping after every scalar
+        update (a monotone sequence crosses each clamp bound at most once).
+        """
+        if packed.size == 0:
+            return
+        keys = unpack_keys(packed)
+        cells = self._cells
+        # zip of column lists + map(dict.get)/dict.update keep the per-voxel
+        # hash traffic in C; numpy does the arithmetic and clamping.
+        key_tuples = list(
+            zip(keys[:, 0].tolist(), keys[:, 1].tolist(), keys[:, 2].tolist())
+        )
+        current = np.fromiter(
+            map(cells.get, key_tuples, itertools.repeat(0.0)),
+            dtype=np.float64,
+            count=packed.size,
+        )
+        step = delta if counts is None else delta * counts
+        new = np.clip(current + step, LOG_ODDS_MIN, LOG_ODDS_MAX)
+        cells.update(zip(key_tuples, new.tolist()))
+        self._index_dirty = True
 
     def mark_occupied(self, point: Sequence[float]) -> None:
         p = np.asarray(point, dtype=float)
@@ -165,6 +263,133 @@ class OctoMap:
             current = (int(key[0]), int(key[1]), int(key[2]))
         return keys
 
+    def batch_ray_keys(
+        self, origins: np.ndarray, endpoints: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized 3D DDA over a whole batch of rays at once.
+
+        Traverses every ray in lock-step: each iteration advances *all*
+        still-active rays by one voxel with array ops, instead of walking
+        rays one voxel at a time in Python.  Per ray, the emitted voxel
+        sequence is identical to :meth:`ray_keys` (same start key, same
+        endpoint-voxel exclusion, same tie-breaking and guard limits).
+
+        Parameters
+        ----------
+        origins:
+            Ray origins, shape (3,) (shared origin) or (N, 3).
+        endpoints:
+            Ray endpoints, shape (N, 3).
+
+        Returns
+        -------
+        keys, ray_index:
+            ``keys`` is the (M, 3) int64 array of all traversed voxels;
+            ``ray_index[m]`` tells which ray emitted ``keys[m]``.  Within
+            one ray the keys appear in traversal order.
+        """
+        res = self.resolution
+        endpoints = np.asarray(endpoints, dtype=float).reshape(-1, 3)
+        n = endpoints.shape[0]
+        empty = (np.zeros((0, 3), dtype=np.int64), np.zeros(0, dtype=np.int64))
+        if n == 0:
+            return empty
+        origins = np.asarray(origins, dtype=float)
+        if origins.ndim == 1:
+            origins = np.broadcast_to(origins, (n, 3))
+        delta = endpoints - origins
+        length = np.linalg.norm(delta, axis=1)
+        valid = length >= 1e-9
+        if not np.any(valid):
+            return empty
+        direction = np.zeros_like(delta)
+        np.divide(delta, length[:, None], out=direction, where=valid[:, None])
+
+        key0 = np.floor(origins / res).astype(np.int64)
+        end_key = np.floor(endpoints / res).astype(np.int64)
+        step = np.sign(direction).astype(np.int64)
+        moving = np.abs(direction) > 1e-12
+        boundary = np.where(direction > 1e-12, (key0 + 1) * res, key0 * res)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            t_first = np.where(
+                moving, (boundary - origins) / direction, np.inf
+            )
+            t_delta = np.where(moving, np.abs(res / direction), np.inf)
+        guard = (3.0 * length / res).astype(np.int64) + 6
+
+        # Phase 1: every voxel-boundary crossing of every ray, per axis.
+        # Crossing times are built by row-wise cumulative sum so each value
+        # is the same left-to-right float accumulation the scalar DDA
+        # performs with ``t_max += t_delta`` — bit-identical termination.
+        max_steps = int(np.max(length[valid]) / res) + 3
+        t_flat: List[np.ndarray] = []
+        ray_flat: List[np.ndarray] = []
+        axis_flat: List[np.ndarray] = []
+        rows = np.arange(n)
+        for a in range(3):
+            ladder = np.empty((n, max_steps))
+            ladder[:, 0] = t_first[:, a]
+            ladder[:, 1:] = t_delta[:, a, None]
+            times = np.cumsum(ladder, axis=1)
+            taken = times <= length[:, None]
+            taken &= valid[:, None]
+            counts = np.count_nonzero(taken, axis=1)
+            rid = np.repeat(rows, counts)
+            t_flat.append(times[taken])
+            ray_flat.append(rid)
+            axis_flat.append(np.full(rid.size, a, dtype=np.int64))
+        t_all = np.concatenate(t_flat)
+        ray_all = np.concatenate(ray_flat)
+        axis_all = np.concatenate(axis_flat)
+
+        # Phase 2: merge the three per-axis crossing streams per ray.  A
+        # stable (t, axis) order reproduces the scalar loop's first-minimum
+        # argmin tie-breaking exactly.
+        order = np.lexsort((axis_all, t_all, ray_all))
+        ray_s = ray_all[order]
+        axis_s = axis_all[order]
+        k_total = ray_s.size
+        cross_per_ray = np.bincount(ray_s, minlength=n)
+
+        # Phase 3: reconstruct the voxel sequence.  Each crossing advances
+        # one axis by its step; keys are exact segmented integer cumsums.
+        dk = np.zeros((k_total, 3), dtype=np.int64)
+        dk[np.arange(k_total), axis_s] = step[ray_s, axis_s]
+        csum = np.cumsum(dk, axis=0)
+        excl = csum - dk  # exclusive prefix sums
+
+        ray_ids = rows[valid]
+        counts_r = cross_per_ray[valid]
+        cand_counts = counts_r + 1  # the origin voxel plus one per crossing
+        total = int(cand_counts.sum())
+        seg_start_cand = np.concatenate(
+            ([0], np.cumsum(cand_counts)[:-1])
+        )
+        seg_start_cross = np.concatenate(([0], np.cumsum(counts_r)[:-1]))
+        cand_ray = np.repeat(ray_ids, cand_counts)
+        cand = key0[cand_ray].copy()
+        if k_total:
+            seg_base = excl[seg_start_cross]
+            within = csum - np.repeat(seg_base, counts_r, axis=0)
+            seg_ord = np.repeat(
+                np.arange(ray_ids.size), counts_r
+            )
+            slots = np.arange(k_total) + seg_ord + 1
+            cand[slots] += within
+
+        # Phase 4: truncate each ray at its endpoint voxel (never emitted)
+        # and at the traversal guard, exactly like the scalar walk.
+        within_idx = np.arange(total) - np.repeat(seg_start_cand, cand_counts)
+        at_end = np.all(cand == end_key[cand_ray], axis=1)
+        sentinel = np.where(at_end, within_idx, total + 1)
+        first_end = np.minimum.reduceat(sentinel, seg_start_cand)
+        emit = np.minimum(cand_counts, first_end)
+        emit = np.minimum(emit, guard[ray_ids])
+        mask = within_idx < np.repeat(emit, cand_counts)
+        if not np.any(mask):
+            return empty
+        return cand[mask], cand_ray[mask]
+
     def insert_ray(
         self, origin: np.ndarray, endpoint: np.ndarray, hit: bool = True
     ) -> None:
@@ -178,6 +403,19 @@ class OctoMap:
             self.update_cell(self.key_for(p), self.hit_update)
         self.rays_inserted += 1
 
+    @staticmethod
+    def _subsample_rays(
+        cloud: PointCloud, max_rays: Optional[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        hits = cloud.hits
+        misses = cloud.misses
+        if max_rays is not None and hits.shape[0] + misses.shape[0] > max_rays:
+            frac = max_rays / (hits.shape[0] + misses.shape[0])
+            hstride = max(int(round(1.0 / frac)), 1)
+            hits = hits[::hstride]
+            misses = misses[::hstride]
+        return hits, misses
+
     def insert_point_cloud(
         self,
         cloud: PointCloud,
@@ -185,6 +423,13 @@ class OctoMap:
         endpoint_only: bool = False,
     ) -> int:
         """Insert a point cloud scan; returns the number of rays processed.
+
+        Batched kernel: all rays are traversed in one vectorized DDA and
+        log-odds deltas accumulate per voxel (with multiplicity) before a
+        single clamped update.  Free-space carving is applied before the
+        endpoint hits, so within one batch occupied evidence lands last —
+        for scans where a voxel receives only one kind of update (the
+        common case) this is bit-identical to the scalar loop.
 
         Parameters
         ----------
@@ -196,13 +441,41 @@ class OctoMap:
             Skip free-space carving and only mark endpoints (the cheap
             approximate mode used as an ablation in DESIGN.md).
         """
-        hits = cloud.hits
-        misses = cloud.misses
-        if max_rays is not None and hits.shape[0] + misses.shape[0] > max_rays:
-            frac = max_rays / (hits.shape[0] + misses.shape[0])
-            hstride = max(int(round(1.0 / frac)), 1)
-            hits = hits[::hstride]
-            misses = misses[::hstride]
+        hits, misses = self._subsample_rays(cloud, max_rays)
+        count = hits.shape[0] + misses.shape[0]
+        if not endpoint_only:
+            endpoints = (
+                np.vstack([hits, misses]) if misses.size else np.asarray(hits)
+            )
+            keys, _ = self.batch_ray_keys(cloud.origin, endpoints)
+            if keys.size:
+                centers = self.centers_of_keys(keys)
+                keys = keys[self._in_bounds_mask(centers)]
+            if keys.size:
+                packed, mult = np.unique(pack_keys(keys), return_counts=True)
+                self._apply_log_odds_batch(packed, self.miss_update, mult)
+            self.rays_inserted += count
+        if hits.shape[0]:
+            pts = np.asarray(hits, dtype=float).reshape(-1, 3)
+            pts = pts[self._in_bounds_mask(pts)]
+            if pts.shape[0]:
+                packed, mult = np.unique(
+                    pack_keys(self.keys_for_points(pts)), return_counts=True
+                )
+                self._apply_log_odds_batch(packed, self.hit_update, mult)
+        self.insertions += 1
+        return count
+
+    def insert_point_cloud_scalar(
+        self,
+        cloud: PointCloud,
+        max_rays: Optional[int] = None,
+        endpoint_only: bool = False,
+    ) -> int:
+        """Reference scalar implementation of :meth:`insert_point_cloud`
+        (one Python DDA walk and one clamped dict update per voxel); kept
+        for the batched-vs-scalar equivalence suite."""
+        hits, misses = self._subsample_rays(cloud, max_rays)
         count = 0
         for point in hits:
             if endpoint_only:
@@ -228,7 +501,71 @@ class OctoMap:
         Without this rule, thin obstacles (tree trunks, poles) get outvoted
         by the many near-miss rays passing through their voxel and vanish
         from the map.  Returns the number of endpoint updates performed.
+
+        This is the batched hot path: endpoint voxelization, the carve-ray
+        DDA, and both log-odds passes run as whole-scan array kernels.
+        Because every voxel receives at most one update per scan, the
+        result is identical to :meth:`insert_scan_scalar` (the per-point
+        reference implementation) on any input.
         """
+        hits = np.asarray(cloud.hits, dtype=float).reshape(-1, 3)
+        count = hits.shape[0]
+        hit_packed = np.zeros(0, dtype=np.int64)
+        if count:
+            in_bounds = hits[self._in_bounds_mask(hits)]
+            if in_bounds.shape[0]:
+                hit_packed = np.unique(
+                    pack_keys(self.keys_for_points(in_bounds))
+                )
+                self._apply_log_odds_batch(hit_packed, self.hit_update)
+        endpoints = cloud.all_endpoints
+        n = endpoints.shape[0]
+        if n and carve_rays > 0:
+            stride = max(n // carve_rays, 1)
+            beams = endpoints[::stride]
+            keys, _ = self.batch_ray_keys(cloud.origin, beams)
+            if keys.size:
+                packed = np.unique(pack_keys(keys))
+                # Occupied endpoints of this scan take precedence.
+                packed = packed[
+                    ~_sorted_membership(hit_packed, packed)
+                ]
+            else:
+                packed = np.zeros(0, dtype=np.int64)
+            if packed.size:
+                # Grazing-beam guard: never carve a confidently occupied
+                # voxel (see insert_scan_scalar for the full rationale —
+                # a subsampled carve set would otherwise erode thin walls
+                # one miss-update per scan).
+                unpacked = unpack_keys(packed)
+                cells = self._cells
+                existing = np.fromiter(
+                    map(
+                        cells.get,
+                        zip(
+                            unpacked[:, 0].tolist(),
+                            unpacked[:, 1].tolist(),
+                            unpacked[:, 2].tolist(),
+                        ),
+                        itertools.repeat(0.0),
+                    ),
+                    dtype=np.float64,
+                    count=packed.size,
+                )
+                keep = ~(existing > 2.0)
+                if self.bounds is not None:
+                    keep &= self._in_bounds_mask(
+                        self.centers_of_keys(unpacked)
+                    )
+                self._apply_log_odds_batch(packed[keep], self.miss_update)
+            self.rays_inserted += beams.shape[0]
+        self.insertions += 1
+        return count
+
+    def insert_scan_scalar(self, cloud: PointCloud, carve_rays: int = 40) -> int:
+        """Reference scalar implementation of :meth:`insert_scan`: one
+        Python DDA walk per beam and one dict update per voxel.  Kept (and
+        tested) as the ground truth the batched kernels must reproduce."""
         hit_keys = set()
         count = 0
         for point in cloud.hits:
@@ -238,11 +575,7 @@ class OctoMap:
             count += 1
         for key in hit_keys:
             self.update_cell(key, self.hit_update)
-        endpoints = (
-            np.vstack([cloud.hits, cloud.misses])
-            if cloud.misses.size
-            else cloud.hits
-        )
+        endpoints = cloud.all_endpoints
         n = endpoints.shape[0]
         if n and carve_rays > 0:
             stride = max(n // carve_rays, 1)
@@ -312,7 +645,130 @@ class OctoMap:
             return np.zeros((0, 3))
         return (np.asarray(keys, dtype=float) + 0.5) * self.resolution
 
-    def region_occupied(self, box: AABB, margin: float = 0.0) -> bool:
+    # Vectorized query index -------------------------------------------
+    def _ensure_index(self) -> None:
+        """Rebuild the sorted packed-key index if writes invalidated it."""
+        if not self._index_dirty:
+            return
+        keys, values = self.cells_arrays()
+        if keys.shape[0] == 0:
+            self._idx_packed = np.zeros(0, dtype=np.int64)
+            self._idx_values = np.zeros(0, dtype=np.float64)
+            self._idx_occupied = np.zeros(0, dtype=np.int64)
+        else:
+            packed = pack_keys(keys)
+            order = np.argsort(packed)
+            self._idx_packed = packed[order]
+            self._idx_values = values[order]
+            self._idx_occupied = self._idx_packed[
+                self._idx_values > OCCUPANCY_THRESHOLD
+            ]
+        self._index_dirty = False
+
+    def cells_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All observed cells as arrays: (N, 3) int64 keys and (N,) values,
+        in insertion order (matching ``dict`` iteration)."""
+        n = len(self._cells)
+        if n == 0:
+            return np.zeros((0, 3), dtype=np.int64), np.zeros(0)
+        keys = np.array(list(self._cells.keys()), dtype=np.int64)
+        values = np.fromiter(self._cells.values(), dtype=np.float64, count=n)
+        return keys, values
+
+    def known_mask_for_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean mask over an (N, 3) key batch: which voxels are observed."""
+        k = np.asarray(keys, dtype=np.int64).reshape(-1, 3)
+        self._ensure_index()
+        return _sorted_membership(self._idx_packed, pack_keys(k))
+
+    def log_odds_many(self, points: np.ndarray) -> np.ndarray:
+        """Log-odds for an (N, 3) point batch; NaN where unknown."""
+        p = np.asarray(points, dtype=float).reshape(-1, 3)
+        self._ensure_index()
+        packed = pack_keys(self.keys_for_points(p))
+        out = np.full(p.shape[0], np.nan)
+        if self._idx_packed.size:
+            idx = np.minimum(
+                np.searchsorted(self._idx_packed, packed),
+                self._idx_packed.size - 1,
+            )
+            found = self._idx_packed[idx] == packed
+            out[found] = self._idx_values[idx[found]]
+        return out
+
+    def _box_key_ranges(
+        self, los: np.ndarray, his: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        lo_keys = np.floor(
+            np.asarray(los, dtype=float).reshape(-1, 3) / self.resolution
+        ).astype(np.int64)
+        hi_keys = np.floor(
+            np.asarray(his, dtype=float).reshape(-1, 3) / self.resolution
+        ).astype(np.int64)
+        return lo_keys, hi_keys
+
+    def _boxes_range_query(
+        self,
+        lo_keys: np.ndarray,
+        hi_keys: np.ndarray,
+        sorted_packed: np.ndarray,
+        count: bool,
+    ) -> np.ndarray:
+        """Core box kernel: for each key-range box, test (or count) stored
+        packed keys inside it.
+
+        Exploits the packed layout: for fixed (i, j) the k-axis is a
+        contiguous packed range, so one box decomposes into a small grid of
+        (i, j) columns, each answered by two binary searches — no voxel
+        grid is ever materialized.
+        """
+        m = lo_keys.shape[0]
+        if m == 0:
+            return np.zeros(0, dtype=np.int64 if count else bool)
+        counts = hi_keys - lo_keys + 1
+        ci = int(counts[:, 0].max())
+        cj = int(counts[:, 1].max())
+        oi = np.arange(ci, dtype=np.int64)
+        oj = np.arange(cj, dtype=np.int64)
+        cols_i = lo_keys[:, 0, None] + oi[None, :]  # (M, ci)
+        cols_j = lo_keys[:, 1, None] + oj[None, :]  # (M, cj)
+        valid = (oi[None, :, None] < counts[:, 0, None, None]) & (
+            oj[None, None, :] < counts[:, 1, None, None]
+        )  # (M, ci, cj)
+        base = ((cols_i + _PACK_OFFSET) << (2 * _PACK_BITS))[:, :, None] + (
+            (cols_j + _PACK_OFFSET) << _PACK_BITS
+        )[:, None, :]
+        lo_p = base + (lo_keys[:, 2] + _PACK_OFFSET)[:, None, None]
+        hi_p = base + (hi_keys[:, 2] + _PACK_OFFSET)[:, None, None]
+        left = np.searchsorted(sorted_packed, lo_p.ravel(), side="left")
+        right = np.searchsorted(sorted_packed, hi_p.ravel(), side="right")
+        span = (right - left).reshape(m, ci, cj)
+        if count:
+            return np.sum(span * valid, axis=(1, 2))
+        return np.any((span > 0) & valid, axis=(1, 2))
+
+    def boxes_occupied(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`region_occupied` over (M, 3) corner batches:
+        True per box when any occupied voxel intersects it."""
+        self._ensure_index()
+        lo_keys, hi_keys = self._box_key_ranges(los, his)
+        return self._boxes_range_query(
+            lo_keys, hi_keys, self._idx_occupied, count=False
+        )
+
+    def boxes_unknown_fraction(
+        self, los: np.ndarray, his: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`region_unknown_fraction` over corner batches."""
+        self._ensure_index()
+        lo_keys, hi_keys = self._box_key_ranges(los, his)
+        total = np.prod(hi_keys - lo_keys + 1, axis=1)
+        known = self._boxes_range_query(
+            lo_keys, hi_keys, self._idx_packed, count=True
+        )
+        return (total - known) / total
+
+    def occupied_in_box(self, box: AABB, margin: float = 0.0) -> bool:
         """True if any occupied voxel intersects ``box`` (inflated).
 
         This is the collision-check primitive the planners use: the box is
@@ -321,29 +777,19 @@ class OctoMap:
         must avoid unknown space use :meth:`region_unknown_fraction`.
         """
         check = box.inflate(margin) if margin > 0 else box
-        lo_key = self.key_for(check.lo)
-        hi_key = self.key_for(check.hi)
-        for i in range(lo_key[0], hi_key[0] + 1):
-            for j in range(lo_key[1], hi_key[1] + 1):
-                for k in range(lo_key[2], hi_key[2] + 1):
-                    value = self._cells.get((i, j, k))
-                    if value is not None and value > OCCUPANCY_THRESHOLD:
-                        return True
-        return False
+        return bool(
+            self.boxes_occupied(check.lo[None, :], check.hi[None, :])[0]
+        )
+
+    def region_occupied(self, box: AABB, margin: float = 0.0) -> bool:
+        """Compatibility alias for :meth:`occupied_in_box`."""
+        return self.occupied_in_box(box, margin)
 
     def region_unknown_fraction(self, box: AABB) -> float:
         """Fraction of voxels inside ``box`` that are unobserved."""
-        lo_key = self.key_for(box.lo)
-        hi_key = self.key_for(box.hi)
-        total = 0
-        unknown = 0
-        for i in range(lo_key[0], hi_key[0] + 1):
-            for j in range(lo_key[1], hi_key[1] + 1):
-                for k in range(lo_key[2], hi_key[2] + 1):
-                    total += 1
-                    if (i, j, k) not in self._cells:
-                        unknown += 1
-        return unknown / total if total else 1.0
+        return float(
+            self.boxes_unknown_fraction(box.lo[None, :], box.hi[None, :])[0]
+        )
 
     def known_volume(self) -> float:
         """Total volume (m^3) of observed voxels."""

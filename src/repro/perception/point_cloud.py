@@ -33,6 +33,17 @@ class PointCloud:
     def size(self) -> int:
         return int(self.hits.shape[0])
 
+    @property
+    def all_endpoints(self) -> np.ndarray:
+        """Hits and misses stacked as one (N+M, 3) ray-endpoint batch.
+
+        The batched OctoMap insertion kernels consume this directly, so a
+        scan flows origin-to-octree as arrays with no per-point calls.
+        """
+        if self.misses.size:
+            return np.vstack([self.hits, self.misses])
+        return np.asarray(self.hits)
+
     def subsample(self, max_points: int, seed: int = 0) -> "PointCloud":
         """Randomly keep at most ``max_points`` hits (and misses).
 

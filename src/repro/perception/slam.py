@@ -90,7 +90,7 @@ class VisualSlam:
     def __post_init__(self) -> None:
         self.landmarks = np.asarray(self.landmarks, dtype=float)
         self._rng = np.random.default_rng(self.seed)
-        self._prev_visible: Optional[Set[int]] = None
+        self._prev_visible: Optional[np.ndarray] = None
         self._prev_position: Optional[np.ndarray] = None
         self._estimate: Optional[np.ndarray] = None
         self._reloc_until = -math.inf
@@ -98,10 +98,14 @@ class VisualSlam:
         self.frames = 0
 
     # ------------------------------------------------------------------
-    def visible_landmark_ids(
+    def visible_landmark_mask(
         self, position: np.ndarray, yaw: float
-    ) -> Set[int]:
-        """Indices of landmarks inside the camera frustum right now."""
+    ) -> np.ndarray:
+        """Boolean mask over landmarks inside the camera frustum right now.
+
+        The batch form the tracker consumes: frame-to-frame overlap is one
+        vectorized AND over these masks, no per-landmark set churn.
+        """
         position = np.asarray(position, dtype=float)
         delta = self.landmarks - position[None, :]
         dist = np.linalg.norm(delta, axis=1)
@@ -109,8 +113,14 @@ class VisualSlam:
         bearing = np.arctan2(delta[:, 1], delta[:, 0])
         half_fov = math.radians(self.fov_deg) / 2.0
         ang = np.abs(((bearing - yaw + np.pi) % (2 * np.pi)) - np.pi)
-        in_fov = ang <= half_fov
-        return set(np.nonzero(in_range & in_fov)[0].tolist())
+        return in_range & (ang <= half_fov)
+
+    def visible_landmark_ids(
+        self, position: np.ndarray, yaw: float
+    ) -> Set[int]:
+        """Indices of landmarks inside the camera frustum right now."""
+        mask = self.visible_landmark_mask(position, yaw)
+        return set(np.nonzero(mask)[0].tolist())
 
     def process_frame(
         self,
@@ -126,16 +136,16 @@ class VisualSlam:
         """
         true_position = np.asarray(true_position, dtype=float)
         self.frames += 1
-        visible = self.visible_landmark_ids(true_position, yaw)
+        visible = self.visible_landmark_mask(true_position, yaw)
         if self._estimate is None:
             self._estimate = true_position.copy()
         in_relocalization = timestamp < self._reloc_until
 
         if self._prev_visible is None:
-            matches = len(visible)
+            matches = int(np.count_nonzero(visible))
             tracked = matches >= self.min_matches
         else:
-            matches = len(visible & self._prev_visible)
+            matches = int(np.count_nonzero(visible & self._prev_visible))
             tracked = matches >= self.min_matches and not in_relocalization
 
         if tracked and self._prev_position is not None:

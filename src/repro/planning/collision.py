@@ -38,16 +38,35 @@ class CollisionChecker:
     drone_radius: float = 0.325
     treat_unknown_as_occupied: bool = False
 
+    def points_free(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`point_free` over an (N, 3) batch.
+
+        One batched occupied-box query (plus one unknown-fraction query in
+        conservative mode) answers every candidate at once — this is the
+        kernel the segment and path checks are built on.
+        """
+        pts = np.asarray(points, dtype=float).reshape(-1, 3)
+        r = self.drone_radius
+        los = pts - r
+        his = pts + r
+        free = ~self.octomap.boxes_occupied(los, his)
+        if self.treat_unknown_as_occupied and np.any(free):
+            free &= ~(self.octomap.boxes_unknown_fraction(los, his) > 0.5)
+        return free
+
     def point_free(self, point: np.ndarray) -> bool:
         """True if the drone centered at ``point`` collides with nothing."""
-        p = np.asarray(point, dtype=float)
-        body = AABB.from_center(p, (self.drone_radius * 2,) * 3)
-        if self.octomap.region_occupied(body):
-            return False
-        if self.treat_unknown_as_occupied:
-            if self.octomap.region_unknown_fraction(body) > 0.5:
-                return False
-        return True
+        return bool(self.points_free(np.asarray(point, dtype=float))[0])
+
+    def _segment_samples(
+        self, a: np.ndarray, b: np.ndarray, step: Optional[float]
+    ) -> np.ndarray:
+        if step is None:
+            step = self.octomap.resolution / 2.0
+        length = norm(b - a)
+        n = max(int(np.ceil(length / step)), 1)
+        t = np.arange(n + 1) / n
+        return a[None, :] + (b - a)[None, :] * t[:, None]
 
     def segment_free(
         self,
@@ -57,26 +76,25 @@ class CollisionChecker:
     ) -> bool:
         """True if the straight segment a->b is collision-free.
 
-        Samples the segment at ``step`` spacing (default: half a voxel).
+        Samples the segment at ``step`` spacing (default: half a voxel)
+        and checks all samples with one batched map query.
         """
         a = np.asarray(a, dtype=float)
         b = np.asarray(b, dtype=float)
-        if step is None:
-            step = self.octomap.resolution / 2.0
-        length = norm(b - a)
-        n = max(int(np.ceil(length / step)), 1)
-        for i in range(n + 1):
-            point = a + (b - a) * (i / n)
-            if not self.point_free(point):
-                return False
-        return True
+        return bool(np.all(self.points_free(self._segment_samples(a, b, step))))
 
     def path_free(self, waypoints) -> bool:
         """True if every leg of the polyline is collision-free."""
         pts = [np.asarray(p, dtype=float) for p in waypoints]
-        return all(
-            self.segment_free(p, q) for p, q in zip(pts[:-1], pts[1:])
+        if len(pts) < 2:
+            return True
+        samples = np.vstack(
+            [
+                self._segment_samples(p, q, None)
+                for p, q in zip(pts[:-1], pts[1:])
+            ]
         )
+        return bool(np.all(self.points_free(samples)))
 
     def first_blocked_index(self, waypoints) -> Optional[int]:
         """Index of the first waypoint whose incoming leg is blocked.

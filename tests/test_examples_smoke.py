@@ -39,6 +39,7 @@ class TestExampleSmoke:
         assert result.returncode == 0, result.stderr
         assert "frames dropped" in result.stdout
 
+    @pytest.mark.slow
     def test_quickstart(self):
         result = _run("quickstart.py")
         assert result.returncode == 0, result.stderr

@@ -17,6 +17,10 @@ from repro.core.api import make_simulation
 from repro.core.workloads import MappingWorkload, PackageDeliveryWorkload
 from repro.world import empty_world, make_box_obstacle
 
+# Closed-loop missions at multiple compute operating points: minutes of
+# simulated flight per fixture — nightly lane, not the CI fast lane.
+pytestmark = pytest.mark.slow
+
 
 def _mini_city():
     world = empty_world((50, 50, 12), name="mini-city")

@@ -1,0 +1,351 @@
+"""Batched-vs-scalar OctoMap equivalence suite.
+
+The batched array kernels (vectorized DDA, batched clamped log-odds
+updates, packed-index box queries) are the perception hot path; the scalar
+methods are the ground truth they must reproduce *exactly*.  Every test
+here compares the two implementations on identical seeded inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perception.octomap import (
+    LOG_ODDS_MAX,
+    LOG_ODDS_MIN,
+    OctoMap,
+    pack_keys,
+    unpack_keys,
+)
+from repro.perception.point_cloud import PointCloud
+from repro.world.geometry import AABB, vec
+
+BOUNDS = AABB(vec(-20.0, -20.0, 0.0), vec(20.0, 20.0, 10.0))
+
+
+def seeded_cloud(seed: int, n_hits: int = 400, n_misses: int = 40) -> PointCloud:
+    """A deterministic synthetic scan: random beams from a random origin."""
+    rng = np.random.default_rng(seed)
+    origin = rng.uniform([-15.0, -15.0, 1.0], [15.0, 15.0, 5.0])
+    d = rng.normal(size=(n_hits, 3))
+    d /= np.linalg.norm(d, axis=1)[:, None]
+    hits = origin + d * rng.uniform(0.5, 25.0, size=(n_hits, 1))
+    d2 = rng.normal(size=(n_misses, 3))
+    d2 /= np.linalg.norm(d2, axis=1)[:, None]
+    misses = origin + d2 * 30.0
+    return PointCloud(origin=origin, hits=hits, misses=misses)
+
+
+def assert_identical_cells(batched: OctoMap, scalar: OctoMap) -> None:
+    assert set(batched._cells) == set(scalar._cells)
+    for key, value in scalar._cells.items():
+        assert batched._cells[key] == value, key
+
+
+class TestPackedKeys:
+    def test_pack_round_trip(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(-5000, 5000, size=(500, 3)).astype(np.int64)
+        assert np.array_equal(unpack_keys(pack_keys(keys)), keys)
+
+    def test_pack_orders_lexicographically_per_column(self):
+        a = pack_keys(np.array([[0, 0, 0]]))[0]
+        b = pack_keys(np.array([[0, 0, 1]]))[0]
+        c = pack_keys(np.array([[0, 1, -5]]))[0]
+        assert a < b < c
+
+
+class TestBatchRayKeys:
+    def test_matches_scalar_on_random_rays(self):
+        om = OctoMap(resolution=0.3)
+        rng = np.random.default_rng(7)
+        origin = vec(0.1, 0.2, 0.3)
+        endpoints = rng.uniform(-10.0, 10.0, size=(300, 3))
+        keys, ray_idx = om.batch_ray_keys(origin, endpoints)
+        for i in range(endpoints.shape[0]):
+            batch = [tuple(k) for k in keys[ray_idx == i].tolist()]
+            assert batch == om.ray_keys(origin, endpoints[i])
+
+    def test_matches_scalar_axis_aligned_and_degenerate(self):
+        om = OctoMap(resolution=0.5)
+        origin = vec(0.25, 0.25, 0.25)
+        endpoints = np.array(
+            [
+                [5.25, 0.25, 0.25],   # +x aligned
+                [0.25, -4.75, 0.25],  # -y aligned
+                [0.25, 0.25, 0.25],   # zero-length
+                [0.30, 0.25, 0.25],   # same-voxel
+                [3.25, 2.25, 1.25],   # diagonal
+            ]
+        )
+        keys, ray_idx = om.batch_ray_keys(origin, endpoints)
+        for i in range(endpoints.shape[0]):
+            batch = [tuple(k) for k in keys[ray_idx == i].tolist()]
+            assert batch == om.ray_keys(origin, endpoints[i])
+
+    def test_empty_batch(self):
+        om = OctoMap(resolution=0.5)
+        keys, ray_idx = om.batch_ray_keys(vec(0, 0, 0), np.zeros((0, 3)))
+        assert keys.shape == (0, 3)
+        assert ray_idx.shape == (0,)
+
+    def test_per_ray_origins(self):
+        om = OctoMap(resolution=0.4)
+        rng = np.random.default_rng(11)
+        origins = rng.uniform(-3.0, 3.0, size=(50, 3))
+        endpoints = rng.uniform(-8.0, 8.0, size=(50, 3))
+        keys, ray_idx = om.batch_ray_keys(origins, endpoints)
+        for i in range(50):
+            batch = [tuple(k) for k in keys[ray_idx == i].tolist()]
+            assert batch == om.ray_keys(origins[i], endpoints[i])
+
+
+class TestInsertScanEquivalence:
+    @pytest.mark.parametrize("resolution", [0.25, 0.5, 1.0])
+    def test_identical_cells_across_resolutions(self, resolution):
+        batched = OctoMap(resolution=resolution, bounds=BOUNDS)
+        scalar = OctoMap(resolution=resolution, bounds=BOUNDS)
+        for seed in range(5):
+            cloud = seeded_cloud(seed)
+            n_b = batched.insert_scan(cloud, carve_rays=60)
+            n_s = scalar.insert_scan_scalar(cloud, carve_rays=60)
+            assert n_b == n_s
+        assert batched.rays_inserted == scalar.rays_inserted
+        assert batched.insertions == scalar.insertions
+        assert_identical_cells(batched, scalar)
+
+    def test_unbounded_map_equivalence(self):
+        batched = OctoMap(resolution=0.5)
+        scalar = OctoMap(resolution=0.5)
+        cloud = seeded_cloud(13)
+        batched.insert_scan(cloud, carve_rays=40)
+        scalar.insert_scan_scalar(cloud, carve_rays=40)
+        assert_identical_cells(batched, scalar)
+
+    def test_empty_scan(self):
+        batched = OctoMap(resolution=0.5, bounds=BOUNDS)
+        scalar = OctoMap(resolution=0.5, bounds=BOUNDS)
+        empty = PointCloud(
+            origin=vec(0, 0, 1),
+            hits=np.zeros((0, 3)),
+            misses=np.zeros((0, 3)),
+        )
+        assert batched.insert_scan(empty) == 0
+        assert scalar.insert_scan_scalar(empty) == 0
+        assert len(batched) == len(scalar) == 0
+        assert batched.insertions == scalar.insertions == 1
+
+    def test_out_of_bounds_rays_ignored_identically(self):
+        """Rays whose endpoints (and much of their path) leave the map
+        bounds must update exactly the same in-bounds voxels."""
+        tight = AABB(vec(0.0, 0.0, 0.0), vec(4.0, 4.0, 4.0))
+        batched = OctoMap(resolution=0.5, bounds=tight)
+        scalar = OctoMap(resolution=0.5, bounds=tight)
+        origin = vec(2.0, 2.0, 2.0)
+        rng = np.random.default_rng(21)
+        d = rng.normal(size=(60, 3))
+        d /= np.linalg.norm(d, axis=1)[:, None]
+        hits = origin + d * 50.0  # all endpoints far outside bounds
+        cloud = PointCloud(origin=origin, hits=hits, misses=np.zeros((0, 3)))
+        batched.insert_scan(cloud, carve_rays=60)
+        scalar.insert_scan_scalar(cloud, carve_rays=60)
+        assert_identical_cells(batched, scalar)
+        for key in batched._cells:
+            assert tight.contains(batched.center_of(key))
+
+    def test_carve_zero_and_stride(self):
+        for carve in (0, 3, 1000):
+            batched = OctoMap(resolution=0.5, bounds=BOUNDS)
+            scalar = OctoMap(resolution=0.5, bounds=BOUNDS)
+            cloud = seeded_cloud(5)
+            batched.insert_scan(cloud, carve_rays=carve)
+            scalar.insert_scan_scalar(cloud, carve_rays=carve)
+            assert_identical_cells(batched, scalar)
+
+
+class TestInsertPointCloudEquivalence:
+    def test_endpoint_only_identical(self):
+        batched = OctoMap(resolution=0.5, bounds=BOUNDS)
+        scalar = OctoMap(resolution=0.5, bounds=BOUNDS)
+        cloud = seeded_cloud(31, n_hits=800)
+        n_b = batched.insert_point_cloud(cloud, endpoint_only=True)
+        n_s = scalar.insert_point_cloud_scalar(cloud, endpoint_only=True)
+        assert n_b == n_s
+        assert_identical_cells(batched, scalar)
+
+    def test_full_mode_matches_scalar_outside_mixed_voxels(self):
+        """Full carving mode: same voxel set and counters as the scalar
+        loop, and identical values everywhere except voxels that receive
+        *both* hit and miss updates in one scan — there the batch applies
+        misses before hits (documented batch semantics), which can differ
+        from the scalar interleaving once clamping engages."""
+        batched = OctoMap(resolution=0.5, bounds=BOUNDS)
+        scalar = OctoMap(resolution=0.5, bounds=BOUNDS)
+        cloud = seeded_cloud(37, n_hits=100, n_misses=20)
+        n_b = batched.insert_point_cloud(cloud)
+        n_s = scalar.insert_point_cloud_scalar(cloud)
+        assert n_b == n_s
+        assert batched.rays_inserted == scalar.rays_inserted
+        assert set(batched._cells) == set(scalar._cells)
+
+        probe = OctoMap(resolution=0.5, bounds=BOUNDS)
+        carve_keys, _ = probe.batch_ray_keys(
+            cloud.origin, cloud.all_endpoints
+        )
+        carved = {tuple(k) for k in carve_keys.tolist()}
+        hit_voxels = {
+            tuple(k)
+            for k in probe.keys_for_points(cloud.hits).tolist()
+        }
+        mixed = carved & hit_voxels
+        for key, value in scalar._cells.items():
+            if key in mixed:
+                # Bounded divergence: one clamp-order difference at most.
+                assert LOG_ODDS_MIN <= batched._cells[key] <= LOG_ODDS_MAX
+                assert batched._cells[key] == pytest.approx(
+                    value, abs=probe.hit_update + abs(probe.miss_update)
+                )
+            else:
+                assert batched._cells[key] == pytest.approx(value, abs=1e-12)
+
+    def test_max_rays_subsample_identical(self):
+        batched = OctoMap(resolution=0.5, bounds=BOUNDS)
+        scalar = OctoMap(resolution=0.5, bounds=BOUNDS)
+        cloud = seeded_cloud(41, n_hits=600)
+        n_b = batched.insert_point_cloud(cloud, max_rays=50, endpoint_only=True)
+        n_s = scalar.insert_point_cloud_scalar(
+            cloud, max_rays=50, endpoint_only=True
+        )
+        assert n_b == n_s
+        assert_identical_cells(batched, scalar)
+
+
+class TestBatchedClamping:
+    """Regression: batched updates must clamp to [LOG_ODDS_MIN,
+    LOG_ODDS_MAX] exactly as the per-update scalar path does."""
+
+    def test_saturate_occupied_via_duplicate_endpoints(self):
+        om = OctoMap(resolution=0.5)
+        # 100 identical endpoints in one batch: +0.85 each would reach 85
+        # without clamping; the scalar path clamps at every update.
+        point = np.tile(vec(1.2, 1.2, 1.2), (100, 1))
+        cloud = PointCloud(
+            origin=vec(0.2, 0.2, 0.2), hits=point, misses=np.zeros((0, 3))
+        )
+        om.insert_point_cloud(cloud, endpoint_only=True)
+        assert om.log_odds_at((1.2, 1.2, 1.2)) == LOG_ODDS_MAX
+
+    def test_saturate_free_via_repeated_scans(self):
+        om = OctoMap(resolution=0.5)
+        scalar = OctoMap(resolution=0.5)
+        # A long beam repeatedly carving the same corridor must floor at
+        # LOG_ODDS_MIN in both implementations.
+        cloud = PointCloud(
+            origin=vec(0.25, 0.25, 0.25),
+            hits=np.array([[9.75, 0.25, 0.25]]),
+            misses=np.zeros((0, 3)),
+        )
+        for _ in range(20):
+            om.insert_scan(cloud, carve_rays=1)
+            scalar.insert_scan_scalar(cloud, carve_rays=1)
+        probe = (5.25, 0.25, 0.25)
+        assert om.log_odds_at(probe) == LOG_ODDS_MIN
+        assert_identical_cells(om, scalar)
+
+    def test_saturate_both_directions_batch_counts(self):
+        """One voxel driven into both clamp rails by batched updates."""
+        om = OctoMap(resolution=1.0)
+        up = np.tile(vec(0.5, 0.5, 0.5), (50, 1))
+        cloud_up = PointCloud(
+            origin=vec(-3.5, 0.5, 0.5), hits=up, misses=np.zeros((0, 3))
+        )
+        om.insert_point_cloud(cloud_up, endpoint_only=True)
+        assert om.log_odds_at((0.5, 0.5, 0.5)) == LOG_ODDS_MAX
+        # Now carve through that voxel until it floors.
+        through = PointCloud(
+            origin=vec(-3.5, 0.5, 0.5),
+            hits=np.zeros((0, 3)),
+            misses=np.tile(vec(6.5, 0.5, 0.5), (1, 1)),
+        )
+        for _ in range(40):
+            om.insert_point_cloud(through)
+        assert om.log_odds_at((0.5, 0.5, 0.5)) == LOG_ODDS_MIN
+
+
+class TestVectorizedQueries:
+    @staticmethod
+    def _random_map(seed: int, resolution: float = 0.5) -> OctoMap:
+        om = OctoMap(resolution=resolution)
+        rng = np.random.default_rng(seed)
+        for p in rng.uniform(-5.0, 5.0, size=(300, 3)):
+            om.update_cell(om.key_for(p), float(rng.normal()))
+        return om
+
+    @staticmethod
+    def _brute_occupied(om: OctoMap, box: AABB) -> bool:
+        lo_key = om.key_for(box.lo)
+        hi_key = om.key_for(box.hi)
+        for i in range(lo_key[0], hi_key[0] + 1):
+            for j in range(lo_key[1], hi_key[1] + 1):
+                for k in range(lo_key[2], hi_key[2] + 1):
+                    value = om._cells.get((i, j, k))
+                    if value is not None and value > 0.0:
+                        return True
+        return False
+
+    @staticmethod
+    def _brute_unknown_fraction(om: OctoMap, box: AABB) -> float:
+        lo_key = om.key_for(box.lo)
+        hi_key = om.key_for(box.hi)
+        total = 0
+        unknown = 0
+        for i in range(lo_key[0], hi_key[0] + 1):
+            for j in range(lo_key[1], hi_key[1] + 1):
+                for k in range(lo_key[2], hi_key[2] + 1):
+                    total += 1
+                    if (i, j, k) not in om._cells:
+                        unknown += 1
+        return unknown / total
+
+    def test_region_queries_match_triple_loop(self):
+        om = self._random_map(2)
+        rng = np.random.default_rng(17)
+        for _ in range(150):
+            center = rng.uniform(-6.0, 6.0, size=3)
+            size = rng.uniform(0.1, 3.0, size=3)
+            box = AABB(center - size / 2, center + size / 2)
+            assert om.region_occupied(box) == self._brute_occupied(om, box)
+            assert om.region_unknown_fraction(box) == pytest.approx(
+                self._brute_unknown_fraction(om, box)
+            )
+            margin = float(rng.uniform(0.0, 1.0))
+            assert om.region_occupied(box, margin) == self._brute_occupied(
+                om, box.inflate(margin)
+            )
+
+    def test_queries_see_updates_immediately(self):
+        """The lazy index must be invalidated by every write path."""
+        om = OctoMap(resolution=0.5)
+        box = AABB(vec(0, 0, 0), vec(0.4, 0.4, 0.4))
+        assert not om.region_occupied(box)
+        om.mark_occupied((0.2, 0.2, 0.2))  # scalar write
+        assert om.region_occupied(box)
+        cloud = PointCloud(
+            origin=vec(0.2, 0.2, 0.2),
+            hits=np.array([[4.2, 0.2, 0.2]]),
+            misses=np.zeros((0, 3)),
+        )
+        om.insert_scan(cloud, carve_rays=1)  # batched write
+        probe = AABB(vec(2.0, 0.0, 0.0), vec(2.4, 0.4, 0.4))
+        assert om.region_unknown_fraction(probe) < 1.0
+
+    def test_log_odds_many_matches_scalar(self):
+        om = self._random_map(5)
+        rng = np.random.default_rng(23)
+        points = rng.uniform(-6.0, 6.0, size=(500, 3))
+        values = om.log_odds_many(points)
+        for p, v in zip(points, values):
+            scalar = om.log_odds_at(p)
+            if scalar is None:
+                assert np.isnan(v)
+            else:
+                assert v == scalar

@@ -183,6 +183,7 @@ def _corridor_setup():
     return checker, bounds
 
 
+@pytest.mark.slow
 class TestRrtPlanners:
     @pytest.mark.parametrize("cls", [RrtPlanner, RrtStarPlanner])
     def test_plans_through_gap(self, cls):

@@ -63,6 +63,7 @@ class TestScanning:
         assert times[(2, 0.8)] / times[(4, 2.2)] < 1.05
 
 
+@pytest.mark.slow
 class TestPackageDelivery:
     def _world(self):
         world = empty_world((50, 50, 12), name="mini-city")
