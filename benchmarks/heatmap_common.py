@@ -1,10 +1,20 @@
-"""Shared machinery for the Fig. 10-14 operating-point heatmaps."""
+"""Shared machinery for the Fig. 10-14 operating-point heatmaps.
+
+The figure benchmarks run on the campaign engine: each heatmap is a
+one-workload :class:`CampaignSpec` over the full TX2 grid, executed by
+``run_campaign`` and reduced back to the classic ``SweepResult``.  Set
+``REPRO_BENCH_JOBS=N`` to fan the grid's missions out over worker
+processes (results are identical to the serial run), and
+``REPRO_BENCH_STORE=path.jsonl`` to persist/resume the mission results.
+"""
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Sequence
 
-from repro.analysis import SweepResult, format_heatmap, sweep_operating_points
+from repro.analysis import SweepResult, format_heatmap
+from repro.campaign import CampaignSpec, CampaignStore, aggregate_sweep, run_campaign
 
 FULL_GRID = [(c, f) for c in (2, 3, 4) for f in (0.8, 1.5, 2.2)]
 
@@ -14,13 +24,22 @@ def run_heatmap(
     seeds: Sequence[int] = (1,),
     grid=None,
     workload_kwargs: Optional[Dict] = None,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
-    return sweep_operating_points(
-        workload,
-        grid=grid or FULL_GRID,
-        seeds=seeds,
-        workload_kwargs=workload_kwargs,
+    spec = CampaignSpec(
+        workloads=[workload],
+        grid=list(grid or FULL_GRID),
+        seeds=list(seeds),
+        workload_kwargs=(
+            {workload: dict(workload_kwargs)} if workload_kwargs else {}
+        ),
     )
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    store_path = os.environ.get("REPRO_BENCH_STORE")
+    store = CampaignStore(store_path) if store_path else None
+    campaign = run_campaign(spec, jobs=jobs, store=store)
+    return aggregate_sweep(campaign.records, workload=workload)
 
 
 def print_paper_style(result: SweepResult, label: str) -> None:

@@ -10,32 +10,61 @@ finishes sooner) and higher permitted velocity (Eq. 2) -> shorter mission
 -> *less total energy*, because the rotors dominate power draw ~20X over
 the compute subsystem.
 
+The study runs on the campaign engine: the three missions are declared
+as one ``CampaignSpec`` and executed in parallel worker processes, with
+an optional on-disk store so a re-run (or a crash) costs nothing.
+
 Run:
-    python examples/compute_scaling_study.py [workload]
+    python examples/compute_scaling_study.py [workload] [--jobs N] [--store PATH]
 """
 
-import sys
+import argparse
 
 from repro.analysis import format_table
-from repro import run_workload
+from repro.campaign import CampaignSpec, CampaignStore, run_campaign, success_table
 
 
 def main() -> None:
-    workload = sys.argv[1] if len(sys.argv) > 1 else "mapping"
-    points = [(2, 0.8), (3, 1.5), (4, 2.2)]
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workload", nargs="?", default="mapping")
+    parser.add_argument(
+        "--jobs", type=int, default=3,
+        help="worker processes (one per operating point by default)",
+    )
+    parser.add_argument(
+        "--store", default=None,
+        help="JSONL campaign store; reruns become cache hits",
+    )
+    args = parser.parse_args()
+
+    spec = CampaignSpec(
+        workloads=[args.workload],
+        grid=[(2, 0.8), (3, 1.5), (4, 2.2)],
+        seeds=[1],
+    )
+    store = CampaignStore(args.store) if args.store else None
+    print(
+        f"Sweeping '{args.workload}' across TX2 operating points "
+        f"({spec.run_count} missions, {args.jobs} workers)...\n"
+    )
+    campaign = run_campaign(spec, jobs=args.jobs, store=store)
+    if campaign.failed:
+        for record in campaign.errors:
+            print(f"FAILED {record['run_key']}: {record['error']}")
+        raise SystemExit(1)
+
     rows = []
-    print(f"Sweeping '{workload}' across TX2 operating points...\n")
-    for cores, freq in points:
-        result = run_workload(workload, cores=cores, frequency_ghz=freq, seed=1)
-        r = result.report
+    for record in campaign.records:
+        report = record["report"]
+        cfg = record["config"]
         rows.append(
             [
-                f"{cores}c @ {freq} GHz",
-                r.average_velocity_ms,
-                r.mission_time_s,
-                r.hover_time_s,
-                r.total_energy_j / 1000.0,
-                "yes" if r.success else "no",
+                f"{cfg['cores']}c @ {cfg['frequency_ghz']} GHz",
+                report["average_velocity_ms"],
+                report["mission_time_s"],
+                report["hover_time_s"],
+                report["total_energy_j"] / 1000.0,
+                "yes" if report["success"] else "no",
             ]
         )
     print(
@@ -43,15 +72,19 @@ def main() -> None:
             ["operating point", "avg vel (m/s)", "mission (s)",
              "hover (s)", "energy (kJ)", "success"],
             rows,
-            title=f"Compute scaling on '{workload}' (cf. paper Figs. 10-14)",
+            title=f"Compute scaling on '{args.workload}' (cf. paper Figs. 10-14)",
         )
     )
-    slow, fast = rows[0], rows[-1]
+    flat = success_table(campaign.records)
+    slow, fast = flat[0], flat[-1]
     print(
         f"\nfast corner vs slow corner: "
-        f"{slow[2] / fast[2]:.1f}x mission time, "
-        f"{slow[4] / fast[4]:.1f}x energy"
+        f"{slow['mission_time_s'] / fast['mission_time_s']:.1f}x mission time, "
+        f"{slow['energy_kj'] / fast['energy_kj']:.1f}x energy"
     )
+    print(f"({campaign.summary()})")
+    if store is not None:
+        print(f"store: {store.path}")
 
 
 if __name__ == "__main__":

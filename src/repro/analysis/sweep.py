@@ -9,11 +9,9 @@ operating point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
-
-from ..core.api import WorkloadResult, run_workload
 
 OperatingPoint = Tuple[int, float]  # (cores, frequency_ghz)
 
@@ -54,13 +52,19 @@ class SweepResult:
         }
 
     def best_over_worst(self, metric: str, lower_is_better: bool = True) -> float:
-        """Improvement factor between the worst and best grid corner."""
+        """Ratio of the best grid cell's value to the worst's.
+
+        For a lower-is-better metric (mission time, energy) the best cell
+        is the minimum, so the ratio is < 1; for a higher-is-better metric
+        (velocity, success rate) the best cell is the maximum and the
+        ratio is > 1.
+        """
         values = [getattr(c, metric) for c in self.cells]
         values = [v for v in values if np.isfinite(v) and v > 0]
         if not values:
             return float("nan")
         if lower_is_better:
-            return max(values) / min(values)
+            return min(values) / max(values)
         return max(values) / min(values)
 
     def corner_ratio(self, metric: str) -> float:
@@ -77,45 +81,47 @@ def sweep_operating_points(
     grid: Optional[Sequence[OperatingPoint]] = None,
     seeds: Sequence[int] = (1,),
     workload_kwargs: Optional[Dict] = None,
+    jobs: int = 1,
+    store=None,
     **run_kwargs,
 ) -> SweepResult:
     """Run ``workload`` across the operating-point grid.
 
     Multiple seeds are averaged per cell (mission outcomes of the
     randomized planners vary run to run, as the paper also observed).
+
+    A thin wrapper over the campaign engine
+    (:func:`repro.campaign.run_campaign`): ``jobs>1`` fans missions out
+    across worker processes, and an optional
+    :class:`~repro.campaign.CampaignStore` makes the sweep resumable and
+    turns repeated grid points into cache hits.  Results are identical
+    floats to the historical sequential loop.
     """
-    cells: List[SweepCell] = []
-    for cores, freq in grid or DEFAULT_GRID:
-        velocities, times, energies, successes = [], [], [], []
-        extras: Dict[str, List[float]] = {}
-        for seed in seeds:
-            result = run_workload(
-                workload,
-                cores=cores,
-                frequency_ghz=freq,
-                seed=seed,
-                workload_kwargs=dict(workload_kwargs or {}),
-                **run_kwargs,
-            )
-            report = result.report
-            velocities.append(report.average_velocity_ms)
-            times.append(report.mission_time_s)
-            energies.append(report.total_energy_j / 1000.0)
-            successes.append(1.0 if report.success else 0.0)
-            for key, value in report.extra.items():
-                extras.setdefault(key, []).append(value)
-        cells.append(
-            SweepCell(
-                cores=cores,
-                frequency_ghz=freq,
-                velocity_ms=float(np.mean(velocities)),
-                mission_time_s=float(np.mean(times)),
-                energy_kj=float(np.mean(energies)),
-                success_rate=float(np.mean(successes)),
-                extra={k: float(np.mean(v)) for k, v in extras.items()},
-            )
-        )
-    return SweepResult(workload=workload, cells=cells)
+    # Imported lazily: campaign.aggregate imports SweepCell/SweepResult
+    # from this module, so a module-level import would be circular.
+    from ..campaign.runner import run_campaign
+    from ..campaign.spec import CampaignSpec
+
+    depth_noise_std = float(run_kwargs.pop("depth_noise_std", 0.0))
+    workload_kwargs = dict(workload_kwargs or {})
+    # The campaign engine rejects duplicate runs; the legacy sweep loop
+    # tolerated repeated seeds/grid points, and (missions being
+    # deterministic per seed) averaging a duplicate never changed a
+    # cell's value — so deduplicating preserves the historical floats.
+    grid = [(int(c), float(f)) for c, f in (grid or DEFAULT_GRID)]
+    spec = CampaignSpec(
+        workloads=[workload],
+        grid=list(dict.fromkeys(grid)),
+        seeds=list(dict.fromkeys(seeds)),
+        depth_noise_levels=[depth_noise_std],
+        workload_kwargs={workload: workload_kwargs} if workload_kwargs else {},
+        sim_kwargs=dict(run_kwargs),
+    )
+    report = run_campaign(spec, jobs=jobs, store=store)
+
+    from ..campaign.aggregate import aggregate_sweep
+
+    return aggregate_sweep(report.records, workload=workload)
 
 
 def format_heatmap(
@@ -127,7 +133,8 @@ def format_heatmap(
     """Render a sweep grid in the paper's heatmap layout.
 
     Rows: core counts (4 at the top, as in Figs. 10-14); columns: clock
-    frequencies ascending.
+    frequencies ascending.  Operating points absent from the sweep (a
+    sparse campaign grid) render as ``-``.
     """
     cores_levels = sorted({c.cores for c in result.cells}, reverse=True)
     freq_levels = sorted({c.frequency_ghz for c in result.cells})
@@ -136,7 +143,11 @@ def format_heatmap(
     for cores in cores_levels:
         row = [f"{cores:>9d}"]
         for freq in freq_levels:
-            cell = result.cell(cores, freq)
+            try:
+                cell = result.cell(cores, freq)
+            except KeyError:
+                row.append(f"{'-':>7}")
+                continue
             value = (
                 cell.extra.get(extra_key, float("nan"))
                 if extra_key

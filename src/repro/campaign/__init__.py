@@ -1,0 +1,44 @@
+"""Campaign engine: declarative, parallel, resumable mission studies.
+
+The layer that turns "run one mission" into "run a study at scale":
+
+* :mod:`~repro.campaign.spec` — :class:`CampaignSpec` declares a grid of
+  workloads x operating points x seeds x noise levels and expands it
+  into stably-ordered, content-hashed :class:`RunSpec`\\ s;
+* :mod:`~repro.campaign.runner` — :func:`run_campaign` executes the
+  matrix serially or across a process pool with per-run fault isolation;
+* :mod:`~repro.campaign.store` — :class:`CampaignStore`, a JSONL result
+  store keyed by run hash that makes campaigns resumable and re-runs
+  cache hits;
+* :mod:`~repro.campaign.aggregate` — reductions back into the
+  ``SweepResult`` heatmap shapes the paper figures consume.
+
+``analysis.sweep.sweep_operating_points``, the Fig. 10-14 benchmarks,
+and ``python -m repro campaign`` all run on top of this engine.
+"""
+
+from .aggregate import aggregate_sweep, select_records, success_table
+from .runner import (
+    CampaignReport,
+    CampaignRunError,
+    execute_run,
+    run_campaign,
+)
+from .spec import DEFAULT_GRID, CampaignSpec, RunSpec, parse_grid
+from .store import RECORD_SCHEMA, CampaignStore
+
+__all__ = [
+    "CampaignReport",
+    "CampaignRunError",
+    "CampaignSpec",
+    "CampaignStore",
+    "DEFAULT_GRID",
+    "RECORD_SCHEMA",
+    "RunSpec",
+    "aggregate_sweep",
+    "execute_run",
+    "parse_grid",
+    "run_campaign",
+    "select_records",
+    "success_table",
+]

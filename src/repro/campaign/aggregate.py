@@ -1,0 +1,144 @@
+"""Reduce stored campaign runs to the shapes the figures consume.
+
+``aggregate_sweep`` turns campaign records back into the
+``SweepResult``/``SweepCell`` heatmap grid of Figs. 10-14, with the same
+per-cell seed averaging (and the same arithmetic, in the same order) as
+the historical sequential ``sweep_operating_points`` loop — so a
+campaign run with ``jobs=8`` and a resumed store reduces to the exact
+floats the old code produced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.sweep import SweepCell, SweepResult
+from .runner import CampaignRunError
+from .spec import RunSpec
+
+
+def select_records(
+    records: Iterable[Dict[str, Any]],
+    workload: Optional[str] = None,
+    depth_noise_std: Optional[float] = None,
+) -> List[Dict[str, Any]]:
+    """Filter campaign records to one workload and/or noise level."""
+    selected = []
+    for record in records:
+        spec = record.get("spec", {})
+        if workload is not None and spec.get("workload") != workload:
+            continue
+        if depth_noise_std is not None and not np.isclose(
+            spec.get("depth_noise_std", 0.0), depth_noise_std
+        ):
+            continue
+        selected.append(record)
+    return selected
+
+
+def aggregate_sweep(
+    records: Iterable[Dict[str, Any]],
+    workload: str,
+    depth_noise_std: Optional[float] = None,
+) -> SweepResult:
+    """Reduce run records to the per-operating-point heatmap grid.
+
+    Records must all be ``status="ok"``; failed runs raise
+    :class:`CampaignRunError` naming the broken rows (re-run the
+    campaign with ``--resume`` to retry exactly those).  Cell order
+    follows first appearance in ``records`` (i.e. spec grid order), and
+    seeds average in record order, matching the legacy sweep loop.
+    """
+    selected = select_records(
+        records, workload=workload, depth_noise_std=depth_noise_std
+    )
+    if not selected:
+        raise ValueError(
+            f"no campaign records for workload '{workload}'"
+            + (
+                f" at depth_noise_std={depth_noise_std}"
+                if depth_noise_std is not None
+                else ""
+            )
+        )
+    broken = [r for r in selected if r.get("status") != "ok"]
+    if broken:
+        details = "; ".join(
+            f"{RunSpec.from_payload(r['spec']).label()}: "
+            f"{r.get('error', 'unknown error')}"
+            for r in broken[:5]
+        )
+        raise CampaignRunError(
+            f"{len(broken)} of {len(selected)} runs failed for "
+            f"'{workload}' — {details}"
+        )
+
+    by_op: Dict[Tuple[int, float], List[Dict[str, Any]]] = {}
+    op_order: List[Tuple[int, float]] = []
+    for record in selected:
+        spec = record["spec"]
+        op = (int(spec["cores"]), float(spec["frequency_ghz"]))
+        if op not in by_op:
+            by_op[op] = []
+            op_order.append(op)
+        by_op[op].append(record)
+
+    cells: List[SweepCell] = []
+    for cores, freq in op_order:
+        velocities, times, energies, successes = [], [], [], []
+        extras: Dict[str, List[float]] = {}
+        for record in by_op[(cores, freq)]:
+            report = record["report"]
+            velocities.append(report["average_velocity_ms"])
+            times.append(report["mission_time_s"])
+            energies.append(report["total_energy_j"] / 1000.0)
+            successes.append(1.0 if report["success"] else 0.0)
+            for key, value in report.get("extra", {}).items():
+                extras.setdefault(key, []).append(value)
+        cells.append(
+            SweepCell(
+                cores=cores,
+                frequency_ghz=freq,
+                velocity_ms=float(np.mean(velocities)),
+                mission_time_s=float(np.mean(times)),
+                energy_kj=float(np.mean(energies)),
+                success_rate=float(np.mean(successes)),
+                extra={k: float(np.mean(v)) for k, v in extras.items()},
+            )
+        )
+    return SweepResult(workload=workload, cells=cells)
+
+
+def success_table(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """One row per run: identity, outcome, and headline metrics.
+
+    The generic flat reduction for studies that are not heatmaps
+    (noise-reliability tables, multi-workload comparisons).
+    """
+    rows = []
+    for record in records:
+        spec = record.get("spec", {})
+        report = record.get("report") or {}
+        rows.append(
+            {
+                "run_key": record.get("run_key"),
+                "workload": spec.get("workload"),
+                "cores": spec.get("cores"),
+                "frequency_ghz": spec.get("frequency_ghz"),
+                "seed": spec.get("seed"),
+                "depth_noise_std": spec.get("depth_noise_std"),
+                "status": record.get("status"),
+                "success": report.get("success"),
+                "mission_time_s": report.get("mission_time_s"),
+                "average_velocity_ms": report.get("average_velocity_ms"),
+                "energy_kj": (
+                    report["total_energy_j"] / 1000.0
+                    if "total_energy_j" in report
+                    else None
+                ),
+                "error": record.get("error"),
+            }
+        )
+    return rows

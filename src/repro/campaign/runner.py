@@ -1,0 +1,194 @@
+"""Campaign execution: serial or process-parallel, fault-isolated, resumable.
+
+``run_campaign`` expands a :class:`~repro.campaign.spec.CampaignSpec`,
+skips every run already present in the (optional) store, executes the
+rest — in-process for ``jobs=1`` (bit-exact determinism checks, no pool
+overhead) or through a ``ProcessPoolExecutor`` for ``jobs>1`` — and
+returns the records in expansion order regardless of completion order.
+
+A mission that raises records an ``"error"`` row instead of killing the
+campaign: the other 44 cells of a 45-mission heatmap still land in the
+store, and a later ``--resume`` retries only the failures.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.api import run_workload
+from .spec import CampaignSpec, RunSpec
+from .store import RECORD_SCHEMA, CampaignStore
+
+
+class CampaignRunError(RuntimeError):
+    """Raised when an aggregation needs runs that ended in error."""
+
+
+def execute_run(run: RunSpec) -> Dict[str, Any]:
+    """Execute one mission and reduce it to a JSON-shaped record.
+
+    Top-level (picklable) so it can cross a process-pool boundary; never
+    raises — failures become ``status="error"`` records.
+    """
+    started = time.perf_counter()
+    record: Dict[str, Any] = {
+        "schema": RECORD_SCHEMA,
+        "run_key": run.run_key,
+        "spec": run.payload(),
+    }
+    try:
+        result = run_workload(
+            run.workload,
+            cores=run.cores,
+            frequency_ghz=run.frequency_ghz,
+            seed=run.seed,
+            depth_noise_std=run.depth_noise_std,
+            workload_kwargs=dict(run.workload_kwargs),
+            **dict(run.sim_kwargs),
+        )
+        record["status"] = "ok"
+        record["report"] = asdict(result.report)
+        record["config"] = {
+            "workload": result.workload,
+            "platform": result.platform.spec.name,
+            "cores": result.platform.cores,
+            "frequency_ghz": result.platform.frequency_ghz,
+            "seed": result.seed,
+            "depth_noise_std": result.depth_noise_std,
+            "workload_kwargs": dict(result.workload_kwargs),
+        }
+        record["error"] = None
+    except Exception as exc:  # noqa: BLE001 — per-run fault isolation
+        record["status"] = "error"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["traceback"] = traceback.format_exc()
+    record["wall_time_s"] = time.perf_counter() - started
+    return record
+
+
+def _worker_failure_record(run: RunSpec, exc: BaseException) -> Dict[str, Any]:
+    """Record for a run whose *worker process* died (e.g. pool breakage)."""
+    return {
+        "schema": RECORD_SCHEMA,
+        "run_key": run.run_key,
+        "spec": run.payload(),
+        "status": "error",
+        "error": f"worker failed: {type(exc).__name__}: {exc}",
+        "wall_time_s": 0.0,
+    }
+
+
+@dataclass
+class CampaignReport:
+    """Everything ``run_campaign`` learned, in spec-expansion order."""
+
+    spec: CampaignSpec
+    runs: List[RunSpec]
+    records: List[Dict[str, Any]]
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    store_path: Optional[str] = None
+    errors: List[Dict[str, Any]] = field(default_factory=list)
+
+    def record_for(self, run_key: str) -> Dict[str, Any]:
+        for record in self.records:
+            if record["run_key"] == run_key:
+                return record
+        raise KeyError(f"no record for run key '{run_key}'")
+
+    def summary(self) -> str:
+        status = "OK" if not self.failed else f"{self.failed} FAILED"
+        return (
+            f"campaign [{status}]: {len(self.runs)} runs "
+            f"({self.executed} executed, {self.cached} cached)"
+        )
+
+
+ProgressFn = Callable[[Dict[str, Any]], None]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    store: Optional[CampaignStore] = None,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignReport:
+    """Run (or finish) a campaign.
+
+    Parameters
+    ----------
+    spec:
+        The declarative study matrix.
+    jobs:
+        Worker processes.  ``1`` runs every mission in-process — the
+        reference mode for determinism checks; ``N>1`` fans missions out
+        over a ``ProcessPoolExecutor``.
+    store:
+        Optional :class:`CampaignStore`.  Runs with a *successful* record
+        already in the store are not re-executed (resume / cache hits);
+        stored error rows are retried and overwritten.  New results are
+        flushed to the store as they complete.
+    progress:
+        Called with each freshly executed record (completion order).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    runs = spec.expand()
+
+    def _cached_ok(run: RunSpec) -> bool:
+        # Only successful rows count as cache hits: error rows re-execute
+        # on resume (and their rewrite supersedes the old line, since the
+        # store is last-write-wins).
+        if store is None:
+            return False
+        record = store.get(run.run_key)
+        return record is not None and record.get("status") == "ok"
+
+    pending = [r for r in runs if not _cached_ok(r)]
+    fresh: Dict[str, Dict[str, Any]] = {}
+
+    def _commit(run: RunSpec, record: Dict[str, Any]) -> None:
+        fresh[run.run_key] = record
+        if store is not None:
+            store.add(record)
+        if progress is not None:
+            progress(record)
+
+    if jobs == 1 or len(pending) <= 1:
+        for run in pending:
+            _commit(run, execute_run(run))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {pool.submit(execute_run, run): run for run in pending}
+            for future in as_completed(futures):
+                run = futures[future]
+                try:
+                    record = future.result()
+                except Exception as exc:  # worker process died
+                    record = _worker_failure_record(run, exc)
+                _commit(run, record)
+
+    records: List[Dict[str, Any]] = []
+    for run in runs:
+        record = fresh.get(run.run_key)
+        if record is None and store is not None:
+            record = store.get(run.run_key)
+        if record is None:  # unreachable unless the store was mutated
+            record = _worker_failure_record(run, RuntimeError("record lost"))
+        records.append(record)
+    errors = [r for r in records if r.get("status") != "ok"]
+    return CampaignReport(
+        spec=spec,
+        runs=runs,
+        records=records,
+        executed=len(fresh),
+        cached=len(runs) - len(pending),
+        failed=len(errors),
+        store_path=str(store.path) if store is not None else None,
+        errors=errors,
+    )

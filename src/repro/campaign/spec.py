@@ -1,0 +1,267 @@
+"""Declarative campaign specifications.
+
+A *campaign* is the unit behind every headline result in the paper
+(Figs. 10-14, 16, 19, Table II): a grid of closed-loop missions over
+workloads x operating points x seeds x sensor-noise levels.  This module
+describes such a study declaratively:
+
+* :class:`RunSpec` — one mission's full configuration, with a
+  content-hash ``run_key`` that names the run in result stores;
+* :class:`CampaignSpec` — the study matrix, expanding deterministically
+  into a stably-ordered, collision-checked list of :class:`RunSpec`\\ s.
+
+Expansion order is ``workload -> operating point -> noise level -> seed``
+(outer to inner), which keeps per-cell seed averages bit-identical to the
+historical sequential sweep loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from ..analysis.sweep import DEFAULT_GRID, OperatingPoint
+from ..core.workloads import WORKLOADS
+
+__all__ = [
+    "CampaignSpec",
+    "DEFAULT_GRID",
+    "OperatingPoint",
+    "RunSpec",
+    "parse_grid",
+]
+
+
+def _canonical(obj: Any) -> str:
+    """Canonical JSON used for content hashing.
+
+    ``sort_keys`` makes the hash independent of dict insertion order;
+    non-JSON values (e.g. a ``PlatformSpec`` passed through ``sim_kwargs``
+    by an in-process caller) degrade to their ``repr``.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+@dataclass
+class RunSpec:
+    """One mission run: everything ``run_workload`` needs, plus a stable key."""
+
+    workload: str
+    cores: int
+    frequency_ghz: float
+    seed: int
+    depth_noise_std: float = 0.0
+    workload_kwargs: Dict[str, Any] = field(default_factory=dict)
+    sim_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Normalize the numeric axes so e.g. grid entry (4, 2) and
+        # (4, 2.0) name the same run.
+        self.cores = int(self.cores)
+        self.frequency_ghz = float(self.frequency_ghz)
+        self.seed = int(self.seed)
+        self.depth_noise_std = float(self.depth_noise_std)
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON-shaped identity of this run (what ``run_key`` hashes)."""
+        return {
+            "workload": self.workload,
+            "cores": self.cores,
+            "frequency_ghz": self.frequency_ghz,
+            "seed": self.seed,
+            "depth_noise_std": self.depth_noise_std,
+            "workload_kwargs": dict(self.workload_kwargs),
+            "sim_kwargs": dict(self.sim_kwargs),
+        }
+
+    @property
+    def run_key(self) -> str:
+        """16-hex-char content hash naming this run in stores."""
+        return hashlib.sha256(_canonical(self.payload()).encode()).hexdigest()[:16]
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "RunSpec":
+        return cls(
+            workload=payload["workload"],
+            cores=payload["cores"],
+            frequency_ghz=payload["frequency_ghz"],
+            seed=payload["seed"],
+            depth_noise_std=payload.get("depth_noise_std", 0.0),
+            workload_kwargs=dict(payload.get("workload_kwargs", {})),
+            sim_kwargs=dict(payload.get("sim_kwargs", {})),
+        )
+
+    def label(self) -> str:
+        """Compact human-readable name for progress lines."""
+        parts = [
+            self.workload,
+            f"{self.cores}c@{self.frequency_ghz:g}GHz",
+            f"seed={self.seed}",
+        ]
+        if self.depth_noise_std:
+            parts.append(f"noise={self.depth_noise_std:g}")
+        return " ".join(parts)
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative mission study: workloads x grid x noise x seeds.
+
+    Attributes
+    ----------
+    workloads:
+        Workload names (validated against the registry at construction).
+    grid:
+        Operating points ``(cores, frequency_ghz)``; defaults to the
+        paper's full 3x3 TX2 grid.
+    seeds:
+        Seeds averaged per cell by the sweep aggregator.
+    depth_noise_levels:
+        RGB-D depth-noise standard deviations (the Table II axis).
+    workload_kwargs:
+        Per-workload constructor overrides, keyed by workload name.
+    sim_kwargs:
+        Extra ``make_simulation`` arguments applied to every run; must be
+        JSON-serializable for specs that live in files/stores.
+    """
+
+    workloads: List[str]
+    grid: List[OperatingPoint] = field(default_factory=lambda: list(DEFAULT_GRID))
+    seeds: List[int] = field(default_factory=lambda: [1])
+    depth_noise_levels: List[float] = field(default_factory=lambda: [0.0])
+    workload_kwargs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    sim_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError("campaign needs at least one workload")
+        unknown = sorted(set(self.workloads) - set(WORKLOADS))
+        if unknown:
+            raise KeyError(
+                f"unknown workloads {unknown} (choose from {sorted(WORKLOADS)})"
+            )
+        stray = sorted(set(self.workload_kwargs) - set(self.workloads))
+        if stray:
+            raise KeyError(
+                f"workload_kwargs for workloads not in the campaign: {stray}"
+            )
+        if not self.grid:
+            raise ValueError("campaign needs at least one operating point")
+        if not self.seeds:
+            raise ValueError("campaign needs at least one seed")
+        if not self.depth_noise_levels:
+            raise ValueError("campaign needs at least one depth-noise level")
+        self.grid = [(int(c), float(f)) for c, f in self.grid]
+
+    @property
+    def run_count(self) -> int:
+        return (
+            len(self.workloads)
+            * len(self.grid)
+            * len(self.depth_noise_levels)
+            * len(self.seeds)
+        )
+
+    def expand(self) -> List[RunSpec]:
+        """The full, stably-ordered run matrix.
+
+        Order: workload (outer) -> grid -> noise level -> seed (inner).
+        Raises ``ValueError`` if two entries collapse to the same run key
+        (e.g. a duplicated seed), so a store can never silently merge two
+        intended runs into one.
+        """
+        runs: List[RunSpec] = []
+        for workload in self.workloads:
+            kwargs = dict(self.workload_kwargs.get(workload, {}))
+            for cores, freq in self.grid:
+                for noise in self.depth_noise_levels:
+                    for seed in self.seeds:
+                        runs.append(
+                            RunSpec(
+                                workload=workload,
+                                cores=cores,
+                                frequency_ghz=freq,
+                                seed=seed,
+                                depth_noise_std=noise,
+                                workload_kwargs=dict(kwargs),
+                                sim_kwargs=dict(self.sim_kwargs),
+                            )
+                        )
+        keys = [r.run_key for r in runs]
+        if len(set(keys)) != len(keys):
+            seen: Dict[str, RunSpec] = {}
+            for run in runs:
+                if run.run_key in seen:
+                    raise ValueError(
+                        f"duplicate run in campaign: {run.label()} "
+                        f"(key {run.run_key})"
+                    )
+                seen[run.run_key] = run
+        return runs
+
+    # ------------------------------------------------------------------
+    # (De)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "campaign-spec/1",
+            "workloads": list(self.workloads),
+            "grid": [[c, f] for c, f in self.grid],
+            "seeds": list(self.seeds),
+            "depth_noise_levels": list(self.depth_noise_levels),
+            "workload_kwargs": {k: dict(v) for k, v in self.workload_kwargs.items()},
+            "sim_kwargs": dict(self.sim_kwargs),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        known = {
+            "workloads", "grid", "seeds", "depth_noise_levels",
+            "workload_kwargs", "sim_kwargs",
+        }
+        stray = sorted(set(data) - known - {"schema"})
+        if stray:
+            raise KeyError(f"unknown campaign-spec fields: {stray}")
+        spec = cls(workloads=list(data["workloads"]))
+        if "grid" in data:
+            spec.grid = [(int(c), float(f)) for c, f in data["grid"]]
+        if "seeds" in data:
+            spec.seeds = [int(s) for s in data["seeds"]]
+        if "depth_noise_levels" in data:
+            spec.depth_noise_levels = [float(n) for n in data["depth_noise_levels"]]
+        if "workload_kwargs" in data:
+            spec.workload_kwargs = {
+                k: dict(v) for k, v in data["workload_kwargs"].items()
+            }
+        if "sim_kwargs" in data:
+            spec.sim_kwargs = dict(data["sim_kwargs"])
+        spec.__post_init__()  # re-validate the overridden fields
+        return spec
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "CampaignSpec":
+        return cls.from_json(Path(path).read_text())
+
+
+def parse_grid(tokens: Sequence[str]) -> List[OperatingPoint]:
+    """Parse CLI grid tokens like ``["2x0.8", "4x2.2"]``."""
+    grid: List[OperatingPoint] = []
+    for token in tokens:
+        try:
+            cores_s, _, freq_s = token.partition("x")
+            grid.append((int(cores_s), float(freq_s)))
+        except ValueError:
+            raise ValueError(
+                f"bad operating point '{token}' (expected CORESxGHZ, e.g. 4x2.2)"
+            ) from None
+    return grid

@@ -1,0 +1,95 @@
+"""JSONL-on-disk campaign result store.
+
+One line per completed (or failed) mission run, keyed by the run's
+content hash.  Append-only with a per-record flush, so a campaign killed
+mid-flight loses at most the mission that was being written; on reload,
+a truncated trailing line is skipped rather than poisoning the store.
+Re-running a spec against the same store turns finished rows into cache
+hits — that is the whole resume story.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+#: Per-record schema tag written into every line.
+RECORD_SCHEMA = "campaign-run/1"
+
+
+class CampaignStore:
+    """Append-only JSONL store of campaign run records.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file; created (with parents) on first write.
+    fresh:
+        Discard any existing content instead of loading it — the
+        "start over" mode of the CLI when ``--resume`` is not given.
+    """
+
+    def __init__(self, path: Union[str, Path], fresh: bool = False) -> None:
+        self.path = Path(path)
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._skipped_lines = 0
+        if fresh:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text("")
+        elif self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Crash-truncated tail (or unrelated garbage): skip the
+                # line; the missing run simply re-executes on resume.
+                self._skipped_lines += 1
+                continue
+            key = record.get("run_key") if isinstance(record, dict) else None
+            if key:
+                self._records[key] = record  # last write wins
+
+    # ------------------------------------------------------------------
+    # Mapping-style access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, run_key: str) -> bool:
+        return run_key in self._records
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._records.values())
+
+    def get(self, run_key: str) -> Optional[Dict[str, Any]]:
+        return self._records.get(run_key)
+
+    def keys(self) -> List[str]:
+        return list(self._records)
+
+    @property
+    def skipped_lines(self) -> int:
+        """Unparsable lines dropped on load (crash-truncated tails)."""
+        return self._skipped_lines
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def add(self, record: Dict[str, Any]) -> None:
+        """Append one run record and flush it to disk immediately."""
+        key = record.get("run_key")
+        if not key:
+            raise ValueError("campaign record needs a 'run_key'")
+        line = json.dumps(record, sort_keys=True, default=repr)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+        self._records[key] = record

@@ -2,16 +2,20 @@
 
 Commands
 --------
-``run``     fly one workload at one operating point and print its QoF report
-``sweep``   run a workload across TX2 operating points and print heatmaps
-``list``    list available workloads, environments, kernels, and detectors
+``run``       fly one workload at one operating point and print its QoF report
+``sweep``     run a workload across TX2 operating points and print heatmaps
+``campaign``  run a declarative multi-workload study (parallel, resumable)
+``list``      list available workloads, environments, kernels, and detectors
 
 Examples
 --------
 ::
 
     python -m repro run package_delivery --cores 4 --frequency 2.2
-    python -m repro sweep mapping --seeds 1 2
+    python -m repro sweep mapping --seeds 1 2 --jobs 4
+    python -m repro campaign --workloads scanning mapping --seeds 1 2 \\
+        --jobs 4 --out store.jsonl
+    python -m repro campaign --spec study.json --resume --out store.jsonl
     python -m repro list
 """
 
@@ -22,10 +26,26 @@ import sys
 from typing import List, Optional
 
 from .analysis import format_heatmap, format_table, sweep_operating_points
+from .campaign import (
+    CampaignSpec,
+    CampaignStore,
+    RunSpec,
+    aggregate_sweep,
+    parse_grid,
+    run_campaign,
+)
 from .compute.kernels import DEFAULT_KERNELS
 from .core.api import available_workloads, run_workload
 from .perception.detection import DETECTORS
 from .world.generator import ENVIRONMENTS
+
+#: Heatmap metrics and their display precision.
+METRIC_FORMATS = {
+    "velocity_ms": "{:.2f}",
+    "mission_time_s": "{:.1f}",
+    "energy_kj": "{:.1f}",
+    "success_rate": "{:.2f}",
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -56,8 +76,59 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seeds", type=int, nargs="+", default=[1])
     sweep_p.add_argument(
         "--metric",
-        choices=["velocity_ms", "mission_time_s", "energy_kj"],
+        choices=sorted(METRIC_FORMATS),
         default="mission_time_s",
+        help="metric to print as a heatmap (and for the corner ratio)",
+    )
+    sweep_p.add_argument(
+        "--all", action="store_true",
+        help="print every metric's heatmap, not just --metric",
+    )
+    sweep_p.add_argument(
+        "--grid", nargs="+", metavar="CORESxGHZ",
+        help="operating points, e.g. 2x0.8 4x2.2 (default: full 3x3 grid)",
+    )
+    sweep_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the mission grid (default 1)",
+    )
+
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="run a declarative mission study (parallel, resumable)",
+    )
+    campaign_p.add_argument(
+        "--spec", help="JSON campaign spec file (flags below override it)"
+    )
+    campaign_p.add_argument(
+        "--workloads", nargs="+", choices=available_workloads(),
+        help="workloads to fly (required unless --spec is given)",
+    )
+    campaign_p.add_argument(
+        "--grid", nargs="+", metavar="CORESxGHZ",
+        help="operating points, e.g. 2x0.8 4x2.2 (default: full 3x3 grid)",
+    )
+    campaign_p.add_argument("--seeds", type=int, nargs="+", default=None)
+    campaign_p.add_argument(
+        "--noise", type=float, nargs="+", default=None,
+        help="depth_noise_std levels (Table II axis), in meters",
+    )
+    campaign_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1: in-process, deterministic order)",
+    )
+    campaign_p.add_argument(
+        "--out", help="JSONL result store path (enables resume/caching)"
+    )
+    campaign_p.add_argument(
+        "--resume", action="store_true",
+        help="reuse finished runs already in --out instead of starting fresh",
+    )
+    campaign_p.add_argument(
+        "--metric",
+        choices=sorted(METRIC_FORMATS),
+        default="mission_time_s",
+        help="metric to print per workload heatmap",
     )
 
     sub.add_parser("list", help="list workloads, environments, kernels")
@@ -101,21 +172,117 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    result = sweep_operating_points(args.workload, seeds=tuple(args.seeds))
-    print(f"workload: {args.workload}  (seeds: {args.seeds})\n")
-    for metric, fmt in [
-        ("velocity_ms", "{:.2f}"),
-        ("mission_time_s", "{:.1f}"),
-        ("energy_kj", "{:.1f}"),
-    ]:
-        print(f"--- {metric} ---")
-        print(format_heatmap(result, metric, fmt=fmt))
-        print()
-    print(
-        f"corner ratio (2c/0.8GHz over 4c/2.2GHz) on {args.metric}: "
-        f"{result.corner_ratio(args.metric):.2f}x"
+    grid = parse_grid(args.grid) if args.grid else None
+    result = sweep_operating_points(
+        args.workload, grid=grid, seeds=tuple(args.seeds), jobs=args.jobs
     )
+    print(f"workload: {args.workload}  (seeds: {args.seeds})\n")
+    metrics = sorted(METRIC_FORMATS) if args.all else [args.metric]
+    for metric in metrics:
+        print(f"--- {metric} ---")
+        print(format_heatmap(result, metric, fmt=METRIC_FORMATS[metric]))
+        print()
+    try:
+        print(
+            f"corner ratio (2c/0.8GHz over 4c/2.2GHz) on {args.metric}: "
+            f"{result.corner_ratio(args.metric):.2f}x"
+        )
+    except KeyError:
+        pass  # a --grid subset without both corners has no corner ratio
     return 0
+
+
+def _campaign_spec_from_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> CampaignSpec:
+    if args.spec:
+        spec = CampaignSpec.from_file(args.spec)
+        if args.workloads:
+            spec.workloads = list(args.workloads)
+            # Narrowing the workload list drops the excluded workloads'
+            # kwargs with it (re-validation rejects stray entries).
+            spec.workload_kwargs = {
+                k: v
+                for k, v in spec.workload_kwargs.items()
+                if k in spec.workloads
+            }
+        if args.grid:
+            spec.grid = parse_grid(args.grid)
+        if args.seeds:
+            spec.seeds = list(args.seeds)
+        if args.noise:
+            spec.depth_noise_levels = list(args.noise)
+        spec.__post_init__()  # re-validate after overrides
+        return spec
+    if not args.workloads:
+        parser.error("campaign needs --spec FILE or --workloads ...")
+    kwargs = {"workloads": list(args.workloads)}
+    if args.grid:
+        kwargs["grid"] = parse_grid(args.grid)
+    if args.seeds:
+        kwargs["seeds"] = list(args.seeds)
+    if args.noise:
+        kwargs["depth_noise_levels"] = list(args.noise)
+    return CampaignSpec(**kwargs)
+
+
+def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    spec = _campaign_spec_from_args(parser, args)
+    store = None
+    if args.out:
+        store = CampaignStore(args.out, fresh=not args.resume)
+        if args.resume and len(store):
+            print(f"resuming from {store.path} ({len(store)} stored runs)")
+
+    total = spec.run_count
+    done = {"n": 0}
+
+    def _progress(record) -> None:
+        done["n"] += 1
+        label = RunSpec.from_payload(record["spec"]).label()
+        if record["status"] == "ok":
+            report = record["report"]
+            outcome = (
+                f"t={report['mission_time_s']:.1f}s "
+                f"E={report['total_energy_j'] / 1000.0:.1f}kJ "
+                f"{'ok' if report['success'] else 'mission-failed'}"
+            )
+        else:
+            outcome = record["error"]
+        print(f"[{done['n']}/{total}] {label}: {outcome}")
+
+    campaign = run_campaign(
+        spec, jobs=args.jobs, store=store, progress=_progress
+    )
+    print()
+    print(campaign.summary())
+    if store is not None:
+        print(f"store: {store.path}")
+
+    for workload in spec.workloads:
+        for noise in spec.depth_noise_levels:
+            rows = [
+                r for r in campaign.records
+                if r["spec"]["workload"] == workload
+                and r["spec"].get("depth_noise_std", 0.0) == noise
+                and r["status"] == "ok"
+            ]
+            if not rows:
+                continue
+            suffix = f" (noise={noise:g})" if noise else ""
+            print(f"\n--- {workload}{suffix}: {args.metric} ---")
+            print(
+                format_heatmap(
+                    aggregate_sweep(rows, workload=workload),
+                    args.metric,
+                    fmt=METRIC_FORMATS[args.metric],
+                )
+            )
+    if campaign.errors:
+        print(f"\n{len(campaign.errors)} failed runs:")
+        for record in campaign.errors:
+            print(f"  {record['run_key']}: {record['error']}")
+    return 1 if campaign.failed else 0
 
 
 def _cmd_list() -> int:
@@ -128,11 +295,14 @@ def _cmd_list() -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args, parser)
     return _cmd_list()
 
 

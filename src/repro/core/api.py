@@ -8,8 +8,9 @@ benchmarks use.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Type
 
 from ..compute.kernels import KernelModel
 from ..compute.platform import JETSON_TX2, PlatformConfig, PlatformSpec
@@ -22,12 +23,21 @@ from .workloads import WORKLOADS, Workload
 
 @dataclass
 class WorkloadResult:
-    """Everything a study needs from one mission run."""
+    """Everything a study needs from one mission run.
+
+    Echoes the resolved run configuration (``seed``, ``depth_noise_std``,
+    ``workload_kwargs``, and the platform operating point) so rows
+    derived from this result — campaign store records in particular —
+    are self-describing.
+    """
 
     workload: str
     platform: PlatformConfig
     report: QofReport
     kernel_stats: Dict[str, Dict[str, float]]
+    seed: int = 0
+    depth_noise_std: float = 0.0
+    workload_kwargs: Dict = field(default_factory=dict)
 
     @property
     def mission_time_s(self) -> float:
@@ -90,6 +100,59 @@ def make_simulation(
     return sim
 
 
+def _accepted_workload_kwargs(cls: Type[Workload]) -> Set[str]:
+    """Constructor keywords ``cls`` genuinely accepts.
+
+    Walks the MRO while constructors forward ``**kwargs`` upward (e.g.
+    SearchRescue -> Mapping), collecting named parameters, so a typo'd
+    keyword can't vanish into a ``**``-splat.
+    """
+    accepted: Set[str] = set()
+    for klass in cls.__mro__:
+        init = klass.__dict__.get("__init__")
+        if init is None:
+            continue
+        params = [
+            p
+            for name, p in inspect.signature(init).parameters.items()
+            if name != "self"
+        ]
+        accepted.update(
+            p.name
+            for p in params
+            if p.kind
+            in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY, p.POSITIONAL_ONLY)
+        )
+        if not any(p.kind == p.VAR_KEYWORD for p in params):
+            break
+    return accepted
+
+
+def validate_workload_kwargs(name: str, workload_kwargs: Dict) -> None:
+    """Reject unknown (or misrouted) workload constructor keywords.
+
+    Raises ``KeyError`` for an unknown workload name, ``ValueError`` if
+    ``seed`` is smuggled in via kwargs (it is routed explicitly), and
+    ``TypeError`` for keywords the workload's constructor chain does not
+    declare.
+    """
+    if name not in WORKLOADS:
+        raise KeyError(
+            f"unknown workload '{name}' (choose from {available_workloads()})"
+        )
+    if "seed" in workload_kwargs:
+        raise ValueError(
+            "pass seed=... to run_workload directly, not inside workload_kwargs"
+        )
+    accepted = _accepted_workload_kwargs(WORKLOADS[name]) - {"seed"}
+    unknown = sorted(set(workload_kwargs) - accepted)
+    if unknown:
+        raise TypeError(
+            f"unknown workload_kwargs for '{name}': {unknown} "
+            f"(accepted: {sorted(accepted)})"
+        )
+
+
 def run_workload(
     name: str,
     cores: int = 4,
@@ -114,11 +177,9 @@ def run_workload(
     sim_kwargs:
         Extra arguments for :func:`make_simulation`.
     """
-    if name not in WORKLOADS:
-        raise KeyError(
-            f"unknown workload '{name}' (choose from {available_workloads()})"
-        )
-    workload = WORKLOADS[name](seed=seed, **(workload_kwargs or {}))
+    workload_kwargs = dict(workload_kwargs or {})
+    validate_workload_kwargs(name, workload_kwargs)
+    workload = WORKLOADS[name](seed=seed, **workload_kwargs)
     sim = make_simulation(
         workload,
         cores=cores,
@@ -133,4 +194,7 @@ def run_workload(
         platform=sim.platform,
         report=report,
         kernel_stats=sim.scheduler.kernel_latency_stats(),
+        seed=seed,
+        depth_noise_std=depth_noise_std,
+        workload_kwargs=workload_kwargs,
     )

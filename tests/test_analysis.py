@@ -113,6 +113,27 @@ class TestSweepResult:
         expected = (100.0 / (2 * 0.8)) / (100.0 / (4 * 2.2))
         assert sweep.corner_ratio("mission_time_s") == pytest.approx(expected)
 
+    def test_best_over_worst_direction(self):
+        """Regression: lower_is_better used to be dead (both branches
+        returned max/min); the ratio must follow the metric direction."""
+        sweep = _toy_sweep()
+        times = [c.mission_time_s for c in sweep.cells]
+        speeds = [c.velocity_ms for c in sweep.cells]
+        # Lower-is-better (mission time): best is the minimum -> ratio < 1.
+        assert sweep.best_over_worst("mission_time_s") == pytest.approx(
+            min(times) / max(times)
+        )
+        assert sweep.best_over_worst("mission_time_s") < 1.0
+        # Higher-is-better (velocity): best is the maximum -> ratio > 1.
+        assert sweep.best_over_worst(
+            "velocity_ms", lower_is_better=False
+        ) == pytest.approx(max(speeds) / min(speeds))
+        assert sweep.best_over_worst("velocity_ms", lower_is_better=False) > 1.0
+
+    def test_best_over_worst_empty(self):
+        sweep = SweepResult(workload="toy", cells=[])
+        assert np.isnan(sweep.best_over_worst("mission_time_s"))
+
     def test_metric_grid(self):
         grid = _toy_sweep().metric_grid("velocity_ms")
         assert len(grid) == 9

@@ -29,6 +29,40 @@ class TestRunWorkload:
         )
         assert result.report.extra["area_m2"] == pytest.approx(600.0)
 
+    def test_unknown_workload_kwargs_rejected(self):
+        """A typo'd constructor keyword must fail loudly, not vanish."""
+        with pytest.raises(TypeError, match="area_widht"):
+            run_workload(
+                "scanning", seed=1, workload_kwargs={"area_widht": 30.0}
+            )
+        # Kwargs forwarded through a **kwargs chain are still validated
+        # (search_rescue splats into the mapping base constructor).
+        with pytest.raises(TypeError, match="coverage_tgt"):
+            run_workload(
+                "search_rescue", seed=1, workload_kwargs={"coverage_tgt": 0.5}
+            )
+
+    def test_seed_not_allowed_in_workload_kwargs(self):
+        with pytest.raises(ValueError, match="seed"):
+            run_workload("scanning", workload_kwargs={"seed": 3})
+
+    def test_result_echoes_resolved_config(self):
+        """Campaign rows are self-describing: the result carries the
+        seed, noise level, and workload kwargs it actually ran with."""
+        kwargs = {"area_width": 40.0, "area_length": 24.0}
+        result = run_workload(
+            "scanning",
+            cores=2,
+            frequency_ghz=0.8,
+            seed=7,
+            depth_noise_std=0.25,
+            workload_kwargs=kwargs,
+        )
+        assert result.seed == 7
+        assert result.depth_noise_std == 0.25
+        assert result.workload_kwargs == kwargs
+        assert result.platform.cores == 2
+
     def test_invalid_operating_point(self):
         with pytest.raises(ValueError):
             run_workload("scanning", cores=9)

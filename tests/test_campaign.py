@@ -1,0 +1,307 @@
+"""Tests for the campaign engine: spec expansion, store, runner, aggregation."""
+
+import json
+
+import pytest
+
+from repro.analysis import SweepResult, sweep_operating_points
+from repro.campaign import (
+    CampaignRunError,
+    CampaignSpec,
+    CampaignStore,
+    RunSpec,
+    aggregate_sweep,
+    run_campaign,
+    success_table,
+)
+from repro.campaign.spec import parse_grid
+
+#: A mission configuration that finishes in ~0.1 s and succeeds.
+TINY_KWARGS = {"area_width": 40.0, "area_length": 24.0}
+
+
+def tiny_spec(grid=((4, 2.2), (2, 0.8)), seeds=(1, 2)) -> CampaignSpec:
+    return CampaignSpec(
+        workloads=["scanning"],
+        grid=list(grid),
+        seeds=list(seeds),
+        workload_kwargs={"scanning": dict(TINY_KWARGS)},
+    )
+
+
+class TestSpecExpansion:
+    def test_deterministic_and_stably_ordered(self):
+        spec = CampaignSpec(
+            workloads=["scanning", "mapping"],
+            grid=[(2, 0.8), (4, 2.2)],
+            seeds=[1, 2],
+            depth_noise_levels=[0.0, 0.5],
+        )
+        runs_a = spec.expand()
+        runs_b = spec.expand()
+        assert [r.run_key for r in runs_a] == [r.run_key for r in runs_b]
+        # workload (outer) -> grid -> noise -> seed (inner).
+        assert [r.workload for r in runs_a[:8]] == ["scanning"] * 8
+        assert (runs_a[0].cores, runs_a[0].frequency_ghz) == (2, 0.8)
+        assert [r.seed for r in runs_a[:2]] == [1, 2]
+        assert runs_a[1].depth_noise_std == 0.0
+        assert runs_a[2].depth_noise_std == 0.5
+
+    def test_run_keys_collision_free(self):
+        spec = CampaignSpec(
+            workloads=["scanning", "mapping", "package_delivery"],
+            seeds=[1, 2, 3],
+            depth_noise_levels=[0.0, 0.25],
+        )
+        keys = [r.run_key for r in spec.expand()]
+        assert len(keys) == spec.run_count == 3 * 9 * 2 * 3
+        assert len(set(keys)) == len(keys)
+        assert all(len(k) == 16 for k in keys)
+
+    def test_duplicate_seed_rejected(self):
+        spec = CampaignSpec(workloads=["scanning"], seeds=[1, 1])
+        with pytest.raises(ValueError, match="duplicate run"):
+            spec.expand()
+
+    def test_key_independent_of_kwarg_order(self):
+        a = RunSpec("scanning", 4, 2.2, 1, workload_kwargs={"a": 1, "b": 2})
+        b = RunSpec("scanning", 4, 2.2, 1, workload_kwargs={"b": 2, "a": 1})
+        assert a.run_key == b.run_key
+
+    def test_key_normalizes_numeric_types(self):
+        assert (
+            RunSpec("scanning", 4, 2, 1).run_key
+            == RunSpec("scanning", 4, 2.0, 1).run_key
+        )
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError, match="time_travel"):
+            CampaignSpec(workloads=["time_travel"])
+
+    def test_stray_workload_kwargs_rejected(self):
+        with pytest.raises(KeyError, match="mapping"):
+            CampaignSpec(
+                workloads=["scanning"], workload_kwargs={"mapping": {}}
+            )
+
+    def test_json_round_trip(self):
+        spec = tiny_spec()
+        clone = CampaignSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert [r.run_key for r in clone.expand()] == [
+            r.run_key for r in spec.expand()
+        ]
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(tiny_spec().to_json())
+        assert CampaignSpec.from_file(path) == tiny_spec()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(KeyError, match="gridd"):
+            CampaignSpec.from_dict({"workloads": ["scanning"], "gridd": []})
+
+    def test_parse_grid(self):
+        assert parse_grid(["2x0.8", "4x2.2"]) == [(2, 0.8), (4, 2.2)]
+        with pytest.raises(ValueError, match="bad operating point"):
+            parse_grid(["fast"])
+
+
+class TestStore:
+    def _record(self, key, t=1.0):
+        return {"run_key": key, "status": "ok", "report": {"mission_time_s": t}}
+
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = CampaignStore(path)
+        store.add(self._record("aaa"))
+        store.add(self._record("bbb"))
+        reloaded = CampaignStore(path)
+        assert len(reloaded) == 2
+        assert "aaa" in reloaded and "bbb" in reloaded
+        assert reloaded.get("bbb")["report"]["mission_time_s"] == 1.0
+
+    def test_last_write_wins(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = CampaignStore(path)
+        store.add(self._record("aaa", t=1.0))
+        store.add(self._record("aaa", t=2.0))
+        assert CampaignStore(path).get("aaa")["report"]["mission_time_s"] == 2.0
+
+    def test_truncated_tail_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = CampaignStore(path)
+        store.add(self._record("aaa"))
+        with open(path, "a") as fh:
+            fh.write('{"run_key": "bbb", "status"')  # killed mid-write
+        reloaded = CampaignStore(path)
+        assert reloaded.keys() == ["aaa"]
+        assert reloaded.skipped_lines == 1
+
+    def test_fresh_discards_existing(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        CampaignStore(path).add(self._record("aaa"))
+        assert len(CampaignStore(path, fresh=True)) == 0
+        assert len(CampaignStore(path)) == 0
+
+    def test_record_needs_key(self, tmp_path):
+        with pytest.raises(ValueError):
+            CampaignStore(tmp_path / "s.jsonl").add({"status": "ok"})
+
+
+class TestRunner:
+    def test_parallel_equals_serial(self, tmp_path):
+        """jobs=2 must produce byte-identical aggregated results to jobs=1."""
+        spec = tiny_spec()
+        serial = run_campaign(spec, jobs=1)
+        store = CampaignStore(tmp_path / "parallel.jsonl")
+        parallel = run_campaign(spec, jobs=2, store=store)
+        assert serial.executed == parallel.executed == 4
+        agg_serial = aggregate_sweep(serial.records, workload="scanning")
+        agg_parallel = aggregate_sweep(parallel.records, workload="scanning")
+        assert agg_serial == agg_parallel
+        assert json.dumps(
+            [vars(c) for c in agg_serial.cells], sort_keys=True
+        ) == json.dumps([vars(c) for c in agg_parallel.cells], sort_keys=True)
+        # ...and both match the legacy sweep wrapper exactly.
+        legacy = sweep_operating_points(
+            "scanning",
+            grid=list(spec.grid),
+            seeds=tuple(spec.seeds),
+            workload_kwargs=dict(TINY_KWARGS),
+        )
+        assert legacy == agg_serial
+
+    def test_records_in_expansion_order(self, tmp_path):
+        spec = tiny_spec()
+        expected = [r.run_key for r in spec.expand()]
+        campaign = run_campaign(spec, jobs=2)
+        assert [r["run_key"] for r in campaign.records] == expected
+
+    def test_resume_runs_only_missing_rows(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        spec = tiny_spec()
+        first = run_campaign(spec, jobs=1, store=CampaignStore(path))
+        assert first.executed == 4 and first.cached == 0
+
+        # Simulate a campaign killed after two missions: keep only the
+        # first two store lines.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")
+        resumed = run_campaign(spec, jobs=1, store=CampaignStore(path))
+        assert resumed.executed == 2 and resumed.cached == 2
+        assert aggregate_sweep(
+            resumed.records, workload="scanning"
+        ) == aggregate_sweep(first.records, workload="scanning")
+
+        # A completed store resumes with zero new mission runs.
+        done = run_campaign(spec, jobs=1, store=CampaignStore(path))
+        assert done.executed == 0 and done.cached == 4
+
+    def test_extending_spec_reuses_cache(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        run_campaign(tiny_spec(seeds=(1,)), store=CampaignStore(path))
+        extended = run_campaign(
+            tiny_spec(seeds=(1, 2)), store=CampaignStore(path)
+        )
+        assert extended.cached == 2 and extended.executed == 2
+
+    def test_failed_run_recorded_not_fatal(self):
+        spec = CampaignSpec(
+            workloads=["scanning", "mapping"],
+            grid=[(4, 2.2)],
+            seeds=[1],
+            workload_kwargs={
+                "scanning": dict(TINY_KWARGS),
+                # Invalid: the constructor raises ValueError at run time.
+                "mapping": {"coverage_target": 2.0},
+            },
+        )
+        campaign = run_campaign(spec, jobs=1)
+        assert campaign.failed == 1
+        assert campaign.records[0]["status"] == "ok"
+        assert campaign.records[1]["status"] == "error"
+        assert "coverage target" in campaign.records[1]["error"]
+        # The healthy workload still aggregates...
+        assert aggregate_sweep(campaign.records, workload="scanning")
+        # ...while the broken one raises a named error.
+        with pytest.raises(CampaignRunError, match="mapping"):
+            aggregate_sweep(campaign.records, workload="mapping")
+
+    def test_resume_retries_failed_runs(self, tmp_path):
+        """Error rows are not cache hits: --resume re-executes them."""
+        path = tmp_path / "store.jsonl"
+        bad = CampaignSpec(
+            workloads=["mapping"],
+            grid=[(4, 2.2)],
+            seeds=[1],
+            workload_kwargs={"mapping": {"coverage_target": 2.0}},
+        )
+        first = run_campaign(bad, store=CampaignStore(path))
+        assert first.failed == 1 and first.executed == 1
+        retried = run_campaign(bad, store=CampaignStore(path))
+        assert retried.executed == 1 and retried.cached == 0
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            run_campaign(tiny_spec(), jobs=0)
+
+
+class TestSweepWrapper:
+    def test_duplicate_seeds_tolerated(self):
+        """The legacy sweep loop accepted repeated seeds; the wrapper
+        dedupes them (identical floats, missions being deterministic)."""
+        once = sweep_operating_points(
+            "scanning",
+            grid=[(4, 2.2)],
+            seeds=(1,),
+            workload_kwargs=dict(TINY_KWARGS),
+        )
+        doubled = sweep_operating_points(
+            "scanning",
+            grid=[(4, 2.2), (4, 2.2)],
+            seeds=(1, 1),
+            workload_kwargs=dict(TINY_KWARGS),
+        )
+        assert doubled == once
+
+
+class TestAggregate:
+    def test_aggregate_matches_legacy_sweep_shape(self):
+        campaign = run_campaign(tiny_spec(seeds=(1,)), jobs=1)
+        result = aggregate_sweep(campaign.records, workload="scanning")
+        assert isinstance(result, SweepResult)
+        assert result.workload == "scanning"
+        cell = result.cell(4, 2.2)
+        assert cell.mission_time_s > 0
+        assert cell.success_rate == 1.0
+        assert "area_m2" in cell.extra
+
+    def test_noise_filter(self):
+        spec = CampaignSpec(
+            workloads=["scanning"],
+            grid=[(4, 2.2)],
+            seeds=[1],
+            depth_noise_levels=[0.0, 0.5],
+            workload_kwargs={"scanning": dict(TINY_KWARGS)},
+        )
+        campaign = run_campaign(spec, jobs=1)
+        clean = aggregate_sweep(
+            campaign.records, workload="scanning", depth_noise_std=0.0
+        )
+        noisy = aggregate_sweep(
+            campaign.records, workload="scanning", depth_noise_std=0.5
+        )
+        assert len(clean.cells) == len(noisy.cells) == 1
+
+    def test_no_records_raises(self):
+        with pytest.raises(ValueError, match="no campaign records"):
+            aggregate_sweep([], workload="scanning")
+
+    def test_success_table_rows(self):
+        campaign = run_campaign(tiny_spec(seeds=(1,)), jobs=1)
+        rows = success_table(campaign.records)
+        assert len(rows) == 2
+        assert {r["workload"] for r in rows} == {"scanning"}
+        assert all(r["status"] == "ok" for r in rows)
+        assert all(r["energy_kj"] > 0 for r in rows)

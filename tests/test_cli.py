@@ -41,6 +41,98 @@ class TestCliRun:
             main(["run", "scanning", "--cores", "7"])
 
 
+TINY = ["--grid", "4x2.2", "2x0.8", "--seeds", "1"]
+TINY_SWEEP = ["sweep", "scanning"] + TINY
+TINY_CAMPAIGN = ["campaign", "--workloads", "scanning"] + TINY
+
+
+class TestCliSweep:
+    def test_metric_selects_printed_heatmap(self, capsys):
+        """Regression: --metric used to only affect the corner-ratio line
+        while the heatmaps printed a hard-coded metric list."""
+        assert main(TINY_SWEEP + ["--metric", "velocity_ms"]) == 0
+        out = capsys.readouterr().out
+        assert "--- velocity_ms ---" in out
+        assert "--- mission_time_s ---" not in out
+        assert "--- energy_kj ---" not in out
+        assert "corner ratio" in out and "velocity_ms" in out
+
+    def test_all_prints_every_metric(self, capsys):
+        assert main(TINY_SWEEP + ["--all"]) == 0
+        out = capsys.readouterr().out
+        for metric in ("velocity_ms", "mission_time_s", "energy_kj"):
+            assert f"--- {metric} ---" in out
+
+    def test_jobs_flag_accepted(self, capsys):
+        assert main(TINY_SWEEP + ["--jobs", "2"]) == 0
+        assert "--- mission_time_s ---" in capsys.readouterr().out
+
+
+class TestCliCampaign:
+    def test_campaign_runs_and_resumes(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        code = main(TINY_CAMPAIGN + ["--jobs", "2", "--out", store])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 runs (2 executed, 0 cached)" in out
+        assert "--- scanning: mission_time_s ---" in out
+
+        # Re-invoking with --resume performs zero new mission runs.
+        code = main(TINY_CAMPAIGN + ["--out", store, "--resume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 runs (0 executed, 2 cached)" in out
+
+    def test_campaign_from_spec_file(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            CampaignSpec(
+                workloads=["scanning"], grid=[(4, 2.2)], seeds=[1]
+            ).to_json()
+        )
+        code = main(
+            ["campaign", "--spec", str(spec_path), "--metric", "velocity_ms"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 runs (1 executed, 0 cached)" in out
+        assert "--- scanning: velocity_ms ---" in out
+
+    def test_spec_file_workloads_narrowing_drops_stale_kwargs(
+        self, capsys, tmp_path
+    ):
+        """--workloads may narrow a spec file even when the file carries
+        workload_kwargs for the now-excluded workloads."""
+        from repro.campaign import CampaignSpec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            CampaignSpec(
+                workloads=["scanning", "package_delivery"],
+                grid=[(4, 2.2)],
+                seeds=[1],
+                workload_kwargs={"package_delivery": {"planner_name": "rrt"}},
+            ).to_json()
+        )
+        code = main(
+            ["campaign", "--spec", str(spec_path), "--workloads", "scanning"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 runs (1 executed, 0 cached)" in out
+        assert "package_delivery" not in out
+
+    def test_campaign_requires_workloads_or_spec(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--jobs", "2"])
+
+    def test_bad_grid_token_rejected(self):
+        with pytest.raises(ValueError, match="bad operating point"):
+            main(["campaign", "--workloads", "scanning", "--grid", "turbo"])
+
+
 class TestCliParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
