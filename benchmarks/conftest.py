@@ -68,8 +68,11 @@ def pytest_sessionfinish(session, exitstatus):
     )
     if not out_path.is_absolute():
         out_path = Path(str(session.config.rootdir)) / out_path
+    # BENCH_octomap.json -> "bench-octomap/1", BENCH_planners.json ->
+    # "bench-planners/1": one artifact per kernel family, self-describing.
+    family = out_path.stem.replace("BENCH_", "").lower() or "octomap"
     payload = {
-        "schema": "bench-octomap/1",
+        "schema": f"bench-{family}/1",
         "benchmarks": results,
     }
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -5,6 +5,13 @@ swap planners.  This ablation runs Package Delivery once per planner and
 also benchmarks the raw planners on a fixed query, checking that all
 produce collision-free paths and that RRT* paths are not longer than
 plain RRT's.
+
+It also carries the planner-kernel regression gate (the Fig.-18-style
+batched-vs-scalar check for the planning stack): the batched planners
+must stay >=5x faster than their ``*_scalar`` reference twins *and*
+produce identical results.  CI runs this file with
+``BENCH_JSON=BENCH_planners.json`` so the planner perf trajectory is an
+artifact alongside ``BENCH_octomap.json``.
 """
 
 import numpy as np
@@ -31,6 +38,20 @@ def _benchmark_world():
     return checker, bounds
 
 
+def _fine_benchmark_world(resolution: float = 0.15):
+    """The same wall-with-gap world voxelized at the finest paper
+    resolution — where per-sample Python costs dominate the scalar stack
+    (the regime the batched kernels exist for)."""
+    om = OctoMap(resolution=resolution)
+    for y in np.arange(resolution / 2, 20, resolution):
+        for z in np.arange(resolution / 2, 8, resolution):
+            if not 8.0 <= y <= 10.5:
+                om.mark_occupied((10.25 - resolution / 3, y, z))
+    checker = CollisionChecker(om, drone_radius=0.325)
+    bounds = AABB(vec(0, 0, 0), vec(20, 20, 8))
+    return checker, bounds
+
+
 @pytest.mark.parametrize("name", PLANNERS)
 def test_ablation_raw_planner(benchmark, name):
     checker, bounds = _benchmark_world()
@@ -49,6 +70,73 @@ def test_ablation_raw_planner(benchmark, name):
     result = benchmark(plan)
     assert result.success
     assert checker.path_free(result.waypoints)
+
+
+def test_ablation_batched_vs_scalar_planning(print_header):
+    """The planner-kernel regression gate: batched RRT planning and PRM
+    roadmap construction must be >=5x faster than the scalar reference
+    stack on the fine-resolution query — and return identical results
+    (the differential check rides along, so a speedup bought by changed
+    behaviour fails here too)."""
+    import time
+
+    checker, bounds = _fine_benchmark_world()
+    start, goal = vec(2, 9, 3), vec(18, 9, 3)
+
+    def timed(fn, repeats: int) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    rrt_result = {}
+
+    def rrt_batched():
+        planner = RrtPlanner(checker, bounds, seed=11, max_iterations=4000)
+        rrt_result["batched"] = planner.plan(start, goal)
+
+    def rrt_scalar():
+        planner = RrtPlanner(checker, bounds, seed=11, max_iterations=4000)
+        rrt_result["scalar"] = planner.plan_scalar(start, goal)
+
+    prm_result = {}
+
+    def prm_batched():
+        planner = PrmPlanner(checker, bounds, n_samples=250, seed=11)
+        planner.build()
+        prm_result["batched"] = planner
+
+    def prm_scalar():
+        planner = PrmPlanner(checker, bounds, n_samples=250, seed=11)
+        planner.build_scalar()
+        prm_result["scalar"] = planner
+
+    rrt_b = timed(rrt_batched, 3)
+    rrt_s = timed(rrt_scalar, 1)
+    prm_b = timed(prm_batched, 3)
+    prm_s = timed(prm_scalar, 1)
+
+    # Differential: the speedup must not come from different answers.
+    a, b = rrt_result["batched"], rrt_result["scalar"]
+    assert a.success == b.success
+    assert len(a.waypoints) == len(b.waypoints)
+    assert all(np.array_equal(p, q) for p, q in zip(a.waypoints, b.waypoints))
+    pa, pb = prm_result["batched"], prm_result["scalar"]
+    assert pa.num_vertices == pb.num_vertices
+    assert pa._edges == pb._edges
+
+    ratio = (rrt_s + prm_s) / (rrt_b + prm_b)
+    print_header("Planner ablation addendum: batched vs scalar planning stack")
+    print(f"  rrt plan : scalar {1000 * rrt_s:8.1f} ms  batched "
+          f"{1000 * rrt_b:8.1f} ms  ({rrt_s / rrt_b:.1f}x)")
+    print(f"  prm build: scalar {1000 * prm_s:8.1f} ms  batched "
+          f"{1000 * prm_b:8.1f} ms  ({prm_s / prm_b:.1f}x)")
+    print(f"  combined speedup: {ratio:.1f}x (gate: >=5x)")
+    # Gate set below the measured ~7-8x so shared-CI-runner noise can't
+    # flake the job; a real regression toward 1x still fails loudly.
+    assert ratio >= 5.0, f"batched planning speedup regressed: {ratio:.1f}x < 5x"
 
 
 def test_ablation_planner_missions(benchmark, print_header):

@@ -32,6 +32,7 @@ from ..energy.power_model import RotorPowerModel
 from ..middleware.clock import SimClock
 from ..middleware.node import NodeGraph
 from ..perception.point_cloud import PointCloud, depth_to_point_cloud
+from ..planning.collision import GroundTruthChecker
 from ..sensors.camera import DepthImage, RgbdCamera
 from ..sensors.imu_gps import Gps, Imu
 from ..world.environment import World
@@ -132,6 +133,13 @@ class Simulation:
         self.qof = QofRecorder()
         self.wind = np.zeros(3)
 
+        # The ground-truth collision oracle for the per-tick crash check
+        # (and for validation sweeps over flown trajectories).  Planners
+        # must never see it — they query the belief map's checker.
+        self.ground_truth = GroundTruthChecker(
+            world=world, drone_radius=params.radius_m * 0.5
+        )
+
         self._failure_reason: Optional[str] = None
         self.collisions = 0
 
@@ -206,8 +214,8 @@ class Simulation:
 
     def _check_collision(self) -> None:
         s = self.state
-        if s.position[2] > 0.3 and self.world.is_occupied(
-            s.position, time=self.now, margin=self.vehicle.params.radius_m * 0.5
+        if s.position[2] > 0.3 and self.ground_truth.point_collides(
+            s.position, time=self.now
         ):
             self.collisions += 1
             self.fail("collision")

@@ -277,10 +277,10 @@ class OccupancyPipeline:
         brake = math.sqrt(2.0 * a_max * max(clearance - margin, 0.0))
         limit = min(limit, brake)
         position = self.sim.state.position
-        for dist in (2.0, 4.0):
-            probe = position + d * dist
-            if self.octomap.is_unknown(probe):
-                return min(limit, self.UNKNOWN_SPACE_SPEED)
+        # Both unknown-space probes answered by one batched map lookup.
+        probes = position[None, :] + d[None, :] * np.array([[2.0], [4.0]])
+        if np.any(np.isnan(self.octomap.log_odds_many(probes))):
+            return min(limit, self.UNKNOWN_SPACE_SPEED)
         return limit
 
     def safety_filter(self, cmd: np.ndarray, cruise: float) -> np.ndarray:

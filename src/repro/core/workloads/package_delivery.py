@@ -235,10 +235,9 @@ class PackageDeliveryWorkload(Workload):
                         # occupied belief space while its path escapes it.
                         if s.now - trajectory.points[0].time < 1.0:
                             return  # grace period on a fresh trajectory
-                        horizon = [
-                            trajectory.sample(s.now + dt_ahead).position
-                            for dt_ahead in (0.75, 1.5, 2.25, 3.0)
-                        ]
+                        horizon = trajectory.positions_at(
+                            s.now + np.array([0.75, 1.5, 2.25, 3.0])
+                        )
                         if not self.pipeline.checker.path_free(horizon):
                             blocked["flag"] = True
 

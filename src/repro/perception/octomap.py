@@ -725,6 +725,22 @@ class OctoMap:
         m = lo_keys.shape[0]
         if m == 0:
             return np.zeros(0, dtype=np.int64 if count else bool)
+        # Run-length dedupe of identical key-range boxes before the column
+        # searches.  Path-validation batches sample at half-voxel spacing,
+        # so *consecutive* samples often quantize to the very same box;
+        # each run is answered once and scattered back (O(M), no sort).
+        if m > 1:
+            lo_p = pack_keys(lo_keys)
+            hi_p = pack_keys(hi_keys)
+            new_run = np.empty(m, dtype=bool)
+            new_run[0] = True
+            new_run[1:] = (lo_p[1:] != lo_p[:-1]) | (hi_p[1:] != hi_p[:-1])
+            if not np.all(new_run):
+                first = np.nonzero(new_run)[0]
+                out = self._boxes_range_query(
+                    lo_keys[first], hi_keys[first], sorted_packed, count
+                )
+                return out[np.cumsum(new_run) - 1]
         counts = hi_keys - lo_keys + 1
         ci = int(counts[:, 0].max())
         cj = int(counts[:, 1].max())
@@ -784,6 +800,41 @@ class OctoMap:
     def region_occupied(self, box: AABB, margin: float = 0.0) -> bool:
         """Compatibility alias for :meth:`occupied_in_box`."""
         return self.occupied_in_box(box, margin)
+
+    def _box_key_range_scalar(self, box: AABB) -> Tuple[VoxelKey, VoxelKey]:
+        """Inclusive voxel-key corners of ``box`` (scalar twin of
+        :meth:`_box_key_ranges`)."""
+        return self.key_for(box.lo), self.key_for(box.hi)
+
+    def region_occupied_scalar(self, box: AABB, margin: float = 0.0) -> bool:
+        """Reference scalar implementation of :meth:`occupied_in_box`: a
+        Python walk over every voxel the box overlaps, one dict lookup
+        each.  Kept (and tested) as the ground truth the batched sorted-
+        index query must reproduce — the collision-checker equivalence
+        suite builds on it."""
+        check = box.inflate(margin) if margin > 0 else box
+        lo_key, hi_key = self._box_key_range_scalar(check)
+        for i in range(lo_key[0], hi_key[0] + 1):
+            for j in range(lo_key[1], hi_key[1] + 1):
+                for k in range(lo_key[2], hi_key[2] + 1):
+                    value = self._cells.get((i, j, k))
+                    if value is not None and value > OCCUPANCY_THRESHOLD:
+                        return True
+        return False
+
+    def region_unknown_fraction_scalar(self, box: AABB) -> float:
+        """Reference scalar implementation of
+        :meth:`region_unknown_fraction` (per-voxel dict walk)."""
+        lo_key, hi_key = self._box_key_range_scalar(box)
+        total = 0
+        known = 0
+        for i in range(lo_key[0], hi_key[0] + 1):
+            for j in range(lo_key[1], hi_key[1] + 1):
+                for k in range(lo_key[2], hi_key[2] + 1):
+                    total += 1
+                    if (i, j, k) in self._cells:
+                        known += 1
+        return (total - known) / total
 
     def region_unknown_fraction(self, box: AABB) -> float:
         """Fraction of voxels inside ``box`` that are unobserved."""

@@ -5,8 +5,13 @@ From-scratch implementations of the planning stage of the MAVBench
 pipeline (substituting for OMPL and the next-best-view planner).
 """
 
-from .collision import CollisionChecker, GroundTruthChecker
-from .astar import SearchResult, astar, dijkstra_all
+from .collision import (
+    CollisionChecker,
+    GroundTruthChecker,
+    escape_point,
+    escape_point_scalar,
+)
+from .astar import SearchResult, astar, astar_arrays, dijkstra_all
 from .rrt import PlanResult, RrtPlanner, RrtStarPlanner
 from .prm import PrmPlanner
 from .lawnmower import (
@@ -21,6 +26,7 @@ from .smoothing import (
     TrajectoryPoint,
     round_corners,
     shortcut_path,
+    shortcut_path_scalar,
     smooth_trajectory,
     time_parameterize,
 )
@@ -46,12 +52,16 @@ __all__ = [
     "TrajectoryPoint",
     "Viewpoint",
     "astar",
+    "astar_arrays",
     "coverage_length",
     "dijkstra_all",
+    "escape_point",
+    "escape_point_scalar",
     "lanes_required",
     "lawnmower_path",
     "round_corners",
     "shortcut_path",
+    "shortcut_path_scalar",
     "smooth_trajectory",
     "time_parameterize",
 ]

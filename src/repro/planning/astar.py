@@ -13,6 +13,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
+import numpy as np
+
 NodeId = Hashable
 
 
@@ -80,6 +82,83 @@ def astar(
                 heapq.heappush(
                     open_heap, (tentative + heuristic(nbr), next(counter), nbr)
                 )
+    return SearchResult(path=[], cost=float("inf"), expanded=expanded)
+
+
+def astar_arrays(
+    n_nodes: int,
+    indptr: "np.ndarray",
+    indices: "np.ndarray",
+    weights: "np.ndarray",
+    start: int,
+    goal: int,
+    heuristic: "np.ndarray",
+) -> SearchResult:
+    """A* over an integer-indexed CSR graph with vectorized expansion.
+
+    The hot-path twin of :func:`astar` for graphs that already live in
+    arrays (the PRM roadmap): each expansion relaxes the whole neighbor
+    row with array ops — one add, one compare — instead of a Python loop
+    with per-neighbor dict probes.  Heap discipline (f then insertion
+    counter), relaxation order, and therefore the returned path and
+    expansion count are identical to the generic implementation.
+
+    Parameters
+    ----------
+    n_nodes:
+        Total node count; node ids are ``0..n_nodes-1``.
+    indptr, indices, weights:
+        CSR adjacency: node ``u``'s neighbors are
+        ``indices[indptr[u]:indptr[u+1]]`` with matching edge ``weights``.
+    start, goal:
+        Node ids.
+    heuristic:
+        Per-node admissible cost-to-goal estimates, shape (n_nodes,).
+    """
+    if weights.size and float(np.min(weights)) < 0:
+        raise ValueError("A* requires non-negative edge costs")
+    counter = itertools.count()
+    g = np.full(n_nodes, np.inf)
+    g[start] = 0.0
+    came_from = np.full(n_nodes, -1, dtype=np.int64)
+    closed = np.zeros(n_nodes, dtype=bool)
+    open_heap: List[Tuple[float, int, int]] = [
+        (float(heuristic[start]), next(counter), start)
+    ]
+    expanded = 0
+    while open_heap:
+        _f, _tie, current = heapq.heappop(open_heap)
+        if closed[current]:
+            continue
+        if current == goal:
+            path: List[NodeId] = [current]
+            node = current
+            while came_from[node] >= 0:
+                node = int(came_from[node])
+                path.append(node)
+            path.reverse()
+            return SearchResult(
+                path=path, cost=float(g[current]), expanded=expanded
+            )
+        closed[current] = True
+        expanded += 1
+        row = slice(int(indptr[current]), int(indptr[current + 1]))
+        nbrs = indices[row]
+        if nbrs.size == 0:
+            continue
+        tentative = g[current] + weights[row]
+        improved = np.nonzero(tentative < g[nbrs])[0]
+        for k in improved:
+            nbr = int(nbrs[k])
+            t = float(tentative[k])
+            if t >= g[nbr]:
+                continue  # an earlier duplicate edge already relaxed it
+            g[nbr] = t
+            came_from[nbr] = current
+            heapq.heappush(
+                open_heap,
+                (t + float(heuristic[nbr]), next(counter), nbr),
+            )
     return SearchResult(path=[], cost=float("inf"), expanded=expanded)
 
 

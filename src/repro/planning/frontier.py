@@ -112,7 +112,12 @@ class FrontierExplorer:
         return [tuple(k) for k in selected.tolist()]
 
     def sample_viewpoints(self, current: np.ndarray) -> List[Viewpoint]:
-        """Score candidate viewpoints near the frontier."""
+        """Score candidate viewpoints near the frontier.
+
+        The free-space screen over all sampled candidates is one batched
+        point query; only the survivors pay for a gain estimate (in draw
+        order, so the RNG stream matches the per-candidate loop).
+        """
         frontier = self.frontier_keys()
         candidates: List[Viewpoint] = []
         if not frontier:
@@ -120,10 +125,11 @@ class FrontierExplorer:
         idx = self.rng.choice(
             len(frontier), size=min(self.n_candidates, len(frontier)), replace=False
         )
-        for i in np.atleast_1d(idx):
-            key = frontier[int(i)]
-            pos = self.octomap.center_of(key)
-            if not self.checker.point_free(pos):
+        keys = np.asarray([frontier[int(i)] for i in np.atleast_1d(idx)])
+        positions = self.octomap.centers_of_keys(keys)
+        free = self.checker.points_free(positions)
+        for pos, ok in zip(positions, free):
+            if not ok:
                 continue
             gain = self._information_gain(pos)
             travel = float(norm(pos - current))

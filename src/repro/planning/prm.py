@@ -6,18 +6,24 @@ queries by connecting start/goal to the roadmap and running A* over it —
 exactly the "generating a set of possible paths ... then choosing an
 optimal one among them using a path-planning algorithm, such as A*"
 pipeline the paper describes.
+
+Batched kernels: vertex sampling draws the whole candidate pool and
+answers it with one map query (rewinding the RNG to exactly what the
+sequential sampler would have consumed), neighbor edges are validated in
+batched windows, and queries run array-based A* over a CSR view of the
+roadmap.  ``build_scalar`` / ``plan_scalar`` keep the original per-sample
+loops over the scalar map queries as the equivalence reference.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..world.geometry import AABB, norm
-from .astar import astar
-from .collision import CollisionChecker
+from .astar import astar, astar_arrays
+from .collision import CollisionChecker, _dist, _row_dists
 from .rrt import PlanResult
 
 
@@ -37,6 +43,10 @@ class PrmPlanner:
     """
 
     name = "prm"
+
+    #: Edge-validation window: candidate edges checked per batched query
+    #: while hunting for k collision-free connections.
+    EDGE_WINDOW = 16
 
     def __init__(
         self,
@@ -60,15 +70,89 @@ class PrmPlanner:
     # ------------------------------------------------------------------
     # Roadmap construction
     # ------------------------------------------------------------------
+    def _sample_vertices(self) -> None:
+        """Draw the whole candidate pool at once and keep the first
+        ``n_samples`` collision-free points — the same vertices, in the
+        same order, as the one-draw-at-a-time loop.  The RNG is rewound
+        and re-advanced by exactly the draws that loop would have made.
+        """
+        max_tries = self.n_samples * 20
+        state = self.rng.bit_generator.state
+        candidates = self.rng.uniform(
+            self.bounds.lo, self.bounds.hi, size=(max_tries, 3)
+        )
+        free_idx = np.nonzero(self.checker.points_free(candidates))[0]
+        take = free_idx[: self.n_samples]
+        tries_used = (
+            int(take[-1]) + 1 if take.size == self.n_samples else max_tries
+        )
+        if tries_used < max_tries:
+            self.rng.bit_generator.state = state
+            self.rng.uniform(
+                self.bounds.lo, self.bounds.hi, size=(tries_used, 3)
+            )
+        self._vertices = [candidates[int(i)].copy() for i in take]
+
+    def _connect_vertex(self, i: int, arr: np.ndarray) -> None:
+        """Find up to ``k_neighbors`` collision-free edges for vertex ``i``,
+        validating candidate edges in batched windows (one map query per
+        window instead of one per candidate)."""
+        p = self._vertices[i]
+        d2 = np.sum((arr - p[None, :]) ** 2, axis=1)
+        order = np.argsort(d2)
+        connected = 0
+        pos = 1  # order[0] is the vertex itself
+        while connected < self.k_neighbors and pos < order.size:
+            window = [int(j) for j in order[pos: pos + self.EDGE_WINDOW]]
+            pos += len(window)
+            to_check = [
+                j for j in window
+                if not any(n == j for n, _ in self._edges[i])
+            ]
+            if to_check:
+                verdicts = self.checker.segments_free(
+                    p, arr[to_check]
+                )
+                free = dict(zip(to_check, verdicts.tolist()))
+            else:
+                free = {}
+            for j in window:
+                if connected >= self.k_neighbors:
+                    break
+                if any(n == j for n, _ in self._edges[i]):
+                    connected += 1
+                    continue
+                if free[j]:
+                    w = float(np.sqrt(d2[j]))
+                    self._edges[i].append((j, w))
+                    self._edges[j].append((i, w))
+                    connected += 1
+
     def build(self) -> None:
         """(Re-)sample the roadmap against the current belief map."""
+        self._edges = {}
+        self._sample_vertices()
+        for i in range(len(self._vertices)):
+            self._edges[i] = []
+        if len(self._vertices) >= 2:
+            arr = np.stack(self._vertices)
+            for i in range(len(self._vertices)):
+                self._connect_vertex(i, arr)
+        self._built = True
+
+    def build_scalar(self) -> None:
+        """Reference scalar roadmap construction (one draw / one scalar
+        map query at a time); kept for the equivalence suite."""
         self._vertices = []
         self._edges = {}
         tries = 0
-        while len(self._vertices) < self.n_samples and tries < self.n_samples * 20:
+        while (
+            len(self._vertices) < self.n_samples
+            and tries < self.n_samples * 20
+        ):
             tries += 1
             p = self.rng.uniform(self.bounds.lo, self.bounds.hi)
-            if self.checker.point_free(p):
+            if self.checker.point_free_scalar(p):
                 self._vertices.append(p)
         for i in range(len(self._vertices)):
             self._edges[i] = []
@@ -85,7 +169,7 @@ class PrmPlanner:
                     if any(n == j for n, _ in self._edges[i]):
                         connected += 1
                         continue
-                    if self.checker.segment_free(p, self._vertices[j]):
+                    if self.checker.segment_free_scalar(p, self._vertices[j]):
                         w = float(np.sqrt(d2[j]))
                         self._edges[i].append((j, w))
                         self._edges[j].append((i, w))
@@ -104,7 +188,7 @@ class PrmPlanner:
     # Queries
     # ------------------------------------------------------------------
     def plan(self, start: np.ndarray, goal: np.ndarray) -> PlanResult:
-        """Connect start/goal to the roadmap and search with A*."""
+        """Connect start/goal to the roadmap and search with array A*."""
         if not self._built:
             self.build()
         start = np.asarray(start, dtype=float)
@@ -123,6 +207,28 @@ class PrmPlanner:
         goal_links = self._connect_point(goal)
         if not start_links or not goal_links:
             return PlanResult([], float("inf"), 0, False)
+        return self._search(start, goal, start_links, goal_links)
+
+    def plan_scalar(self, start: np.ndarray, goal: np.ndarray) -> PlanResult:
+        """Reference query path: scalar map queries + the generic
+        closure-based A*; kept for the equivalence suite."""
+        if not self._built:
+            self.build_scalar()
+        start = np.asarray(start, dtype=float)
+        goal = np.asarray(goal, dtype=float)
+        if self.checker.segment_free_scalar(start, goal):
+            return PlanResult(
+                waypoints=[start, goal],
+                cost=norm(goal - start),
+                iterations=0,
+                success=True,
+            )
+        if not self._vertices:
+            return PlanResult([], float("inf"), 0, False)
+        start_links = self._connect_point_scalar(start)
+        goal_links = self._connect_point_scalar(goal)
+        if not start_links or not goal_links:
+            return PlanResult([], float("inf"), 0, False)
         goal_link_map = dict(goal_links)
 
         def neighbors(node):
@@ -135,12 +241,70 @@ class PrmPlanner:
 
         def heuristic(node) -> float:
             if node == "start":
-                return float(norm(goal - start))
+                return _dist(goal, start)
             if node == "goal":
                 return 0.0
-            return float(norm(goal - self._vertices[node]))
+            return _dist(goal, self._vertices[node])
 
         result = astar("start", "goal", neighbors, heuristic)
+        if not result.found:
+            return PlanResult([], float("inf"), result.expanded, False)
+        waypoints = [start]
+        for node in result.path[1:-1]:
+            waypoints.append(self._vertices[node])
+        waypoints.append(goal)
+        return PlanResult(
+            waypoints=waypoints,
+            cost=result.cost,
+            iterations=result.expanded,
+            success=True,
+        )
+
+    def _search(
+        self,
+        start: np.ndarray,
+        goal: np.ndarray,
+        start_links: List[Tuple[int, float]],
+        goal_links: List[Tuple[int, float]],
+    ) -> PlanResult:
+        """Array A* over the roadmap CSR plus virtual start/goal nodes.
+
+        Node ids: roadmap vertices ``0..n-1``, start ``n``, goal ``n+1``.
+        Adjacency rows keep exactly the neighbor order the closure-based
+        search iterates (roadmap edges in insertion order, then the goal
+        link), so expansions, tie-breaks, and the returned path match the
+        generic A* bit-for-bit.
+        """
+        n = len(self._vertices)
+        start_id, goal_id = n, n + 1
+        goal_link_map = dict(goal_links)
+        indices: List[int] = []
+        weights: List[float] = []
+        indptr = np.zeros(n + 3, dtype=np.int64)
+        for i in range(n):
+            row = list(self._edges.get(i, []))
+            if i in goal_link_map:
+                row.append((goal_id, goal_link_map[i]))
+            indices.extend(j for j, _ in row)
+            weights.extend(w for _, w in row)
+            indptr[i + 1] = len(indices)
+        indices.extend(j for j, _ in start_links)
+        weights.extend(w for _, w in start_links)
+        indptr[start_id + 1] = len(indices)
+        indptr[goal_id + 1] = len(indices)  # goal has no outgoing edges
+        verts = np.stack(self._vertices)
+        heuristic = np.concatenate(
+            [_row_dists(verts, goal), [_dist(goal, start), 0.0]]
+        )
+        result = astar_arrays(
+            n_nodes=n + 2,
+            indptr=indptr,
+            indices=np.asarray(indices, dtype=np.int64),
+            weights=np.asarray(weights, dtype=float),
+            start=start_id,
+            goal=goal_id,
+            heuristic=heuristic,
+        )
         if not result.found:
             return PlanResult([], float("inf"), result.expanded, False)
         waypoints = [start]
@@ -157,7 +321,29 @@ class PrmPlanner:
     def _connect_point(
         self, point: np.ndarray, k: Optional[int] = None
     ) -> List[Tuple[int, float]]:
-        """Collision-free connections from a free point to roadmap vertices."""
+        """Collision-free connections from a free point to roadmap
+        vertices, validated in batched windows."""
+        k = k or self.k_neighbors
+        arr = np.stack(self._vertices)
+        d2 = np.sum((arr - point[None, :]) ** 2, axis=1)
+        order = np.argsort(d2)
+        links: List[Tuple[int, float]] = []
+        pos = 0
+        while len(links) < k and pos < order.size:
+            window = [int(j) for j in order[pos: pos + self.EDGE_WINDOW]]
+            pos += len(window)
+            verdicts = self.checker.segments_free(point, arr[window])
+            for j, ok in zip(window, verdicts.tolist()):
+                if len(links) >= k:
+                    break
+                if ok:
+                    links.append((j, float(np.sqrt(d2[j]))))
+        return links
+
+    def _connect_point_scalar(
+        self, point: np.ndarray, k: Optional[int] = None
+    ) -> List[Tuple[int, float]]:
+        """Reference scalar implementation of :meth:`_connect_point`."""
         k = k or self.k_neighbors
         arr = np.stack(self._vertices)
         d2 = np.sum((arr - point[None, :]) ** 2, axis=1)
@@ -167,6 +353,6 @@ class PrmPlanner:
             if len(links) >= k:
                 break
             j = int(j)
-            if self.checker.segment_free(point, self._vertices[j]):
+            if self.checker.segment_free_scalar(point, self._vertices[j]):
                 links.append((j, float(np.sqrt(d2[j]))))
         return links

@@ -4,18 +4,33 @@ Substitute for OMPL's sampling-based shortest-path planners (LaValle 1998;
 Karaman & Frazzoli's RRT* rewiring).  These are the "shortest path"
 planners of the Package Delivery workload, plug-and-play interchangeable
 with the PRM+A* planner.
+
+The planners run on arrays: the tree's points and costs live in growing
+NumPy buffers (nearest-neighbor and radius queries are one vectorized
+distance computation instead of re-stacking a Python list every
+iteration), and RRT*'s choose-parent / rewire edge fans are validated
+with one batched collision query per fan.  ``plan_scalar`` twins keep the
+original per-node loops over the scalar map queries as the equivalence
+reference — same seed, bit-identical tree and waypoints — pinned by
+``tests/test_planning_batched.py``.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from ..world.geometry import AABB, norm
-from .collision import CollisionChecker
+from .collision import (
+    CollisionChecker,
+    _dist,
+    _row_dists,
+    escape_point,
+    escape_point_scalar,
+)
 
 
 @dataclass
@@ -44,6 +59,72 @@ class _TreeNode:
     point: np.ndarray
     parent: Optional[int]
     cost: float
+
+
+class _Tree:
+    """Growing array store for a sampling tree (points, parents, costs).
+
+    Append-mostly; nearest/near queries read a contiguous (n, 3) view, so
+    the per-iteration cost is one vectorized distance computation instead
+    of ``np.stack`` over an ever-growing Python list.
+    """
+
+    def __init__(self, root: np.ndarray, capacity: int = 256) -> None:
+        self._pts = np.empty((capacity, 3), dtype=float)
+        self._costs = np.empty(capacity, dtype=float)
+        self.parents: List[Optional[int]] = []
+        self._n = 0
+        self.append(root, None, 0.0)
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def points(self) -> np.ndarray:
+        return self._pts[: self._n]
+
+    @property
+    def costs(self) -> np.ndarray:
+        return self._costs[: self._n]
+
+    def point(self, idx: int) -> np.ndarray:
+        return self._pts[idx].copy()
+
+    def append(
+        self, point: np.ndarray, parent: Optional[int], cost: float
+    ) -> int:
+        if self._n == self._pts.shape[0]:
+            self._pts = np.concatenate([self._pts, np.empty_like(self._pts)])
+            self._costs = np.concatenate(
+                [self._costs, np.empty_like(self._costs)]
+            )
+        self._pts[self._n] = point
+        self._costs[self._n] = cost
+        self.parents.append(parent)
+        self._n += 1
+        return self._n - 1
+
+    def rewire(self, idx: int, parent: int, cost: float) -> None:
+        self.parents[idx] = parent
+        self._costs[idx] = cost
+
+    def nearest(self, target: np.ndarray) -> int:
+        d = self.points - target[None, :]
+        return int(np.argmin(np.sum(d * d, axis=1)))
+
+    def near_ids(self, target: np.ndarray, radius: float) -> np.ndarray:
+        d = self.points - target[None, :]
+        d2 = np.sum(d * d, axis=1)
+        return np.nonzero(d2 <= radius * radius)[0]
+
+    def extract(self, idx: int) -> List[np.ndarray]:
+        path: List[np.ndarray] = []
+        cursor: Optional[int] = idx
+        while cursor is not None:
+            path.append(self.point(cursor))
+            cursor = self.parents[cursor]
+        path.reverse()
+        return path
 
 
 class RrtPlanner:
@@ -88,37 +169,58 @@ class RrtPlanner:
         self.rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
+    def _escaped_start(
+        self, start: np.ndarray, scalar: bool
+    ) -> Optional[np.ndarray]:
+        escape = escape_point_scalar if scalar else escape_point
+        return escape(self.checker, start, self.rng)
+
     def plan(self, start: np.ndarray, goal: np.ndarray) -> PlanResult:
+        return self._plan(start, goal, scalar=False)
+
+    def plan_scalar(self, start: np.ndarray, goal: np.ndarray) -> PlanResult:
+        """Reference implementation over the scalar map queries; kept for
+        the batched-vs-scalar equivalence suite."""
+        return self._plan(start, goal, scalar=True)
+
+    def _plan(
+        self, start: np.ndarray, goal: np.ndarray, scalar: bool
+    ) -> PlanResult:
+        point_free = (
+            self.checker.point_free_scalar if scalar
+            else self.checker.point_free
+        )
+        segment_free = (
+            self.checker.segment_free_scalar if scalar
+            else self.checker.segment_free
+        )
         start = np.asarray(start, dtype=float)
         goal = np.asarray(goal, dtype=float)
         prefix: List[np.ndarray] = []
-        if not self.checker.point_free(start):
-            from .collision import escape_point
-
-            escaped = escape_point(self.checker, start, self.rng)
+        if not point_free(start):
+            escaped = self._escaped_start(start, scalar)
             if escaped is None:
                 return PlanResult([], float("inf"), 0, False)
             prefix = [start]
             start = escaped
-        nodes: List[_TreeNode] = [_TreeNode(start, None, 0.0)]
-        points = [start]
+        tree = _Tree(start)
         for it in range(1, self.max_iterations + 1):
             target = self._sample(goal)
-            near_idx = self._nearest(points, target)
-            new_point = self._steer(points[near_idx], target)
-            if not self.checker.segment_free(points[near_idx], new_point):
+            near_idx = tree.nearest(target)
+            near_point = tree.point(near_idx)
+            new_point = self._steer(near_point, target)
+            if not segment_free(near_point, new_point):
                 continue
-            cost = nodes[near_idx].cost + norm(new_point - points[near_idx])
-            nodes.append(_TreeNode(new_point, near_idx, cost))
-            points.append(new_point)
+            cost = tree.costs[near_idx] + _dist(new_point, near_point)
+            new_idx = tree.append(new_point, near_idx, cost)
             if norm(new_point - goal) <= self.goal_tolerance:
-                if self.checker.segment_free(new_point, goal):
-                    nodes.append(
-                        _TreeNode(goal, len(nodes) - 1, cost + norm(goal - new_point))
+                if segment_free(new_point, goal):
+                    goal_idx = tree.append(
+                        goal, new_idx, cost + _dist(goal, new_point)
                     )
                     return PlanResult(
-                        waypoints=prefix + self._extract(nodes, len(nodes) - 1),
-                        cost=nodes[-1].cost,
+                        waypoints=prefix + tree.extract(goal_idx),
+                        cost=float(tree.costs[goal_idx]),
                         iterations=it,
                         success=True,
                     )
@@ -130,12 +232,6 @@ class RrtPlanner:
             return goal.copy()
         return self.rng.uniform(self.bounds.lo, self.bounds.hi)
 
-    @staticmethod
-    def _nearest(points: List[np.ndarray], target: np.ndarray) -> int:
-        arr = np.stack(points)
-        d2 = np.sum((arr - target[None, :]) ** 2, axis=1)
-        return int(np.argmin(d2))
-
     def _steer(self, from_point: np.ndarray, to_point: np.ndarray) -> np.ndarray:
         delta = to_point - from_point
         dist = norm(delta)
@@ -143,23 +239,17 @@ class RrtPlanner:
             return to_point.copy()
         return from_point + delta * (self.step_size / dist)
 
-    @staticmethod
-    def _extract(nodes: List[_TreeNode], idx: int) -> List[np.ndarray]:
-        path = []
-        cursor: Optional[int] = idx
-        while cursor is not None:
-            path.append(nodes[cursor].point)
-            cursor = nodes[cursor].parent
-        path.reverse()
-        return path
-
 
 class RrtStarPlanner(RrtPlanner):
     """RRT* — asymptotically optimal variant with neighborhood rewiring.
 
     After extending toward a sample, the new node is connected to the
     lowest-cost parent within a shrinking neighborhood radius, and nearby
-    nodes are rewired through it when that shortens their path.
+    nodes are rewired through it when that shortens their path.  The
+    choose-parent candidate fan and the rewire fan are each validated
+    with one batched collision query (the scalar loop checks lazily but —
+    because the final parent is provably the min-cost collision-free
+    candidate either way — both orders select the same edge).
     """
 
     name = "rrt_star"
@@ -168,60 +258,62 @@ class RrtStarPlanner(RrtPlanner):
         super().__init__(*args, **kwargs)
         self.rewire_radius = rewire_radius
 
-    def plan(self, start: np.ndarray, goal: np.ndarray) -> PlanResult:
+    def _plan(
+        self, start: np.ndarray, goal: np.ndarray, scalar: bool
+    ) -> PlanResult:
+        point_free = (
+            self.checker.point_free_scalar if scalar
+            else self.checker.point_free
+        )
+        segment_free = (
+            self.checker.segment_free_scalar if scalar
+            else self.checker.segment_free
+        )
         start = np.asarray(start, dtype=float)
         goal = np.asarray(goal, dtype=float)
         prefix: List[np.ndarray] = []
-        if not self.checker.point_free(start):
-            from .collision import escape_point
-
-            escaped = escape_point(self.checker, start, self.rng)
+        if not point_free(start):
+            escaped = self._escaped_start(start, scalar)
             if escaped is None:
                 return PlanResult([], float("inf"), 0, False)
             prefix = [start]
             start = escaped
-        nodes: List[_TreeNode] = [_TreeNode(start, None, 0.0)]
-        points = [start]
+        tree = _Tree(start)
         best_goal_idx: Optional[int] = None
         best_goal_cost = float("inf")
-        for it in range(1, self.max_iterations + 1):
+        for _it in range(1, self.max_iterations + 1):
             target = self._sample(goal)
-            near_idx = self._nearest(points, target)
-            new_point = self._steer(points[near_idx], target)
-            if not self.checker.segment_free(points[near_idx], new_point):
+            near_idx = tree.nearest(target)
+            near_point = tree.point(near_idx)
+            new_point = self._steer(near_point, target)
+            if not segment_free(near_point, new_point):
                 continue
-            # Choose best parent within the rewire radius.
-            radius = self._radius(len(nodes))
-            neighbor_ids = self._near_ids(points, new_point, radius)
-            parent = near_idx
-            best_cost = nodes[near_idx].cost + norm(new_point - points[near_idx])
-            for nid in neighbor_ids:
-                cand = nodes[nid].cost + norm(new_point - points[nid])
-                if cand < best_cost and self.checker.segment_free(
-                    points[nid], new_point
-                ):
-                    parent = nid
-                    best_cost = cand
-            new_idx = len(nodes)
-            nodes.append(_TreeNode(new_point, parent, best_cost))
-            points.append(new_point)
-            # Rewire neighbors through the new node.
-            for nid in neighbor_ids:
-                through = best_cost + norm(points[nid] - new_point)
-                if through < nodes[nid].cost and self.checker.segment_free(
-                    new_point, points[nid]
-                ):
-                    nodes[nid] = _TreeNode(points[nid], new_idx, through)
+            radius = self._radius(len(tree))
+            neighbor_ids = tree.near_ids(new_point, radius)
+            init_cost = tree.costs[near_idx] + _dist(new_point, near_point)
+            if scalar:
+                parent, best_cost = self._choose_parent_scalar(
+                    tree, neighbor_ids, new_point, near_idx, init_cost
+                )
+            else:
+                parent, best_cost = self._choose_parent_batched(
+                    tree, neighbor_ids, new_point, near_idx, init_cost
+                )
+            new_idx = tree.append(new_point, parent, best_cost)
+            if scalar:
+                self._rewire_scalar(tree, neighbor_ids, new_idx, best_cost)
+            else:
+                self._rewire_batched(tree, neighbor_ids, new_idx, best_cost)
             # Track goal connections.
             if norm(new_point - goal) <= self.goal_tolerance:
-                if self.checker.segment_free(new_point, goal):
-                    goal_cost = best_cost + norm(goal - new_point)
+                if segment_free(new_point, goal):
+                    goal_cost = best_cost + _dist(goal, new_point)
                     if goal_cost < best_goal_cost:
                         best_goal_cost = goal_cost
                         best_goal_idx = new_idx
         if best_goal_idx is None:
             return PlanResult([], float("inf"), self.max_iterations, False)
-        path = prefix + self._extract(nodes, best_goal_idx)
+        path = prefix + tree.extract(best_goal_idx)
         path.append(goal.copy())
         return PlanResult(
             waypoints=path,
@@ -229,6 +321,101 @@ class RrtStarPlanner(RrtPlanner):
             iterations=self.max_iterations,
             success=True,
         )
+
+    # ------------------------------------------------------------------
+    # Choose-parent / rewire: batched kernels and their scalar twins
+    # ------------------------------------------------------------------
+    def _choose_parent_batched(
+        self,
+        tree: _Tree,
+        neighbor_ids: np.ndarray,
+        new_point: np.ndarray,
+        near_idx: int,
+        init_cost: float,
+    ):
+        parent, best_cost = near_idx, init_cost
+        if neighbor_ids.size == 0:
+            return parent, best_cost
+        cand = tree.costs[neighbor_ids] + _row_dists(
+            tree.points[neighbor_ids], new_point
+        )
+        viable = np.nonzero(cand < init_cost)[0]
+        if viable.size == 0:
+            return parent, best_cost
+        # One batched query validates every viable candidate edge.  The
+        # lazy scalar loop ends at the min-cost collision-free candidate
+        # (its running bound only ever skips candidates that could not
+        # win), so picking that minimum directly is result-identical.
+        free = self.checker.segments_free(
+            tree.points[neighbor_ids[viable]], new_point[None, :].repeat(
+                viable.size, axis=0
+            )
+        )
+        ok = viable[free]
+        if ok.size:
+            best = int(ok[np.argmin(cand[ok])])
+            # np.argmin takes the first minimum, matching the scalar
+            # loop's strict-improvement tie-break.
+            parent = int(neighbor_ids[best])
+            best_cost = float(cand[best])
+        return parent, best_cost
+
+    def _choose_parent_scalar(
+        self,
+        tree: _Tree,
+        neighbor_ids: np.ndarray,
+        new_point: np.ndarray,
+        near_idx: int,
+        init_cost: float,
+    ):
+        parent, best_cost = near_idx, init_cost
+        for nid in neighbor_ids:
+            nid = int(nid)
+            cand = tree.costs[nid] + _dist(new_point, tree.points[nid])
+            if cand < best_cost and self.checker.segment_free_scalar(
+                tree.points[nid], new_point
+            ):
+                parent = nid
+                best_cost = cand
+        return parent, best_cost
+
+    def _rewire_batched(
+        self,
+        tree: _Tree,
+        neighbor_ids: np.ndarray,
+        new_idx: int,
+        best_cost: float,
+    ) -> None:
+        if neighbor_ids.size == 0:
+            return
+        new_point = tree.points[new_idx]
+        through = best_cost + _row_dists(tree.points[neighbor_ids], new_point)
+        viable = np.nonzero(through < tree.costs[neighbor_ids])[0]
+        if viable.size == 0:
+            return
+        free = self.checker.segments_free(
+            new_point[None, :].repeat(viable.size, axis=0),
+            tree.points[neighbor_ids[viable]],
+        )
+        for k in np.nonzero(free)[0]:
+            nid = int(neighbor_ids[viable[int(k)]])
+            tree.rewire(nid, new_idx, float(through[viable[int(k)]]))
+
+    def _rewire_scalar(
+        self,
+        tree: _Tree,
+        neighbor_ids: np.ndarray,
+        new_idx: int,
+        best_cost: float,
+    ) -> None:
+        new_point = tree.point(new_idx)
+        for nid in neighbor_ids:
+            nid = int(nid)
+            through = best_cost + _dist(tree.points[nid], new_point)
+            if through < tree.costs[nid] and self.checker.segment_free_scalar(
+                new_point, tree.points[nid]
+            ):
+                tree.rewire(nid, new_idx, through)
 
     def _radius(self, n: int) -> float:
         """Shrinking neighborhood radius ~ (log n / n)^(1/3) in 3D."""
@@ -238,11 +425,3 @@ class RrtStarPlanner(RrtPlanner):
             self.rewire_radius,
             self.rewire_radius * (math.log(n) / n) ** (1.0 / 3.0) * 4.0,
         )
-
-    @staticmethod
-    def _near_ids(
-        points: List[np.ndarray], target: np.ndarray, radius: float
-    ) -> List[int]:
-        arr = np.stack(points)
-        d2 = np.sum((arr - target[None, :]) ** 2, axis=1)
-        return np.nonzero(d2 <= radius * radius)[0].tolist()

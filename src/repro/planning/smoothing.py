@@ -53,8 +53,31 @@ class Trajectory:
     def length(self) -> float:
         return path_length([p.position for p in self.points])
 
+    def _timeline(self):
+        """Cached array view (times, positions, velocities) of the points.
+
+        Trajectories are built once and then sampled every control tick;
+        the cache turns each lookup into one binary search.  Rebuilt when
+        the points list is replaced or resized; mutating an existing
+        TrajectoryPoint in place is not supported (treat trajectories as
+        immutable once built).
+        """
+        key = (id(self.points), len(self.points))
+        cache = getattr(self, "_timeline_cache", None)
+        if cache is None or cache[0] != key:
+            times = np.asarray([p.time for p in self.points])
+            positions = np.stack([p.position for p in self.points])
+            velocities = np.stack([p.velocity for p in self.points])
+            self._timeline_cache = (key, times, positions, velocities)
+            cache = self._timeline_cache
+        return cache[1], cache[2], cache[3]
+
     def sample(self, t: float) -> TrajectoryPoint:
-        """Linear interpolation of the trajectory at time ``t`` (clamped)."""
+        """Linear interpolation of the trajectory at time ``t`` (clamped).
+
+        One binary search over the cached timeline — the scalar walk this
+        replaces scanned every segment per call, twice per control tick.
+        """
         if not self.points:
             raise ValueError("cannot sample an empty trajectory")
         pts = self.points
@@ -62,17 +85,55 @@ class Trajectory:
             return pts[0]
         if t >= pts[-1].time:
             return pts[-1]
-        for a, b in zip(pts[:-1], pts[1:]):
-            if a.time <= t <= b.time:
-                span = b.time - a.time
-                alpha = 0.0 if span <= 0 else (t - a.time) / span
-                pos = a.position + alpha * (b.position - a.position)
-                vel = a.velocity + alpha * (b.velocity - a.velocity)
-                return TrajectoryPoint(position=pos, velocity=vel, time=t)
-        return pts[-1]
+        times, positions, velocities = self._timeline()
+        # First segment whose end time reaches t — exactly the segment the
+        # sequential scan would settle on.
+        k = int(np.searchsorted(times, t, side="left"))
+        span = times[k] - times[k - 1]
+        alpha = 0.0 if span <= 0 else (t - times[k - 1]) / span
+        pos = positions[k - 1] + alpha * (positions[k] - positions[k - 1])
+        vel = velocities[k - 1] + alpha * (velocities[k] - velocities[k - 1])
+        return TrajectoryPoint(position=pos, velocity=vel, time=t)
+
+    def positions_at(self, times) -> np.ndarray:
+        """Positions at a whole batch of timestamps, shape (N, 3).
+
+        The array twin of :meth:`sample` for position lookups: one
+        searchsorted over the timeline answers every query (the path
+        re-validation horizon in the workloads), matching :meth:`sample`
+        value-for-value including the clamped ends.
+        """
+        if not self.points:
+            raise ValueError("cannot sample an empty trajectory")
+        t = np.asarray(times, dtype=float).reshape(-1)
+        stamps, positions, _ = self._timeline()
+        if stamps.size == 1:
+            return np.repeat(positions, t.size, axis=0)
+        k = np.clip(
+            np.searchsorted(stamps, t, side="left"), 1, stamps.size - 1
+        )
+        span = stamps[k] - stamps[k - 1]
+        safe = np.where(span > 0, span, 1.0)
+        alpha = np.where(span > 0, (t - stamps[k - 1]) / safe, 0.0)
+        out = positions[k - 1] + alpha[:, None] * (
+            positions[k] - positions[k - 1]
+        )
+        out[t <= stamps[0]] = positions[0]
+        out[t >= stamps[-1]] = positions[-1]
+        return out
 
     def max_speed(self) -> float:
         return max((norm(p.velocity) for p in self.points), default=0.0)
+
+
+#: Shortcut attempts validated per batched collision query.
+_SHORTCUT_BATCH = 16
+
+
+def _draw_shortcut(rng: np.random.Generator, n: int) -> tuple:
+    i = int(rng.integers(0, n - 2))
+    j = int(rng.integers(i + 2, n))
+    return i, j
 
 
 def shortcut_path(
@@ -81,19 +142,60 @@ def shortcut_path(
     attempts: int = 50,
     seed: int = 0,
 ) -> List[np.ndarray]:
-    """Randomized shortcutting: try to replace subpaths with straight lines."""
+    """Randomized shortcutting: try to replace subpaths with straight lines.
+
+    Failed attempts don't change the path, so their draws are a
+    deterministic sequence: candidate (i, j) pairs are drawn
+    speculatively in batches and validated with *one* collision query per
+    batch.  When a shortcut lands mid-batch, the RNG is rewound to the
+    pre-batch state and re-advanced through exactly the winning attempt,
+    so the result (and the downstream stream) is bit-identical to the
+    one-attempt-at-a-time reference (:func:`shortcut_path_scalar`).
+    """
     pts = [np.asarray(p, dtype=float) for p in waypoints]
     if len(pts) <= 2 or checker is None:
         # Without a collision oracle, shortcutting would cut corners the
         # planner put there deliberately (e.g. lawnmower turns) — skip.
         return pts
     rng = np.random.default_rng(seed)
+    remaining = attempts
+    while remaining > 0 and len(pts) > 2:
+        batch = min(_SHORTCUT_BATCH, remaining)
+        state = rng.bit_generator.state
+        pairs = [_draw_shortcut(rng, len(pts)) for _ in range(batch)]
+        starts = np.stack([pts[i] for i, _ in pairs])
+        ends = np.stack([pts[j] for _, j in pairs])
+        verdicts = checker.segments_free(starts, ends)
+        hit = np.nonzero(verdicts)[0]
+        if hit.size == 0:
+            remaining -= batch
+            continue
+        s = int(hit[0])
+        rng.bit_generator.state = state
+        for _ in range(s + 1):
+            i, j = _draw_shortcut(rng, len(pts))
+        pts = pts[: i + 1] + pts[j:]
+        remaining -= s + 1
+    return pts
+
+
+def shortcut_path_scalar(
+    waypoints: Sequence[np.ndarray],
+    checker: Optional[CollisionChecker],
+    attempts: int = 50,
+    seed: int = 0,
+) -> List[np.ndarray]:
+    """Reference scalar implementation of :func:`shortcut_path` (one draw
+    and one scalar segment query per attempt)."""
+    pts = [np.asarray(p, dtype=float) for p in waypoints]
+    if len(pts) <= 2 or checker is None:
+        return pts
+    rng = np.random.default_rng(seed)
     for _ in range(attempts):
         if len(pts) <= 2:
             break
-        i = int(rng.integers(0, len(pts) - 2))
-        j = int(rng.integers(i + 2, len(pts)))
-        if checker.segment_free(pts[i], pts[j]):
+        i, j = _draw_shortcut(rng, len(pts))
+        if checker.segment_free_scalar(pts[i], pts[j]):
             pts = pts[: i + 1] + pts[j:]
     return pts
 

@@ -1,0 +1,422 @@
+"""Batched-vs-scalar equivalence suite for the planning hot path.
+
+The PR-1 OctoMap playbook applied to planning: every vectorized kernel
+keeps a ``*_scalar`` reference twin, and this suite pins batched ==
+scalar — bit-identical verdicts, paths, roadmaps, and RNG streams — on
+seeded worlds at three map resolutions, plus property-based invariants
+and seed-determinism checks (all in the CI fast lane).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perception.octomap import OctoMap
+from repro.planning import (
+    CollisionChecker,
+    PrmPlanner,
+    RrtPlanner,
+    RrtStarPlanner,
+    escape_point,
+    escape_point_scalar,
+    shortcut_path,
+    shortcut_path_scalar,
+)
+from repro.world import AABB, vec
+
+RESOLUTIONS = [0.25, 0.5, 1.0]
+
+
+def _corridor_checker(resolution: float, conservative: bool = False):
+    """A wall with a gap, plus observed-free flight space around it."""
+    om = OctoMap(resolution=resolution)
+    for y in np.arange(resolution / 2, 10, resolution):
+        for z in np.arange(resolution / 2, 6, resolution):
+            if 6.0 <= y <= 8.0:
+                continue
+            om.mark_occupied((5.0 + resolution / 2, y, z))
+    for x in np.arange(resolution / 2, 10, 2 * resolution):
+        for y in np.arange(resolution / 2, 10, 2 * resolution):
+            om.mark_free((x, y, 1.0))
+    checker = CollisionChecker(
+        om, drone_radius=0.3, treat_unknown_as_occupied=conservative
+    )
+    return checker, AABB(vec(0, 0, 0), vec(10, 10, 6))
+
+
+def _random_map_checker(resolution: float, seed: int, n_occupied: int = 120):
+    rng = np.random.default_rng(seed)
+    om = OctoMap(resolution=resolution)
+    for p in rng.uniform(0, 10, size=(n_occupied, 3)):
+        om.mark_occupied(p)
+    for p in rng.uniform(0, 10, size=(n_occupied, 3)):
+        om.mark_free(p)
+    return CollisionChecker(om, drone_radius=0.3)
+
+
+def _paths_equal(a, b) -> bool:
+    return len(a) == len(b) and all(
+        np.array_equal(p, q) for p, q in zip(a, b)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Differential: collision checker
+# ---------------------------------------------------------------------------
+class TestCheckerDifferential:
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    @pytest.mark.parametrize("conservative", [False, True])
+    def test_points_free_matches_scalar(self, resolution, conservative):
+        checker, _ = _corridor_checker(resolution, conservative)
+        pts = np.random.default_rng(1).uniform(-1, 11, size=(400, 3))
+        assert np.array_equal(
+            checker.points_free(pts), checker.points_free_scalar(pts)
+        )
+
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_segments_and_paths_match_scalar(self, resolution):
+        checker, _ = _corridor_checker(resolution)
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            wps = rng.uniform(0, 10, size=(rng.integers(2, 7), 3))
+            assert checker.path_free(wps) == checker.path_free_scalar(wps)
+            assert checker.first_blocked_index(
+                wps
+            ) == checker.first_blocked_index_scalar(wps)
+            for a, b in zip(wps[:-1], wps[1:]):
+                assert checker.segment_free(a, b) == checker.segment_free_scalar(a, b)
+
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_random_maps_match_scalar(self, resolution):
+        checker = _random_map_checker(resolution, seed=int(resolution * 100))
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 10, size=(300, 3))
+        assert np.array_equal(
+            checker.points_free(pts), checker.points_free_scalar(pts)
+        )
+        wps = rng.uniform(0, 10, size=(8, 3))
+        assert checker.first_blocked_index(
+            wps
+        ) == checker.first_blocked_index_scalar(wps)
+
+    def test_empty_map(self):
+        om = OctoMap(resolution=0.5)
+        checker = CollisionChecker(om, drone_radius=0.3)
+        pts = np.random.default_rng(0).uniform(0, 10, size=(50, 3))
+        assert np.all(checker.points_free(pts))
+        assert np.array_equal(
+            checker.points_free(pts), checker.points_free_scalar(pts)
+        )
+        assert checker.path_free(pts[:5]) and checker.path_free_scalar(pts[:5])
+
+    def test_empty_map_conservative_blocks_everything(self):
+        om = OctoMap(resolution=0.5)
+        checker = CollisionChecker(
+            om, drone_radius=0.3, treat_unknown_as_occupied=True
+        )
+        pts = np.random.default_rng(0).uniform(0, 10, size=(50, 3))
+        assert not np.any(checker.points_free(pts))
+        assert np.array_equal(
+            checker.points_free(pts), checker.points_free_scalar(pts)
+        )
+
+    def test_fully_blocked_map(self):
+        om = OctoMap(resolution=0.5)
+        for x in np.arange(0.25, 6, 0.5):
+            for y in np.arange(0.25, 6, 0.5):
+                for z in np.arange(0.25, 6, 0.5):
+                    om.mark_occupied((x, y, z))
+        checker = CollisionChecker(om, drone_radius=0.3)
+        pts = np.random.default_rng(0).uniform(0.5, 5.5, size=(50, 3))
+        assert not np.any(checker.points_free(pts))
+        assert np.array_equal(
+            checker.points_free(pts), checker.points_free_scalar(pts)
+        )
+        assert checker.first_blocked_index(pts[:4]) == 1
+        assert checker.first_blocked_index_scalar(pts[:4]) == 1
+
+    def test_degenerate_paths(self):
+        checker, _ = _corridor_checker(0.5)
+        assert checker.path_free([]) is True
+        assert checker.path_free([vec(1, 1, 1)]) is True
+        assert checker.first_blocked_index([vec(1, 1, 1)]) is None
+        # start == goal: a zero-length segment still samples the endpoint.
+        p = vec(2, 2, 1)
+        assert checker.segment_free(p, p) == checker.segment_free_scalar(p, p)
+        wall = vec(5.25, 2, 2)
+        assert not checker.segment_free(wall, wall)
+        assert not checker.segment_free_scalar(wall, wall)
+
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_escape_point_matches_scalar(self, resolution):
+        checker, _ = _corridor_checker(resolution)
+        stuck = vec(5.0 + resolution / 2, 3, 2)
+        r1 = np.random.default_rng(7)
+        r2 = np.random.default_rng(7)
+        a = escape_point(checker, stuck, r1)
+        b = escape_point_scalar(checker, stuck, r2)
+        assert a is not None and b is not None
+        assert np.array_equal(a, b)
+        # The batched version must leave the generator exactly where the
+        # sequential sampler would, or downstream draws diverge.
+        assert r1.bit_generator.state == r2.bit_generator.state
+
+    def test_escape_point_all_blocked_returns_none(self):
+        om = OctoMap(resolution=0.5)
+        for x in np.arange(-4.75, 5, 0.5):
+            for y in np.arange(-4.75, 5, 0.5):
+                for z in np.arange(-4.75, 5, 0.5):
+                    om.mark_occupied((x, y, z))
+        checker = CollisionChecker(om, drone_radius=0.3)
+        r1 = np.random.default_rng(1)
+        r2 = np.random.default_rng(1)
+        assert escape_point(checker, vec(0, 0, 0), r1) is None
+        assert escape_point_scalar(checker, vec(0, 0, 0), r2) is None
+        assert r1.bit_generator.state == r2.bit_generator.state
+
+
+# ---------------------------------------------------------------------------
+# Regression: segment joints (the path_free / first_blocked_index contract)
+# ---------------------------------------------------------------------------
+class TestSegmentJointConsistency:
+    def test_blocked_joint_waypoint_counted_once(self):
+        """A waypoint exactly on a blocked voxel sits at the *joint* of two
+        segments and is sampled by both; the off-by-one regression was
+        first_blocked_index disagreeing with path_free about which leg
+        (and hence whether any leg) is blocked there."""
+        checker, _ = _corridor_checker(0.5)
+        joint = vec(5.25, 3, 2)  # inside the believed wall
+        path = [vec(2, 3, 2), joint, vec(8, 3, 2)]
+        idx = checker.first_blocked_index(path)
+        assert idx == 1  # the *incoming* leg is the first blocked one
+        assert idx == checker.first_blocked_index_scalar(path)
+        assert not checker.path_free(path)
+
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_verdicts_agree_at_voxel_boundary_joints(self, resolution):
+        """Joints placed exactly on voxel boundaries: path_free,
+        first_blocked_index, and per-segment checks must tell one story."""
+        checker, _ = _corridor_checker(resolution)
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            # Waypoints snapped to voxel corners — worst case for
+            # boundary-voxel disagreement between the query paths.
+            wps = (
+                rng.integers(0, int(10 / resolution), size=(4, 3)) * resolution
+            ).astype(float)
+            per_segment = [
+                checker.segment_free(a, b) for a, b in zip(wps[:-1], wps[1:])
+            ]
+            assert checker.path_free(wps) == all(per_segment)
+            idx = checker.first_blocked_index(wps)
+            if all(per_segment):
+                assert idx is None
+            else:
+                assert idx == per_segment.index(False) + 1
+
+
+# ---------------------------------------------------------------------------
+# Differential: planners
+# ---------------------------------------------------------------------------
+class TestPlannerDifferential:
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_rrt_matches_scalar(self, resolution):
+        checker, bounds = _corridor_checker(resolution)
+        a = RrtPlanner(
+            checker, bounds, step_size=1.5, max_iterations=1200, seed=4
+        ).plan(vec(1, 3, 2), vec(9, 3, 2))
+        b = RrtPlanner(
+            checker, bounds, step_size=1.5, max_iterations=1200, seed=4
+        ).plan_scalar(vec(1, 3, 2), vec(9, 3, 2))
+        assert a.success == b.success
+        assert _paths_equal(a.waypoints, b.waypoints)
+        assert a.cost == b.cost and a.iterations == b.iterations
+
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_rrt_star_matches_scalar(self, resolution):
+        checker, bounds = _corridor_checker(resolution)
+        a = RrtStarPlanner(
+            checker, bounds, step_size=1.5, max_iterations=350, seed=4
+        ).plan(vec(1, 3, 2), vec(9, 3, 2))
+        b = RrtStarPlanner(
+            checker, bounds, step_size=1.5, max_iterations=350, seed=4
+        ).plan_scalar(vec(1, 3, 2), vec(9, 3, 2))
+        assert a.success == b.success
+        assert _paths_equal(a.waypoints, b.waypoints)
+        assert a.cost == b.cost
+
+    def test_rrt_matches_scalar_from_occupied_start(self):
+        checker, bounds = _corridor_checker(0.5)
+        stuck = vec(5.25, 3, 2)
+        a = RrtPlanner(checker, bounds, max_iterations=1500, seed=3).plan(
+            stuck, vec(9, 3, 2)
+        )
+        b = RrtPlanner(checker, bounds, max_iterations=1500, seed=3).plan_scalar(
+            stuck, vec(9, 3, 2)
+        )
+        assert a.success == b.success
+        assert _paths_equal(a.waypoints, b.waypoints)
+
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_prm_roadmap_matches_scalar(self, resolution):
+        checker, bounds = _corridor_checker(resolution)
+        p1 = PrmPlanner(checker, bounds, n_samples=120, seed=5)
+        p2 = PrmPlanner(checker, bounds, n_samples=120, seed=5)
+        p1.build()
+        p2.build_scalar()
+        assert _paths_equal(p1._vertices, p2._vertices)
+        assert p1._edges == p2._edges
+        assert (
+            p1.rng.bit_generator.state == p2.rng.bit_generator.state
+        ), "batched sampling must consume exactly the sequential draws"
+
+    @pytest.mark.parametrize("resolution", RESOLUTIONS)
+    def test_prm_plan_matches_scalar(self, resolution):
+        checker, bounds = _corridor_checker(resolution)
+        p1 = PrmPlanner(checker, bounds, n_samples=120, seed=5)
+        p2 = PrmPlanner(checker, bounds, n_samples=120, seed=5)
+        a = p1.plan(vec(1, 3, 2), vec(9, 3, 2))
+        b = p2.plan_scalar(vec(1, 3, 2), vec(9, 3, 2))
+        assert a.success == b.success
+        assert _paths_equal(a.waypoints, b.waypoints)
+        assert a.cost == b.cost
+        assert a.iterations == b.iterations  # identical A* expansions
+
+    def test_prm_start_equals_goal(self):
+        checker, bounds = _corridor_checker(0.5)
+        planner = PrmPlanner(checker, bounds, n_samples=60, seed=1)
+        p = vec(2, 2, 1)
+        result = planner.plan(p, p)
+        reference = PrmPlanner(
+            checker, bounds, n_samples=60, seed=1
+        ).plan_scalar(p, p)
+        assert result.success and reference.success
+        assert _paths_equal(result.waypoints, reference.waypoints)
+
+    def test_shortcut_matches_scalar(self):
+        checker, _ = _corridor_checker(0.5)
+        rng = np.random.default_rng(9)
+        for seed in range(5):
+            path = [vec(1, 1, 1)] + [
+                rng.uniform(0, 10, size=3) for _ in range(6)
+            ] + [vec(9, 9, 3)]
+            a = shortcut_path(path, checker, attempts=60, seed=seed)
+            b = shortcut_path_scalar(path, checker, attempts=60, seed=seed)
+            assert _paths_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Property-based planner invariants
+# ---------------------------------------------------------------------------
+class TestPlannerProperties:
+    @given(seed=st.integers(0, 1_000), resolution=st.sampled_from(RESOLUTIONS))
+    @settings(max_examples=12, deadline=None)
+    def test_rrt_paths_are_valid(self, seed, resolution):
+        """Any successful plan starts/ends at the endpoints and passes the
+        checker's own whole-path validation."""
+        checker, bounds = _corridor_checker(resolution)
+        planner = RrtPlanner(
+            checker, bounds, step_size=1.5, max_iterations=800, seed=seed
+        )
+        start, goal = vec(1, 7, 2), vec(9, 7, 2)
+        result = planner.plan(start, goal)
+        if not result.success:
+            return
+        assert np.allclose(result.waypoints[0], start)
+        assert np.allclose(result.waypoints[-1], goal)
+        assert checker.path_free(result.waypoints)
+
+    @given(seed=st.integers(0, 1_000))
+    @settings(max_examples=10, deadline=None)
+    def test_prm_paths_are_valid(self, seed):
+        checker, bounds = _corridor_checker(0.5)
+        planner = PrmPlanner(checker, bounds, n_samples=80, seed=seed)
+        start, goal = vec(1, 7, 2), vec(9, 7, 2)
+        result = planner.plan(start, goal)
+        if not result.success:
+            return
+        assert np.allclose(result.waypoints[0], start)
+        assert np.allclose(result.waypoints[-1], goal)
+        assert checker.path_free(result.waypoints)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(2, 8),
+        resolution=st.sampled_from(RESOLUTIONS),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_first_blocked_index_agrees_with_segments(
+        self, seed, n, resolution
+    ):
+        """first_blocked_index == the first per-segment failure, and
+        path_free == (no failure), on arbitrary random polylines."""
+        checker = _random_map_checker(resolution, seed=seed % 17)
+        wps = np.random.default_rng(seed).uniform(0, 10, size=(n, 3))
+        per_segment = [
+            checker.segment_free(a, b) for a, b in zip(wps[:-1], wps[1:])
+        ]
+        idx = checker.first_blocked_index(wps)
+        assert checker.path_free(wps) == all(per_segment)
+        if all(per_segment):
+            assert idx is None
+        else:
+            assert idx == per_segment.index(False) + 1
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_shortcut_preserves_endpoints_and_validity(self, seed):
+        checker, _ = _corridor_checker(0.5)
+        rng = np.random.default_rng(seed)
+        path = [vec(1, 1, 1)] + [
+            rng.uniform(0.5, 9.5, size=3) for _ in range(5)
+        ] + [vec(9, 9, 3)]
+        out = shortcut_path(path, checker, attempts=40, seed=seed)
+        assert np.array_equal(out[0], path[0])
+        assert np.array_equal(out[-1], path[-1])
+        assert len(out) <= len(path)
+        if checker.path_free(path):
+            assert checker.path_free(out)
+
+
+# ---------------------------------------------------------------------------
+# Seed determinism (CI fast lane)
+# ---------------------------------------------------------------------------
+class TestSeedDeterminism:
+    @pytest.mark.parametrize("cls", [RrtPlanner, RrtStarPlanner])
+    def test_rrt_same_seed_identical_waypoints(self, cls):
+        checker, bounds = _corridor_checker(0.5)
+        kwargs = dict(step_size=1.5, max_iterations=600, seed=9)
+        a = cls(checker, bounds, **kwargs).plan(vec(1, 3, 2), vec(9, 3, 2))
+        b = cls(checker, bounds, **kwargs).plan(vec(1, 3, 2), vec(9, 3, 2))
+        assert a.success == b.success
+        assert _paths_equal(a.waypoints, b.waypoints)
+        assert a.cost == b.cost
+
+    def test_rrt_different_seed_different_tree(self):
+        checker, bounds = _corridor_checker(0.5)
+        a = RrtPlanner(checker, bounds, seed=1, max_iterations=600).plan(
+            vec(1, 3, 2), vec(9, 3, 2)
+        )
+        b = RrtPlanner(checker, bounds, seed=2, max_iterations=600).plan(
+            vec(1, 3, 2), vec(9, 3, 2)
+        )
+        assert not (a.success and b.success) or not _paths_equal(
+            a.waypoints, b.waypoints
+        )
+
+    def test_prm_same_seed_identical_roadmap(self):
+        checker, bounds = _corridor_checker(0.5)
+        p1 = PrmPlanner(checker, bounds, n_samples=150, seed=9)
+        p2 = PrmPlanner(checker, bounds, n_samples=150, seed=9)
+        p1.build()
+        p2.build()
+        assert _paths_equal(p1._vertices, p2._vertices)
+        assert p1._edges == p2._edges
+
+    def test_escape_point_deterministic(self):
+        checker, _ = _corridor_checker(0.5)
+        stuck = vec(5.25, 3, 2)
+        a = escape_point(checker, stuck, np.random.default_rng(3))
+        b = escape_point(checker, stuck, np.random.default_rng(3))
+        assert a is not None and np.array_equal(a, b)
