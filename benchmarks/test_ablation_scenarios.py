@@ -1,0 +1,163 @@
+"""Ablation — scenario difficulty as a MAVBench environment knob.
+
+MAVBench programs its environments (static obstacle density, dynamic
+obstacle count/speed) and reports how mission metrics respond; this
+ablation does the same through the scenario subsystem: each workload
+flies its canonical scenario family at increasing difficulty, and the
+mission-time / energy / success trajectory lands in
+``BENCH_scenarios.json`` (CI runs this file with
+``BENCH_JSON=BENCH_scenarios.json`` and uploads it alongside
+``BENCH_octomap.json`` and ``BENCH_planners.json``).
+
+The instantiation benchmark also carries the synthesis-speed gate: a
+5-family x 5-difficulty sweep must build through the batched placement
+path in well under a second per world, and re-instantiating the same
+sweep must be pure content-hash cache hits.
+"""
+
+import time
+
+import pytest
+from conftest import run_once
+
+from repro import run_workload
+from repro.analysis import format_table
+from repro.scenarios import (
+    ScenarioSpec,
+    build_scenario_world,
+    cache_stats,
+    clear_scenario_cache,
+    instantiate_scenario,
+    measure_scenario,
+)
+
+SWEEP_FAMILIES = ["farm", "urban", "forest", "indoor", "disaster"]
+SWEEP_DIFFICULTIES = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+#: Mission ablation: canonical family per workload, small-world knobs so
+#: the three-difficulty series stays CI-sized.
+MISSIONS = {
+    "scanning": {
+        "family": "farm",
+        "knobs": {},
+        "workload_kwargs": {"area_width": 60.0, "area_length": 40.0},
+    },
+    "package_delivery": {
+        "family": "urban",
+        "knobs": {
+            "blocks": 3,
+            "block_size": 18.0,
+            "street_width": 12.0,
+            "max_people": 4,
+        },
+        "workload_kwargs": {},
+    },
+}
+MISSION_DIFFICULTIES = [0.15, 0.5, 0.85]
+
+
+def test_ablation_scenario_instantiation_sweep(benchmark, print_header):
+    """Synthesis-speed gate: 25 worlds batched-built fast, then cached."""
+    clear_scenario_cache()
+    specs = [
+        ScenarioSpec(family, d, seed=1)
+        for family in SWEEP_FAMILIES
+        for d in SWEEP_DIFFICULTIES
+    ]
+
+    def build_all():
+        return [instantiate_scenario(spec) for spec in specs]
+
+    t0 = time.perf_counter()
+    worlds = run_once(benchmark, build_all)
+    cold_s = time.perf_counter() - t0
+    stats = cache_stats()
+    assert stats["misses"] == len(specs)
+
+    t0 = time.perf_counter()
+    build_all()
+    warm_s = time.perf_counter() - t0
+    stats = cache_stats()
+    assert stats["hits"] == len(specs), stats
+
+    # Batched placement keeps the whole 25-world sweep well under the
+    # budget a single mission tick would tolerate.
+    assert cold_s < 5.0, f"scenario sweep too slow: {cold_s:.2f}s"
+
+    print_header("Scenario instantiation sweep (5 families x 5 difficulties)")
+    measured = [measure_scenario(world) for world in worlds]
+    rows = [
+        (
+            spec.label(),
+            len(world.obstacles),
+            f"{metrics.occupied_fraction:.4f}",
+            f"{metrics.dynamic_congestion:.3f}",
+            f"{metrics.congestion_score:.4f}",
+        )
+        for spec, world, metrics in zip(specs, worlds, measured)
+    ]
+    print(
+        format_table(
+            ["scenario", "obstacles", "occupied", "dynamic", "score"], rows
+        )
+    )
+    print(f"cold: {cold_s * 1000:.0f} ms   warm (cached): {warm_s * 1000:.0f} ms")
+
+    # The monotone-difficulty contract, measured on the same worlds the
+    # sweep built (requested vs realized difficulty).
+    for family in SWEEP_FAMILIES:
+        scores = [
+            m.congestion_score
+            for s, m in zip(specs, measured)
+            if s.family == family
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(scores, scores[1:])), (
+            family,
+            scores,
+        )
+
+
+@pytest.mark.parametrize("difficulty", MISSION_DIFFICULTIES)
+@pytest.mark.parametrize("workload", sorted(MISSIONS))
+def test_ablation_scenario_mission(benchmark, print_header, workload, difficulty):
+    """One closed-loop mission per (workload, difficulty) cell: the
+    congestion ablation behind BENCH_scenarios.json."""
+    config = MISSIONS[workload]
+    scenario = {
+        "family": config["family"],
+        "difficulty": difficulty,
+        "knobs": dict(config["knobs"]),
+    }
+    world = build_scenario_world(ScenarioSpec.coerce(scenario).resolved(1))
+    realized = measure_scenario(world)
+
+    result = run_once(
+        benchmark,
+        run_workload,
+        workload,
+        seed=1,
+        workload_kwargs={"scenario": scenario, **config["workload_kwargs"]},
+        max_mission_time_s=600.0,
+    )
+
+    print_header(
+        f"{workload} @ {config['family']}:{difficulty:g} "
+        f"(realized congestion {realized.congestion_score:.4f})"
+    )
+    report = result.report
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("mission time (s)", f"{report.mission_time_s:.1f}"),
+                ("total energy (kJ)", f"{report.total_energy_j / 1000.0:.1f}"),
+                ("success", str(report.success)),
+                ("replans", f"{report.extra.get('replans', 0.0):g}"),
+            ],
+        )
+    )
+    # The easy end of every family must stay flyable; harder cells are
+    # allowed to fail (that *is* the ablation) but must still terminate.
+    if difficulty <= 0.2:
+        assert result.success
+    assert report.mission_time_s > 0

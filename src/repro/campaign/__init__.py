@@ -17,17 +17,18 @@ The layer that turns "run one mission" into "run a study at scale":
 and ``python -m repro campaign`` all run on top of this engine.
 """
 
-from .aggregate import aggregate_sweep, select_records, success_table
+from .aggregate import ANY_SCENARIO, aggregate_sweep, select_records, success_table
 from .runner import (
     CampaignReport,
     CampaignRunError,
     execute_run,
     run_campaign,
 )
-from .spec import DEFAULT_GRID, CampaignSpec, RunSpec, parse_grid
+from .spec import DEFAULT_GRID, CampaignSpec, RunSpec, parse_grid, parse_scenarios
 from .store import RECORD_SCHEMA, CampaignStore
 
 __all__ = [
+    "ANY_SCENARIO",
     "CampaignReport",
     "CampaignRunError",
     "CampaignSpec",
@@ -38,6 +39,7 @@ __all__ = [
     "aggregate_sweep",
     "execute_run",
     "parse_grid",
+    "parse_scenarios",
     "run_campaign",
     "select_records",
     "success_table",

@@ -19,12 +19,38 @@ from .runner import CampaignRunError
 from .spec import RunSpec
 
 
+#: Sentinel for "any scenario" (``None`` means the canonical world).
+ANY_SCENARIO = object()
+
+
+def _record_scenario(spec: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """The scenario a recorded run flew, whichever route it arrived by:
+    the first-class axis (``spec['scenario']``) or a caller-supplied
+    ``workload_kwargs['scenario']`` — so canonical-baseline filters can
+    never accidentally absorb scenario runs."""
+    scenario = spec.get("scenario")
+    if scenario is not None:
+        return scenario
+    kwargs_scenario = spec.get("workload_kwargs", {}).get("scenario")
+    if kwargs_scenario is None:
+        return None
+    from ..scenarios import ScenarioSpec
+
+    return ScenarioSpec.coerce(kwargs_scenario).payload()
+
+
 def select_records(
     records: Iterable[Dict[str, Any]],
     workload: Optional[str] = None,
     depth_noise_std: Optional[float] = None,
+    scenario: Any = ANY_SCENARIO,
 ) -> List[Dict[str, Any]]:
-    """Filter campaign records to one workload and/or noise level."""
+    """Filter campaign records to one workload / noise level / scenario.
+
+    ``scenario`` matches the run's scenario payload exactly; pass ``None``
+    to select only canonical-world (no-scenario) runs, and leave the
+    default to select every run regardless of scenario.
+    """
     selected = []
     for record in records:
         spec = record.get("spec", {})
@@ -33,6 +59,8 @@ def select_records(
         if depth_noise_std is not None and not np.isclose(
             spec.get("depth_noise_std", 0.0), depth_noise_std
         ):
+            continue
+        if scenario is not ANY_SCENARIO and _record_scenario(spec) != scenario:
             continue
         selected.append(record)
     return selected

@@ -20,6 +20,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.api import run_workload
+from ..scenarios import ScenarioSpec
 from .spec import CampaignSpec, RunSpec
 from .store import RECORD_SCHEMA, CampaignStore
 
@@ -41,17 +42,40 @@ def execute_run(run: RunSpec) -> Dict[str, Any]:
         "spec": run.payload(),
     }
     try:
+        workload_kwargs = dict(run.workload_kwargs)
+        if run.scenario is not None:
+            # The scenario axis rides into the workload constructor as a
+            # plain payload dict (Workload coerces it back to a spec).
+            workload_kwargs["scenario"] = dict(run.scenario)
         result = run_workload(
             run.workload,
             cores=run.cores,
             frequency_ghz=run.frequency_ghz,
             seed=run.seed,
             depth_noise_std=run.depth_noise_std,
-            workload_kwargs=dict(run.workload_kwargs),
+            workload_kwargs=workload_kwargs,
             **dict(run.sim_kwargs),
         )
         record["status"] = "ok"
         record["report"] = asdict(result.report)
+        # config.workload_kwargs mirrors spec.workload_kwargs: the axis
+        # entry injected above is stripped back out, while a scenario the
+        # caller put into workload_kwargs directly stays.  config.scenario
+        # always names the environment actually flown, whichever route it
+        # arrived by.
+        echoed_kwargs = dict(result.workload_kwargs)
+        flown_scenario = None
+        if run.scenario is not None:
+            echoed_kwargs.pop("scenario", None)
+            flown_scenario = run.scenario
+        elif "scenario" in echoed_kwargs:
+            flown_scenario = echoed_kwargs["scenario"]
+        if flown_scenario is not None:
+            # Resolve inherit-mode seeds so the record names the world the
+            # mission actually flew (the workload inherits run.seed).
+            flown_scenario = (
+                ScenarioSpec.coerce(flown_scenario).resolved(run.seed).payload()
+            )
         record["config"] = {
             "workload": result.workload,
             "platform": result.platform.spec.name,
@@ -59,7 +83,8 @@ def execute_run(run: RunSpec) -> Dict[str, Any]:
             "frequency_ghz": result.platform.frequency_ghz,
             "seed": result.seed,
             "depth_noise_std": result.depth_noise_std,
-            "workload_kwargs": dict(result.workload_kwargs),
+            "workload_kwargs": echoed_kwargs,
+            "scenario": flown_scenario,
         }
         record["error"] = None
     except Exception as exc:  # noqa: BLE001 — per-run fault isolation

@@ -10,9 +10,11 @@ describes such a study declaratively:
 * :class:`CampaignSpec` — the study matrix, expanding deterministically
   into a stably-ordered, collision-checked list of :class:`RunSpec`\\ s.
 
-Expansion order is ``workload -> operating point -> noise level -> seed``
-(outer to inner), which keeps per-cell seed averages bit-identical to the
-historical sequential sweep loop.
+Expansion order is ``workload -> scenario -> operating point -> noise
+level -> seed`` (outer to inner), which keeps per-cell seed averages
+bit-identical to the historical sequential sweep loop (and, with the
+default scenario axis of ``[None]``, the whole matrix identical to the
+pre-scenario engine).
 """
 
 from __future__ import annotations
@@ -21,10 +23,12 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.sweep import DEFAULT_GRID, OperatingPoint
 from ..core.workloads import WORKLOADS
+from ..scenarios import ScenarioSpec
+from ..scenarios.spec import canonical_json
 
 __all__ = [
     "CampaignSpec",
@@ -32,17 +36,16 @@ __all__ = [
     "OperatingPoint",
     "RunSpec",
     "parse_grid",
+    "parse_scenarios",
 ]
 
 
-def _canonical(obj: Any) -> str:
-    """Canonical JSON used for content hashing.
-
-    ``sort_keys`` makes the hash independent of dict insertion order;
-    non-JSON values (e.g. a ``PlatformSpec`` passed through ``sim_kwargs``
-    by an in-process caller) degrade to their ``repr``.
-    """
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=repr)
+# Content hashing uses the one canonical-JSON recipe shared with
+# ScenarioSpec (scenarios/spec.py) so run keys and scenario keys can
+# never diverge in format; non-JSON values (e.g. a ``PlatformSpec``
+# passed through ``sim_kwargs`` by an in-process caller) degrade to
+# their ``repr``.
+_canonical = canonical_json
 
 
 @dataclass
@@ -56,6 +59,7 @@ class RunSpec:
     depth_noise_std: float = 0.0
     workload_kwargs: Dict[str, Any] = field(default_factory=dict)
     sim_kwargs: Dict[str, Any] = field(default_factory=dict)
+    scenario: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         # Normalize the numeric axes so e.g. grid entry (4, 2) and
@@ -64,10 +68,28 @@ class RunSpec:
         self.frequency_ghz = float(self.frequency_ghz)
         self.seed = int(self.seed)
         self.depth_noise_std = float(self.depth_noise_std)
+        if self.scenario is not None:
+            if "scenario" in self.workload_kwargs:
+                # The runner injects the axis entry into workload_kwargs;
+                # letting a kwargs-level scenario coexist would hash both
+                # but execute only one, mislabeling the stored record.
+                raise ValueError(
+                    "pass the scenario through the scenario axis OR "
+                    "workload_kwargs['scenario'], not both"
+                )
+            # Normalize tokens/specs to the canonical payload so e.g.
+            # "urban:0.7" and {"family": "urban", "difficulty": 0.7}
+            # name the same run.
+            self.scenario = ScenarioSpec.coerce(self.scenario).payload()
 
     def payload(self) -> Dict[str, Any]:
-        """The JSON-shaped identity of this run (what ``run_key`` hashes)."""
-        return {
+        """The JSON-shaped identity of this run (what ``run_key`` hashes).
+
+        The ``scenario`` key appears only when a scenario is injected, so
+        every pre-scenario run key (and therefore every existing result
+        store) remains valid.
+        """
+        data = {
             "workload": self.workload,
             "cores": self.cores,
             "frequency_ghz": self.frequency_ghz,
@@ -76,6 +98,9 @@ class RunSpec:
             "workload_kwargs": dict(self.workload_kwargs),
             "sim_kwargs": dict(self.sim_kwargs),
         }
+        if self.scenario is not None:
+            data["scenario"] = dict(self.scenario)
+        return data
 
     @property
     def run_key(self) -> str:
@@ -92,6 +117,7 @@ class RunSpec:
             depth_noise_std=payload.get("depth_noise_std", 0.0),
             workload_kwargs=dict(payload.get("workload_kwargs", {})),
             sim_kwargs=dict(payload.get("sim_kwargs", {})),
+            scenario=payload.get("scenario"),
         )
 
     def label(self) -> str:
@@ -101,6 +127,8 @@ class RunSpec:
             f"{self.cores}c@{self.frequency_ghz:g}GHz",
             f"seed={self.seed}",
         ]
+        if self.scenario is not None:
+            parts.insert(1, ScenarioSpec.from_payload(self.scenario).label())
         if self.depth_noise_std:
             parts.append(f"noise={self.depth_noise_std:g}")
         return " ".join(parts)
@@ -108,7 +136,7 @@ class RunSpec:
 
 @dataclass
 class CampaignSpec:
-    """A declarative mission study: workloads x grid x noise x seeds.
+    """A declarative mission study: workloads x scenarios x grid x noise x seeds.
 
     Attributes
     ----------
@@ -121,6 +149,12 @@ class CampaignSpec:
         Seeds averaged per cell by the sweep aggregator.
     depth_noise_levels:
         RGB-D depth-noise standard deviations (the Table II axis).
+    scenarios:
+        Scenario axis entries: ``None`` (each workload's canonical
+        hard-wired world), a ``"family:difficulty[:seed]"`` token, a
+        scenario payload dict, or a :class:`~repro.scenarios.ScenarioSpec`.
+        Defaults to ``[None]`` — no scenario axis, identical to the
+        pre-scenario engine.
     workload_kwargs:
         Per-workload constructor overrides, keyed by workload name.
     sim_kwargs:
@@ -132,6 +166,7 @@ class CampaignSpec:
     grid: List[OperatingPoint] = field(default_factory=lambda: list(DEFAULT_GRID))
     seeds: List[int] = field(default_factory=lambda: [1])
     depth_noise_levels: List[float] = field(default_factory=lambda: [0.0])
+    scenarios: List[Optional[Any]] = field(default_factory=lambda: [None])
     workload_kwargs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     sim_kwargs: Dict[str, Any] = field(default_factory=dict)
 
@@ -154,12 +189,24 @@ class CampaignSpec:
             raise ValueError("campaign needs at least one seed")
         if not self.depth_noise_levels:
             raise ValueError("campaign needs at least one depth-noise level")
+        if not self.scenarios:
+            raise ValueError(
+                "campaign needs at least one scenario entry (use [None] "
+                "for the canonical per-workload worlds)"
+            )
         self.grid = [(int(c), float(f)) for c, f in self.grid]
+        # Normalize the scenario axis to canonical payloads (validating
+        # family names and difficulty bounds eagerly).
+        self.scenarios = [
+            None if s is None else ScenarioSpec.coerce(s).payload()
+            for s in self.scenarios
+        ]
 
     @property
     def run_count(self) -> int:
         return (
             len(self.workloads)
+            * len(self.scenarios)
             * len(self.grid)
             * len(self.depth_noise_levels)
             * len(self.seeds)
@@ -168,28 +215,36 @@ class CampaignSpec:
     def expand(self) -> List[RunSpec]:
         """The full, stably-ordered run matrix.
 
-        Order: workload (outer) -> grid -> noise level -> seed (inner).
-        Raises ``ValueError`` if two entries collapse to the same run key
-        (e.g. a duplicated seed), so a store can never silently merge two
-        intended runs into one.
+        Order: workload (outer) -> scenario -> grid -> noise level ->
+        seed (inner), which keeps per-cell seed averages bit-identical to
+        the historical sequential sweep loop (and, with the default
+        ``scenarios=[None]``, the whole matrix identical to the
+        pre-scenario engine).  Raises ``ValueError`` if two entries
+        collapse to the same run key (e.g. a duplicated seed), so a store
+        can never silently merge two intended runs into one.
         """
         runs: List[RunSpec] = []
         for workload in self.workloads:
             kwargs = dict(self.workload_kwargs.get(workload, {}))
-            for cores, freq in self.grid:
-                for noise in self.depth_noise_levels:
-                    for seed in self.seeds:
-                        runs.append(
-                            RunSpec(
-                                workload=workload,
-                                cores=cores,
-                                frequency_ghz=freq,
-                                seed=seed,
-                                depth_noise_std=noise,
-                                workload_kwargs=dict(kwargs),
-                                sim_kwargs=dict(self.sim_kwargs),
+            for scenario in self.scenarios:
+                for cores, freq in self.grid:
+                    for noise in self.depth_noise_levels:
+                        for seed in self.seeds:
+                            runs.append(
+                                RunSpec(
+                                    workload=workload,
+                                    cores=cores,
+                                    frequency_ghz=freq,
+                                    seed=seed,
+                                    depth_noise_std=noise,
+                                    workload_kwargs=dict(kwargs),
+                                    sim_kwargs=dict(self.sim_kwargs),
+                                    scenario=(
+                                        None if scenario is None
+                                        else dict(scenario)
+                                    ),
+                                )
                             )
-                        )
         keys = [r.run_key for r in runs]
         if len(set(keys)) != len(keys):
             seen: Dict[str, RunSpec] = {}
@@ -206,7 +261,7 @@ class CampaignSpec:
     # (De)serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "schema": "campaign-spec/1",
             "workloads": list(self.workloads),
             "grid": [[c, f] for c, f in self.grid],
@@ -215,6 +270,13 @@ class CampaignSpec:
             "workload_kwargs": {k: dict(v) for k, v in self.workload_kwargs.items()},
             "sim_kwargs": dict(self.sim_kwargs),
         }
+        # Written only when the axis is in use, so spec files from before
+        # the scenario subsystem round-trip byte-for-byte.
+        if self.scenarios != [None]:
+            data["scenarios"] = [
+                None if s is None else dict(s) for s in self.scenarios
+            ]
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -223,7 +285,7 @@ class CampaignSpec:
     def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
         known = {
             "workloads", "grid", "seeds", "depth_noise_levels",
-            "workload_kwargs", "sim_kwargs",
+            "scenarios", "workload_kwargs", "sim_kwargs",
         }
         stray = sorted(set(data) - known - {"schema"})
         if stray:
@@ -235,6 +297,8 @@ class CampaignSpec:
             spec.seeds = [int(s) for s in data["seeds"]]
         if "depth_noise_levels" in data:
             spec.depth_noise_levels = [float(n) for n in data["depth_noise_levels"]]
+        if "scenarios" in data:
+            spec.scenarios = list(data["scenarios"])
         if "workload_kwargs" in data:
             spec.workload_kwargs = {
                 k: dict(v) for k, v in data["workload_kwargs"].items()
@@ -251,6 +315,22 @@ class CampaignSpec:
     @classmethod
     def from_file(cls, path: Union[str, Path]) -> "CampaignSpec":
         return cls.from_json(Path(path).read_text())
+
+
+def parse_scenarios(tokens: Sequence[str]) -> List[Optional[Dict[str, Any]]]:
+    """Parse CLI scenario tokens like ``["urban:0.3", "urban:0.9", "default"]``.
+
+    The literal token ``default`` (or ``none``) stands for the canonical
+    per-workload world, so a sweep can include the pre-scenario baseline
+    as one axis value.
+    """
+    entries: List[Optional[Dict[str, Any]]] = []
+    for token in tokens:
+        if token.lower() in ("default", "none"):
+            entries.append(None)
+        else:
+            entries.append(ScenarioSpec.coerce(token).payload())
+    return entries
 
 
 def parse_grid(tokens: Sequence[str]) -> List[OperatingPoint]:

@@ -16,6 +16,9 @@ Examples
     python -m repro campaign --workloads scanning mapping --seeds 1 2 \\
         --jobs 4 --out store.jsonl
     python -m repro campaign --spec study.json --resume --out store.jsonl
+    python -m repro campaign --workloads package_delivery \\
+        --scenario urban:0.2 urban:0.5 urban:0.8 --grid 4x2.2
+    python -m repro run package_delivery --scenario urban:0.7
     python -m repro list
 """
 
@@ -32,11 +35,14 @@ from .campaign import (
     RunSpec,
     aggregate_sweep,
     parse_grid,
+    parse_scenarios,
     run_campaign,
+    select_records,
 )
 from .compute.kernels import DEFAULT_KERNELS
 from .core.api import available_workloads, run_workload
 from .perception.detection import DETECTORS
+from .scenarios import FAMILIES, ScenarioSpec, available_families, family_knobs
 from .world.generator import ENVIRONMENTS
 
 #: Heatmap metrics and their display precision.
@@ -46,6 +52,17 @@ METRIC_FORMATS = {
     "energy_kj": "{:.1f}",
     "success_rate": "{:.2f}",
 }
+
+
+def _scenario_token(token: str) -> Optional[dict]:
+    """argparse type for ``--scenario``: a scenario payload dict, or
+    ``None`` for the literal ``default``/``none`` token (the workload's
+    canonical world).  Bad families/difficulties become argparse errors
+    instead of tracebacks."""
+    try:
+        return parse_scenarios([token])[0]
+    except (KeyError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,6 +80,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--depth-noise", type=float, default=0.0,
         help="RGB-D depth noise std in meters (Table II knob)",
+    )
+    run_p.add_argument(
+        "--scenario", metavar="FAMILY:DIFF[:SEED]", type=_scenario_token,
+        help="fly a scenario-family world instead of the workload's "
+             "canonical one, e.g. urban:0.7",
     )
     run_p.add_argument(
         "--kernel-stats", action="store_true",
@@ -114,6 +136,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="depth_noise_std levels (Table II axis), in meters",
     )
     campaign_p.add_argument(
+        "--scenario", nargs="+", metavar="FAMILY:DIFF[:SEED]",
+        type=_scenario_token,
+        help="scenario axis entries, e.g. urban:0.3 urban:0.9; the "
+             "literal token 'default' is the canonical per-workload world",
+    )
+    campaign_p.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes (default 1: in-process, deterministic order)",
     )
@@ -136,12 +164,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    workload_kwargs = {}
+    if args.scenario is not None:
+        workload_kwargs["scenario"] = args.scenario
     result = run_workload(
         args.workload,
         cores=args.cores,
         frequency_ghz=args.frequency,
         seed=args.seed,
         depth_noise_std=args.depth_noise,
+        workload_kwargs=workload_kwargs,
     )
     report = result.report
     print(report.summary())
@@ -212,6 +244,8 @@ def _campaign_spec_from_args(
             spec.seeds = list(args.seeds)
         if args.noise:
             spec.depth_noise_levels = list(args.noise)
+        if args.scenario:
+            spec.scenarios = list(args.scenario)
         spec.__post_init__()  # re-validate after overrides
         return spec
     if not args.workloads:
@@ -223,6 +257,8 @@ def _campaign_spec_from_args(
         kwargs["seeds"] = list(args.seeds)
     if args.noise:
         kwargs["depth_noise_levels"] = list(args.noise)
+    if args.scenario:
+        kwargs["scenarios"] = list(args.scenario)
     return CampaignSpec(**kwargs)
 
 
@@ -260,24 +296,32 @@ def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         print(f"store: {store.path}")
 
     for workload in spec.workloads:
-        for noise in spec.depth_noise_levels:
-            rows = [
-                r for r in campaign.records
-                if r["spec"]["workload"] == workload
-                and r["spec"].get("depth_noise_std", 0.0) == noise
-                and r["status"] == "ok"
-            ]
-            if not rows:
-                continue
-            suffix = f" (noise={noise:g})" if noise else ""
-            print(f"\n--- {workload}{suffix}: {args.metric} ---")
-            print(
-                format_heatmap(
-                    aggregate_sweep(rows, workload=workload),
-                    args.metric,
-                    fmt=METRIC_FORMATS[args.metric],
+        for scenario in spec.scenarios:
+            for noise in spec.depth_noise_levels:
+                rows = [
+                    r
+                    for r in select_records(
+                        campaign.records,
+                        workload=workload,
+                        depth_noise_std=noise,
+                        scenario=scenario,
+                    )
+                    if r["status"] == "ok"
+                ]
+                if not rows:
+                    continue
+                suffix = f" (noise={noise:g})" if noise else ""
+                if scenario is not None:
+                    label = ScenarioSpec.from_payload(scenario).label()
+                    suffix = f" [{label}]{suffix}"
+                print(f"\n--- {workload}{suffix}: {args.metric} ---")
+                print(
+                    format_heatmap(
+                        aggregate_sweep(rows, workload=workload),
+                        args.metric,
+                        fmt=METRIC_FORMATS[args.metric],
+                    )
                 )
-            )
     if campaign.errors:
         print(f"\n{len(campaign.errors)} failed runs:")
         for record in campaign.errors:
@@ -290,6 +334,14 @@ def _cmd_list() -> int:
     print("environments:", ", ".join(sorted(ENVIRONMENTS)))
     print("kernels     :", ", ".join(sorted(DEFAULT_KERNELS)))
     print("detectors   :", ", ".join(sorted(DETECTORS)))
+    print("scenarios   :")
+    for name in available_families():
+        knobs = family_knobs(name, 1.0)
+        knob_text = ", ".join(f"{k}={v:g}" for k, v in sorted(knobs.items()))
+        overrides = ", ".join(sorted(FAMILIES[name].default_knobs))
+        print(f"  {name:9s} {FAMILIES[name].description}")
+        print(f"  {'':9s}   at difficulty 1: {knob_text}")
+        print(f"  {'':9s}   knob overrides : {overrides}")
     return 0
 
 

@@ -61,8 +61,9 @@ class AerialPhotographyWorkload(Workload):
         max_duration_s: float = 120.0,
         lost_timeout_s: float = 5.0,
         seed: int = 0,
+        scenario=None,
     ) -> None:
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, scenario=scenario)
         if detector_name not in DETECTORS:
             raise ValueError(f"unknown detector '{detector_name}'")
         self.detector = ObjectDetector(
@@ -86,16 +87,34 @@ class AerialPhotographyWorkload(Workload):
 
     # ------------------------------------------------------------------
     def build_world(self) -> World:
-        world = empty_world((120.0, 120.0, 30.0), name="photo-park")
-        rng = np.random.default_rng(self.seed)
-        # The subject patrols a large loop through the park.
-        loop = [
-            (10.0, 0.0, 0.9),
-            (40.0, 10.0, 0.9),
-            (45.0, 40.0, 0.9),
-            (10.0, 45.0, 0.9),
-            (-20.0, 20.0, 0.9),
-        ]
+        world = self.scenario_world()
+        if world is None:
+            world = empty_world((120.0, 120.0, 30.0), name="photo-park")
+            # The subject patrols a large loop through the park.
+            loop = [
+                (10.0, 0.0, 0.9),
+                (40.0, 10.0, 0.9),
+                (45.0, 40.0, 0.9),
+                (10.0, 45.0, 0.9),
+                (-20.0, 20.0, 0.9),
+            ]
+        else:
+            # Scenario worlds (e.g. the "park" congestion family, where
+            # difficulty adds distractor walkers) carry the same subject
+            # loop, scaled into whatever bounds the family produced.
+            lo, hi = world.bounds.lo, world.bounds.hi
+
+            def at(fx: float, fy: float):
+                return (
+                    float(lo[0] + fx * (hi[0] - lo[0])),
+                    float(lo[1] + fy * (hi[1] - lo[1])),
+                    0.9,
+                )
+
+            loop = [
+                at(0.58, 0.50), at(0.83, 0.58), at(0.87, 0.83),
+                at(0.58, 0.87), at(0.33, 0.67),
+            ]
         self._person = make_person(
             loop[0], waypoints=loop, speed=self.target_speed, name="subject"
         )
@@ -104,6 +123,16 @@ class AerialPhotographyWorkload(Workload):
 
     def start_position(self, world: World) -> np.ndarray:
         """Launch within camera range of the subject's starting point."""
+        if self.scenario is not None:
+            # Prefer a spot just southwest of the subject, but scenario
+            # families can put obstacles anywhere — validate it with the
+            # shared launch check and fall back to the base-class scan
+            # when the spot is blocked.
+            subject = self._person.waypoints[0]
+            candidate = vec(float(subject[0]) - 10.0, float(subject[1]) - 8.0, 0.0)
+            if self._scenario_launch_clear(world, candidate):
+                return candidate
+            return super().start_position(world)
         return vec(0.0, -8.0, 0.0)
 
     # ------------------------------------------------------------------

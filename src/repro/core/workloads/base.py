@@ -24,6 +24,7 @@ from ...compute.scheduler import Job
 from ...perception.octomap import OctoMap
 from ...perception.point_cloud import PointCloud, depth_to_point_cloud
 from ...planning.collision import CollisionChecker
+from ...scenarios import ScenarioSpec, instantiate_scenario
 from ...world.environment import World
 from ...world.geometry import AABB
 from ..qof import QofReport
@@ -41,8 +42,14 @@ class Workload(abc.ABC):
     #: Workload identifier; must match the kernel-model workload key.
     name: str = "abstract"
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, scenario=None) -> None:
         self.seed = seed
+        #: Injected scenario (spec / "family:difficulty" token / payload
+        #: dict).  ``None`` keeps the workload's canonical hard-wired
+        #: generator, bit-for-bit.
+        self.scenario: Optional[ScenarioSpec] = (
+            None if scenario is None else ScenarioSpec.coerce(scenario)
+        )
         self.sim: Optional[Simulation] = None
         self.replans = 0
 
@@ -50,16 +57,36 @@ class Workload(abc.ABC):
     def build_world(self) -> World:
         """The environment this workload flies in."""
 
+    def scenario_world(self) -> Optional[World]:
+        """The injected scenario's world, or ``None`` for the canonical one.
+
+        Scenarios with no pinned seed inherit the workload seed, so a
+        campaign's seed axis varies scenario worlds exactly like it
+        varies the canonical generators.
+        """
+        if self.scenario is None:
+            return None
+        return instantiate_scenario(self.scenario, default_seed=self.seed)
+
     def start_position(self, world: World) -> np.ndarray:
         """Ground-level launch point (must be obstacle-free).
 
         Default: the first free spot found scanning diagonally inward from
-        the southwest corner of the world.
+        the southwest corner of the world.  Scenario worlds additionally
+        require ground-level clearance: families place low obstacles
+        (crop rows, rubble) that a probe at hover height misses but the
+        drone would spawn inside.  The extra check is gated on an
+        injected scenario so canonical worlds keep their historical
+        launch points bit-for-bit.
         """
         lo, hi = world.bounds.lo, world.bounds.hi
         for frac in np.linspace(0.06, 0.5, 23):
             candidate = lo + (hi - lo) * np.array([frac, frac, 0.0])
             candidate[2] = 0.0
+            if self.scenario is not None:
+                if self._scenario_launch_clear(world, candidate):
+                    return candidate
+                continue
             probe = candidate.copy()
             probe[2] = 1.5
             if world.is_free(probe, margin=1.0):
@@ -67,6 +94,20 @@ class Workload(abc.ABC):
         raise RuntimeError(
             f"no free launch point found in world '{world.name}'"
         )
+
+    @staticmethod
+    def _scenario_launch_clear(world: World, candidate: np.ndarray) -> bool:
+        """Launch-candidate validation for scenario worlds: hover-height
+        clearance plus a ground-level probe, because families place low
+        obstacles (crop rows, rubble) that the hover-height probe misses
+        but the drone would spawn inside."""
+        probe = candidate.copy()
+        probe[2] = 1.5
+        if not world.is_free(probe, margin=1.0):
+            return False
+        ground = candidate.copy()
+        ground[2] = 0.4
+        return world.is_free(ground, margin=0.6)
 
     def bind(self, sim: Simulation) -> None:
         """Attach the workload to an assembled simulation."""

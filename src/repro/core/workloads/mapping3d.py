@@ -58,8 +58,9 @@ class MappingWorkload(Workload):
         max_explore_rounds: int = 60,
         world: Optional[World] = None,
         seed: int = 0,
+        scenario=None,
     ) -> None:
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, scenario=scenario)
         if not 0.0 < coverage_target <= 1.0:
             raise ValueError("coverage target must be in (0, 1]")
         self.coverage_target = coverage_target
@@ -77,6 +78,9 @@ class MappingWorkload(Workload):
     def build_world(self) -> World:
         if self._world is not None:
             return self._world
+        world = self.scenario_world()
+        if world is not None:
+            return world
         return forest_world(size=60.0, n_trees=25, seed=self.seed)
 
     def _map_region(self, sim: Simulation) -> AABB:

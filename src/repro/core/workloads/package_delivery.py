@@ -66,8 +66,9 @@ class PackageDeliveryWorkload(Workload):
         resolution_policy: Optional[Callable] = None,
         world: Optional[World] = None,
         seed: int = 0,
+        scenario=None,
     ) -> None:
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, scenario=scenario)
         if planner_name not in _PLANNERS:
             raise ValueError(
                 f"unknown planner '{planner_name}' "
@@ -89,6 +90,9 @@ class PackageDeliveryWorkload(Workload):
     def build_world(self) -> World:
         if self._world is not None:
             return self._world
+        world = self.scenario_world()
+        if world is not None:
+            return world
         return urban_world(
             blocks=3, block_size=22.0, street_width=14.0,
             building_density=0.6, max_height=12.0, seed=self.seed,

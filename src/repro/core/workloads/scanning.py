@@ -55,8 +55,9 @@ class ScanningWorkload(Workload):
         lane_spacing: float = 12.0,
         cruise_speed: float = 7.5,
         seed: int = 0,
+        scenario=None,
     ) -> None:
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, scenario=scenario)
         self.area = CoverageArea(
             center_x=0.0, center_y=0.0, width=area_width, length=area_length
         )
@@ -69,6 +70,9 @@ class ScanningWorkload(Workload):
 
     # ------------------------------------------------------------------
     def build_world(self) -> World:
+        world = self.scenario_world()
+        if world is not None:
+            return world
         return farm_world(
             width=self.area.width * 1.2,
             length=self.area.length * 1.5,

@@ -77,6 +77,9 @@ class SearchRescueWorkload(MappingWorkload):
     def build_world(self) -> World:
         if self._world is not None:
             return self._world
+        world = self.scenario_world()
+        if world is not None:
+            return world
         return disaster_world(
             size=60.0,
             n_debris=30,

@@ -1,0 +1,61 @@
+"""Scenario subsystem: declarative, content-hashed scenario families.
+
+MAVBench evaluates its workloads under programmed environment knobs
+(static obstacle density, dynamic-obstacle count/speed, congestion); this
+package makes "which world, how hard" data instead of code:
+
+* :mod:`~repro.scenarios.spec` — :class:`ScenarioSpec`, a canonically
+  serialized, content-hashed scenario identity (family + normalized
+  difficulty + seed + knob overrides);
+* :mod:`~repro.scenarios.families` — the registry of scenario families
+  layered over ``world/generator.py``, each mapping ``difficulty`` in
+  ``[0, 1]`` onto concrete knobs with batched obstacle placement;
+* :mod:`~repro.scenarios.metrics` — measured difficulty (occupied-volume
+  fraction, corridor-width percentiles from vectorized free-space
+  probes, dynamic congestion) so requested and realized difficulty can
+  be compared;
+* :mod:`~repro.scenarios.cache` — content-hash instantiation cache with
+  serialization-snapshot isolation.
+
+Workloads accept an injected scenario (``run_workload(...,
+workload_kwargs={"scenario": "urban:0.7"})``), and campaigns sweep them
+as a first-class axis (``CampaignSpec(scenarios=[...])`` /
+``repro campaign --scenario urban:0.3 urban:0.9``).
+"""
+
+from .cache import cache_stats, clear_scenario_cache, instantiate_scenario
+from .families import (
+    CANONICAL_FAMILY,
+    FAMILIES,
+    ScenarioFamily,
+    available_families,
+    build_scenario_world,
+    family_knobs,
+)
+from .metrics import (
+    ScenarioMetrics,
+    corridor_width_percentiles,
+    dynamic_congestion,
+    free_space_clearances,
+    measure_scenario,
+)
+from .spec import ScenarioSpec, parse_scenario
+
+__all__ = [
+    "CANONICAL_FAMILY",
+    "FAMILIES",
+    "ScenarioFamily",
+    "ScenarioMetrics",
+    "ScenarioSpec",
+    "available_families",
+    "build_scenario_world",
+    "cache_stats",
+    "clear_scenario_cache",
+    "corridor_width_percentiles",
+    "dynamic_congestion",
+    "family_knobs",
+    "free_space_clearances",
+    "instantiate_scenario",
+    "measure_scenario",
+    "parse_scenario",
+]

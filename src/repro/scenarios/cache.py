@@ -1,0 +1,73 @@
+"""Content-hashed scenario instantiation cache.
+
+Campaign sweeps instantiate the same scenario many times (every seed of
+every operating point shares one world when the scenario pins its seed).
+``instantiate_scenario`` builds each distinct scenario exactly once per
+process, snapshots it through the world serializer, and rebuilds callers'
+copies from the snapshot — so cached worlds are *isolated*: a mission
+that mutates its world (adding people, a tracked subject, …) can never
+leak obstacles into another run's world.
+
+The cache key is the resolved spec's content hash (``scenario_key``), the
+same naming discipline ``RunSpec.run_key`` uses for result stores.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from ..world.environment import World
+from ..world.serialization import world_from_dict, world_to_dict
+from .families import FAMILIES
+from .spec import ScenarioSpec
+
+__all__ = ["cache_stats", "clear_scenario_cache", "instantiate_scenario"]
+
+_WORLD_CACHE: Dict[str, Dict[str, Any]] = {}
+_STATS = {"hits": 0, "misses": 0}
+
+
+def instantiate_scenario(
+    scenario: Union[ScenarioSpec, str, Dict[str, Any]],
+    default_seed: int = 0,
+    cache: bool = True,
+) -> World:
+    """Materialize the world for ``scenario``.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`ScenarioSpec`, a ``family:difficulty[:seed]`` token, or
+        a spec payload dict.
+    default_seed:
+        Seed used when the spec leaves its seed unset (inherit mode).
+    cache:
+        Reuse/populate the per-process content-hash cache.  Cached
+        entries are serialized snapshots; every call returns a fresh,
+        independently mutable :class:`World`.
+    """
+    spec = ScenarioSpec.coerce(scenario).resolved(default_seed)
+    key = spec.scenario_key
+    if cache and key in _WORLD_CACHE:
+        _STATS["hits"] += 1
+        return world_from_dict(_WORLD_CACHE[key])
+    world = FAMILIES[spec.family].build(spec)
+    if cache:
+        _STATS["misses"] += 1
+        # Snapshot *before* handing the world out: later caller mutations
+        # must not reach the cache.
+        _WORLD_CACHE[key] = world_to_dict(world)
+    return world
+
+
+def cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters for the per-process scenario cache."""
+    return {"hits": _STATS["hits"], "misses": _STATS["misses"],
+            "size": len(_WORLD_CACHE)}
+
+
+def clear_scenario_cache() -> None:
+    """Drop every cached world and reset the counters (test isolation)."""
+    _WORLD_CACHE.clear()
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0

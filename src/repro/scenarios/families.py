@@ -1,0 +1,506 @@
+"""Scenario families: named, difficulty-graded environment recipes.
+
+A family layers a normalized ``difficulty`` knob over the procedural
+generators in :mod:`repro.world.generator`: each family maps
+``difficulty in [0, 1]`` onto the concrete knobs the paper programs
+(static obstacle density, tree count, corridor width, rubble clutter,
+moving-people count/speed) and builds the corresponding
+:class:`~repro.world.environment.World`.
+
+Two properties make families fit for campaign-scale sweeps:
+
+* **Batched placement** — each builder draws its obstacle parameter table
+  in one RNG call per family (``rng.uniform(size=(N_MAX, k))``) and
+  materializes obstacles from array slices, so instantiating a
+  5-family x 5-difficulty sweep is vectorized rather than a per-obstacle
+  Python sampling loop.
+* **Nested difficulty** — for a fixed seed, the obstacle set at a lower
+  difficulty is (up to deterministic growth of individual obstacles) a
+  *subset* of the set at a higher difficulty: every obstacle comes from
+  one fixed per-seed table, and difficulty only decides how much of the
+  table materializes.  Deterministic knobs (door width, building height,
+  patrol speed) move monotonically too, so measured congestion is
+  non-decreasing in requested difficulty — not just in expectation, but
+  per seed (pinned by ``tests/test_scenarios.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+import numpy as np
+
+from ..world.environment import World, empty_world
+from ..world.generator import indoor_world
+from ..world.obstacles import make_box_obstacle, make_person
+from .spec import ScenarioSpec
+
+__all__ = [
+    "FAMILIES",
+    "CANONICAL_FAMILY",
+    "ScenarioFamily",
+    "available_families",
+    "build_scenario_world",
+    "family_knobs",
+]
+
+
+def _lerp(lo: float, hi: float, difficulty: float) -> float:
+    return lo + (hi - lo) * difficulty
+
+
+def _count(lo: int, hi: int, difficulty: float) -> int:
+    return int(round(_lerp(float(lo), float(hi), difficulty)))
+
+
+def _fill_order(n: int) -> List[int]:
+    """Indices ``0..n-1`` in bit-reversed order: every prefix of the
+    sequence is spread roughly evenly over the range, so a difficulty
+    prefix of fixed slots both *nests* and stays uniform."""
+    width = max(1, (n - 1).bit_length())
+    return sorted(
+        range(n), key=lambda i: int(format(i, f"0{width}b")[::-1], 2)
+    )
+
+
+def _resolve_knobs(
+    family: str, defaults: Dict[str, Any], overrides: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Family defaults with the spec's overrides applied.
+
+    Knob *names* are already validated against ``default_knobs`` by
+    ``ScenarioSpec.__post_init__`` — every builder input is a constructed
+    spec — so this is a pure merge.
+    """
+    merged = dict(defaults)
+    merged.update(overrides)
+    return merged
+
+
+def _moving_people(
+    world: World,
+    count: int,
+    speed: float,
+    draws: np.ndarray,
+    name_prefix: str = "walker",
+    z: float = 0.9,
+) -> None:
+    """Materialize ``count`` patrolling people from a pre-drawn table.
+
+    ``draws`` has one row per *potential* person (``(N_MAX, 4)`` in
+    ``[0, 1)``), so lower difficulties use a strict prefix of higher
+    ones — the dynamic-congestion analogue of nested static placement.
+    """
+    if count <= 0:
+        return
+    lo, hi = world.bounds.lo, world.bounds.hi
+    xs = lo[0] + 3.0 + draws[:count, 0] * (hi[0] - lo[0] - 6.0)
+    ys = lo[1] + 3.0 + draws[:count, 1] * (hi[1] - lo[1] - 6.0)
+    dxs = 3.0 + draws[:count, 2] * 7.0
+    dys = 3.0 + draws[:count, 3] * 7.0
+    for k in range(count):
+        x, y = float(xs[k]), float(ys[k])
+        fx = min(x + float(dxs[k]), hi[0] - 1.0)
+        fy = min(y + float(dys[k]), hi[1] - 1.0)
+        world.add(
+            make_person(
+                (x, y, z),
+                waypoints=[(x, y, z), (fx, y, z), (fx, fy, z), (x, fy, z)],
+                speed=speed,
+                name=f"{name_prefix}-{k}",
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Builders (one per family)
+# ----------------------------------------------------------------------
+_FARM_DEFAULTS = {"width": 120.0, "length": 120.0, "min_rows": 4, "max_rows": 16}
+
+
+def _farm_knobs(d: float) -> Dict[str, float]:
+    return {
+        "crop_rows": _count(_FARM_DEFAULTS["min_rows"], _FARM_DEFAULTS["max_rows"], d),
+        "moving_people": 0,
+    }
+
+
+def _build_farm(spec: ScenarioSpec) -> World:
+    k = _resolve_knobs("farm", _FARM_DEFAULTS, spec.knobs)
+    width, length = float(k["width"]), float(k["length"])
+    n_max = int(k["max_rows"])
+    n = _count(int(k["min_rows"]), n_max, spec.difficulty)
+    rng = np.random.default_rng(spec.seed)
+    heights = 0.3 + rng.uniform(size=n_max) * 0.6  # one draw for the family
+    world = empty_world((width, length, 40.0), name=f"farm@{spec.difficulty:g}")
+    # Rows live on the fixed n_max grid and fill in bit-reversed order,
+    # so a lower difficulty's rows are a subset of a higher one's while
+    # staying evenly spread across the field.
+    rows = -length / 2 + (np.arange(n_max) + 0.5) * length / n_max
+    for i in sorted(_fill_order(n_max)[:n]):
+        h = float(heights[i])
+        world.add(
+            make_box_obstacle(
+                center=(0.0, float(rows[i]), h / 2),
+                size=(width * 0.9, 1.0, h),
+                kind="crop",
+                name=f"crop-{i}",
+            )
+        )
+    return world
+
+
+_URBAN_DEFAULTS = {
+    "blocks": 4,
+    "block_size": 24.0,
+    "street_width": 13.0,
+    "min_density": 0.15,
+    "max_density": 0.95,
+    "min_height": 10.0,
+    "max_height": 28.0,
+    "max_people": 8,
+    "min_people_speed": 0.8,
+    "max_people_speed": 2.0,
+}
+
+
+def _urban_knobs(d: float) -> Dict[str, float]:
+    k = _URBAN_DEFAULTS
+    return {
+        "building_density": _lerp(k["min_density"], k["max_density"], d),
+        "max_height_m": _lerp(k["min_height"], k["max_height"], d),
+        "moving_people": _count(0, k["max_people"], d),
+        "people_speed_ms": _lerp(k["min_people_speed"], k["max_people_speed"], d),
+    }
+
+
+def _build_urban(spec: ScenarioSpec) -> World:
+    k = _resolve_knobs("urban", _URBAN_DEFAULTS, spec.knobs)
+    blocks = int(k["blocks"])
+    block_size = float(k["block_size"])
+    street = float(k["street_width"])
+    d = spec.difficulty
+    density = _lerp(float(k["min_density"]), float(k["max_density"]), d)
+    h_max = _lerp(float(k["min_height"]), float(k["max_height"]), d)
+    pitch = block_size + street
+    span = blocks * pitch + street
+    world = empty_world((span, span, float(k["max_height"]) + 17.0),
+                        name=f"urban@{d:g}")
+    rng = np.random.default_rng(spec.seed)
+    lots = blocks * blocks
+    draws = rng.uniform(size=(lots, 4))  # presence, width, depth, height
+    people_draws = rng.uniform(size=(int(k["max_people"]), 4))
+    origin = -span / 2 + street + block_size / 2
+    ii, jj = np.divmod(np.arange(lots), blocks)
+    cxs = origin + ii * pitch
+    cys = origin + jj * pitch
+    # A lot holds a building iff its (fixed) draw is under the difficulty's
+    # density — so the built set at low difficulty nests inside high.
+    present = draws[:, 0] < density
+    widths = (0.5 + 0.45 * draws[:, 1]) * block_size
+    depths = (0.5 + 0.45 * draws[:, 2]) * block_size
+    heights = 6.0 + draws[:, 3] * max(h_max - 6.0, 0.0)
+    for idx in np.nonzero(present)[0]:
+        h = float(heights[idx])
+        world.add(
+            make_box_obstacle(
+                center=(float(cxs[idx]), float(cys[idx]), h / 2),
+                size=(float(widths[idx]), float(depths[idx]), h),
+                kind="building",
+                name=f"building-{int(idx)}",
+            )
+        )
+    speed = _lerp(float(k["min_people_speed"]), float(k["max_people_speed"]), d)
+    _moving_people(world, _count(0, int(k["max_people"]), d), speed, people_draws)
+    return world
+
+
+_FOREST_DEFAULTS = {"size": 80.0, "min_trees": 12, "max_trees": 120}
+
+
+def _forest_knobs(d: float) -> Dict[str, float]:
+    k = _FOREST_DEFAULTS
+    return {"trees": _count(k["min_trees"], k["max_trees"], d), "moving_people": 0}
+
+
+def _build_forest(spec: ScenarioSpec) -> World:
+    k = _resolve_knobs("forest", _FOREST_DEFAULTS, spec.knobs)
+    size = float(k["size"])
+    n_max = int(k["max_trees"])
+    n = _count(int(k["min_trees"]), n_max, spec.difficulty)
+    rng = np.random.default_rng(spec.seed)
+    draws = rng.uniform(size=(n_max, 5))  # x, y, height, trunk, canopy
+    world = empty_world((size, size, 35.0), name=f"forest@{spec.difficulty:g}")
+    xs = -size / 2 + 2.0 + draws[:, 0] * (size - 4.0)
+    ys = -size / 2 + 2.0 + draws[:, 1] * (size - 4.0)
+    hs = 8.0 + draws[:, 2] * 12.0
+    trunks = 0.4 + draws[:, 3] * 0.6
+    canopies = 2.0 + draws[:, 4] * 3.0
+    for i in range(n):
+        x, y, h = float(xs[i]), float(ys[i]), float(hs[i])
+        t, c = float(trunks[i]), float(canopies[i])
+        world.add(
+            make_box_obstacle(
+                center=(x, y, h / 2), size=(t, t, h), kind="tree",
+                name=f"tree-{i}",
+            )
+        )
+        world.add(
+            make_box_obstacle(
+                center=(x, y, h + c / 2), size=(c, c, c), kind="canopy",
+                name=f"canopy-{i}",
+            )
+        )
+    return world
+
+
+_INDOOR_DEFAULTS = {
+    "rooms_x": 3,
+    "rooms_y": 2,
+    "room_size": 8.0,
+    "max_door_width": 1.3,
+    "min_door_width": 0.72,
+    "max_furniture": 10,
+}
+
+
+def _indoor_knobs(d: float) -> Dict[str, float]:
+    k = _INDOOR_DEFAULTS
+    return {
+        "door_width_m": _lerp(k["max_door_width"], k["min_door_width"], d),
+        "furniture": _count(0, k["max_furniture"], d),
+        "moving_people": 0,
+    }
+
+
+def _build_indoor(spec: ScenarioSpec) -> World:
+    k = _resolve_knobs("indoor", _INDOOR_DEFAULTS, spec.knobs)
+    d = spec.difficulty
+    door = _lerp(float(k["max_door_width"]), float(k["min_door_width"]), d)
+    # The structural shell comes from the canonical generator (same walls
+    # and door positions at every difficulty — only the gap narrows).
+    world = indoor_world(
+        rooms_x=int(k["rooms_x"]),
+        rooms_y=int(k["rooms_y"]),
+        room_size=float(k["room_size"]),
+        door_width=door,
+        seed=spec.seed,
+    )
+    world.name = f"indoor@{d:g}"
+    # The generator auto-names walls from a process-global counter; pin
+    # them so same-spec instantiations are identical, names included.
+    for idx, obstacle in enumerate(world.obstacles):
+        obstacle.name = f"wall-{idx}"
+    # Clutter (furniture-sized boxes) rides on an independent stream so
+    # door-position draws stay identical across difficulties.
+    n_max = int(k["max_furniture"])
+    n = _count(0, n_max, d)
+    if n_max > 0:
+        rng = np.random.default_rng(spec.seed + 101)
+        draws = rng.uniform(size=(n_max, 5))  # x, y, w, d, h
+        span_x = int(k["rooms_x"]) * float(k["room_size"])
+        span_y = int(k["rooms_y"]) * float(k["room_size"])
+        xs = -span_x / 2 + 1.0 + draws[:, 0] * (span_x - 2.0)
+        ys = -span_y / 2 + 1.0 + draws[:, 1] * (span_y - 2.0)
+        ws = 0.4 + draws[:, 2] * 1.2
+        ds = 0.4 + draws[:, 3] * 1.2
+        hs = 0.4 + draws[:, 4] * 1.0
+        for i in range(n):
+            h = float(hs[i])
+            world.add(
+                make_box_obstacle(
+                    center=(float(xs[i]), float(ys[i]), h / 2),
+                    size=(float(ws[i]), float(ds[i]), h),
+                    kind="furniture",
+                    name=f"furniture-{i}",
+                )
+            )
+    return world
+
+
+_DISASTER_DEFAULTS = {
+    "size": 70.0,
+    "min_debris": 12,
+    "max_debris": 110,
+    "n_survivors": 3,
+}
+
+
+def _disaster_knobs(d: float) -> Dict[str, float]:
+    k = _DISASTER_DEFAULTS
+    return {
+        "debris": _count(k["min_debris"], k["max_debris"], d),
+        "survivors": k["n_survivors"],
+        "moving_people": 0,
+    }
+
+
+def _build_disaster(spec: ScenarioSpec) -> World:
+    k = _resolve_knobs("disaster", _DISASTER_DEFAULTS, spec.knobs)
+    size = float(k["size"])
+    n_max = int(k["max_debris"])
+    n = _count(int(k["min_debris"]), n_max, spec.difficulty)
+    rng = np.random.default_rng(spec.seed)
+    draws = rng.uniform(size=(n_max, 5))  # x, y, w, d, h
+    world = empty_world((size, size, 25.0), name=f"disaster@{spec.difficulty:g}")
+    xs = -size / 2 + 2.0 + draws[:, 0] * (size - 4.0)
+    ys = -size / 2 + 2.0 + draws[:, 1] * (size - 4.0)
+    ws = 2.0 + draws[:, 2] * 6.0
+    ds = 2.0 + draws[:, 3] * 6.0
+    hs = 1.0 + draws[:, 4] * 5.0
+    for i in range(n):
+        h = float(hs[i])
+        world.add(
+            make_box_obstacle(
+                center=(float(xs[i]), float(ys[i]), h / 2),
+                size=(float(ws[i]), float(ds[i]), h),
+                kind="debris",
+                name=f"debris-{i}",
+            )
+        )
+    # Survivors hide in the far (north-east) quadrant, like the canonical
+    # generator; their stream is independent of the debris table size.
+    srng = np.random.default_rng(spec.seed + 7)
+    placed = 0
+    tries = 0
+    while placed < int(k["n_survivors"]) and tries < 500:
+        tries += 1
+        x = float(srng.uniform(0.0, size / 2 - 3))
+        y = float(srng.uniform(0.0, size / 2 - 3))
+        person = make_person((x, y, 0.9), name=f"survivor-{placed}")
+        if not any(person.box.intersects(o.box) for o in world.static_obstacles):
+            world.add(person)
+            placed += 1
+    return world
+
+
+_PARK_DEFAULTS = {
+    "size": 120.0,
+    "min_people": 1,
+    "max_people": 12,
+    "min_speed": 0.5,
+    "max_speed": 2.2,
+}
+
+
+def _park_knobs(d: float) -> Dict[str, float]:
+    k = _PARK_DEFAULTS
+    return {
+        "moving_people": _count(k["min_people"], k["max_people"], d),
+        "people_speed_ms": _lerp(k["min_speed"], k["max_speed"], d),
+    }
+
+
+def _build_park(spec: ScenarioSpec) -> World:
+    k = _resolve_knobs("park", _PARK_DEFAULTS, spec.knobs)
+    size = float(k["size"])
+    world = empty_world((size, size, 30.0), name=f"park@{spec.difficulty:g}")
+    rng = np.random.default_rng(spec.seed)
+    draws = rng.uniform(size=(int(k["max_people"]), 4))
+    speed = _lerp(float(k["min_speed"]), float(k["max_speed"]), spec.difficulty)
+    count = _count(int(k["min_people"]), int(k["max_people"]), spec.difficulty)
+    _moving_people(world, count, speed, draws)
+    return world
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A named, difficulty-graded environment recipe.
+
+    Attributes
+    ----------
+    name:
+        Registry key (what ``ScenarioSpec.family`` references).
+    base:
+        The ``world/generator.py`` environment this family layers over.
+    description:
+        One line for ``repro list`` and the README table.
+    knobs_at:
+        Maps difficulty to the resolved headline knobs (for labels/docs).
+    build:
+        Materializes the world for a resolved :class:`ScenarioSpec`.
+    default_knobs:
+        The override vocabulary: exactly the keys a ``ScenarioSpec.knobs``
+        dict may set for this family (anything else is a ``TypeError``).
+    """
+
+    name: str
+    base: str
+    description: str
+    knobs_at: Callable[[float], Dict[str, float]]
+    build: Callable[[ScenarioSpec], World]
+    default_knobs: Dict[str, Any]
+
+
+FAMILIES: Dict[str, ScenarioFamily] = {
+    f.name: f
+    for f in (
+        ScenarioFamily(
+            "farm", "farm",
+            "open cropland; difficulty adds crop rows (Scanning's canvas)",
+            _farm_knobs, _build_farm, _FARM_DEFAULTS,
+        ),
+        ScenarioFamily(
+            "urban", "urban",
+            "street-grid city; difficulty raises building density/height "
+            "and street congestion",
+            _urban_knobs, _build_urban, _URBAN_DEFAULTS,
+        ),
+        ScenarioFamily(
+            "forest", "forest",
+            "scattered trunks+canopies; difficulty multiplies tree count",
+            _forest_knobs, _build_forest, _FOREST_DEFAULTS,
+        ),
+        ScenarioFamily(
+            "indoor", "indoor",
+            "room grid; difficulty narrows doorways and adds furniture",
+            _indoor_knobs, _build_indoor, _INDOOR_DEFAULTS,
+        ),
+        ScenarioFamily(
+            "disaster", "disaster",
+            "rubble field with hidden survivors; difficulty adds debris",
+            _disaster_knobs, _build_disaster, _DISASTER_DEFAULTS,
+        ),
+        ScenarioFamily(
+            "park", "empty",
+            "open park with patrolling people; difficulty raises their "
+            "count and walking speed",
+            _park_knobs, _build_park, _PARK_DEFAULTS,
+        ),
+    )
+}
+
+#: The family each workload's canonical generator corresponds to — what a
+#: ``--scenario`` sweep varies when it replaces the hard-wired world.
+CANONICAL_FAMILY: Dict[str, str] = {
+    "scanning": "farm",
+    "package_delivery": "urban",
+    "mapping": "forest",
+    "search_rescue": "disaster",
+    "aerial_photography": "park",
+}
+
+
+def available_families() -> List[str]:
+    """Registered scenario family names, sorted."""
+    return sorted(FAMILIES)
+
+
+def family_knobs(family: str, difficulty: float) -> Dict[str, float]:
+    """The resolved headline knobs for ``family`` at ``difficulty``."""
+    if family not in FAMILIES:
+        raise KeyError(
+            f"unknown scenario family '{family}' "
+            f"(choose from {available_families()})"
+        )
+    return FAMILIES[family].knobs_at(float(difficulty))
+
+
+def build_scenario_world(spec: ScenarioSpec) -> World:
+    """Build the world for a (resolved) spec, bypassing the cache."""
+    resolved = spec.resolved(0)
+    return FAMILIES[resolved.family].build(resolved)

@@ -1,0 +1,188 @@
+"""Declarative scenario specifications.
+
+A *scenario* names an environment the way a :class:`~repro.campaign.spec.RunSpec`
+names a mission: declaratively, canonically serialized, and content-hashed.
+``ScenarioSpec`` couples a scenario *family* (a named generator recipe over
+``world/generator.py``) with a normalized ``difficulty`` knob in ``[0, 1]``
+and a world seed; the registry in :mod:`repro.scenarios.families` maps the
+requested difficulty onto concrete generator knobs (building density, tree
+count, corridor width, rubble clutter, moving-people count/speed).
+
+The spec is deliberately JSON-shaped end to end so it can ride inside
+``workload_kwargs``, campaign run payloads, and JSONL stores unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["ScenarioSpec", "canonical_json", "parse_scenario"]
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON used for content hashing.
+
+    The one hashing recipe shared by ``ScenarioSpec`` and the campaign
+    layer's ``RunSpec``: ``sort_keys`` makes the hash independent of dict
+    insertion order; non-JSON values degrade to their ``repr``.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+@dataclass
+class ScenarioSpec:
+    """One environment configuration: family + difficulty + seed (+ overrides).
+
+    Attributes
+    ----------
+    family:
+        Name of a registered scenario family (see
+        :func:`repro.scenarios.families.available_families`).
+    difficulty:
+        Normalized hardness in ``[0, 1]``.  ``0`` is the family's easiest
+        rendition, ``1`` the hardest; the family maps it onto concrete
+        generator knobs.
+    seed:
+        World-generation seed.  ``None`` means "inherit the mission seed"
+        — a campaign's seed axis then varies the world along with the
+        mission RNG, exactly as the canonical per-workload generators do.
+    knobs:
+        Family-specific overrides (e.g. ``{"size": 50.0}``) applied on
+        top of the difficulty mapping.  Must be JSON-serializable.
+    """
+
+    family: str
+    difficulty: float = 0.5
+    seed: Optional[int] = None
+    knobs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.family = str(self.family)
+        self.difficulty = float(self.difficulty)
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ValueError(
+                f"scenario difficulty must be in [0, 1], got {self.difficulty}"
+            )
+        if self.seed is not None:
+            self.seed = int(self.seed)
+        # Normalize numeric knob values (120 vs 120.0 must name the same
+        # scenario, exactly as RunSpec normalizes its numeric axes).
+        self.knobs = {
+            key: (
+                float(value)
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+                else value
+            )
+            for key, value in dict(self.knobs).items()
+        }
+        # Validate the family and knob names eagerly so a typo fails at
+        # spec time, not mid-campaign inside a worker process.
+        from .families import FAMILIES  # local import: families -> world only
+
+        if self.family not in FAMILIES:
+            raise KeyError(
+                f"unknown scenario family '{self.family}' "
+                f"(choose from {sorted(FAMILIES)})"
+            )
+        accepted = set(FAMILIES[self.family].default_knobs)
+        unknown = sorted(set(self.knobs) - accepted)
+        if unknown:
+            raise TypeError(
+                f"unknown knobs for scenario family '{self.family}': "
+                f"{unknown} (accepted: {sorted(accepted)})"
+            )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def payload(self) -> Dict[str, Any]:
+        """The JSON-shaped identity of this scenario (what the key hashes)."""
+        return {
+            "family": self.family,
+            "difficulty": self.difficulty,
+            "seed": self.seed,
+            "knobs": dict(self.knobs),
+        }
+
+    @property
+    def scenario_key(self) -> str:
+        """16-hex-char content hash naming this scenario (cache key)."""
+        return hashlib.sha256(
+            canonical_json(self.payload()).encode()
+        ).hexdigest()[:16]
+
+    def resolved(self, default_seed: int = 0) -> "ScenarioSpec":
+        """A concrete spec with the seed filled in (inherit -> ``default_seed``)."""
+        if self.seed is not None:
+            return self
+        return ScenarioSpec(
+            family=self.family,
+            difficulty=self.difficulty,
+            seed=int(default_seed),
+            knobs=dict(self.knobs),
+        )
+
+    def label(self) -> str:
+        """Compact human-readable name, e.g. ``urban:0.7`` or ``forest:1#s3``."""
+        text = f"{self.family}:{self.difficulty:g}"
+        if self.seed is not None:
+            text += f"#s{self.seed}"
+        return text
+
+    # ------------------------------------------------------------------
+    # Coercion / parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
+        known = {"family", "difficulty", "seed", "knobs"}
+        stray = sorted(set(payload) - known)
+        if stray:
+            raise KeyError(f"unknown scenario fields: {stray}")
+        return cls(
+            family=payload["family"],
+            difficulty=payload.get("difficulty", 0.5),
+            seed=payload.get("seed"),
+            knobs=dict(payload.get("knobs", {})),
+        )
+
+    @classmethod
+    def coerce(
+        cls, value: Union["ScenarioSpec", str, Dict[str, Any]]
+    ) -> "ScenarioSpec":
+        """Accept a spec, a ``family:difficulty[:seed]`` token, or a payload."""
+        if isinstance(value, ScenarioSpec):
+            return value
+        if isinstance(value, str):
+            return parse_scenario(value)
+        if isinstance(value, dict):
+            return cls.from_payload(value)
+        raise TypeError(
+            f"cannot interpret {type(value).__name__!r} as a scenario "
+            "(expected ScenarioSpec, 'family:difficulty' string, or dict)"
+        )
+
+
+def parse_scenario(token: str) -> ScenarioSpec:
+    """Parse a CLI token: ``family``, ``family:DIFF``, or ``family:DIFF:SEED``."""
+    parts = token.split(":")
+    if not parts[0]:
+        raise ValueError(f"bad scenario token '{token}' (empty family)")
+    try:
+        if len(parts) == 1:
+            return ScenarioSpec(family=parts[0])
+        if len(parts) == 2:
+            return ScenarioSpec(family=parts[0], difficulty=float(parts[1]))
+        if len(parts) == 3:
+            return ScenarioSpec(
+                family=parts[0],
+                difficulty=float(parts[1]),
+                seed=int(parts[2]),
+            )
+    except ValueError as exc:
+        raise ValueError(f"bad scenario token '{token}': {exc}") from None
+    raise ValueError(
+        f"bad scenario token '{token}' (expected FAMILY[:DIFFICULTY[:SEED]])"
+    )

@@ -12,6 +12,11 @@ the scenarios the five workloads need:
 * ``forest``    — scattered tall thin obstacles, medium density.
 * ``disaster``  — collapsed-building rubble for Search and Rescue, with
                   survivors (person obstacles) hidden among debris.
+* ``campus``    — mixed outdoor/indoor delivery site (the Fig. 19
+                  dynamic-resolution environment).
+
+(The list is pinned by a test against ``ENVIRONMENTS`` so it cannot
+drift again.)
 """
 
 from __future__ import annotations

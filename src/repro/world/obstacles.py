@@ -82,6 +82,13 @@ class DynamicObstacle(Obstacle):
     def is_dynamic(self) -> bool:
         return True
 
+    @property
+    def is_patrolling(self) -> bool:
+        """True if the obstacle actually moves — the same predicate
+        :meth:`position_at` uses to decide between patrolling and
+        staying put."""
+        return self.speed > 0 and self._loop_length > 0
+
     def position_at(self, time: float) -> np.ndarray:
         """Center position at time ``time`` along the patrol loop."""
         if self._loop_length <= 0 or self.speed <= 0:

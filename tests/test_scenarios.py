@@ -1,0 +1,528 @@
+"""Tests for the scenario subsystem: specs, families, metrics, cache,
+workload injection, and the campaign scenario axis."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    RunSpec,
+    parse_scenarios,
+    run_campaign,
+    select_records,
+)
+from repro.core.api import run_workload, validate_workload_kwargs
+from repro.core.workloads import WORKLOADS
+from repro.scenarios import (
+    CANONICAL_FAMILY,
+    FAMILIES,
+    ScenarioSpec,
+    available_families,
+    build_scenario_world,
+    cache_stats,
+    clear_scenario_cache,
+    corridor_width_percentiles,
+    family_knobs,
+    instantiate_scenario,
+    measure_scenario,
+    parse_scenario,
+)
+from repro.world.serialization import world_to_dict
+
+DIFFICULTIES = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+#: A mission configuration that finishes in well under a second.
+TINY_SCANNING = {"area_width": 40.0, "area_length": 24.0}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_scenario_cache()
+    yield
+    clear_scenario_cache()
+
+
+# ----------------------------------------------------------------------
+# ScenarioSpec
+# ----------------------------------------------------------------------
+class TestScenarioSpec:
+    def test_payload_round_trip(self):
+        spec = ScenarioSpec("urban", 0.7, seed=3, knobs={"blocks": 3})
+        clone = ScenarioSpec.from_payload(spec.payload())
+        assert clone == spec
+        assert clone.scenario_key == spec.scenario_key
+
+    def test_content_hash_is_canonical(self):
+        a = ScenarioSpec("urban", 0.7, knobs={"blocks": 3, "street_width": 10})
+        b = ScenarioSpec("urban", 0.7, knobs={"street_width": 10, "blocks": 3})
+        assert a.scenario_key == b.scenario_key
+        assert len(a.scenario_key) == 16
+
+    def test_numeric_knobs_normalized_for_hashing(self):
+        """120 and 120.0 name the same scenario (and the same run)."""
+        a = ScenarioSpec("farm", 0.5, knobs={"width": 120})
+        b = ScenarioSpec("farm", 0.5, knobs={"width": 120.0})
+        assert a.scenario_key == b.scenario_key
+        run_a = RunSpec("scanning", 4, 2.2, 1, scenario=a.payload())
+        run_b = RunSpec("scanning", 4, 2.2, 1, scenario=b.payload())
+        assert run_a.run_key == run_b.run_key
+
+    def test_difficulty_changes_hash(self):
+        assert (
+            ScenarioSpec("forest", 0.2).scenario_key
+            != ScenarioSpec("forest", 0.8).scenario_key
+        )
+
+    def test_difficulty_bounds_enforced(self):
+        with pytest.raises(ValueError, match="difficulty"):
+            ScenarioSpec("forest", 1.5)
+        with pytest.raises(ValueError, match="difficulty"):
+            ScenarioSpec("forest", -0.1)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError, match="atlantis"):
+            ScenarioSpec("atlantis", 0.5)
+
+    def test_unknown_knob_rejected_at_spec_time(self):
+        """A knob typo fails when the spec is built (e.g. during
+        CampaignSpec validation), not mid-campaign inside a worker."""
+        with pytest.raises(TypeError, match="rows"):
+            ScenarioSpec("farm", 0.5, knobs={"rows": 5})
+        with pytest.raises(TypeError, match="rows"):
+            CampaignSpec(
+                workloads=["scanning"],
+                scenarios=[{"family": "farm", "knobs": {"rows": 5}}],
+            )
+
+    def test_parse_tokens(self):
+        assert parse_scenario("forest").difficulty == 0.5
+        spec = parse_scenario("urban:0.7")
+        assert (spec.family, spec.difficulty, spec.seed) == ("urban", 0.7, None)
+        spec = parse_scenario("urban:0.7:3")
+        assert spec.seed == 3
+        with pytest.raises(ValueError):
+            parse_scenario("urban:not-a-number")
+        with pytest.raises(ValueError):
+            parse_scenario(":0.5")
+
+    def test_coerce_accepts_spec_token_and_payload(self):
+        spec = ScenarioSpec("park", 0.4)
+        assert ScenarioSpec.coerce(spec) is spec
+        assert ScenarioSpec.coerce("park:0.4") == spec
+        assert ScenarioSpec.coerce(spec.payload()) == spec
+        with pytest.raises(TypeError):
+            ScenarioSpec.coerce(42)
+
+    def test_resolved_fills_seed(self):
+        spec = ScenarioSpec("farm", 0.5)
+        assert spec.resolved(9).seed == 9
+        pinned = ScenarioSpec("farm", 0.5, seed=2)
+        assert pinned.resolved(9).seed == 2
+
+    def test_label(self):
+        assert ScenarioSpec("urban", 0.7).label() == "urban:0.7"
+        assert ScenarioSpec("urban", 1.0, seed=3).label() == "urban:1#s3"
+
+
+# ----------------------------------------------------------------------
+# Families: smoke, determinism, monotonicity
+# ----------------------------------------------------------------------
+class TestFamilies:
+    def test_registry_covers_every_workload(self):
+        assert set(CANONICAL_FAMILY) == set(WORKLOADS)
+        assert set(CANONICAL_FAMILY.values()) <= set(FAMILIES)
+        assert len(available_families()) >= 5
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("difficulty", [0.0, 0.5, 1.0])
+    def test_every_family_instantiates(self, family, difficulty):
+        """The fast-lane scenario smoke: every family at 0 / 0.5 / 1."""
+        world = instantiate_scenario(f"{family}:{difficulty}")
+        assert world.bounds.volume > 0
+        assert world.name.startswith(f"{family}@")
+        for obs in world.obstacles:
+            assert np.all(obs.box.lo <= obs.box.hi)
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_builds_are_deterministic(self, family):
+        spec = ScenarioSpec(family, 0.6, seed=5)
+        a = world_to_dict(build_scenario_world(spec))
+        b = world_to_dict(build_scenario_world(spec))
+        assert a == b  # names included: builders pin them
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_seed_changes_world(self, family):
+        a = build_scenario_world(ScenarioSpec(family, 0.6, seed=1))
+        b = build_scenario_world(ScenarioSpec(family, 0.6, seed=2))
+        assert world_to_dict(a)["obstacles"] != world_to_dict(b)["obstacles"]
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_congestion_monotone_in_difficulty(self, family):
+        """Measured congestion is non-decreasing in requested difficulty
+        (per seed, across five levels) — the nested-placement contract."""
+        for seed in (0, 7):
+            scores = [
+                measure_scenario(
+                    build_scenario_world(ScenarioSpec(family, d, seed=seed))
+                ).congestion_score
+                for d in DIFFICULTIES
+            ]
+            assert all(
+                lo <= hi + 1e-12 for lo, hi in zip(scores, scores[1:])
+            ), f"{family} seed={seed}: {scores}"
+            assert scores[-1] > scores[0]  # difficulty must actually bite
+
+    @pytest.mark.parametrize("family", ["farm", "forest", "disaster", "urban"])
+    def test_static_sets_nest_with_difficulty(self, family):
+        """Lower difficulty's static obstacles are a subset of higher's
+        (same named obstacle -> same or grown box)."""
+
+        def boxes(difficulty):
+            world = build_scenario_world(ScenarioSpec(family, difficulty, seed=3))
+            return {
+                o.name: (o.box.lo.copy(), o.box.hi.copy())
+                for o in world.static_obstacles
+            }
+
+        low, high = boxes(0.25), boxes(1.0)
+        assert set(low) <= set(high)
+        for name, (lo, hi) in low.items():
+            glo, ghi = high[name]
+            assert np.all(glo <= lo + 1e-9) and np.all(ghi >= hi - 1e-9)
+
+    @pytest.mark.parametrize("family", ["forest", "disaster", "urban"])
+    def test_corridors_narrow_with_difficulty(self, family):
+        p50s = [
+            corridor_width_percentiles(
+                build_scenario_world(ScenarioSpec(family, d, seed=0))
+            )["p50"]
+            for d in (0.0, 0.5, 1.0)
+        ]
+        assert all(hi >= lo for hi, lo in zip(p50s, p50s[1:])), p50s
+
+    def test_indoor_door_width_narrows(self):
+        assert (
+            family_knobs("indoor", 1.0)["door_width_m"]
+            < family_knobs("indoor", 0.0)["door_width_m"]
+        )
+
+    def test_park_congestion_is_dynamic(self):
+        world = build_scenario_world(ScenarioSpec("park", 1.0, seed=0))
+        metrics = measure_scenario(world)
+        assert metrics.occupied_fraction == pytest.approx(0.0)
+        assert metrics.dynamic_congestion > 0
+        assert metrics.congestion_score > 0
+        assert "p50" in metrics.corridor_widths_m
+        row = metrics.as_dict()
+        assert "corridor_p50_m" in row and "congestion_score" in row
+
+    def test_disaster_keeps_named_survivors(self):
+        world = build_scenario_world(ScenarioSpec("disaster", 0.8, seed=1))
+        survivors = [o for o in world.obstacles if o.name.startswith("survivor")]
+        assert len(survivors) == 3
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(TypeError, match="warp_drive"):
+            build_scenario_world(
+                ScenarioSpec("forest", 0.5, seed=0, knobs={"warp_drive": 9})
+            )
+
+    def test_knob_override_applies(self):
+        small = build_scenario_world(
+            ScenarioSpec("forest", 1.0, seed=0, knobs={"size": 40.0})
+        )
+        assert small.bounds.hi[0] == pytest.approx(20.0)
+
+    def test_family_knobs_unknown_family(self):
+        with pytest.raises(KeyError):
+            family_knobs("atlantis", 0.5)
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+class TestScenarioCache:
+    def test_hit_returns_equal_world(self):
+        first = instantiate_scenario("forest:0.5:3")
+        second = instantiate_scenario("forest:0.5:3")
+        stats = cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert second is not first
+        assert world_to_dict(second) == world_to_dict(first)
+
+    def test_cached_worlds_are_isolated(self):
+        """A mission mutating its world must not leak into the cache."""
+        from repro.world.obstacles import make_box_obstacle
+
+        first = instantiate_scenario("farm:0.5")
+        n = len(first.obstacles)
+        first.add(make_box_obstacle((0, 0, 1), (1, 1, 2), kind="intruder"))
+        second = instantiate_scenario("farm:0.5")
+        assert len(second.obstacles) == n
+
+    def test_default_seed_distinguishes_entries(self):
+        instantiate_scenario("farm:0.5", default_seed=1)
+        instantiate_scenario("farm:0.5", default_seed=2)
+        assert cache_stats()["misses"] == 2
+
+    def test_cache_bypass(self):
+        instantiate_scenario("farm:0.5", cache=False)
+        assert cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+
+
+# ----------------------------------------------------------------------
+# Workload injection
+# ----------------------------------------------------------------------
+class TestWorkloadInjection:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_scenario_kwarg_accepted_everywhere(self, name):
+        validate_workload_kwargs(name, {"scenario": "forest:0.5"})
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_default_worlds_unchanged_without_scenario(self, name):
+        """No scenario => the canonical hard-wired generator, bit-for-bit
+        run to run (the pre-PR reproducibility guarantee)."""
+        a = WORKLOADS[name](seed=3).build_world()
+        b = WORKLOADS[name](seed=3).build_world()
+        da, db = world_to_dict(a), world_to_dict(b)
+        assert da["bounds"] == db["bounds"]
+        assert len(da["obstacles"]) == len(db["obstacles"])
+        for oa, ob in zip(da["obstacles"], db["obstacles"]):
+            assert oa["lo"] == ob["lo"] and oa["hi"] == ob["hi"]
+            assert oa["kind"] == ob["kind"]
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_canonical_family_world_attaches(self, name):
+        workload = WORKLOADS[name](
+            seed=1, scenario=f"{CANONICAL_FAMILY[name]}:0.5"
+        )
+        world = workload.build_world()
+        assert world.name.startswith(CANONICAL_FAMILY[name])
+        # The launch point search still works in the scenario world.
+        start = workload.start_position(world)
+        assert world.in_bounds(start + np.array([0.0, 0.0, 0.1]))
+
+    def test_scenario_inherits_workload_seed(self):
+        w1 = WORKLOADS["mapping"](seed=1, scenario="forest:0.5").build_world()
+        w2 = WORKLOADS["mapping"](seed=2, scenario="forest:0.5").build_world()
+        assert world_to_dict(w1)["obstacles"] != world_to_dict(w2)["obstacles"]
+        pinned1 = WORKLOADS["mapping"](seed=1, scenario="forest:0.5:7")
+        pinned2 = WORKLOADS["mapping"](seed=2, scenario="forest:0.5:7")
+        assert (
+            world_to_dict(pinned1.build_world())["obstacles"]
+            == world_to_dict(pinned2.build_world())["obstacles"]
+        )
+
+    @pytest.mark.parametrize("scenario", ["forest:0.6", "disaster:0.3", "urban:0.9"])
+    def test_aerial_photography_launch_clear_in_cluttered_scenarios(
+        self, scenario
+    ):
+        """The preferred near-subject launch spot must be validated (and
+        fall back to the base scan) when a family puts obstacles there."""
+        for seed in range(4):
+            workload = WORKLOADS["aerial_photography"](seed=seed, scenario=scenario)
+            world = workload.build_world()
+            start = workload.start_position(world)
+            probe = start.copy()
+            probe[2] = 0.4
+            assert not world.is_occupied(probe, margin=0.3)
+
+    def test_aerial_photography_gets_subject(self):
+        workload = WORKLOADS["aerial_photography"](seed=1, scenario="park:0.8")
+        world = workload.build_world()
+        subjects = [o for o in world.obstacles if o.name == "subject"]
+        assert len(subjects) == 1
+        assert workload._person is subjects[0]
+        assert len(world.dynamic_obstacles) > 1  # distractor walkers too
+
+    def test_search_rescue_scenario_has_survivors(self):
+        workload = WORKLOADS["search_rescue"](seed=1, scenario="disaster:0.6")
+        world = workload.build_world()
+        assert any(o.name.startswith("survivor") for o in world.obstacles)
+
+    def test_mission_flies_in_scenario_world(self):
+        result = run_workload(
+            "scanning",
+            seed=1,
+            workload_kwargs={"scenario": "farm:0.5", **TINY_SCANNING},
+        )
+        assert result.success
+        assert result.workload_kwargs["scenario"] == "farm:0.5"
+
+
+# ----------------------------------------------------------------------
+# Campaign axis
+# ----------------------------------------------------------------------
+class TestCampaignScenarioAxis:
+    def test_runspec_backcompat_hash(self):
+        """Scenario-free runs hash exactly as before the scenario axis
+        existed (pre-PR stores stay valid)."""
+        import hashlib
+
+        run = RunSpec("scanning", 4, 2.2, 1)
+        legacy_payload = {
+            "workload": "scanning",
+            "cores": 4,
+            "frequency_ghz": 2.2,
+            "seed": 1,
+            "depth_noise_std": 0.0,
+            "workload_kwargs": {},
+            "sim_kwargs": {},
+        }
+        legacy_key = hashlib.sha256(
+            json.dumps(
+                legacy_payload, sort_keys=True, separators=(",", ":"), default=repr
+            ).encode()
+        ).hexdigest()[:16]
+        assert run.run_key == legacy_key
+        assert "scenario" not in run.payload()
+
+    def test_runspec_scenario_normalized(self):
+        a = RunSpec("scanning", 4, 2.2, 1, scenario="farm:0.5")
+        b = RunSpec(
+            "scanning", 4, 2.2, 1,
+            scenario={"family": "farm", "difficulty": 0.5},
+        )
+        assert a.run_key == b.run_key
+        assert a.scenario == b.scenario
+        assert "farm:0.5" in a.label()
+        clone = RunSpec.from_payload(a.payload())
+        assert clone.run_key == a.run_key
+
+    def test_scenario_axis_and_kwargs_scenario_conflict_rejected(self):
+        """A kwargs-level scenario would be silently overwritten by the
+        axis entry at execution time while still changing the run key —
+        the spec refuses the ambiguity up front."""
+        with pytest.raises(ValueError, match="not both"):
+            RunSpec(
+                "scanning", 4, 2.2, 1,
+                workload_kwargs={"scenario": "farm:0.1"},
+                scenario="farm:0.9",
+            )
+        spec = CampaignSpec(
+            workloads=["scanning"],
+            seeds=[1],
+            scenarios=["farm:0.9"],
+            workload_kwargs={"scanning": {"scenario": "farm:0.1"}},
+        )
+        with pytest.raises(ValueError, match="not both"):
+            spec.expand()
+
+    def test_expansion_order_and_count(self):
+        spec = CampaignSpec(
+            workloads=["scanning"],
+            grid=[(4, 2.2), (2, 0.8)],
+            seeds=[1, 2],
+            scenarios=["farm:0.2", "farm:0.8"],
+        )
+        runs = spec.expand()
+        assert spec.run_count == len(runs) == 2 * 2 * 2
+        # scenario is outer to the grid: first 4 runs share farm:0.2.
+        assert [r.scenario["difficulty"] for r in runs] == [
+            0.2, 0.2, 0.2, 0.2, 0.8, 0.8, 0.8, 0.8,
+        ]
+        assert len({r.run_key for r in runs}) == len(runs)
+
+    def test_default_axis_matches_pre_scenario_expansion(self):
+        spec = CampaignSpec(workloads=["scanning"], seeds=[1, 2])
+        assert spec.scenarios == [None]
+        assert all(r.scenario is None for r in spec.expand())
+        assert "scenarios" not in spec.to_dict()
+
+    def test_duplicate_scenario_rejected(self):
+        spec = CampaignSpec(
+            workloads=["scanning"], seeds=[1],
+            scenarios=["farm:0.5", "farm:0.5"],
+        )
+        with pytest.raises(ValueError, match="duplicate run"):
+            spec.expand()
+
+    def test_json_round_trip_with_scenarios(self):
+        spec = CampaignSpec(
+            workloads=["scanning"],
+            grid=[(4, 2.2)],
+            seeds=[1],
+            scenarios=["farm:0.2", None, "urban:0.9:3"],
+        )
+        clone = CampaignSpec.from_json(spec.to_json())
+        assert [r.run_key for r in clone.expand()] == [
+            r.run_key for r in spec.expand()
+        ]
+
+    def test_parse_scenarios_tokens(self):
+        entries = parse_scenarios(["urban:0.3", "default", "none", "farm"])
+        assert entries[0]["family"] == "urban"
+        assert entries[1] is None and entries[2] is None
+        assert entries[3]["family"] == "farm"
+
+    def test_empty_scenarios_rejected(self):
+        with pytest.raises(ValueError, match="scenario"):
+            CampaignSpec(workloads=["scanning"], scenarios=[])
+
+    def test_select_records_by_scenario(self):
+        records = [
+            {"spec": {"workload": "scanning"}},
+            {"spec": {"workload": "scanning",
+                      "scenario": {"family": "farm", "difficulty": 0.5,
+                                   "seed": None, "knobs": {}}}},
+        ]
+        farm = ScenarioSpec("farm", 0.5).payload()
+        assert select_records(records, scenario=farm) == [records[1]]
+        assert select_records(records, scenario=None) == [records[0]]
+        assert len(select_records(records)) == 2
+
+    def test_select_records_sees_kwargs_routed_scenarios(self):
+        """A scenario riding in workload_kwargs must not pollute the
+        canonical (scenario=None) bucket, and must match its payload."""
+        records = [
+            {"spec": {"workload": "scanning", "workload_kwargs": {}}},
+            {"spec": {"workload": "scanning",
+                      "workload_kwargs": {"scenario": "farm:0.9"}}},
+        ]
+        assert select_records(records, scenario=None) == [records[0]]
+        farm = ScenarioSpec("farm", 0.9).payload()
+        assert select_records(records, scenario=farm) == [records[1]]
+
+    def test_kwargs_level_scenario_recorded_in_config(self):
+        """A scenario riding in workload_kwargs (no axis entry) must
+        still be reported as the flown environment in config.scenario,
+        with config.workload_kwargs mirroring spec.workload_kwargs."""
+        from repro.campaign import execute_run
+
+        run = RunSpec(
+            "scanning", 4, 2.2, 1,
+            workload_kwargs={"scenario": "farm:0.5", **TINY_SCANNING},
+        )
+        record = execute_run(run)
+        assert record["status"] == "ok"
+        assert record["config"]["scenario"]["family"] == "farm"
+        # Inherit-mode seed is resolved to the run seed the world used.
+        assert record["config"]["scenario"]["seed"] == 1
+        assert (
+            record["config"]["workload_kwargs"] == record["spec"]["workload_kwargs"]
+        )
+
+    def test_campaign_sweeps_scenarios_with_resume(self, tmp_path):
+        """Scenario axis end to end: run, then resume with zero executions."""
+        spec = CampaignSpec(
+            workloads=["scanning"],
+            grid=[(4, 2.2)],
+            seeds=[1],
+            scenarios=["farm:0.0", "farm:1.0"],
+            workload_kwargs={"scanning": dict(TINY_SCANNING)},
+        )
+        store = CampaignStore(tmp_path / "store.jsonl")
+        first = run_campaign(spec, store=store)
+        assert first.executed == 2 and first.failed == 0
+        for record in first.records:
+            assert record["spec"]["scenario"]["family"] == "farm"
+            assert record["config"]["scenario"]["family"] == "farm"
+        reloaded = CampaignStore(tmp_path / "store.jsonl")
+        second = run_campaign(spec, store=reloaded)
+        assert second.executed == 0 and second.cached == 2
+        assert [r["run_key"] for r in second.records] == [
+            r["run_key"] for r in first.records
+        ]

@@ -19,10 +19,12 @@ from repro.world import (
     campus_world,
     empty_world,
     make_box_obstacle,
+    make_environment,
     make_person,
     urban_world,
     vec,
 )
+from repro.world.generator import ENVIRONMENTS
 from repro.world.serialization import (
     load_world,
     save_world,
@@ -117,6 +119,19 @@ class TestWorldSerialization:
             clone = world_from_dict(world_to_dict(world))
             assert len(clone.obstacles) == len(world.obstacles)
             assert clone.density() == pytest.approx(world.density())
+
+    @pytest.mark.parametrize("name", sorted(ENVIRONMENTS))
+    def test_every_environment_round_trips_exactly(self, name):
+        """world -> dict -> world -> dict is the identity for all six
+        generator families (names, kinds, boxes, patrol loops, speeds)."""
+        world = make_environment(name, seed=4)
+        data = world_to_dict(world)
+        clone = world_from_dict(data)
+        assert world_to_dict(clone) == data
+        assert clone.name == world.name
+        assert len(clone.dynamic_obstacles) == len(world.dynamic_obstacles)
+        # JSON-encodable end to end (what save_world actually writes).
+        json.dumps(data)
 
     def test_file_round_trip(self, tmp_path):
         world = urban_world(seed=1)
