@@ -6,6 +6,14 @@ one-workload :class:`CampaignSpec` over the full TX2 grid, executed by
 ``REPRO_BENCH_JOBS=N`` to fan the grid's missions out over worker
 processes (results are identical to the serial run), and
 ``REPRO_BENCH_STORE=path.jsonl`` to persist/resume the mission results.
+
+To split a figure's missions across hosts, set ``REPRO_BENCH_SHARD=I/N``
+together with ``REPRO_BENCH_STORE=rootdir``: each host executes only its
+run-hash shard into ``rootdir/<campaign_key>/shard-I-of-N.jsonl``, then
+merges whatever shard files are present.  Once every shard's file has
+landed (copy them into the same root), any host's re-run merges to the
+complete store and renders the figure from cache; until then the run
+fails loudly instead of averaging a partial seed set.
 """
 
 from __future__ import annotations
@@ -14,9 +22,55 @@ import os
 from typing import Dict, Optional, Sequence
 
 from repro.analysis import SweepResult, format_heatmap
-from repro.campaign import CampaignSpec, CampaignStore, aggregate_sweep, run_campaign
+from repro.campaign import (
+    MERGED_STORE_NAME,
+    CampaignSpec,
+    CampaignStore,
+    aggregate_sweep,
+    campaign_dir,
+    merge_stores,
+    missing_runs,
+    parse_shard,
+    records_in_spec_order,
+    run_campaign,
+    shard_paths,
+    shard_store_path,
+)
 
 FULL_GRID = [(c, f) for c in (2, 3, 4) for f in (0.8, 1.5, 2.2)]
+
+
+def _run_sharded(spec: CampaignSpec, workload: str, jobs: int) -> SweepResult:
+    shard = parse_shard(os.environ["REPRO_BENCH_SHARD"])
+    root = os.environ.get("REPRO_BENCH_STORE")
+    if not root:
+        raise RuntimeError(
+            "REPRO_BENCH_SHARD requires REPRO_BENCH_STORE "
+            "(the campaign store root directory)"
+        )
+    store = CampaignStore(shard_store_path(root, spec.campaign_key, *shard))
+    run_campaign(spec, jobs=jobs, store=store, shard=shard)
+    directory = campaign_dir(root, spec.campaign_key)
+    dest = directory / MERGED_STORE_NAME
+    merge_stores(shard_paths(root, spec.campaign_key), dest)
+    merged = CampaignStore(dest)
+    missing = missing_runs(spec, merged)
+    if missing:
+        failed = sum(
+            1 for r in missing
+            if (merged.get(r.run_key) or {}).get("status") == "error"
+        )
+        absent = len(missing) - failed
+        raise RuntimeError(
+            f"{workload}: {len(missing)} runs lack a successful record "
+            f"after merging {directory} ({failed} failed — retry their "
+            f"shard with the same REPRO_BENCH_SHARD; {absent} not yet "
+            "executed — run the remaining shards and copy their "
+            "shard-*.jsonl files into the same store root)"
+        )
+    return aggregate_sweep(
+        records_in_spec_order(spec, merged), workload=workload
+    )
 
 
 def run_heatmap(
@@ -36,6 +90,8 @@ def run_heatmap(
     )
     if jobs is None:
         jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    if os.environ.get("REPRO_BENCH_SHARD"):
+        return _run_sharded(spec, workload, jobs)
     store_path = os.environ.get("REPRO_BENCH_STORE")
     store = CampaignStore(store_path) if store_path else None
     campaign = run_campaign(spec, jobs=jobs, store=store)

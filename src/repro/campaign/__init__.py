@@ -13,19 +13,50 @@ The layer that turns "run one mission" into "run a study at scale":
 * :mod:`~repro.campaign.aggregate` — reductions back into the
   ``SweepResult`` heatmap shapes the paper figures consume.
 
+Campaigns scale out by sharding: :meth:`CampaignSpec.shard` splits the
+matrix deterministically by run hash, each shard persists to its own
+JSONL under a campaign-hash directory, and :func:`merge_stores` folds
+the shards back into one canonical store — ``repro campaign --shard I/N``
+and ``repro campaign merge`` are the CLI faces.
+
 ``analysis.sweep.sweep_operating_points``, the Fig. 10-14 benchmarks,
 and ``python -m repro campaign`` all run on top of this engine.
 """
 
-from .aggregate import ANY_SCENARIO, aggregate_sweep, select_records, success_table
+from .aggregate import (
+    ANY_SCENARIO,
+    aggregate_sweep,
+    missing_runs,
+    records_in_spec_order,
+    select_records,
+    success_table,
+)
 from .runner import (
     CampaignReport,
     CampaignRunError,
     execute_run,
+    execute_runs,
     run_campaign,
 )
-from .spec import DEFAULT_GRID, CampaignSpec, RunSpec, parse_grid, parse_scenarios
-from .store import RECORD_SCHEMA, CampaignStore
+from .spec import (
+    DEFAULT_GRID,
+    CampaignSpec,
+    RunSpec,
+    parse_grid,
+    parse_scenarios,
+    parse_shard,
+    shard_index,
+)
+from .store import (
+    MERGED_STORE_NAME,
+    RECORD_SCHEMA,
+    CampaignStore,
+    MergeReport,
+    campaign_dir,
+    merge_stores,
+    shard_paths,
+    shard_store_path,
+)
 
 __all__ = [
     "ANY_SCENARIO",
@@ -34,13 +65,24 @@ __all__ = [
     "CampaignSpec",
     "CampaignStore",
     "DEFAULT_GRID",
+    "MERGED_STORE_NAME",
+    "MergeReport",
     "RECORD_SCHEMA",
     "RunSpec",
     "aggregate_sweep",
+    "campaign_dir",
     "execute_run",
+    "execute_runs",
+    "merge_stores",
+    "missing_runs",
     "parse_grid",
     "parse_scenarios",
+    "parse_shard",
+    "records_in_spec_order",
     "run_campaign",
     "select_records",
+    "shard_index",
+    "shard_paths",
+    "shard_store_path",
     "success_table",
 ]

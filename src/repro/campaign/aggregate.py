@@ -16,7 +16,7 @@ import numpy as np
 
 from ..analysis.sweep import SweepCell, SweepResult
 from .runner import CampaignRunError
-from .spec import RunSpec
+from .spec import CampaignSpec, RunSpec
 
 
 #: Sentinel for "any scenario" (``None`` means the canonical world).
@@ -64,6 +64,47 @@ def select_records(
             continue
         selected.append(record)
     return selected
+
+
+def missing_runs(
+    spec: CampaignSpec, records: Iterable[Dict[str, Any]]
+) -> List[RunSpec]:
+    """Expansion entries without a successful record — the coverage gap.
+
+    The completeness check behind sharded studies: after merging shard
+    stores, an empty return means the merged store covers the whole
+    matrix; a non-empty one names exactly the runs (e.g. whole missing
+    shards) still to execute.
+    """
+    done = {
+        r["run_key"] for r in records if r.get("status") == "ok" and "run_key" in r
+    }
+    return [run for run in spec.expand() if run.run_key not in done]
+
+
+def records_in_spec_order(
+    spec: CampaignSpec, records: Iterable[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Reorder ``records`` into ``spec``'s expansion order.
+
+    Merged shard stores are sorted by run hash; reductions, however,
+    promise the *legacy sequential loop's* arithmetic, which averages
+    seeds in expansion order.  This restores that order (last record
+    wins per key, matching store semantics) and raises ``KeyError``
+    naming the first gap if any expansion entry has no record at all —
+    an unmerged shard must not silently reduce to a thinner heatmap.
+    """
+    by_key = {r["run_key"]: r for r in records if "run_key" in r}
+    ordered = []
+    for run in spec.expand():
+        record = by_key.get(run.run_key)
+        if record is None:
+            raise KeyError(
+                f"no record for {run.label()} (key {run.run_key}) — "
+                "did every shard run and merge?"
+            )
+        ordered.append(record)
+    return ordered
 
 
 def aggregate_sweep(

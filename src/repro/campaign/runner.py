@@ -9,15 +9,23 @@ returns the records in expansion order regardless of completion order.
 A mission that raises records an ``"error"`` row instead of killing the
 campaign: the other 44 cells of a 45-mission heatmap still land in the
 store, and a later ``--resume`` retries only the failures.
+
+Two scale knobs layer on top: ``shard=(i, n)`` executes only the runs
+:meth:`CampaignSpec.shard` assigns to shard ``i`` (so hosts split a
+study with no coordination beyond the spec), and ``batch=True`` (the
+default) groups pool tasks by scenario content hash so runs flying the
+same world amortize its instantiation through the per-process scenario
+cache.
 """
 
 from __future__ import annotations
 
+import math
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.api import run_workload
 from ..scenarios import ScenarioSpec
@@ -95,6 +103,70 @@ def execute_run(run: RunSpec) -> Dict[str, Any]:
     return record
 
 
+def execute_runs(runs: List[RunSpec]) -> List[Dict[str, Any]]:
+    """Execute a batch of runs sequentially in this process.
+
+    Top-level (picklable) so a whole batch can cross a process-pool
+    boundary as *one* task: every run in the batch shares the worker's
+    per-process scenario cache (``scenarios.cache``), so a batch of runs
+    flying the same content-hashed world instantiates it once instead of
+    once per worker the pool happened to scatter them across.
+    """
+    return [execute_run(run) for run in runs]
+
+
+def _scenario_batch_key(run: RunSpec) -> Optional[str]:
+    """The content hash of the world ``run`` will fly, or ``None``.
+
+    Runs flying the same resolved scenario (seed inheritance applied)
+    share a cached world and batch together; canonical-world runs
+    (``None``) build a fresh per-workload world each time, so batching
+    them buys nothing and they stay singleton tasks.
+    """
+    if run.scenario is None:
+        return None
+    return ScenarioSpec.coerce(run.scenario).resolved(run.seed).scenario_key
+
+
+#: Upper bound on runs per pool task.  Results flush to the store per
+#: *task*, so this caps how many finished missions an interrupted or
+#: crashed chunk can lose to re-execution on ``--resume`` — while still
+#: amortizing each cached world over up to this many runs.
+MAX_BATCH_RUNS = 8
+
+
+def _batch_pending(
+    pending: List[RunSpec], jobs: int, batch: bool
+) -> List[List[RunSpec]]:
+    """Partition pending runs into pool tasks.
+
+    With ``batch=True``, runs sharing a scenario hash become contiguous
+    chunks (amortizing world instantiation), capped at an even
+    ``len(pending)/jobs`` split — so one giant scenario group cannot
+    serialize the whole pool — and at :data:`MAX_BATCH_RUNS` — so a
+    killed campaign re-executes at most that many missions per in-flight
+    chunk.  Scenario-less runs — and everything when ``batch=False`` —
+    submit as singleton tasks, the pre-batching behavior.
+    """
+    if not batch:
+        return [[run] for run in pending]
+    cap = max(1, min(math.ceil(len(pending) / max(jobs, 1)), MAX_BATCH_RUNS))
+    groups: Dict[str, List[RunSpec]] = {}
+    order: List[List[RunSpec]] = []
+    for run in pending:
+        key = _scenario_batch_key(run)
+        if key is None:
+            order.append([run])
+            continue
+        group = groups.get(key)
+        if group is None or len(group) >= cap:
+            group = []
+            groups[key] = group
+            order.append(group)
+        group.append(run)
+    return order
+
+
 def _worker_failure_record(run: RunSpec, exc: BaseException) -> Dict[str, Any]:
     """Record for a run whose *worker process* died (e.g. pool breakage)."""
     return {
@@ -119,6 +191,8 @@ class CampaignReport:
     failed: int = 0
     store_path: Optional[str] = None
     errors: List[Dict[str, Any]] = field(default_factory=list)
+    #: ``(index, count)`` when this report covers one shard of the spec.
+    shard: Optional[Tuple[int, int]] = None
 
     def record_for(self, run_key: str) -> Dict[str, Any]:
         for record in self.records:
@@ -128,8 +202,13 @@ class CampaignReport:
 
     def summary(self) -> str:
         status = "OK" if not self.failed else f"{self.failed} FAILED"
+        scope = (
+            f"shard {self.shard[0]}/{self.shard[1]}: "
+            if self.shard is not None
+            else ""
+        )
         return (
-            f"campaign [{status}]: {len(self.runs)} runs "
+            f"campaign [{status}]: {scope}{len(self.runs)} runs "
             f"({self.executed} executed, {self.cached} cached)"
         )
 
@@ -142,8 +221,10 @@ def run_campaign(
     jobs: int = 1,
     store: Optional[CampaignStore] = None,
     progress: Optional[ProgressFn] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    batch: bool = True,
 ) -> CampaignReport:
-    """Run (or finish) a campaign.
+    """Run (or finish) a campaign — or one shard of it.
 
     Parameters
     ----------
@@ -160,10 +241,21 @@ def run_campaign(
         flushed to the store as they complete.
     progress:
         Called with each freshly executed record (completion order).
+    shard:
+        Optional 1-based ``(index, count)``: execute only the runs
+        :meth:`CampaignSpec.shard` assigns to this shard.  The report
+        (and the store) then covers exactly that subset; merge the
+        per-shard stores with :func:`~repro.campaign.store.merge_stores`.
+    batch:
+        Group pool tasks by scenario content hash so runs flying the
+        same world amortize its instantiation (one cache miss per batch
+        instead of one per worker).  Record content is unaffected —
+        cached worlds are snapshot-isolated — so this is on by default;
+        ``False`` restores one-task-per-run submission.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
-    runs = spec.expand()
+    runs = spec.expand() if shard is None else spec.shard(*shard)
 
     def _cached_ok(run: RunSpec) -> bool:
         # Only successful rows count as cache hits: error rows re-execute
@@ -185,18 +277,26 @@ def run_campaign(
             progress(record)
 
     if jobs == 1 or len(pending) <= 1:
+        # In-process execution shares this process's scenario cache
+        # already — no batching needed for amortization.
         for run in pending:
             _commit(run, execute_run(run))
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {pool.submit(execute_run, run): run for run in pending}
+        batches = _batch_pending(pending, jobs, batch)
+        with ProcessPoolExecutor(max_workers=min(jobs, len(batches))) as pool:
+            futures = {
+                pool.submit(execute_runs, chunk): chunk for chunk in batches
+            }
             for future in as_completed(futures):
-                run = futures[future]
+                chunk = futures[future]
                 try:
-                    record = future.result()
+                    chunk_records = future.result()
                 except Exception as exc:  # worker process died
-                    record = _worker_failure_record(run, exc)
-                _commit(run, record)
+                    chunk_records = [
+                        _worker_failure_record(run, exc) for run in chunk
+                    ]
+                for run, record in zip(chunk, chunk_records):
+                    _commit(run, record)
 
     records: List[Dict[str, Any]] = []
     for run in runs:
@@ -216,4 +316,5 @@ def run_campaign(
         failed=len(errors),
         store_path=str(store.path) if store is not None else None,
         errors=errors,
+        shard=shard,
     )

@@ -37,6 +37,8 @@ __all__ = [
     "RunSpec",
     "parse_grid",
     "parse_scenarios",
+    "parse_shard",
+    "shard_index",
 ]
 
 
@@ -203,6 +205,18 @@ class CampaignSpec:
         ]
 
     @property
+    def campaign_key(self) -> str:
+        """16-hex-char content hash naming this campaign.
+
+        Hashes the canonical serialized form (:meth:`to_dict`), so two
+        specs that expand to the same matrix under different axis
+        *orderings* get different keys — the key names the study as
+        declared, and anchors the on-disk sharded store layout
+        (``<root>/<campaign_key>/shard-*.jsonl``).
+        """
+        return hashlib.sha256(_canonical(self.to_dict()).encode()).hexdigest()[:16]
+
+    @property
     def run_count(self) -> int:
         return (
             len(self.workloads)
@@ -256,6 +270,37 @@ class CampaignSpec:
                     )
                 seen[run.run_key] = run
         return runs
+
+    def shard(self, index: int, count: int) -> List[RunSpec]:
+        """The subset of :meth:`expand` owned by shard ``index`` of ``count``.
+
+        Shards are 1-based (matching the CLI's ``--shard I/N``).  A run's
+        shard is a pure function of its content hash (:func:`shard_index`),
+        so the partition is
+
+        * **order-independent** — reordering seeds, workloads, or grid
+          entries never moves a run between shards;
+        * **extension-stable** — adding seeds (or any axis values) to the
+          spec assigns the *new* runs to shards without migrating any
+          existing run, so per-shard stores stay valid as a study grows;
+        * **deterministic across hosts** — every host slicing the same
+          spec agrees on the partition with no coordination.
+
+        Hash partitioning balances shards statistically, not exactly: a
+        tiny matrix can leave a shard empty (still a valid, mergeable
+        no-op shard).
+        """
+        if count < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 1 <= index <= count:
+            raise ValueError(
+                f"shard index must be in 1..{count} (got {index})"
+            )
+        return [
+            run
+            for run in self.expand()
+            if shard_index(run.run_key, count) == index
+        ]
 
     # ------------------------------------------------------------------
     # (De)serialization
@@ -331,6 +376,41 @@ def parse_scenarios(tokens: Sequence[str]) -> List[Optional[Dict[str, Any]]]:
         else:
             entries.append(ScenarioSpec.coerce(token).payload())
     return entries
+
+
+def shard_index(run_key: str, count: int) -> int:
+    """The 1-based shard owning ``run_key`` in a ``count``-way partition.
+
+    Stable partition by content hash: depends only on the run's identity
+    (its 16-hex ``run_key``) and the shard count — never on expansion
+    order or on what else is in the campaign.
+    """
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    return int(run_key, 16) % count + 1
+
+
+def parse_shard(token: str) -> Tuple[int, int]:
+    """Parse a CLI shard token ``"I/N"`` into 1-based ``(index, count)``.
+
+    Rejects malformed tokens, ``0/N``, negative values, and ``I > N``.
+    """
+    index_s, sep, count_s = token.partition("/")
+    if not sep:
+        raise ValueError(f"bad shard '{token}' (expected I/N, e.g. 1/4)")
+    try:
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise ValueError(
+            f"bad shard '{token}' (expected I/N, e.g. 1/4)"
+        ) from None
+    if count < 1:
+        raise ValueError(f"bad shard '{token}': count must be >= 1")
+    if not 1 <= index <= count:
+        raise ValueError(
+            f"bad shard '{token}': index must be in 1..{count}"
+        )
+    return index, count
 
 
 def parse_grid(tokens: Sequence[str]) -> List[OperatingPoint]:

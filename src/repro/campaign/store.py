@@ -1,4 +1,4 @@
-"""JSONL-on-disk campaign result store.
+"""JSONL-on-disk campaign result store, single-file or sharded.
 
 One line per completed (or failed) mission run, keyed by the run's
 content hash.  Append-only with a per-record flush, so a campaign killed
@@ -6,13 +6,23 @@ mid-flight loses at most the mission that was being written; on reload,
 a truncated trailing line is skipped rather than poisoning the store.
 Re-running a spec against the same store turns finished rows into cache
 hits — that is the whole resume story.
+
+For campaigns split across processes/hosts (``CampaignSpec.shard``),
+each shard appends to its own JSONL under a campaign-hash directory
+(:func:`shard_store_path`), and :func:`merge_stores` folds the shard
+files back into one canonical store: deduped by run hash,
+truncated-tail-tolerant, idempotent (merging a merged store is a no-op),
+and byte-deterministic (rows sorted by run hash) so two hosts merging
+the same shards produce identical files.
 """
 
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 #: Per-record schema tag written into every line.
 RECORD_SCHEMA = "campaign-run/1"
@@ -93,3 +103,116 @@ class CampaignStore:
             fh.write(line + "\n")
             fh.flush()
         self._records[key] = record
+
+
+# ----------------------------------------------------------------------
+# Sharded layout
+# ----------------------------------------------------------------------
+#: File name of the merged store inside a campaign directory.
+MERGED_STORE_NAME = "merged.jsonl"
+
+
+def shard_filename(index: int, count: int) -> str:
+    """Canonical shard file name, e.g. ``shard-02-of-16.jsonl``."""
+    width = max(2, len(str(count)))
+    return f"shard-{index:0{width}d}-of-{count:0{width}d}.jsonl"
+
+
+def campaign_dir(root: Union[str, Path], campaign_key: str) -> Path:
+    """The campaign-hash directory under ``root`` holding shard stores."""
+    return Path(root) / campaign_key
+
+
+def shard_store_path(
+    root: Union[str, Path], campaign_key: str, index: int, count: int
+) -> Path:
+    """Where shard ``index``/``count`` of a campaign persists its rows."""
+    return campaign_dir(root, campaign_key) / shard_filename(index, count)
+
+
+def shard_paths(root: Union[str, Path], campaign_key: str) -> List[Path]:
+    """Every shard file currently present for a campaign, sorted."""
+    directory = campaign_dir(root, campaign_key)
+    return sorted(directory.glob("shard-*.jsonl"))
+
+
+@dataclass
+class MergeReport:
+    """What :func:`merge_stores` did: provenance plus dedup accounting."""
+
+    dest: Path
+    sources: List[Path] = field(default_factory=list)
+    records: int = 0
+    #: Cross-source rows superseded by another row with the same run hash.
+    duplicates_dropped: int = 0
+    #: Unparsable lines skipped across all sources (truncated tails).
+    skipped_lines: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"merged {len(self.sources)} stores -> {self.dest} "
+            f"({self.records} records, {self.duplicates_dropped} duplicates "
+            f"dropped, {self.skipped_lines} truncated lines skipped)"
+        )
+
+
+def merge_stores(
+    sources: Sequence[Union[str, Path]], dest: Union[str, Path]
+) -> MergeReport:
+    """Merge shard stores into one canonical store at ``dest``.
+
+    Semantics:
+
+    * **dedup by run hash** — one output row per ``run_key``.  A
+      ``status="ok"`` row always beats an error row for the same key;
+      between rows of equal standing, the later source wins (and within
+      one file, the later line — the store's own last-write-wins rule).
+    * **fault-tolerant** — sources may hold crash-truncated tails
+      (skipped, counted), be empty, or be missing entirely (ignored, so
+      a host can merge whichever shards have arrived).
+    * **idempotent** — ``dest``'s existing rows participate as the
+      lowest-precedence source, so re-merging after more shards land is
+      an incremental update and ``merge(merge(x)) == merge(x)``.
+    * **deterministic** — output rows are sorted by run hash and written
+      atomically (temp file + rename), so the merged file's bytes depend
+      only on the merged *content*, never on shard arrival order.
+    """
+    dest = Path(dest)
+    report = MergeReport(dest=dest)
+    merged: Dict[str, Dict[str, Any]] = {}
+
+    def _fold(path: Path) -> None:
+        store = CampaignStore(path)
+        report.skipped_lines += store.skipped_lines
+        for key in store.keys():
+            record = store.get(key)
+            previous = merged.get(key)
+            if previous is None:
+                merged[key] = record
+                continue
+            report.duplicates_dropped += 1
+            # ok rows are never displaced by error rows.
+            if previous.get("status") != "ok" or record.get("status") == "ok":
+                merged[key] = record
+
+    if dest.exists():
+        # Folded first (into the empty map, so nothing counts as a
+        # duplicate of itself) and therefore at lowest precedence.
+        _fold(dest)
+    for source in sources:
+        source = Path(source)
+        if source == dest or not source.exists():
+            continue
+        report.sources.append(source)
+        _fold(source)
+
+    report.records = len(merged)
+    lines = [
+        json.dumps(merged[key], sort_keys=True, default=repr)
+        for key in sorted(merged)
+    ]
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    tmp = dest.with_suffix(dest.suffix + ".tmp")
+    tmp.write_text("".join(line + "\n" for line in lines))
+    os.replace(tmp, dest)
+    return report

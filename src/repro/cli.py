@@ -18,6 +18,8 @@ Examples
     python -m repro campaign --spec study.json --resume --out store.jsonl
     python -m repro campaign --workloads package_delivery \\
         --scenario urban:0.2 urban:0.5 urban:0.8 --grid 4x2.2
+    python -m repro campaign --spec study.json --shard 1/2 --out stores/
+    python -m repro campaign merge --spec study.json --out stores/
     python -m repro run package_delivery --scenario urban:0.7
     python -m repro list
 """
@@ -26,18 +28,26 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis import format_heatmap, format_table, sweep_operating_points
 from .campaign import (
+    MERGED_STORE_NAME,
     CampaignSpec,
     CampaignStore,
     RunSpec,
     aggregate_sweep,
+    campaign_dir,
+    merge_stores,
+    missing_runs,
     parse_grid,
     parse_scenarios,
+    parse_shard,
     run_campaign,
     select_records,
+    shard_paths,
+    shard_store_path,
 )
 from .compute.kernels import DEFAULT_KERNELS
 from .core.api import available_workloads, run_workload
@@ -52,6 +62,16 @@ METRIC_FORMATS = {
     "energy_kj": "{:.1f}",
     "success_rate": "{:.2f}",
 }
+
+
+def _shard_token(token: str):
+    """argparse type for ``--shard I/N``: 1-based ``(index, count)``.
+
+    Malformed tokens, ``0/N``, and ``I > N`` become argparse errors."""
+    try:
+        return parse_shard(token)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _scenario_token(token: str) -> Optional[dict]:
@@ -117,7 +137,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     campaign_p = sub.add_parser(
         "campaign",
-        help="run a declarative mission study (parallel, resumable)",
+        help="run a declarative mission study (parallel, resumable, shardable)",
+    )
+    campaign_p.add_argument(
+        "action", nargs="?", choices=["run", "merge"], default="run",
+        help="'run' (default) executes the campaign (or one --shard of "
+             "it); 'merge' folds the shard stores under --out back into "
+             "one canonical store",
     )
     campaign_p.add_argument(
         "--spec", help="JSON campaign spec file (flags below override it)"
@@ -146,7 +172,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes (default 1: in-process, deterministic order)",
     )
     campaign_p.add_argument(
-        "--out", help="JSONL result store path (enables resume/caching)"
+        "--shard", metavar="I/N", type=_shard_token,
+        help="execute only shard I of an N-way run-hash partition of the "
+             "campaign (1-based); requires --out, which then names the "
+             "campaign store root directory",
+    )
+    campaign_p.add_argument(
+        "--out",
+        help="JSONL result store path (enables resume/caching); with "
+             "--shard or 'merge', the campaign store root directory",
     )
     campaign_p.add_argument(
         "--resume", action="store_true",
@@ -262,15 +296,122 @@ def _campaign_spec_from_args(
     return CampaignSpec(**kwargs)
 
 
-def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    spec = _campaign_spec_from_args(parser, args)
-    store = None
-    if args.out:
-        store = CampaignStore(args.out, fresh=not args.resume)
-        if args.resume and len(store):
-            print(f"resuming from {store.path} ({len(store)} stored runs)")
+def _merge_spec(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> CampaignSpec:
+    """The spec a ``campaign merge`` is folding.
 
-    total = spec.run_count
+    Explicit ``--spec``/flags win; otherwise the ``spec.json`` each
+    shard run dropped into its campaign directory is the source of
+    truth, so the common single-campaign root merges with no flags at
+    all: ``repro campaign merge --out stores/``.
+    """
+    if args.spec or args.workloads:
+        return _campaign_spec_from_args(parser, args)
+    candidates = sorted(Path(args.out).glob("*/spec.json"))
+    if len(candidates) == 1:
+        return CampaignSpec.from_file(candidates[0])
+    if not candidates:
+        parser.error(
+            f"campaign merge needs --spec or --workloads "
+            f"(no */spec.json found under {args.out})"
+        )
+    names = ", ".join(p.parent.name for p in candidates)
+    parser.error(
+        f"multiple campaigns under {args.out} ({names}) — pick one with "
+        f"--spec {candidates[0].parent}/spec.json"
+    )
+
+
+def _cmd_campaign_merge(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> int:
+    """Fold a campaign's shard stores into one canonical store."""
+    if not args.out:
+        parser.error("campaign merge requires --out DIR (the campaign store root)")
+    spec = _merge_spec(parser, args)
+    directory = campaign_dir(args.out, spec.campaign_key)
+    sources = shard_paths(args.out, spec.campaign_key)
+    if not sources:
+        parser.error(
+            f"no shard stores under {directory} — run "
+            f"'repro campaign --shard I/N --out {args.out} ...' first"
+        )
+    dest = directory / MERGED_STORE_NAME
+    report = merge_stores(sources, dest)
+    print(report.summary())
+    merged = CampaignStore(dest)
+    missing = missing_runs(spec, merged)
+    if missing:
+        # Two distinct gaps hide behind "no successful record": runs a
+        # shard executed but that *failed* (their error rows merged —
+        # retry them), and runs no present shard file covers at all.
+        failed = [
+            r for r in missing
+            if (merged.get(r.run_key) or {}).get("status") == "error"
+        ]
+        absent = [
+            r for r in missing
+            if (merged.get(r.run_key) or {}).get("status") != "error"
+        ]
+
+        def _name(runs):
+            for run in runs[:5]:
+                print(f"  {run.label()} (key {run.run_key})")
+            if len(runs) > 5:
+                print(f"  ... and {len(runs) - 5} more")
+
+        if failed:
+            print(
+                f"{len(failed)} of {spec.run_count} runs failed — re-run "
+                "the owning shard with --resume to retry them:"
+            )
+            _name(failed)
+        if absent:
+            print(
+                f"{len(absent)} of {spec.run_count} runs not yet executed "
+                "— run the remaining shards and copy their shard-*.jsonl "
+                "files here:"
+            )
+            _name(absent)
+        return 1
+    print(f"complete: all {spec.run_count} runs merged")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.action == "merge":
+        return _cmd_campaign_merge(parser, args)
+    spec = _campaign_spec_from_args(parser, args)
+
+    store = None
+    if args.shard is not None:
+        if not args.out:
+            parser.error("--shard requires --out DIR (the campaign store root)")
+        directory = campaign_dir(args.out, spec.campaign_key)
+        directory.mkdir(parents=True, exist_ok=True)
+        # Drop the spec next to the shard stores so any host (and the
+        # merge step) can re-derive the campaign from the directory.
+        (directory / "spec.json").write_text(spec.to_json() + "\n")
+        store = CampaignStore(
+            shard_store_path(args.out, spec.campaign_key, *args.shard),
+            fresh=not args.resume,
+        )
+    elif args.out:
+        if Path(args.out).is_dir():
+            parser.error(
+                f"--out {args.out} is a directory; without --shard, --out "
+                "names a JSONL store file (use --shard I/N to run into a "
+                "store root, 'merge' to fold one, or point --out at "
+                f"{args.out.rstrip('/')}/<campaign_key>/merged.jsonl)"
+            )
+        store = CampaignStore(args.out, fresh=not args.resume)
+    if store is not None and args.resume and len(store):
+        print(f"resuming from {store.path} ({len(store)} stored runs)")
+
+    total = (
+        len(spec.shard(*args.shard)) if args.shard is not None else spec.run_count
+    )
     done = {"n": 0}
 
     def _progress(record) -> None:
@@ -288,12 +429,22 @@ def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         print(f"[{done['n']}/{total}] {label}: {outcome}")
 
     campaign = run_campaign(
-        spec, jobs=args.jobs, store=store, progress=_progress
+        spec, jobs=args.jobs, store=store, progress=_progress, shard=args.shard
     )
     print()
     print(campaign.summary())
     if store is not None:
         print(f"store: {store.path}")
+
+    if args.shard is not None:
+        # A shard is a partial matrix: heatmaps would silently average
+        # over whatever seeds this shard happens to own.  Point at the
+        # merge step instead.
+        print(
+            f"shard {args.shard[0]}/{args.shard[1]} done; after all shards, "
+            f"combine with: repro campaign merge --out {args.out} ..."
+        )
+        return 1 if campaign.failed else 0
 
     for workload in spec.workloads:
         for scenario in spec.scenarios:

@@ -1,0 +1,23 @@
+"""Shared test fixtures and options.
+
+``--update-goldens`` rewrites the golden-trace digests under
+``tests/goldens/`` from the current code's mission outcomes instead of
+comparing against them — see ``tests/test_goldens.py`` for the workflow.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from current mission outcomes",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """True when this run should rewrite golden digests, not check them."""
+    return request.config.getoption("--update-goldens")

@@ -1,0 +1,455 @@
+"""Tests for sharded campaign execution and store merging.
+
+Three layers:
+
+* **Partition properties** (hypothesis): for random specs and shard
+  counts, shards are pairwise-disjoint, their union covers the full
+  expansion, and assignment is invariant to axis ordering and to adding
+  seeds (existing runs never migrate shards).
+* **Merge faults**: duplicate rows, crash-truncated tails, empty and
+  missing shards; idempotence (``merge . merge == merge``).
+* **End-to-end equivalence** (real missions, tiny spec): the merged
+  output of shard 1/2 + shard 2/2 is record-for-record identical — run
+  hashes, spec payloads, and reports — to the unsharded run, and the
+  scenario-batched parallel path reproduces the serial records.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    MERGED_STORE_NAME,
+    CampaignSpec,
+    CampaignStore,
+    aggregate_sweep,
+    campaign_dir,
+    merge_stores,
+    missing_runs,
+    parse_shard,
+    records_in_spec_order,
+    run_campaign,
+    shard_index,
+    shard_paths,
+    shard_store_path,
+)
+from repro.campaign.runner import _batch_pending
+
+#: A mission configuration that finishes in ~0.1 s and succeeds.
+TINY_KWARGS = {"area_width": 40.0, "area_length": 24.0}
+
+WORKLOAD_POOL = [
+    "scanning", "mapping", "package_delivery", "search_rescue",
+    "aerial_photography",
+]
+GRID_POOL = [(2, 0.8), (2, 1.5), (3, 1.5), (4, 0.8), (4, 2.2)]
+NOISE_POOL = [0.0, 0.25, 0.5]
+
+
+def tiny_spec(grid=((4, 2.2), (2, 0.8)), seeds=(1, 2)) -> CampaignSpec:
+    return CampaignSpec(
+        workloads=["scanning"],
+        grid=list(grid),
+        seeds=list(seeds),
+        workload_kwargs={"scanning": dict(TINY_KWARGS)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Partition properties (no missions flown — expansion only)
+# ----------------------------------------------------------------------
+spec_strategy = st.builds(
+    CampaignSpec,
+    workloads=st.lists(
+        st.sampled_from(WORKLOAD_POOL), min_size=1, max_size=3, unique=True
+    ),
+    grid=st.lists(
+        st.sampled_from(GRID_POOL), min_size=1, max_size=3, unique=True
+    ),
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=10_000),
+        min_size=1, max_size=4, unique=True,
+    ),
+    depth_noise_levels=st.lists(
+        st.sampled_from(NOISE_POOL), min_size=1, max_size=2, unique=True
+    ),
+)
+shard_counts = st.integers(min_value=1, max_value=7)
+
+# Spec construction validates against the live workload registry, which
+# imports the whole stack — slow enough on first call to trip the
+# default deadline, and irrelevant to the properties under test.
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestShardPartitionProperties:
+    @relaxed
+    @given(spec=spec_strategy, count=shard_counts)
+    def test_disjoint_and_covering(self, spec, count):
+        all_keys = {r.run_key for r in spec.expand()}
+        seen = {}
+        for index in range(1, count + 1):
+            for run in spec.shard(index, count):
+                assert run.run_key not in seen, (
+                    f"run {run.run_key} in shards {seen[run.run_key]} "
+                    f"and {index}"
+                )
+                seen[run.run_key] = index
+        assert set(seen) == all_keys
+
+    @relaxed
+    @given(spec=spec_strategy, count=shard_counts, order_seed=st.randoms())
+    def test_assignment_invariant_to_axis_ordering(
+        self, spec, count, order_seed
+    ):
+        def assignment(s):
+            return {r.run_key: shard_index(r.run_key, count) for r in s.expand()}
+
+        baseline = assignment(spec)
+        shuffled = CampaignSpec(
+            workloads=list(spec.workloads),
+            grid=list(spec.grid),
+            seeds=list(spec.seeds),
+            depth_noise_levels=list(spec.depth_noise_levels),
+        )
+        for axis in (
+            shuffled.workloads, shuffled.grid, shuffled.seeds,
+            shuffled.depth_noise_levels,
+        ):
+            order_seed.shuffle(axis)
+        assert assignment(shuffled) == baseline
+
+    @relaxed
+    @given(
+        spec=spec_strategy,
+        count=shard_counts,
+        extra_seeds=st.lists(
+            st.integers(min_value=20_000, max_value=30_000),
+            min_size=1, max_size=3, unique=True,
+        ),
+    )
+    def test_adding_seeds_never_migrates_existing_runs(
+        self, spec, count, extra_seeds
+    ):
+        before = {
+            run.run_key: index
+            for index in range(1, count + 1)
+            for run in spec.shard(index, count)
+        }
+        grown = CampaignSpec(
+            workloads=list(spec.workloads),
+            grid=list(spec.grid),
+            seeds=list(spec.seeds) + extra_seeds,
+            depth_noise_levels=list(spec.depth_noise_levels),
+        )
+        after = {
+            run.run_key: index
+            for index in range(1, count + 1)
+            for run in grown.shard(index, count)
+        }
+        for key, index in before.items():
+            assert after[key] == index, "existing run migrated shards"
+
+    def test_single_shard_is_full_expansion(self):
+        spec = tiny_spec()
+        assert [r.run_key for r in spec.shard(1, 1)] == [
+            r.run_key for r in spec.expand()
+        ]
+
+    def test_bad_shard_arguments_rejected(self):
+        spec = tiny_spec()
+        for index, count in ((0, 2), (3, 2), (-1, 2), (1, 0)):
+            with pytest.raises(ValueError):
+                spec.shard(index, count)
+
+    def test_parse_shard(self):
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard("3/16") == (3, 16)
+        for bad in ("0/4", "5/4", "4", "a/b", "1/0", "-1/4", "1/-4", ""):
+            with pytest.raises(ValueError):
+                parse_shard(bad)
+
+    def test_campaign_key_stable_and_order_sensitive(self):
+        assert tiny_spec().campaign_key == tiny_spec().campaign_key
+        reordered = tiny_spec(seeds=(2, 1))
+        # The key names the study *as declared*: axis order matters for
+        # the key (it changes expansion order) even though it never
+        # matters for shard assignment.
+        assert reordered.campaign_key != tiny_spec().campaign_key
+
+
+# ----------------------------------------------------------------------
+# Merge faults (synthetic records — no missions flown)
+# ----------------------------------------------------------------------
+def _record(key, t=1.0, status="ok"):
+    record = {
+        "run_key": key,
+        "status": status,
+        "spec": {"workload": "scanning", "seed": 1},
+    }
+    if status == "ok":
+        record["report"] = {"mission_time_s": t}
+    else:
+        record["error"] = "boom"
+    return record
+
+
+def _write_store(path, records):
+    store = CampaignStore(path)
+    for record in records:
+        store.add(record)
+    return path
+
+
+class TestMergeStores:
+    def test_merge_dedupes_by_run_hash(self, tmp_path):
+        a = _write_store(tmp_path / "a.jsonl", [_record("k1"), _record("k2")])
+        b = _write_store(tmp_path / "b.jsonl", [_record("k2"), _record("k3")])
+        report = merge_stores([a, b], tmp_path / "merged.jsonl")
+        assert report.records == 3
+        assert report.duplicates_dropped == 1
+        assert sorted(CampaignStore(tmp_path / "merged.jsonl").keys()) == [
+            "k1", "k2", "k3"
+        ]
+
+    def test_ok_row_beats_error_row_regardless_of_order(self, tmp_path):
+        ok_first = merge_stores(
+            [
+                _write_store(tmp_path / "a.jsonl", [_record("k", status="ok")]),
+                _write_store(tmp_path / "b.jsonl", [_record("k", status="error")]),
+            ],
+            tmp_path / "m1.jsonl",
+        )
+        error_first = merge_stores(
+            [
+                _write_store(tmp_path / "c.jsonl", [_record("k", status="error")]),
+                _write_store(tmp_path / "d.jsonl", [_record("k", status="ok")]),
+            ],
+            tmp_path / "m2.jsonl",
+        )
+        assert ok_first.records == error_first.records == 1
+        for dest in ("m1.jsonl", "m2.jsonl"):
+            assert CampaignStore(tmp_path / dest).get("k")["status"] == "ok"
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        a = _write_store(tmp_path / "a.jsonl", [_record("k1")])
+        with open(a, "a") as fh:
+            fh.write('{"run_key": "k2", "status"')  # killed mid-write
+        report = merge_stores([a], tmp_path / "merged.jsonl")
+        assert report.records == 1
+        assert report.skipped_lines == 1
+        assert CampaignStore(tmp_path / "merged.jsonl").keys() == ["k1"]
+
+    def test_empty_and_missing_shards_tolerated(self, tmp_path):
+        a = _write_store(tmp_path / "a.jsonl", [_record("k1")])
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        report = merge_stores(
+            [a, empty, tmp_path / "never-ran.jsonl"], tmp_path / "merged.jsonl"
+        )
+        assert report.records == 1
+        assert len(report.sources) == 2  # the missing shard is ignored
+
+    def test_merge_is_idempotent(self, tmp_path):
+        sources = [
+            _write_store(tmp_path / "a.jsonl", [_record("k1"), _record("k3")]),
+            _write_store(tmp_path / "b.jsonl", [_record("k2")]),
+        ]
+        dest = tmp_path / "merged.jsonl"
+        merge_stores(sources, dest)
+        once = dest.read_bytes()
+        merge_stores(sources, dest)  # merge . merge == merge
+        assert dest.read_bytes() == once
+
+    def test_merge_output_independent_of_source_order(self, tmp_path):
+        a = _write_store(tmp_path / "a.jsonl", [_record("k2"), _record("k1")])
+        b = _write_store(tmp_path / "b.jsonl", [_record("k3")])
+        merge_stores([a, b], tmp_path / "ab.jsonl")
+        merge_stores([b, a], tmp_path / "ba.jsonl")
+        assert (tmp_path / "ab.jsonl").read_bytes() == (
+            tmp_path / "ba.jsonl"
+        ).read_bytes()
+
+    def test_incremental_merge_folds_in_new_shards(self, tmp_path):
+        dest = tmp_path / "merged.jsonl"
+        merge_stores(
+            [_write_store(tmp_path / "a.jsonl", [_record("k1")])], dest
+        )
+        merge_stores(
+            [_write_store(tmp_path / "b.jsonl", [_record("k2")])], dest
+        )
+        assert sorted(CampaignStore(dest).keys()) == ["k1", "k2"]
+
+
+# ----------------------------------------------------------------------
+# End-to-end equivalence (real missions, tiny spec)
+# ----------------------------------------------------------------------
+def record_identity(records):
+    """What the equivalence invariant compares: run hash -> (spec payload,
+    report, status).  Excludes wall_time_s, which legitimately differs."""
+    return {
+        r["run_key"]: (
+            json.dumps(r["spec"], sort_keys=True),
+            json.dumps(r.get("report"), sort_keys=True),
+            r["status"],
+        )
+        for r in records
+    }
+
+
+class TestShardedExecutionEquivalence:
+    def test_two_shard_merge_identical_to_unsharded(self, tmp_path):
+        spec = tiny_spec()
+        reference = run_campaign(
+            spec, store=CampaignStore(tmp_path / "reference.jsonl")
+        )
+
+        root = tmp_path / "root"
+        for index in (1, 2):
+            report = run_campaign(
+                spec,
+                store=CampaignStore(
+                    shard_store_path(root, spec.campaign_key, index, 2)
+                ),
+                shard=(index, 2),
+            )
+            assert report.shard == (index, 2)
+        shard_sizes = [len(spec.shard(i, 2)) for i in (1, 2)]
+        assert sum(shard_sizes) == spec.run_count
+
+        dest = campaign_dir(root, spec.campaign_key) / MERGED_STORE_NAME
+        merge_stores(shard_paths(root, spec.campaign_key), dest)
+        merged = CampaignStore(dest)
+
+        assert not missing_runs(spec, merged)
+        assert record_identity(merged) == record_identity(reference.records)
+        # ...and the reduction over the merged store is float-identical.
+        assert aggregate_sweep(
+            records_in_spec_order(spec, merged), workload="scanning"
+        ) == aggregate_sweep(reference.records, workload="scanning")
+
+    def test_resume_after_merge_executes_nothing(self, tmp_path):
+        spec = tiny_spec(seeds=(1,))
+        root = tmp_path / "root"
+        for index in (1, 2):
+            run_campaign(
+                spec,
+                store=CampaignStore(
+                    shard_store_path(root, spec.campaign_key, index, 2)
+                ),
+                shard=(index, 2),
+            )
+        dest = campaign_dir(root, spec.campaign_key) / MERGED_STORE_NAME
+        merge_stores(shard_paths(root, spec.campaign_key), dest)
+        resumed = run_campaign(spec, store=CampaignStore(dest))
+        assert resumed.executed == 0
+        assert resumed.cached == spec.run_count
+
+    def test_shard_store_isolated_per_shard(self, tmp_path):
+        spec = tiny_spec()
+        root = tmp_path / "root"
+        run_campaign(
+            spec,
+            store=CampaignStore(
+                shard_store_path(root, spec.campaign_key, 1, 2)
+            ),
+            shard=(1, 2),
+        )
+        [only] = shard_paths(root, spec.campaign_key)
+        assert only.name == "shard-01-of-02.jsonl"
+        stored = CampaignStore(only)
+        assert sorted(stored.keys()) == sorted(
+            r.run_key for r in spec.shard(1, 2)
+        )
+
+    def test_records_in_spec_order_raises_on_gap(self, tmp_path):
+        spec = tiny_spec()
+        root = tmp_path / "root"
+        run_campaign(
+            spec,
+            store=CampaignStore(
+                shard_store_path(root, spec.campaign_key, 1, 2)
+            ),
+            shard=(1, 2),
+        )
+        dest = campaign_dir(root, spec.campaign_key) / MERGED_STORE_NAME
+        merge_stores(shard_paths(root, spec.campaign_key), dest)
+        with pytest.raises(KeyError, match="did every shard run"):
+            records_in_spec_order(spec, CampaignStore(dest))
+
+
+class TestBatchedExecution:
+    def test_scenario_batched_parallel_equals_serial(self):
+        """jobs=2 with scenario batching reproduces the serial records."""
+        spec = CampaignSpec(
+            workloads=["scanning"],
+            grid=[(4, 2.2), (2, 0.8)],
+            seeds=[1],
+            scenarios=[{"family": "farm", "difficulty": 0.2, "seed": 7}],
+            workload_kwargs={"scanning": dict(TINY_KWARGS)},
+        )
+        serial = run_campaign(spec, jobs=1)
+        batched = run_campaign(spec, jobs=2, batch=True)
+        unbatched = run_campaign(spec, jobs=2, batch=False)
+        assert (
+            record_identity(serial.records)
+            == record_identity(batched.records)
+            == record_identity(unbatched.records)
+        )
+
+    def test_batching_groups_by_scenario_hash(self):
+        spec = CampaignSpec(
+            workloads=["scanning"],
+            grid=[(4, 2.2), (2, 0.8)],
+            seeds=[1, 2],
+            scenarios=[
+                # Pinned seed: all four runs of this entry share a world.
+                {"family": "farm", "difficulty": 0.2, "seed": 7},
+                # Inherited seed: each mission seed flies its own world.
+                {"family": "farm", "difficulty": 0.8},
+            ],
+            workload_kwargs={"scanning": dict(TINY_KWARGS)},
+        )
+        pending = spec.expand()
+        batches = _batch_pending(pending, jobs=2, batch=True)
+        assert sorted(r.run_key for b in batches for r in b) == sorted(
+            r.run_key for r in pending
+        )
+        # The even-split cap for 8 runs over 2 jobs is 4: the pinned-seed
+        # group batches to exactly that; the inherited-seed entry splits
+        # into one world per mission seed, shared across grid points.
+        assert sorted(len(b) for b in batches) == [2, 2, 4]
+
+    def test_batch_cap_bounds_lost_work_per_chunk(self):
+        """Results flush per pool task, so chunk size is capped: a killed
+        campaign re-executes at most MAX_BATCH_RUNS missions per chunk."""
+        from repro.campaign.runner import MAX_BATCH_RUNS
+
+        spec = CampaignSpec(
+            workloads=["scanning"],
+            grid=[(4, 2.2), (2, 0.8)],
+            seeds=list(range(1, 17)),
+            scenarios=[{"family": "farm", "difficulty": 0.2, "seed": 7}],
+        )
+        pending = spec.expand()
+        assert len(pending) == 32  # all sharing one pinned-seed world
+        batches = _batch_pending(pending, jobs=2, batch=True)
+        assert max(len(b) for b in batches) == MAX_BATCH_RUNS
+        assert sorted(r.run_key for b in batches for r in b) == sorted(
+            r.run_key for r in pending
+        )
+
+    def test_canonical_runs_stay_singletons(self):
+        pending = tiny_spec().expand()
+        assert _batch_pending(pending, jobs=2, batch=True) == [
+            [r] for r in pending
+        ]
+        assert _batch_pending(pending, jobs=2, batch=False) == [
+            [r] for r in pending
+        ]

@@ -133,6 +133,117 @@ class TestCliCampaign:
             main(["campaign", "--workloads", "scanning", "--grid", "turbo"])
 
 
+class TestCliCampaignSharding:
+    def test_shard_tokens_rejected(self, capsys):
+        # 0/N (shards are 1-based), I > N, and malformed tokens are all
+        # argparse errors, not tracebacks.
+        for bad in ("0/2", "3/2", "2", "a/b", "1/0", ""):
+            with pytest.raises(SystemExit):
+                main(TINY_CAMPAIGN + ["--shard", bad, "--out", "ignored"])
+            assert "shard" in capsys.readouterr().err
+
+    def test_shard_requires_out(self, capsys):
+        with pytest.raises(SystemExit):
+            main(TINY_CAMPAIGN + ["--shard", "1/2"])
+        assert "--out" in capsys.readouterr().err
+
+    def test_merge_requires_out(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "merge", "--workloads", "scanning"])
+        assert "--out" in capsys.readouterr().err
+
+    def test_merge_without_shard_stores_errors(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["campaign", "merge", "--workloads", "scanning",
+                 "--out", str(tmp_path)]
+            )
+        assert "no shard stores" in capsys.readouterr().err
+
+    def test_two_shard_merge_smoke(self, capsys, tmp_path):
+        """Shard 1/2 + shard 2/2 + merge covers the whole matrix, and a
+        resume against the merged store re-executes zero missions."""
+        from repro.campaign import CampaignSpec, parse_grid
+
+        root = str(tmp_path / "stores")
+        spec = CampaignSpec(
+            workloads=["scanning"], grid=parse_grid(["4x2.2", "2x0.8"]),
+            seeds=[1],
+        )
+        executed = 0
+        for index in (1, 2):
+            code = main(TINY_CAMPAIGN + ["--shard", f"{index}/2", "--out", root])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert f"shard {index}/2" in out
+            # Shards never print partial heatmaps.
+            assert "--- scanning" not in out
+            executed += int(out.split("(")[-1].split(" executed")[0])
+        assert executed == 2
+
+        code = main(
+            ["campaign", "merge", "--workloads", "scanning", "--out", root]
+            + TINY[:3]  # --grid 4x2.2 2x0.8 (seeds default to [1])
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "complete: all 2 runs merged" in out
+
+        merged = tmp_path / "stores" / spec.campaign_key / "merged.jsonl"
+        assert merged.exists()
+        code = main(TINY_CAMPAIGN + ["--out", str(merged), "--resume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 runs (0 executed, 2 cached)" in out
+
+    def test_incomplete_merge_reports_missing_runs(self, capsys, tmp_path):
+        root = str(tmp_path / "stores")
+        assert main(TINY_CAMPAIGN + ["--shard", "1/2", "--out", root]) == 0
+        capsys.readouterr()
+        code = main(
+            ["campaign", "merge", "--workloads", "scanning", "--out", root]
+            + TINY[:3]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "not yet executed" in out
+
+    def test_merge_reads_spec_json_from_store_root(self, capsys, tmp_path):
+        """The two-host recipe's last step needs no flags: merge picks up
+        the spec.json the shard runs dropped into the campaign dir."""
+        root = str(tmp_path / "stores")
+        for index in (1, 2):
+            assert (
+                main(TINY_CAMPAIGN + ["--shard", f"{index}/2", "--out", root])
+                == 0
+            )
+        capsys.readouterr()
+        code = main(["campaign", "merge", "--out", root])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "complete: all 2 runs merged" in out
+
+    def test_merge_with_ambiguous_root_demands_spec(self, capsys, tmp_path):
+        root = str(tmp_path / "stores")
+        assert main(TINY_CAMPAIGN + ["--shard", "1/2", "--out", root]) == 0
+        assert (
+            main(
+                ["campaign", "--workloads", "scanning", "--grid", "4x2.2",
+                 "--seeds", "9", "--shard", "1/2", "--out", root]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["campaign", "merge", "--out", root])
+        assert "multiple campaigns" in capsys.readouterr().err
+
+    def test_unsharded_out_directory_rejected(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(TINY_CAMPAIGN + ["--out", str(tmp_path)])
+        assert "is a directory" in capsys.readouterr().err
+
+
 class TestCliParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,150 @@
+"""End-to-end golden-trace regression tests: one short canonical mission
+per workload, pinned to a stored metrics digest.
+
+Each test flies a small, fast (< ~3 s) but *complete* closed-loop
+mission — world, perception, planning, control, energy — and compares
+the headline outcome metrics (mission time, energy, success, replans,
+flight distance, average velocity) against a digest checked into
+``tests/goldens/<workload>.json``.  A refactor that silently changes
+mission *outcomes* (not just internals) fails here in the fast lane,
+naming the drifted metric.
+
+Updating goldens
+----------------
+When an outcome change is intentional (a planner fix, a physics
+correction), regenerate the digests and commit them alongside the
+change::
+
+    python -m pytest tests/test_goldens.py --update-goldens
+
+The diff of ``tests/goldens/*.json`` then documents exactly how every
+workload's canonical mission moved — review it like code.
+
+Float comparisons use a tight relative tolerance (1e-9): behavioral
+drift moves these metrics by whole percents, while last-ulp libm
+differences across platforms stay far below it.  ``success`` and
+``replans`` compare exactly.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.api import run_workload
+from repro.world import empty_world, make_box_obstacle, make_person
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Relative tolerance for float metrics (see module docstring).
+RTOL = 1e-9
+
+
+def _search_rescue_world():
+    world = empty_world((30, 30, 10), name="golden-site")
+    world.add(make_box_obstacle((0, 8, 2), (4, 2, 4), kind="debris"))
+    world.add(make_person((8.0, 8.0, 0.9), name="survivor-0"))
+    return world
+
+
+def _delivery_world():
+    world = empty_world((50, 50, 12), name="golden-city")
+    world.add(make_box_obstacle((0, 0, 4), (6, 6, 8), kind="building"))
+    return world
+
+
+def _mapping_world():
+    world = empty_world((30, 30, 10), name="golden-arena")
+    world.add(make_box_obstacle((5, 5, 2), (3, 3, 4), kind="crate"))
+    return world
+
+
+#: The canonical short mission per workload: (workload_kwargs_factory, seed).
+#: Worlds are built per call so no test can mutate another's.
+GOLDEN_MISSIONS = {
+    "scanning": (
+        lambda: {"area_width": 40.0, "area_length": 24.0}, 1),
+    "mapping": (
+        lambda: {"world": _mapping_world(), "coverage_target": 0.5,
+                 "mapping_ceiling": 8.0}, 1),
+    "package_delivery": (
+        lambda: {"world": _delivery_world(),
+                 "goal": np.array([18.0, 18.0, 3.0])}, 1),
+    "search_rescue": (
+        lambda: {"world": _search_rescue_world(), "coverage_target": 0.9,
+                 "mapping_ceiling": 8.0, "n_survivors": 1}, 1),
+    "aerial_photography": (
+        lambda: {"max_duration_s": 30.0}, 1),
+}
+
+
+def fly_golden_mission(workload: str):
+    """Run the canonical short mission and reduce it to the digest shape."""
+    kwargs_factory, seed = GOLDEN_MISSIONS[workload]
+    result = run_workload(
+        workload, cores=4, frequency_ghz=2.2, seed=seed,
+        workload_kwargs=kwargs_factory(),
+    )
+    report = result.report
+    return {
+        "workload": workload,
+        "seed": seed,
+        "success": report.success,
+        "mission_time_s": report.mission_time_s,
+        "total_energy_j": report.total_energy_j,
+        "flight_distance_m": report.flight_distance_m,
+        "average_velocity_ms": report.average_velocity_ms,
+        "replans": report.extra.get("replans", 0.0),
+    }
+
+
+def _golden_path(workload: str) -> Path:
+    return GOLDEN_DIR / f"{workload}.json"
+
+
+@pytest.mark.golden
+@pytest.mark.parametrize("workload", sorted(GOLDEN_MISSIONS))
+def test_golden_trace(workload, update_goldens):
+    digest = fly_golden_mission(workload)
+    path = _golden_path(workload)
+
+    if update_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(digest, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden updated: {path}")
+
+    assert path.exists(), (
+        f"no golden digest for '{workload}' — generate one with "
+        f"'python -m pytest {__file__} --update-goldens' and commit it"
+    )
+    golden = json.loads(path.read_text())
+
+    exact_keys = ("workload", "seed", "success", "replans")
+    for key in exact_keys:
+        assert digest[key] == golden[key], (
+            f"{workload}: '{key}' drifted from golden "
+            f"({golden[key]!r} -> {digest[key]!r})"
+        )
+    for key in sorted(set(golden) - set(exact_keys)):
+        assert digest[key] == pytest.approx(golden[key], rel=RTOL), (
+            f"{workload}: '{key}' drifted from golden "
+            f"({golden[key]!r} -> {digest[key]!r}); if intentional, "
+            f"re-run with --update-goldens and commit the diff"
+        )
+
+
+@pytest.mark.golden
+def test_goldens_cover_every_workload():
+    """A new workload must ship with a golden canonical mission."""
+    from repro.core.api import available_workloads
+
+    assert sorted(GOLDEN_MISSIONS) == available_workloads()
+
+
+@pytest.mark.golden
+def test_golden_mission_is_deterministic():
+    """The digest itself is reproducible — a flaky golden pins nothing."""
+    a = fly_golden_mission("scanning")
+    b = fly_golden_mission("scanning")
+    assert a == b
