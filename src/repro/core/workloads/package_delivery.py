@@ -85,6 +85,8 @@ class PackageDeliveryWorkload(Workload):
         self.pipeline: Optional[OccupancyPipeline] = None
         self.plans_failed = 0
         self.delivered = False
+        self._prm_planner: Optional[PrmPlanner] = None
+        self.prm_roadmap_reuses = 0
 
     # ------------------------------------------------------------------
     def build_world(self) -> World:
@@ -125,15 +127,40 @@ class PackageDeliveryWorkload(Workload):
         hi[2] = min(hi[2], self.altitude + 3.0)
         return AABB(lo, hi)
 
-    def _make_planner(self, sim: Simulation):
+    def _make_planner(
+        self, sim: Simulation, goal: Optional[np.ndarray] = None
+    ):
         cls = _PLANNERS[self.planner_name]
+        seed = int(sim.rng.integers(1 << 31))
+        if self.planner_name == "prm":
+            # Multi-query roadmap cache: a mission replans ~15 times as
+            # the OctoMap absorbs new sensing, but PRM is built for
+            # exactly that — keep one roadmap alive across replans,
+            # lazily dropping edges the updated belief map now blocks
+            # and pinning the recurring leg goal in as a vertex.  The
+            # checker object survives resolution switches (the pipeline
+            # swaps its ``octomap`` in place), so an identity mismatch
+            # means a different pipeline/mission and forces a rebuild.
+            planner = self._prm_planner
+            if planner is not None and planner.checker is self.pipeline.checker:
+                planner.revalidate()
+                self.prm_roadmap_reuses += 1
+            else:
+                planner = PrmPlanner(
+                    checker=self.pipeline.checker,
+                    bounds=self._planning_bounds(sim),
+                    seed=seed,
+                )
+                self._prm_planner = planner
+            if goal is not None:
+                planner.ensure_vertex(goal)
+            return planner
         kwargs = dict(
             checker=self.pipeline.checker,
             bounds=self._planning_bounds(sim),
-            seed=int(sim.rng.integers(1 << 31)),
+            seed=seed,
         )
-        if self.planner_name in ("rrt", "rrt_star"):
-            kwargs.update(step_size=3.0, max_iterations=3000)
+        kwargs.update(step_size=3.0, max_iterations=3000)
         return cls(**kwargs)
 
     def _plan_and_smooth(
@@ -154,7 +181,7 @@ class PackageDeliveryWorkload(Workload):
         result_holder: Dict[str, Optional[PlanResult]] = {"plan": None}
 
         def _plan_done(job) -> None:
-            planner = self._make_planner(sim)
+            planner = self._make_planner(sim, goal=goal)
             result_holder["plan"] = planner.plan(sim.state.position, goal)
             done["plan"] = True
 
@@ -164,6 +191,10 @@ class PackageDeliveryWorkload(Workload):
         plan = result_holder["plan"]
         if plan is None or not plan.success:
             self.plans_failed += 1
+            # A degraded cached roadmap (lazy revalidation only removes
+            # edges) may be why the query failed: rebuild from scratch
+            # on the next attempt.
+            self._prm_planner = None
             return None
 
         def _smooth_done(job) -> None:
@@ -315,6 +346,8 @@ class PackageDeliveryWorkload(Workload):
         metrics = super().extra_metrics()
         metrics["plans_failed"] = float(self.plans_failed)
         metrics["delivered"] = 1.0 if self.delivered else 0.0
+        if self.planner_name == "prm":
+            metrics["prm_roadmap_reuses"] = float(self.prm_roadmap_reuses)
         if self.pipeline is not None:
             metrics["map_updates"] = float(self.pipeline.updates_completed)
             metrics["allowed_velocity_ms"] = self.pipeline.allowed_velocity()

@@ -699,13 +699,15 @@ class OctoMap:
     def _box_key_ranges(
         self, los: np.ndarray, his: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        lo_keys = np.floor(
-            np.asarray(los, dtype=float).reshape(-1, 3) / self.resolution
-        ).astype(np.int64)
-        hi_keys = np.floor(
-            np.asarray(his, dtype=float).reshape(-1, 3) / self.resolution
-        ).astype(np.int64)
-        return lo_keys, hi_keys
+        corners = np.concatenate(
+            (
+                np.asarray(los, dtype=float).reshape(-1, 3),
+                np.asarray(his, dtype=float).reshape(-1, 3),
+            )
+        )
+        keys = np.floor(corners / self.resolution).astype(np.int64)
+        m = keys.shape[0] // 2
+        return keys[:m], keys[m:]
 
     def _boxes_range_query(
         self,
@@ -729,18 +731,22 @@ class OctoMap:
         # searches.  Path-validation batches sample at half-voxel spacing,
         # so *consecutive* samples often quantize to the very same box;
         # each run is answered once and scattered back (O(M), no sort).
+        scatter = None
         if m > 1:
-            lo_p = pack_keys(lo_keys)
-            hi_p = pack_keys(hi_keys)
+            both = pack_keys(np.concatenate((lo_keys, hi_keys)))
+            run_lo, run_hi = both[:m], both[m:]
             new_run = np.empty(m, dtype=bool)
             new_run[0] = True
-            new_run[1:] = (lo_p[1:] != lo_p[:-1]) | (hi_p[1:] != hi_p[:-1])
+            np.not_equal(run_lo[1:], run_lo[:-1], out=new_run[1:])
+            np.logical_or(
+                new_run[1:], run_hi[1:] != run_hi[:-1], out=new_run[1:]
+            )
             if not np.all(new_run):
+                scatter = np.cumsum(new_run) - 1
                 first = np.nonzero(new_run)[0]
-                out = self._boxes_range_query(
-                    lo_keys[first], hi_keys[first], sorted_packed, count
-                )
-                return out[np.cumsum(new_run) - 1]
+                lo_keys = lo_keys[first]
+                hi_keys = hi_keys[first]
+                m = first.size
         counts = hi_keys - lo_keys + 1
         ci = int(counts[:, 0].max())
         cj = int(counts[:, 1].max())
@@ -756,12 +762,18 @@ class OctoMap:
         )[:, None, :]
         lo_p = base + (lo_keys[:, 2] + _PACK_OFFSET)[:, None, None]
         hi_p = base + (hi_keys[:, 2] + _PACK_OFFSET)[:, None, None]
-        left = np.searchsorted(sorted_packed, lo_p.ravel(), side="left")
-        right = np.searchsorted(sorted_packed, hi_p.ravel(), side="right")
-        span = (right - left).reshape(m, ci, cj)
+        # One fused binary search: for sorted int64 keys, a side="left"
+        # search for hi+1 lands exactly where side="right" for hi does,
+        # so both bounds come back from a single searchsorted call.
+        bounds = np.concatenate((lo_p.ravel(), hi_p.ravel() + 1))
+        pos = sorted_packed.searchsorted(bounds, side="left")
+        n_cols = m * ci * cj
+        span = (pos[n_cols:] - pos[:n_cols]).reshape(m, ci, cj)
         if count:
-            return np.sum(span * valid, axis=(1, 2))
-        return np.any((span > 0) & valid, axis=(1, 2))
+            out = np.sum(span * valid, axis=(1, 2))
+        else:
+            out = np.any((span > 0) & valid, axis=(1, 2))
+        return out if scatter is None else out[scatter]
 
     def boxes_occupied(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`region_occupied` over (M, 3) corner batches:

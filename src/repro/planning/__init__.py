@@ -1,8 +1,24 @@
-"""Planning kernels: collision checking, RRT/RRT*, PRM+A*, lawnmower,
-frontier exploration, and path smoothing.
+"""Planning kernels: collision checking, sampling planners, graph
+search, coverage, frontier exploration, and path smoothing.
 
 From-scratch implementations of the planning stage of the MAVBench
 pipeline (substituting for OMPL and the next-best-view planner).
+
+The workload-facing planner registry (:data:`PLANNERS`) exposes the
+plug-and-play shortest-path kernels:
+
+- ``rrt`` — :class:`RrtPlanner`, goal-biased RRT over the grid-indexed
+  point buffers; first feasible path, cheapest per plan.
+- ``rrt_star`` — :class:`RrtStarPlanner`, asymptotically optimal RRT*
+  with informed (ellipsoid) sampling after the first solution, rewire
+  cost propagation, and provably-near-optimal early termination.
+- ``prm`` — :class:`PrmPlanner`, Kavraki-style probabilistic roadmap
+  answered with array A*; built for multi-query reuse across a
+  mission's replans (lazy edge revalidation + goal pinning).
+
+Every batched/index-accelerated code path in this package keeps a
+``*_scalar`` reference twin pinned bit-identical by the differential
+suites (``tests/test_planning_batched.py``, ``tests/test_spatial_index.py``).
 """
 
 from .collision import (

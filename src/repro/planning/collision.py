@@ -102,6 +102,8 @@ class CollisionChecker:
         return bool(self.points_free(np.asarray(point, dtype=float))[0])
 
     def point_free_scalar(self, point: np.ndarray) -> bool:
+        """Reference scalar twin of a one-point :meth:`points_free`
+        query (same inflated-box test via the scalar map path)."""
         return bool(self.points_free_scalar(np.asarray(point, dtype=float))[0])
 
     # ------------------------------------------------------------------
@@ -320,6 +322,7 @@ class GroundTruthChecker:
     drone_radius: float = 0.325
 
     def point_free(self, point: np.ndarray, time: float = 0.0) -> bool:
+        """True if the margin-inflated point is free in the *true* world."""
         return self.world.is_free(
             np.asarray(point, dtype=float), time=time, margin=self.drone_radius
         )
@@ -335,6 +338,8 @@ class GroundTruthChecker:
     def segment_free(
         self, a: np.ndarray, b: np.ndarray, time: float = 0.0
     ) -> bool:
+        """True if the swept segment ``a``–``b`` clears every true-world
+        obstacle by the drone radius."""
         return not self.world.segment_collides(
             np.asarray(a, dtype=float),
             np.asarray(b, dtype=float),
@@ -343,6 +348,7 @@ class GroundTruthChecker:
         )
 
     def path_free(self, waypoints, time: float = 0.0) -> bool:
+        """True if every consecutive waypoint pair is segment-free."""
         pts = [np.asarray(p, dtype=float) for p in waypoints]
         return all(
             self.segment_free(p, q, time) for p, q in zip(pts[:-1], pts[1:])

@@ -158,23 +158,136 @@ class PrmPlanner:
             self._edges[i] = []
         if len(self._vertices) >= 2:
             arr = np.stack(self._vertices)
-            for i, p in enumerate(self._vertices):
-                d2 = np.sum((arr - p[None, :]) ** 2, axis=1)
-                order = np.argsort(d2)
-                connected = 0
-                for j in order[1:]:
-                    if connected >= self.k_neighbors:
-                        break
-                    j = int(j)
-                    if any(n == j for n, _ in self._edges[i]):
-                        connected += 1
-                        continue
-                    if self.checker.segment_free_scalar(p, self._vertices[j]):
-                        w = float(np.sqrt(d2[j]))
-                        self._edges[i].append((j, w))
-                        self._edges[j].append((i, w))
-                        connected += 1
+            for i in range(len(self._vertices)):
+                self._connect_vertex_scalar(i, arr)
         self._built = True
+
+    def _connect_vertex_scalar(self, i: int, arr: np.ndarray) -> None:
+        """Reference scalar implementation of :meth:`_connect_vertex`
+        (one scalar map query per candidate edge, same order)."""
+        p = self._vertices[i]
+        d2 = np.sum((arr - p[None, :]) ** 2, axis=1)
+        order = np.argsort(d2)
+        connected = 0
+        for j in order[1:]:
+            if connected >= self.k_neighbors:
+                break
+            j = int(j)
+            if any(n == j for n, _ in self._edges[i]):
+                connected += 1
+                continue
+            if self.checker.segment_free_scalar(p, self._vertices[j]):
+                w = float(np.sqrt(d2[j]))
+                self._edges[i].append((j, w))
+                self._edges[j].append((i, w))
+                connected += 1
+
+    # ------------------------------------------------------------------
+    # Multi-query reuse: lazy revalidation and goal-biased densification
+    # ------------------------------------------------------------------
+    def revalidate(self) -> int:
+        """Lazily re-check the roadmap against the *current* belief map.
+
+        The paper's missions replan ~15 times as the OctoMap absorbs new
+        sensing; rebuilding the roadmap each time re-pays sampling and
+        connection.  Instead, one batched collision query re-validates
+        every unique edge and drops the newly blocked ones (a vertex
+        whose body volume became occupied loses all incident edges
+        automatically — every edge's sample set includes its endpoints).
+        Surviving edges keep their insertion order, so a revalidated
+        roadmap is bit-identical to the scalar twin's.
+
+        Returns the number of undirected edges dropped.
+        """
+        pairs = self._unique_edges()
+        if not pairs:
+            return 0
+        arr = np.stack(self._vertices)
+        free = self.checker.segments_free(
+            arr[[i for i, _, _ in pairs]], arr[[j for _, j, _ in pairs]]
+        )
+        return self._apply_edge_verdicts(pairs, free.tolist())
+
+    def revalidate_scalar(self) -> int:
+        """Reference scalar implementation of :meth:`revalidate` (one
+        scalar segment query per unique edge, same traversal order)."""
+        pairs = self._unique_edges()
+        if not pairs:
+            return 0
+        verdicts = [
+            self.checker.segment_free_scalar(
+                self._vertices[i], self._vertices[j]
+            )
+            for i, j, _ in pairs
+        ]
+        return self._apply_edge_verdicts(pairs, verdicts)
+
+    def _unique_edges(self) -> List[Tuple[int, int, float]]:
+        """Each undirected edge once, in row-major insertion order."""
+        if not self._built or not self._vertices:
+            return []
+        return [
+            (i, j, w)
+            for i in range(len(self._vertices))
+            for j, w in self._edges.get(i, [])
+            if i < j
+        ]
+
+    def _apply_edge_verdicts(
+        self,
+        pairs: List[Tuple[int, int, float]],
+        verdicts: List[bool],
+    ) -> int:
+        """Drop blocked edges, preserving surviving insertion order."""
+        blocked = {
+            (i, j) for (i, j, _), ok in zip(pairs, verdicts) if not ok
+        }
+        if not blocked:
+            return 0
+        for i, row in self._edges.items():
+            self._edges[i] = [
+                (j, w)
+                for j, w in row
+                if (min(i, j), max(i, j)) not in blocked
+            ]
+        return len(blocked)
+
+    def ensure_vertex(self, point: np.ndarray) -> int:
+        """Goal-biased densification: guarantee a roadmap vertex at
+        ``point`` and connect it like any sampled vertex.
+
+        Mission goals recur across every replan of a leg; pinning them
+        into the cached roadmap means each replan's query only has to
+        link the (moving) start.  Returns the vertex id; an existing
+        exact-match vertex is reused without drawing RNG or touching
+        the map."""
+        point = np.asarray(point, dtype=float)
+        if not self._built:
+            self.build()
+        for i, v in enumerate(self._vertices):
+            if np.array_equal(v, point):
+                return i
+        idx = len(self._vertices)
+        self._vertices.append(point.copy())
+        self._edges[idx] = []
+        if len(self._vertices) >= 2:
+            self._connect_vertex(idx, np.stack(self._vertices))
+        return idx
+
+    def ensure_vertex_scalar(self, point: np.ndarray) -> int:
+        """Reference scalar implementation of :meth:`ensure_vertex`."""
+        point = np.asarray(point, dtype=float)
+        if not self._built:
+            self.build_scalar()
+        for i, v in enumerate(self._vertices):
+            if np.array_equal(v, point):
+                return i
+        idx = len(self._vertices)
+        self._vertices.append(point.copy())
+        self._edges[idx] = []
+        if len(self._vertices) >= 2:
+            self._connect_vertex_scalar(idx, np.stack(self._vertices))
+        return idx
 
     @property
     def num_vertices(self) -> int:

@@ -123,6 +123,7 @@ class Trajectory:
         return out
 
     def max_speed(self) -> float:
+        """Largest commanded speed along the trajectory (0.0 if empty)."""
         return max((norm(p.velocity) for p in self.points), default=0.0)
 
 

@@ -1,0 +1,215 @@
+"""Uniform grid-bucket spatial index for nearest/near queries.
+
+The sampling planners ask two questions of their growing point sets
+thousands of times per plan: "which stored point is nearest to this
+target?" (RRT extension) and "which stored points lie within radius r?"
+(RRT* choose-parent / rewire fans).  The PR-3 buffers answered both with
+a full vectorized scan — O(n) per query, O(n^2) per plan — which
+``BENCH_planners.json`` pinned as the dominant planner cost once the
+collision kernels were batched.
+
+:class:`GridIndex` buckets point ids by their containing cell of a
+uniform grid (cell edge = ``cell_size``).  Queries gather candidate ids
+from only the cells that could contain an answer — an expanding cubic
+ring search for :meth:`nearest`, the cell range overlapping the query
+ball for :meth:`near_ids` — then run the *same* arithmetic as the brute
+scan over that candidate subset.  Because NumPy's elementwise kernels
+and 3-term row reductions are deterministic per row, distances computed
+over a subset are bit-identical to the same rows of a full scan, so the
+index returns **exactly** the brute-force answer (including the
+first-minimum tie-break) while touching a handful of buckets.
+
+``nearest_bruteforce`` / ``near_ids_bruteforce`` are the reference
+twins, in the repo-wide batched-vs-scalar convention;
+``tests/test_spatial_index.py`` pins index == brute bit-for-bit with
+hypothesis property tests over random point sets, radii, and
+incremental appends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+def nearest_bruteforce(points: np.ndarray, target: np.ndarray) -> int:
+    """Index of the point nearest to ``target`` by a full vectorized scan.
+
+    Ties resolve to the lowest index (``np.argmin`` takes the first
+    minimum).  ``points`` must be a non-empty (n, 3) array.
+    """
+    d = points - target[None, :]
+    return int(np.argmin(np.sum(d * d, axis=1)))
+
+
+def near_ids_bruteforce(
+    points: np.ndarray, target: np.ndarray, radius: float
+) -> np.ndarray:
+    """Ids (ascending) of all points within ``radius`` of ``target`` by a
+    full vectorized scan.  The comparison is inclusive (``d2 <= r*r``),
+    matching the PR-3 ``_Tree.near_ids`` contract."""
+    d = points - target[None, :]
+    d2 = np.sum(d * d, axis=1)
+    return np.nonzero(d2 <= radius * radius)[0]
+
+
+class GridIndex:
+    """Incrementally maintained grid-bucket index over appended points.
+
+    Parameters
+    ----------
+    cell_size:
+        Edge length of the (implicit, unbounded) grid cells.  A good
+        choice is the planner's step size: tree edges then span at most
+        one cell, so nearest queries usually terminate within one ring.
+
+    The index never stores coordinates — only point *ids* per bucket.
+    Queries take the caller's contiguous ``(n, 3)`` view (the tree's
+    live buffer) so distance arithmetic runs on exactly the rows a brute
+    scan would read.  Ids must be appended densely (0, 1, 2, ...) via
+    :meth:`insert`, mirroring the buffer's append order.
+    """
+
+    #: Below this point count a straight vectorized scan beats any
+    #: bucket walk; queries fall back to the brute twins (same answer).
+    BRUTE_THRESHOLD = 64
+
+    #: Ring-walk cap for :meth:`nearest`: a target this many empty rings
+    #: from the nearest populated cell scans brute instead (same answer).
+    MAX_RING = 4
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell size must be positive")
+        self.cell_size = float(cell_size)
+        self._buckets: Dict[Tuple[int, int, int], List[int]] = {}
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    # ------------------------------------------------------------------
+    def _cell_of(self, point: np.ndarray) -> Tuple[int, int, int]:
+        cs = self.cell_size
+        return (
+            math.floor(float(point[0]) / cs),
+            math.floor(float(point[1]) / cs),
+            math.floor(float(point[2]) / cs),
+        )
+
+    def insert(self, point: np.ndarray) -> int:
+        """Register the next point id (append order) under its cell."""
+        cell = self._cell_of(point)
+        self._buckets.setdefault(cell, []).append(self._n)
+        self._n += 1
+        return self._n - 1
+
+    # ------------------------------------------------------------------
+    def nearest(self, points: np.ndarray, target: np.ndarray) -> Optional[int]:
+        """Exact nearest-point id, or None on an empty index.
+
+        Progressive box search.  A gathered box of half-width ``r``
+        provably contains every point within distance ``r`` of the
+        target, so once the best candidate's distance is ``<= r`` the
+        global minimum (and its whole tie-break pool) is already in the
+        candidate set — with a dense tree that is one gather and one
+        numpy round.  Otherwise the box grows to the (ulp-inflated) best
+        distance for one final exact gather.  Candidates are filtered
+        with the brute-scan arithmetic over ascending ids, so distances
+        and the first-minimum tie-break are bit-identical to
+        :func:`nearest_bruteforce`.
+        """
+        if self._n == 0:
+            return None
+        if self._n <= self.BRUTE_THRESHOLD:
+            return nearest_bruteforce(points, target)
+        target = np.asarray(target, dtype=float)
+        r_box = self.cell_size
+        grows = 0
+        while True:
+            cand = self._gather_box(target, r_box)
+            if cand.size:
+                break
+            r_box *= 2.0
+            grows += 1
+            if grows > self.MAX_RING:
+                # Target far outside the populated region: the box walk
+                # would touch more cells than a straight scan reads.
+                return nearest_bruteforce(points, target)
+        d = points[cand] - target[None, :]
+        d2 = np.sum(d * d, axis=1)
+        k = int(np.argmin(d2))
+        best_d2 = float(d2[k])
+        if best_d2 <= r_box * r_box:
+            return int(cand[k])
+        # One ulp of head-room over the correctly rounded sqrt keeps the
+        # final box a strict superset of the closed ball even when sqrt
+        # rounds down — every point at exactly the best distance (the
+        # brute scan's tie-break pool) stays inside the gathered range.
+        radius = math.nextafter(math.sqrt(best_d2), math.inf)
+        cand = self._gather_box(target, radius)
+        d = points[cand] - target[None, :]
+        d2 = np.sum(d * d, axis=1)
+        return int(cand[int(np.argmin(d2))])
+
+    # ------------------------------------------------------------------
+    def near_ids(
+        self, points: np.ndarray, target: np.ndarray, radius: float
+    ) -> np.ndarray:
+        """Exact ids (ascending) within ``radius`` of ``target``.
+
+        Gathers the cell range overlapping the ball's bounding box, then
+        filters with the brute-scan distance arithmetic — bit-identical
+        to :func:`near_ids_bruteforce` including boundary points (the
+        candidate superset always contains every point the brute scan
+        accepts, and the subset filter computes the same ``d2`` rows).
+        """
+        if self._n == 0 or radius < 0:
+            return np.zeros(0, dtype=np.int64)
+        if self._n <= self.BRUTE_THRESHOLD:
+            return near_ids_bruteforce(points, target, radius)
+        cand = self._gather_box(np.asarray(target, dtype=float), radius)
+        if not cand.size:
+            return cand
+        d = points[cand] - target[None, :]
+        d2 = np.sum(d * d, axis=1)
+        return cand[d2 <= radius * radius]
+
+    def _gather_box(self, target: np.ndarray, radius: float) -> np.ndarray:
+        """All ids (ascending) whose cell overlaps the axis-aligned box
+        ``[target - radius, target + radius]`` — a superset of any ball
+        of that radius."""
+        cs = self.cell_size
+        x, y, z = float(target[0]), float(target[1]), float(target[2])
+        i0 = math.floor((x - radius) / cs)
+        i1 = math.floor((x + radius) / cs)
+        j0 = math.floor((y - radius) / cs)
+        j1 = math.floor((y + radius) / cs)
+        k0 = math.floor((z - radius) / cs)
+        k1 = math.floor((z + radius) / cs)
+        buckets = self._buckets
+        candidates: List[int] = []
+        if (i1 - i0 + 1) * (j1 - j0 + 1) * (k1 - k0 + 1) > len(buckets):
+            # Query box covers more cells than exist: walking the
+            # occupied buckets is cheaper than enumerating the range.
+            for (i, j, k), ids in buckets.items():
+                if i0 <= i <= i1 and j0 <= j <= j1 and k0 <= k <= k1:
+                    candidates.extend(ids)
+        else:
+            get = buckets.get
+            for i in range(i0, i1 + 1):
+                for j in range(j0, j1 + 1):
+                    for k in range(k0, k1 + 1):
+                        ids = get((i, j, k))
+                        if ids:
+                            candidates.extend(ids)
+        if not candidates:
+            return np.zeros(0, dtype=np.int64)
+        out = np.asarray(candidates, dtype=np.int64)
+        out.sort()
+        return out
+
+
+__all__ = ["GridIndex", "near_ids_bruteforce", "nearest_bruteforce"]

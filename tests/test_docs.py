@@ -1,0 +1,73 @@
+"""The docs gate, as a tier-1 test: links and quoted CLI commands in
+``README.md`` + ``docs/*.md`` must resolve against the working tree and
+the real argparse surface (``tools/check_docs.py`` is the CI lane's
+entry point; this runs the same checks minus the mission smoke)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_docs", check_docs)
+_spec.loader.exec_module(check_docs)
+
+
+@pytest.mark.parametrize(
+    "md", [p.relative_to(REPO) for p in check_docs._doc_files()],
+    ids=lambda p: str(p),
+)
+def test_doc_file_is_clean(md):
+    problems = check_docs.check_file(REPO / md)
+    assert not problems, "\n".join(problems)
+
+
+def test_docs_tree_exists():
+    assert (REPO / "docs" / "architecture.md").is_file()
+    assert (REPO / "docs" / "planners.md").is_file()
+
+
+class TestCheckerCatchesRot:
+    """The gate must actually fail on rot — otherwise it is decoration."""
+
+    def test_broken_relative_link(self, tmp_path):
+        md = tmp_path / "x.md"
+        md.write_text("see [here](no/such/file.md)\n")
+        problems = check_docs.check_links(md)
+        assert any("broken link" in p for p in problems)
+
+    def test_missing_backticked_path(self, tmp_path):
+        md = tmp_path / "x.md"
+        md.write_text("run `tests/test_does_not_exist.py` first\n")
+        problems = check_docs.check_links(md)
+        assert any("missing path" in p for p in problems)
+
+    def test_stale_cli_example(self, tmp_path):
+        md = tmp_path / "x.md"
+        md.write_text(
+            "```bash\npython -m repro run package_delivery "
+            "--no-such-flag 3\n```\n"
+        )
+        problems = check_docs.check_cli(md)
+        assert any("no longer parses" in p for p in problems)
+
+    def test_valid_cli_example_passes(self, tmp_path):
+        md = tmp_path / "x.md"
+        md.write_text(
+            "```bash\npython -m repro run package_delivery "
+            "--scenario urban:0.7 --seed 3\n"
+            "python -m pytest tests/test_docs.py -q\n```\n"
+        )
+        assert check_docs.check_cli(md) == []
+
+    def test_stale_pytest_target(self, tmp_path):
+        md = tmp_path / "x.md"
+        md.write_text("```bash\npython -m pytest tests/test_gone.py -q\n```\n")
+        problems = check_docs.check_cli(md)
+        assert any("pytest target missing" in p for p in problems)

@@ -439,3 +439,24 @@ class TestSmoothing:
         times = [p.time for p in traj.points]
         assert all(b >= a for a, b in zip(times[:-1], times[1:]))
         assert traj.max_speed() <= vmax + 1e-6
+
+
+class TestPlannerRegistryDocs:
+    def test_docstring_lists_every_planner(self):
+        """The package docstring's planner list tracks PLANNERS — the
+        same drift pin as the world-generator environment list (which
+        once silently dropped an entry)."""
+        from repro import planning
+
+        for name in planning.PLANNERS:
+            assert f"``{name}``" in planning.__doc__, (
+                f"planning/__init__.py docstring is missing planner '{name}'"
+            )
+
+    def test_registry_matches_workload_registry(self):
+        """The workload-facing registry in package_delivery must stay a
+        view of the package-level one (same keys, same classes)."""
+        from repro import planning
+        from repro.core.workloads import package_delivery
+
+        assert package_delivery._PLANNERS == planning.PLANNERS

@@ -1,0 +1,172 @@
+"""Property tests: GridIndex answers == brute-force scans, bit-for-bit.
+
+The grid-bucket index (``repro.planning.spatial_index``) must be an
+*exact* drop-in for the full vectorized scans it replaces inside the
+sampling planners — same nearest id (including the first-minimum
+tie-break) and the same ascending near-ids, on every query, at every
+tree size.  Hypothesis drives random point sets, targets, radii, and
+incremental appends against the ``*_bruteforce`` reference twins.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planning.spatial_index import (
+    GridIndex,
+    near_ids_bruteforce,
+    nearest_bruteforce,
+)
+
+# Coordinates snapped to a coarse lattice so duplicate points and
+# exact-boundary distances actually occur instead of being measure-zero.
+coord = st.integers(min_value=-40, max_value=40).map(lambda v: v * 0.5)
+point = st.tuples(coord, coord, coord)
+cell_size = st.sampled_from([0.4, 1.0, 1.5, 3.0, 7.0])
+
+
+def _build(points, cell):
+    index = GridIndex(cell_size=cell)
+    arr = np.asarray(points, dtype=float).reshape(-1, 3)
+    for row in arr:
+        index.insert(row)
+    return index, arr
+
+
+class TestNearest:
+    @given(pts=st.lists(point, min_size=1, max_size=200), target=point,
+           cell=cell_size)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_bruteforce(self, pts, target, cell):
+        index, arr = _build(pts, cell)
+        t = np.asarray(target, dtype=float)
+        assert index.nearest(arr, t) == nearest_bruteforce(arr, t)
+
+    @given(pts=st.lists(point, min_size=1, max_size=120), cell=cell_size)
+    @settings(max_examples=60, deadline=None)
+    def test_tie_break_is_first_minimum(self, pts, cell):
+        # Duplicate every point: ties are guaranteed, and the index must
+        # still return the lowest id, exactly like np.argmin.
+        doubled = list(pts) + list(pts)
+        index, arr = _build(doubled, cell)
+        for target in (doubled[0], (0.0, 0.0, 0.0)):
+            t = np.asarray(target, dtype=float)
+            assert index.nearest(arr, t) == nearest_bruteforce(arr, t)
+
+    def test_empty_index_returns_none(self):
+        index = GridIndex(cell_size=1.0)
+        target = np.zeros(3)
+        assert index.nearest(np.zeros((0, 3)), target) is None
+
+    def test_far_target_falls_back_to_bruteforce(self):
+        # A target many empty rings away triggers the MAX_RING bail-out;
+        # the answer must still be exact.
+        rng = np.random.default_rng(0)
+        arr = rng.uniform(0.0, 4.0, size=(100, 3))
+        index, arr = _build(arr, 0.5)
+        t = np.array([500.0, -300.0, 900.0])
+        assert index.nearest(arr, t) == nearest_bruteforce(arr, t)
+
+
+class TestNearIds:
+    @given(pts=st.lists(point, min_size=1, max_size=200), target=point,
+           radius=st.sampled_from([0.0, 0.5, 1.0, 2.5, 6.0, 40.0]),
+           cell=cell_size)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_bruteforce(self, pts, target, radius, cell):
+        index, arr = _build(pts, cell)
+        t = np.asarray(target, dtype=float)
+        np.testing.assert_array_equal(
+            index.near_ids(arr, t, radius),
+            near_ids_bruteforce(arr, t, radius),
+        )
+
+    @given(pts=st.lists(point, min_size=1, max_size=120), cell=cell_size)
+    @settings(max_examples=60, deadline=None)
+    def test_boundary_points_are_inclusive(self, pts, cell):
+        # Radius equal to an exact stored distance: the contract is
+        # d2 <= r*r, so the boundary point must be returned.
+        index, arr = _build(pts, cell)
+        t = np.zeros(3)
+        mid = len(arr) // 2
+        d = np.sqrt(np.sum(arr * arr, axis=1))
+        # sqrt can round down, so d[mid]**2 may fall a ulp short of the
+        # stored d2 — both twins must agree either way; one ulp of
+        # head-room then guarantees the boundary point is included.
+        for radius in (float(d[mid]), math.nextafter(float(d[mid]), math.inf)):
+            got = index.near_ids(arr, t, radius)
+            want = near_ids_bruteforce(arr, t, radius)
+            np.testing.assert_array_equal(got, want)
+        assert mid in got.tolist()
+
+    def test_empty_and_negative_radius(self):
+        index = GridIndex(cell_size=1.0)
+        t = np.zeros(3)
+        assert index.near_ids(np.zeros((0, 3)), t, 1.0).size == 0
+        index, arr = _build([(1.0, 0.0, 0.0)], 1.0)
+        assert index.near_ids(arr, t, -1.0).size == 0
+
+
+class TestIncremental:
+    @given(pts=st.lists(point, min_size=2, max_size=150),
+           targets=st.lists(point, min_size=1, max_size=5),
+           cell=cell_size)
+    @settings(max_examples=80, deadline=None)
+    def test_queries_interleaved_with_appends(self, pts, targets, cell):
+        # Mirrors planner usage: the point set grows one append at a
+        # time and both query kinds run against every prefix.
+        index = GridIndex(cell_size=cell)
+        arr = np.asarray(pts, dtype=float).reshape(-1, 3)
+        for n, row in enumerate(arr, start=1):
+            assert index.insert(row) == n - 1
+            prefix = arr[:n]
+            for target in targets:
+                t = np.asarray(target, dtype=float)
+                assert index.nearest(prefix, t) == nearest_bruteforce(
+                    prefix, t
+                )
+                np.testing.assert_array_equal(
+                    index.near_ids(prefix, t, 2.0),
+                    near_ids_bruteforce(prefix, t, 2.0),
+                )
+        assert len(index) == len(arr)
+
+    def test_crosses_brute_threshold(self):
+        # The index switches from brute fallback to bucket walks at
+        # BRUTE_THRESHOLD; answers must not change across the seam.
+        rng = np.random.default_rng(7)
+        n = GridIndex.BRUTE_THRESHOLD * 3
+        arr = np.round(rng.uniform(-10.0, 10.0, size=(n, 3)), 1)
+        index = GridIndex(cell_size=1.5)
+        t = np.array([0.3, -0.2, 0.1])
+        for i in range(n):
+            index.insert(arr[i])
+            prefix = arr[: i + 1]
+            assert index.nearest(prefix, t) == nearest_bruteforce(prefix, t)
+            np.testing.assert_array_equal(
+                index.near_ids(prefix, t, 3.0),
+                near_ids_bruteforce(prefix, t, 3.0),
+            )
+
+
+def test_invalid_cell_size_rejected():
+    with pytest.raises(ValueError):
+        GridIndex(cell_size=0.0)
+    with pytest.raises(ValueError):
+        GridIndex(cell_size=-1.0)
+
+
+def test_negative_coordinates_bucket_correctly():
+    # math.floor (not int()) must be used for cell ids: -0.3 lives in
+    # cell -1, not cell 0.
+    index = GridIndex(cell_size=1.0)
+    arr = np.array([[-0.3, -0.3, -0.3], [0.3, 0.3, 0.3]])
+    for row in arr:
+        index.insert(row)
+    assert index._cell_of(arr[0]) == (-1, -1, -1)
+    assert index._cell_of(arr[1]) == (0, 0, 0)
+    t = np.array([-0.4, -0.4, -0.4])
+    assert index.nearest(arr, t) == nearest_bruteforce(arr, t) == 0

@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Docs gate: links and quoted CLI commands must not rot.
+
+Two checks over ``README.md`` + ``docs/*.md``:
+
+1. **Link check** — every relative markdown link target and every
+   backticked repo path (``src/...``, ``tests/...``, ``benchmarks/...``,
+   ``docs/...``, ``examples/...``, ``tools/...``,
+   ``.github/workflows/...``) must exist in the working tree.  External
+   URLs are not fetched.
+2. **CLI check** — every ``python -m repro ...`` invocation quoted in a
+   fenced code block must parse against the real argparse surface
+   (``repro.cli._build_parser``), so command examples cannot drift from
+   ``--help``.  Placeholders like ``<campaign_key>`` are substituted
+   with dummies first; ``python -m pytest <path>`` lines are checked for
+   path existence.
+
+``--smoke`` additionally *executes* the cheap read-only commands
+(``repro list`` and every quoted ``--help``-safe parse), plus one real
+short mission run — the CI docs lane runs with it.
+
+Exit status 0 = clean; 1 = problems (each printed on its own line).
+Usable as a script or via :func:`check_file` from the test suite.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+from typing import List
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Top-level prefixes whose backticked mentions must exist on disk.
+_PATH_PREFIXES = (
+    "src/", "tests/", "benchmarks/", "docs/", "examples/", "tools/",
+    ".github/",
+)
+
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+_BACKTICK = re.compile(r"`([^`\s]+)`")
+_FENCE = re.compile(r"```(?:bash|sh|console)?\n(.*?)```", re.DOTALL)
+#: Doc placeholders -> substitutable dummies for parse checks.
+_PLACEHOLDERS = {
+    "<campaign_key>": "0123456789abcdef",
+    "I/N": "1/2",
+}
+
+
+def _strip_test_selector(token: str) -> str:
+    """``tests/test_x.py::TestY::test_z`` -> ``tests/test_x.py``."""
+    return token.split("::", 1)[0]
+
+
+def check_links(md_path: Path) -> List[str]:
+    """Problems with relative links / repo-path mentions in one file."""
+    problems: List[str] = []
+    text = md_path.read_text()
+    for target in _MD_LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = (md_path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{md_path.name}: broken link -> {target}")
+    for token in _BACKTICK.findall(text):
+        token = _strip_test_selector(token.rstrip("…").rstrip("."))
+        if not token.startswith(_PATH_PREFIXES):
+            continue
+        if "*" in token or "<" in token:
+            continue  # globs / placeholders describe families, not files
+        if not (REPO / token).exists():
+            problems.append(f"{md_path.name}: missing path -> {token}")
+    return problems
+
+
+def _quoted_commands(md_path: Path) -> List[str]:
+    """``python -m ...`` command lines from fenced code blocks, with
+    backslash continuations joined and placeholders substituted."""
+    commands: List[str] = []
+    for block in _FENCE.findall(md_path.read_text()):
+        joined = re.sub(r"\\\n\s*", " ", block)
+        for line in joined.splitlines():
+            line = line.split(" # ")[0].strip()  # inline comments
+            for k, v in _PLACEHOLDERS.items():
+                line = line.replace(k, v)
+            if line.startswith(("python -m repro", "python -m pytest")):
+                # Drop env-var prefixes kept on the same line elsewhere.
+                commands.append(line)
+            elif " python -m repro" in line or " python -m pytest" in line:
+                idx = line.index("python -m ")
+                if "=" in line.split("python -m ")[0]:  # ENV=x python -m ...
+                    commands.append(line[idx:])
+    return commands
+
+
+def check_cli(md_path: Path) -> List[str]:
+    """Parse every quoted ``python -m repro`` command against the real
+    argparse tree; check quoted pytest paths exist."""
+    problems: List[str] = []
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        from repro.cli import _build_parser
+    finally:
+        sys.path.pop(0)
+    parser = _build_parser()
+    for cmd in _quoted_commands(md_path):
+        argv = shlex.split(cmd)
+        if argv[:3] == ["python", "-m", "pytest"]:
+            skip_next = False
+            for token in argv[3:]:
+                if skip_next:  # a -m marker expression, not a path
+                    skip_next = False
+                    continue
+                if token == "-m":
+                    skip_next = True
+                    continue
+                if token.startswith(("-", '"', "'")) or "=" in token:
+                    continue
+                if not (REPO / _strip_test_selector(token)).exists():
+                    problems.append(
+                        f"{md_path.name}: pytest target missing -> {token}"
+                    )
+            continue
+        try:
+            parser.parse_args(argv[3:])
+        except SystemExit as exc:
+            if exc.code not in (0, None):
+                problems.append(
+                    f"{md_path.name}: CLI example no longer parses -> {cmd}"
+                )
+    return problems
+
+
+def check_file(md_path: Path) -> List[str]:
+    return check_links(md_path) + check_cli(md_path)
+
+
+def _doc_files() -> List[Path]:
+    return [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+
+def _smoke() -> List[str]:
+    """Actually execute the cheap quoted commands."""
+    problems: List[str] = []
+    env_cmds = [
+        ["python", "-m", "repro", "list"],
+        ["python", "-m", "repro", "run", "package_delivery",
+         "--scenario", "urban:0.3", "--seed", "1"],
+    ]
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    for cmd in env_cmds:
+        proc = subprocess.run(
+            cmd, cwd=REPO, env=env, capture_output=True, text=True,
+            timeout=900,
+        )
+        if proc.returncode != 0:
+            problems.append(
+                f"smoke failed ({proc.returncode}): {' '.join(cmd)}\n"
+                f"{proc.stderr.strip().splitlines()[-1] if proc.stderr else ''}"
+            )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    problems: List[str] = []
+    for md in _doc_files():
+        problems.extend(check_file(md))
+    if "--smoke" in argv:
+        problems.extend(_smoke())
+    for p in problems:
+        print(p)
+    n = len(_doc_files())
+    if not problems:
+        print(f"docs OK: {n} files, links and CLI examples all resolve")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
