@@ -1,0 +1,105 @@
+"""Ablation — the disabled tracer's overhead budget.
+
+The observability layer leaves its instrumentation permanently compiled
+into the hot paths (five spans per simulator tick, a span per planner
+call, histogram observations per collision query).  That is only
+acceptable if the *disabled* fast path — one global load, one ``is
+None`` test, a shared no-op context manager — is effectively free.
+
+This bench is the CI gate on that promise: it measures the per-call cost
+of a disabled ``trace.span`` block, counts how many instrumentation
+events one real mission actually emits (by flying it once under
+``trace.capture``), and asserts that the implied total overhead stays
+under :data:`OVERHEAD_BUDGET` of the untraced mission's wall time.
+Charging *every* event at the span price over-estimates (counter/
+histogram no-ops are cheaper), so the gate is conservative.
+
+The per-call measurement is a tight loop (median of several reps), not a
+mission A/B diff — two mission timings differ by scheduler noise alone,
+which would make a 2% gate flaky; the loop x count bound is stable.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.core.api import run_workload
+from repro.observability import trace
+
+#: Maximum tolerated disabled-instrumentation share of mission wall time.
+OVERHEAD_BUDGET = 0.02
+
+#: Iterations of the no-op span loop (enough to swamp timer resolution).
+LOOP_N = 200_000
+
+
+def _fly_short_mission():
+    """The golden short scanning mission (same shape tests pin)."""
+    return run_workload(
+        "scanning",
+        cores=4,
+        frequency_ghz=2.2,
+        seed=1,
+        workload_kwargs={"area_width": 40.0, "area_length": 24.0},
+    )
+
+
+def _noop_span_loop(n: int = LOOP_N) -> None:
+    for _ in range(n):
+        with trace.span("bench.noop", "bench"):
+            pass
+
+
+def _metric_event_count(tracer) -> int:
+    """Total counter increments + histogram observations in one trace."""
+    snap = tracer.metrics.snapshot()
+    events = sum(snap["counters"].values())
+    events += sum(h["count"] for h in snap["histograms"].values())
+    return events
+
+
+def test_disabled_tracer_overhead_budget(benchmark, print_header):
+    assert not trace.enabled(), "another test leaked an installed tracer"
+
+    # Per-call cost of the disabled fast path: median of several reps.
+    reps = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        _noop_span_loop()
+        reps.append(time.perf_counter() - t0)
+    per_call_s = sorted(reps)[len(reps) // 2] / LOOP_N
+
+    # How many instrumentation events does a real mission emit?  Fly it
+    # traced once to count, untraced once to time.
+    with trace.capture() as tracer:
+        _fly_short_mission()
+    events = len(tracer.spans) + _metric_event_count(tracer)
+
+    t0 = time.perf_counter()
+    result = run_once(benchmark, _fly_short_mission)
+    untraced_s = time.perf_counter() - t0
+    assert result.success
+
+    implied_overhead_s = per_call_s * events
+    fraction = implied_overhead_s / untraced_s
+    print_header("Tracing ablation: disabled-path overhead")
+    print(
+        f"noop span: {per_call_s * 1e9:.0f} ns/call  x  {events} events "
+        f"= {implied_overhead_s * 1e3:.2f} ms implied "
+        f"({100 * fraction:.3f}% of {untraced_s:.3f}s mission)"
+    )
+    assert fraction < OVERHEAD_BUDGET, (
+        f"disabled tracer costs {100 * fraction:.2f}% of mission wall "
+        f"(budget {100 * OVERHEAD_BUDGET:.0f}%) — the fast path regressed"
+    )
+
+
+def test_disabled_helpers_are_noops(benchmark):
+    """count/observe with no tracer must not allocate registries."""
+    def _loop():
+        for _ in range(10_000):
+            trace.count("bench.counter")
+            trace.observe("bench.hist", 1.0)
+
+    run_once(benchmark, _loop)
+    assert trace.get_tracer() is None

@@ -29,9 +29,11 @@ from .reporting import comparison_row, format_table
 from .flight_log import (
     load_mission,
     mission_document,
+    phase_rows,
     samples_to_rows,
     write_csv,
     write_json,
+    write_phase_csv,
 )
 
 __all__ = [
@@ -58,7 +60,9 @@ __all__ = [
     "sweep_operating_points",
     "load_mission",
     "mission_document",
+    "phase_rows",
     "samples_to_rows",
     "write_csv",
     "write_json",
+    "write_phase_csv",
 ]

@@ -6,6 +6,11 @@ drone."  This module turns a mission's recorded samples into portable
 flight logs (CSV rows or a JSON document) so traces can be plotted or
 diffed outside the library — the artifact an open-source release's users
 actually ask for first.
+
+When the mission ran under the span tracer (``observability.trace``),
+per-phase host-time columns ride along: pass the tracer to
+:func:`mission_document`/:func:`write_json` for a ``"phases"`` section,
+or dump the flat table with :func:`write_phase_csv`.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, TextIO, Union
 
 from ..core.qof import QofRecorder, QofReport
+from ..observability.export import phase_summary
+from ..observability.trace import Tracer
 
 CSV_FIELDS = [
     "time_s",
@@ -82,13 +89,65 @@ def write_csv(
     return len(rows)
 
 
+#: Column order for :func:`phase_rows` / :func:`write_phase_csv`.
+PHASE_CSV_FIELDS = ["phase", "count", "total_s", "self_s", "sim_total_s"]
+
+
+def phase_rows(tracer: Tracer) -> List[Dict[str, float]]:
+    """The tracer's phase aggregation as CSV-ready dict rows.
+
+    One row per span path (slash-joined), sorted by descending total
+    time: where the mission's host time went, in spreadsheet shape.
+    """
+    rows = []
+    for path, stats in sorted(
+        phase_summary(tracer).items(), key=lambda item: -item[1]["total_s"]
+    ):
+        rows.append(
+            {
+                "phase": path,
+                "count": int(stats["count"]),
+                "total_s": stats["total_s"],
+                "self_s": stats["self_s"],
+                "sim_total_s": stats["sim_total_s"],
+            }
+        )
+    return rows
+
+
+def write_phase_csv(
+    tracer: Tracer, destination: Union[str, TextIO]
+) -> int:
+    """Write the per-phase timing table as CSV; returns rows written."""
+    rows = phase_rows(tracer)
+
+    def _write(stream: TextIO) -> None:
+        writer = csv.DictWriter(stream, fieldnames=PHASE_CSV_FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+
+    if isinstance(destination, str):
+        with open(destination, "w", newline="") as f:
+            _write(f)
+    else:
+        _write(destination)
+    return len(rows)
+
+
 def mission_document(
     report: QofReport,
     recorder: Optional[QofRecorder] = None,
     decimate: int = 10,
     metadata: Optional[Dict] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Dict:
-    """A JSON-serializable mission document: report + optional trace."""
+    """A JSON-serializable mission document: report + optional trace.
+
+    With ``tracer`` the document gains a ``"phases"`` section — the
+    span tracer's per-phase host-time aggregation — so one artifact
+    carries both the flight trajectory and where the host spent its
+    time flying it.  Documents without a tracer are unchanged.
+    """
     doc = {
         "success": report.success,
         "failure_reason": report.failure_reason,
@@ -106,6 +165,8 @@ def mission_document(
     }
     if recorder is not None:
         doc["trace"] = samples_to_rows(recorder)[::decimate]
+    if tracer is not None:
+        doc["phases"] = phase_summary(tracer)
     return doc
 
 
@@ -115,10 +176,15 @@ def write_json(
     recorder: Optional[QofRecorder] = None,
     decimate: int = 10,
     metadata: Optional[Dict] = None,
+    tracer: Optional[Tracer] = None,
 ) -> None:
     """Serialize a mission document to JSON."""
     doc = mission_document(
-        report, recorder=recorder, decimate=decimate, metadata=metadata
+        report,
+        recorder=recorder,
+        decimate=decimate,
+        metadata=metadata,
+        tracer=tracer,
     )
     if isinstance(destination, str):
         with open(destination, "w") as f:

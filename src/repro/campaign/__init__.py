@@ -32,6 +32,7 @@ from .aggregate import (
     success_table,
 )
 from .runner import (
+    PROFILE_SCHEMA,
     CampaignReport,
     CampaignRunError,
     execute_run,
@@ -67,6 +68,7 @@ __all__ = [
     "DEFAULT_GRID",
     "MERGED_STORE_NAME",
     "MergeReport",
+    "PROFILE_SCHEMA",
     "RECORD_SCHEMA",
     "RunSpec",
     "aggregate_sweep",

@@ -28,21 +28,59 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.api import run_workload
+from ..observability import trace as _trace
+from ..observability.export import phase_summary
 from ..scenarios import ScenarioSpec
+from ..scenarios.cache import cache_stats
 from .spec import CampaignSpec, RunSpec
 from .store import RECORD_SCHEMA, CampaignStore
+
+#: Schema tag of the opt-in per-run profile dict (``profile=True``).
+PROFILE_SCHEMA = "campaign-profile/1"
 
 
 class CampaignRunError(RuntimeError):
     """Raised when an aggregation needs runs that ended in error."""
 
 
-def execute_run(run: RunSpec) -> Dict[str, Any]:
+def execute_run(
+    run: RunSpec,
+    profile: bool = False,
+    queue_wait_s: Optional[float] = None,
+) -> Dict[str, Any]:
     """Execute one mission and reduce it to a JSON-shaped record.
 
     Top-level (picklable) so it can cross a process-pool boundary; never
     raises — failures become ``status="error"`` records.
+
+    With ``profile=True`` the mission runs under a fresh span tracer and
+    the record gains a ``"profile"`` dict (phase self/total times,
+    metrics snapshot, scenario-cache delta, queue wait).  The key is
+    attached *only* in profile mode, so existing stores, goldens, and
+    record hashes stay byte-identical when profiling is off.
     """
+    if profile:
+        cache_before = cache_stats()
+        with _trace.capture() as tracer:
+            record = _execute_run_record(run)
+        cache_after = cache_stats()
+        record["profile"] = {
+            "schema": PROFILE_SCHEMA,
+            "phases": phase_summary(tracer),
+            "metrics": tracer.metrics.snapshot(),
+            "scenario_cache": {
+                "hits": cache_after["hits"] - cache_before["hits"],
+                "misses": cache_after["misses"] - cache_before["misses"],
+                "size": cache_after["size"],
+            },
+        }
+        if queue_wait_s is not None:
+            record["profile"]["queue_wait_s"] = queue_wait_s
+        return record
+    return _execute_run_record(run)
+
+
+def _execute_run_record(run: RunSpec) -> Dict[str, Any]:
     started = time.perf_counter()
     record: Dict[str, Any] = {
         "schema": RECORD_SCHEMA,
@@ -103,7 +141,11 @@ def execute_run(run: RunSpec) -> Dict[str, Any]:
     return record
 
 
-def execute_runs(runs: List[RunSpec]) -> List[Dict[str, Any]]:
+def execute_runs(
+    runs: List[RunSpec],
+    profile: bool = False,
+    submitted_at: Optional[float] = None,
+) -> List[Dict[str, Any]]:
     """Execute a batch of runs sequentially in this process.
 
     Top-level (picklable) so a whole batch can cross a process-pool
@@ -111,8 +153,20 @@ def execute_runs(runs: List[RunSpec]) -> List[Dict[str, Any]]:
     per-process scenario cache (``scenarios.cache``), so a batch of runs
     flying the same content-hashed world instantiates it once instead of
     once per worker the pool happened to scatter them across.
+
+    ``submitted_at`` is a ``time.monotonic()`` stamp taken when the batch
+    was handed to the pool (monotonic clocks share an epoch across
+    processes on Linux): in profile mode each run's ``queue_wait_s`` is
+    the gap between submission and that run actually starting, which for
+    later runs in a batch includes their predecessors' execution.
     """
-    return [execute_run(run) for run in runs]
+    records = []
+    for run in runs:
+        queue_wait_s = None
+        if profile and submitted_at is not None:
+            queue_wait_s = max(time.monotonic() - submitted_at, 0.0)
+        records.append(execute_run(run, profile=profile, queue_wait_s=queue_wait_s))
+    return records
 
 
 def _scenario_batch_key(run: RunSpec) -> Optional[str]:
@@ -167,15 +221,23 @@ def _batch_pending(
     return order
 
 
-def _worker_failure_record(run: RunSpec, exc: BaseException) -> Dict[str, Any]:
-    """Record for a run whose *worker process* died (e.g. pool breakage)."""
+def _worker_failure_record(
+    run: RunSpec, exc: BaseException, elapsed_s: float = 0.0
+) -> Dict[str, Any]:
+    """Record for a run whose *worker process* died (e.g. pool breakage).
+
+    ``elapsed_s`` is the wall time since the run's chunk was submitted to
+    the pool — the best honest bound on what the dead worker spent, and
+    what ``wall_time_s`` reports (historically this was a ``0.0``
+    placeholder, which made failed cells look free in aggregations).
+    """
     return {
         "schema": RECORD_SCHEMA,
         "run_key": run.run_key,
         "spec": run.payload(),
         "status": "error",
         "error": f"worker failed: {type(exc).__name__}: {exc}",
-        "wall_time_s": 0.0,
+        "wall_time_s": max(elapsed_s, 0.0),
     }
 
 
@@ -223,6 +285,7 @@ def run_campaign(
     progress: Optional[ProgressFn] = None,
     shard: Optional[Tuple[int, int]] = None,
     batch: bool = True,
+    profile: bool = False,
 ) -> CampaignReport:
     """Run (or finish) a campaign — or one shard of it.
 
@@ -252,6 +315,12 @@ def run_campaign(
         instead of one per worker).  Record content is unaffected —
         cached worlds are snapshot-isolated — so this is on by default;
         ``False`` restores one-task-per-run submission.
+    profile:
+        Attach an opt-in ``"profile"`` dict to every freshly executed
+        record: per-phase span times, a metrics snapshot, the run's
+        scenario-cache delta, and its pool queue wait.  Off by default —
+        records (and therefore run hashes, stores, and goldens) are
+        byte-identical to the unprofiled ones when disabled.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -272,28 +341,43 @@ def run_campaign(
     def _commit(run: RunSpec, record: Dict[str, Any]) -> None:
         fresh[run.run_key] = record
         if store is not None:
-            store.add(record)
+            with _trace.span("campaign.store_append", "campaign"):
+                store.add(record)
         if progress is not None:
             progress(record)
 
     if jobs == 1 or len(pending) <= 1:
         # In-process execution shares this process's scenario cache
-        # already — no batching needed for amortization.
+        # already — no batching needed for amortization.  Queue wait is
+        # zero by construction: each run starts the moment it is due.
         for run in pending:
-            _commit(run, execute_run(run))
+            with _trace.span("campaign.execute", "campaign") as _sp:
+                _sp.set(run_key=run.run_key)
+                record = execute_run(
+                    run,
+                    profile=profile,
+                    queue_wait_s=0.0 if profile else None,
+                )
+            _commit(run, record)
     else:
         batches = _batch_pending(pending, jobs, batch)
         with ProcessPoolExecutor(max_workers=min(jobs, len(batches))) as pool:
-            futures = {
-                pool.submit(execute_runs, chunk): chunk for chunk in batches
-            }
+            submitted: Dict[Any, float] = {}
+            futures = {}
+            for chunk in batches:
+                stamp = time.monotonic()
+                future = pool.submit(execute_runs, chunk, profile, stamp)
+                futures[future] = chunk
+                submitted[future] = stamp
             for future in as_completed(futures):
                 chunk = futures[future]
                 try:
                     chunk_records = future.result()
                 except Exception as exc:  # worker process died
+                    elapsed_s = time.monotonic() - submitted[future]
                     chunk_records = [
-                        _worker_failure_record(run, exc) for run in chunk
+                        _worker_failure_record(run, exc, elapsed_s)
+                        for run in chunk
                     ]
                 for run, record in zip(chunk, chunk_records):
                     _commit(run, record)

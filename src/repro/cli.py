@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``       fly one workload at one operating point and print its QoF report
+``profile``   fly one workload under the span tracer and print its phase tree
 ``sweep``     run a workload across TX2 operating points and print heatmaps
 ``campaign``  run a declarative multi-workload study (parallel, resumable)
 ``list``      list available workloads, environments, kernels, and detectors
@@ -12,12 +13,16 @@ Examples
 ::
 
     python -m repro run package_delivery --cores 4 --frequency 2.2
+    python -m repro run package_delivery --trace trace.json
+    python -m repro profile package_delivery --seed 1
+    python -m repro profile mapping --trace trace.json --json profile.json
     python -m repro sweep mapping --seeds 1 2 --jobs 4
     python -m repro campaign --workloads scanning mapping --seeds 1 2 \\
         --jobs 4 --out store.jsonl
     python -m repro campaign --spec study.json --resume --out store.jsonl
     python -m repro campaign --workloads package_delivery \\
         --scenario urban:0.2 urban:0.5 urban:0.8 --grid 4x2.2
+    python -m repro campaign --workloads scanning --jobs 2 --profile
     python -m repro campaign --spec study.json --shard 1/2 --out stores/
     python -m repro campaign merge --spec study.json --out stores/
     python -m repro run package_delivery --scenario urban:0.7
@@ -27,7 +32,9 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -51,6 +58,15 @@ from .campaign import (
 )
 from .compute.kernels import DEFAULT_KERNELS
 from .core.api import available_workloads, run_workload
+from .observability import trace as _trace
+from .observability.export import (
+    aggregate_phases,
+    format_phase_summary,
+    format_phase_tree,
+    merge_phase_summaries,
+    phase_summary,
+    write_chrome_trace,
+)
 from .perception.detection import DETECTORS
 from .scenarios import FAMILIES, ScenarioSpec, available_families, family_knobs
 from .world.generator import ENVIRONMENTS
@@ -109,6 +125,40 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--kernel-stats", action="store_true",
         help="print per-kernel latency statistics",
+    )
+    run_p.add_argument(
+        "--trace", metavar="OUT.json",
+        help="record a span trace of the mission and write it as Chrome "
+             "trace-event JSON (open in Perfetto / chrome://tracing)",
+    )
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="fly one workload under the span tracer; print its phase tree",
+    )
+    profile_p.add_argument("workload", choices=available_workloads())
+    profile_p.add_argument("--cores", type=int, default=4)
+    profile_p.add_argument("--frequency", type=float, default=2.2)
+    profile_p.add_argument("--seed", type=int, default=1)
+    profile_p.add_argument(
+        "--depth-noise", type=float, default=0.0,
+        help="RGB-D depth noise std in meters (Table II knob)",
+    )
+    profile_p.add_argument(
+        "--scenario", metavar="FAMILY:DIFF[:SEED]", type=_scenario_token,
+        help="fly a scenario-family world instead of the canonical one",
+    )
+    profile_p.add_argument(
+        "--trace", metavar="OUT.json",
+        help="also write the span trace as Chrome trace-event JSON",
+    )
+    profile_p.add_argument(
+        "--json", metavar="OUT.json", dest="json_out",
+        help="also write the phase summary + metrics as JSON (CI artifact)",
+    )
+    profile_p.add_argument(
+        "--metrics", action="store_true",
+        help="print the counter/histogram snapshot after the phase tree",
     )
 
     sweep_p = sub.add_parser(
@@ -192,6 +242,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default="mission_time_s",
         help="metric to print per workload heatmap",
     )
+    campaign_p.add_argument(
+        "--profile", action="store_true",
+        help="attach per-run phase/metrics profiles to the records and "
+             "print a campaign-wide phase summary",
+    )
 
     sub.add_parser("list", help="list workloads, environments, kernels")
     return parser
@@ -201,14 +256,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     workload_kwargs = {}
     if args.scenario is not None:
         workload_kwargs["scenario"] = args.scenario
-    result = run_workload(
-        args.workload,
-        cores=args.cores,
-        frequency_ghz=args.frequency,
-        seed=args.seed,
-        depth_noise_std=args.depth_noise,
-        workload_kwargs=workload_kwargs,
-    )
+    if args.trace:
+        with _trace.capture() as tracer:
+            result = run_workload(
+                args.workload,
+                cores=args.cores,
+                frequency_ghz=args.frequency,
+                seed=args.seed,
+                depth_noise_std=args.depth_noise,
+                workload_kwargs=workload_kwargs,
+            )
+        doc = write_chrome_trace(args.trace, tracer)
+        print(
+            f"trace: {args.trace} ({len(doc['traceEvents'])} events, "
+            f"{doc['otherData']['wall_s']:.3f}s wall)"
+        )
+    else:
+        result = run_workload(
+            args.workload,
+            cores=args.cores,
+            frequency_ghz=args.frequency,
+            seed=args.seed,
+            depth_noise_std=args.depth_noise,
+            workload_kwargs=workload_kwargs,
+        )
     report = result.report
     print(report.summary())
     rows = [
@@ -234,6 +305,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 ],
             )
         )
+    return 0 if report.success else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Fly one mission under the tracer and print where host time went."""
+    workload_kwargs = {}
+    if args.scenario is not None:
+        workload_kwargs["scenario"] = args.scenario
+    wall_t0 = time.perf_counter()
+    with _trace.capture() as tracer:
+        result = run_workload(
+            args.workload,
+            cores=args.cores,
+            frequency_ghz=args.frequency,
+            seed=args.seed,
+            depth_noise_std=args.depth_noise,
+            workload_kwargs=workload_kwargs,
+        )
+    wall_s = time.perf_counter() - wall_t0
+    report = result.report
+    print(report.summary())
+    print(
+        f"profiled {args.workload} (seed {args.seed}, {args.cores}c @ "
+        f"{args.frequency:g}GHz): {len(tracer.spans)} spans, "
+        f"{wall_s:.3f}s wall\n"
+    )
+    print(format_phase_tree(aggregate_phases(tracer.spans), wall_s=wall_s))
+    if args.metrics:
+        snapshot = tracer.metrics.snapshot()
+        print("\ncounters:")
+        for name, value in sorted(snapshot["counters"].items()):
+            print(f"  {name}: {value}")
+        print("histograms:")
+        for name, stats in sorted(snapshot["histograms"].items()):
+            print(
+                f"  {name}: count={stats['count']} sum={stats['sum']:g} "
+                f"min={stats['min']:g} max={stats['max']:g}"
+            )
+    if args.trace:
+        doc = write_chrome_trace(args.trace, tracer)
+        print(f"\ntrace: {args.trace} ({len(doc['traceEvents'])} events)")
+    if args.json_out:
+        payload = {
+            "schema": "repro-profile/1",
+            "workload": args.workload,
+            "seed": args.seed,
+            "cores": args.cores,
+            "frequency_ghz": args.frequency,
+            "wall_s": wall_s,
+            "success": report.success,
+            "mission_time_s": report.mission_time_s,
+            "phases": phase_summary(tracer),
+            "metrics": tracer.metrics.snapshot(),
+        }
+        Path(args.json_out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"profile json: {args.json_out}")
     return 0 if report.success else 1
 
 
@@ -429,12 +556,37 @@ def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         print(f"[{done['n']}/{total}] {label}: {outcome}")
 
     campaign = run_campaign(
-        spec, jobs=args.jobs, store=store, progress=_progress, shard=args.shard
+        spec,
+        jobs=args.jobs,
+        store=store,
+        progress=_progress,
+        shard=args.shard,
+        profile=args.profile,
     )
     print()
     print(campaign.summary())
     if store is not None:
         print(f"store: {store.path}")
+
+    if args.profile:
+        profiles = [
+            r["profile"] for r in campaign.records if "profile" in r
+        ]
+        if profiles:
+            merged = merge_phase_summaries([p["phases"] for p in profiles])
+            waits = [
+                p["queue_wait_s"] for p in profiles if "queue_wait_s" in p
+            ]
+            hits = sum(p["scenario_cache"]["hits"] for p in profiles)
+            misses = sum(p["scenario_cache"]["misses"] for p in profiles)
+            print(f"\n--- profile ({len(profiles)} runs) ---")
+            print(format_phase_summary(merged))
+            if waits:
+                print(
+                    f"queue wait: mean {sum(waits) / len(waits):.3f}s, "
+                    f"max {max(waits):.3f}s"
+                )
+            print(f"scenario cache: {hits} hits, {misses} misses")
 
     if args.shard is not None:
         # A shard is a partial matrix: heatmaps would silently average
@@ -502,6 +654,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "campaign":

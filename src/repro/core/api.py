@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Set, Type
 
 from ..compute.kernels import KernelModel
 from ..compute.platform import JETSON_TX2, PlatformConfig, PlatformSpec
+from ..observability import trace as _trace
 from ..sensors.camera import CameraIntrinsics, RgbdCamera
 from ..sensors.noise import DepthNoise
 from .qof import QofReport
@@ -179,16 +180,23 @@ def run_workload(
     """
     workload_kwargs = dict(workload_kwargs or {})
     validate_workload_kwargs(name, workload_kwargs)
-    workload = WORKLOADS[name](seed=seed, **workload_kwargs)
-    sim = make_simulation(
-        workload,
-        cores=cores,
-        frequency_ghz=frequency_ghz,
-        depth_noise_std=depth_noise_std,
-        seed=seed,
-        **sim_kwargs,
-    )
-    report = workload.run()
+    with _trace.span("mission", "mission") as mission_span:
+        mission_span.set(workload=name, seed=seed)
+        with _trace.span("setup", "mission"):
+            workload = WORKLOADS[name](seed=seed, **workload_kwargs)
+            sim = make_simulation(
+                workload,
+                cores=cores,
+                frequency_ghz=frequency_ghz,
+                depth_noise_std=depth_noise_std,
+                seed=seed,
+                **sim_kwargs,
+            )
+        with _trace.span("fly", "mission"):
+            report = workload.run()
+        mission_span.set(
+            success=report.success, mission_time_s=report.mission_time_s
+        )
     return WorkloadResult(
         workload=name,
         platform=sim.platform,

@@ -31,6 +31,7 @@ from ..energy.battery import Battery
 from ..energy.power_model import RotorPowerModel
 from ..middleware.clock import SimClock
 from ..middleware.node import NodeGraph
+from ..observability import trace as _trace
 from ..perception.point_cloud import PointCloud, depth_to_point_cloud
 from ..planning.collision import GroundTruthChecker
 from ..sensors.camera import DepthImage, RgbdCamera
@@ -143,6 +144,10 @@ class Simulation:
         self._failure_reason: Optional[str] = None
         self.collisions = 0
 
+        # Tracing rides the sim clock: spans carry mission time next to
+        # host time.  No-op unless a tracer is installed.
+        _trace.set_sim_clock(lambda: self.clock.now)
+
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
@@ -173,9 +178,10 @@ class Simulation:
     def capture_depth(self) -> DepthImage:
         """Grab an RGB-D depth frame from the vehicle's current pose."""
         s = self.state
-        return self.camera.capture_depth(
-            self.world, s.position, s.yaw, time=self.now
-        )
+        with _trace.span("sense.depth_capture", "sense"):
+            return self.camera.capture_depth(
+                self.world, s.position, s.yaw, time=self.now
+            )
 
     def capture_point_cloud(self, stride: int = 1) -> PointCloud:
         """Depth frame reprojected straight to a world-frame point cloud.
@@ -183,7 +189,8 @@ class Simulation:
         The array-native entry point of the perception chain: the scan
         leaves here as (N, 3) hit/miss batches and flows into the batched
         OctoMap insertion kernels without any per-point Python."""
-        return depth_to_point_cloud(self.capture_depth(), stride=stride)
+        with _trace.span("perceive.point_cloud", "perceive"):
+            return depth_to_point_cloud(self.capture_depth(), stride=stride)
 
     def submit_kernel(
         self,
@@ -203,14 +210,24 @@ class Simulation:
     # Main loop
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Advance the whole closed loop by one tick."""
+        """Advance the whole closed loop by one tick.
+
+        Each sub-phase is traced (control / dynamics / compute / sense /
+        energy) so ``repro profile`` can attribute per-tick host time;
+        the spans reduce to shared no-ops when tracing is disabled.
+        """
         dt = self.config.dt
-        self.flight_controller.update(dt)
-        self.vehicle.step(dt, wind=self.wind)
+        with _trace.span("tick.control", "control"):
+            self.flight_controller.update(dt)
+        with _trace.span("tick.dynamics", "control"):
+            self.vehicle.step(dt, wind=self.wind)
         self.clock.advance(dt)
-        self.scheduler.advance_to(self.clock.now)
-        self._check_collision()
-        self._integrate_energy(dt)
+        with _trace.span("tick.compute", "compute"):
+            self.scheduler.advance_to(self.clock.now)
+        with _trace.span("tick.sense", "sense"):
+            self._check_collision()
+        with _trace.span("tick.energy", "energy"):
+            self._integrate_energy(dt)
 
     def _check_collision(self) -> None:
         s = self.state

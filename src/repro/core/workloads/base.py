@@ -21,6 +21,7 @@ import numpy as np
 
 from ...compute.kernels import octomap_runtime_scale
 from ...compute.scheduler import Job
+from ...observability import trace as _trace
 from ...perception.octomap import OctoMap
 from ...perception.point_cloud import PointCloud, depth_to_point_cloud
 from ...planning.collision import CollisionChecker
@@ -335,6 +336,10 @@ class OccupancyPipeline:
            (simulated) vehicle needs the lag term or it creeps into
            obstacles at the boundary.
         """
+        with _trace.span("tick.safety_filter", "control"):
+            return self._safety_filter(cmd, cruise)
+
+    def _safety_filter(self, cmd: np.ndarray, cruise: float) -> np.ndarray:
         cmd = np.asarray(cmd, dtype=float).copy()
         limit = min(cruise, self.safe_speed_limit(cmd))
         speed = float(np.linalg.norm(cmd))
@@ -363,11 +368,13 @@ def warm_up_map(pipeline: OccupancyPipeline, sweeps: int = 8) -> None:
     """
     sim = pipeline.sim
     state = sim.state
-    for k in range(sweeps):
-        yaw = -np.pi + (2 * np.pi) * (k / max(sweeps, 1))
-        image = sim.camera.capture_depth(
-            sim.world, state.position, yaw, time=sim.now
-        )
-        cloud = depth_to_point_cloud(image, stride=1)
-        carve = 0 if pipeline.endpoint_only else pipeline.max_rays
-        pipeline.octomap.insert_scan(cloud, carve_rays=carve)
+    with _trace.span("perceive.warm_up", "perceive") as sp:
+        sp.set(sweeps=sweeps)
+        for k in range(sweeps):
+            yaw = -np.pi + (2 * np.pi) * (k / max(sweeps, 1))
+            image = sim.camera.capture_depth(
+                sim.world, state.position, yaw, time=sim.now
+            )
+            cloud = depth_to_point_cloud(image, stride=1)
+            carve = 0 if pipeline.endpoint_only else pipeline.max_rays
+            pipeline.octomap.insert_scan(cloud, carve_rays=carve)

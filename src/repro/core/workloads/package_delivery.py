@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ...control.path_tracking import PathTracker
+from ...observability import trace as _trace
 from ...planning.prm import PrmPlanner
 from ...planning.rrt import PlanResult, RrtPlanner, RrtStarPlanner
 from ...planning.smoothing import Trajectory, smooth_trajectory
@@ -291,6 +292,7 @@ class PackageDeliveryWorkload(Workload):
                 return False
             if blocked["flag"]:
                 self.replans += 1
+                _trace.count("mission.replans")
                 continue
             return True
         sim.fail("replans_exhausted")

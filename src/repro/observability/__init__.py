@@ -1,0 +1,70 @@
+"""Mission-loop observability: span tracing, metrics, and exporters.
+
+The measure-first layer behind ``repro profile``, ``repro run --trace``,
+and ``repro campaign --profile``: nested host+sim-time spans over the
+simulator's tick phases, the perception inserts, every planner call, and
+the campaign runner, plus a counters/gauges/histograms registry and
+exporters to Chrome trace-event JSON / CSV / self-total phase trees.
+
+Tracing is **off by default** and the disabled fast path is a single
+global check (overhead gated in ``benchmarks/test_ablation_tracing.py``),
+so the instrumentation lives permanently in the hot paths without taxing
+benches or tests.  See ``docs/observability.md`` for the span taxonomy.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    Span,
+    Tracer,
+    capture,
+    count,
+    enabled,
+    get_tracer,
+    install,
+    observe,
+    set_sim_clock,
+    span,
+    uninstall,
+)
+from .export import (
+    PhaseNode,
+    TRACE_SCHEMA,
+    aggregate_phases,
+    chrome_trace,
+    format_phase_summary,
+    format_phase_tree,
+    merge_phase_summaries,
+    phase_summary,
+    spans_to_csv,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseNode",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "aggregate_phases",
+    "capture",
+    "chrome_trace",
+    "count",
+    "enabled",
+    "format_phase_summary",
+    "format_phase_tree",
+    "get_tracer",
+    "install",
+    "merge_phase_summaries",
+    "observe",
+    "phase_summary",
+    "set_sim_clock",
+    "span",
+    "spans_to_csv",
+    "uninstall",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,374 @@
+"""Trace exporters: Chrome trace-event JSON, flat CSV, and phase trees.
+
+Three consumers, three shapes:
+
+* **Perfetto / chrome://tracing** — :func:`chrome_trace` emits the
+  Trace Event Format (``"X"`` complete events, microsecond timestamps
+  relative to the tracer origin) so a mission trace drops straight into
+  the standard timeline UI.  Simulated time rides along in each event's
+  ``args``.
+* **Flat CSV** — :func:`spans_to_csv` for spreadsheet/pandas digestion.
+* **Phase tree** — :func:`aggregate_phases` folds spans into a
+  self/total-time tree keyed by span path; :func:`format_phase_tree`
+  renders the ``repro profile`` output and :func:`phase_summary`
+  flattens it into the JSON dict campaign records attach.
+
+The Chrome export carries a schema tag (``otherData.schema``) and
+:func:`validate_chrome_trace` pins the invariants CI's traced-mission
+smoke checks, so the format cannot drift silently.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .trace import Span, Tracer
+
+__all__ = [
+    "PhaseNode",
+    "TRACE_SCHEMA",
+    "aggregate_phases",
+    "chrome_trace",
+    "format_phase_summary",
+    "format_phase_tree",
+    "merge_phase_summaries",
+    "phase_summary",
+    "spans_to_csv",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Schema tag stamped into every exported Chrome trace document.
+TRACE_SCHEMA = "repro-trace/1"
+
+#: CSV column order for :func:`spans_to_csv`.
+CSV_FIELDS = [
+    "path",
+    "name",
+    "category",
+    "start_s",
+    "duration_s",
+    "sim_start_s",
+    "sim_duration_s",
+    "attrs",
+]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(
+    tracer: Tracer, process_name: str = "repro-mission"
+) -> Dict[str, Any]:
+    """The tracer's spans as a Trace Event Format document.
+
+    Events are ``ph="X"`` (complete) with microsecond ``ts``/``dur``
+    relative to the tracer's origin; simulated time (when the span
+    carried it) lands in ``args.sim_t0_s``/``args.sim_dur_s`` so the
+    Perfetto UI shows both clocks.
+    """
+    pid = os.getpid()
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for sp in tracer.spans:
+        args: Dict[str, Any] = {"depth": len(sp.path)}
+        if sp.sim_t0 is not None and sp.sim_t1 is not None:
+            args["sim_t0_s"] = sp.sim_t0
+            args["sim_dur_s"] = sp.sim_t1 - sp.sim_t0
+        if sp.attrs:
+            args.update(sp.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": 0,
+                "name": sp.name,
+                "cat": sp.category,
+                "ts": (sp.t0 - tracer.origin) * 1e6,
+                "dur": (sp.t1 - sp.t0) * 1e6,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "spans": len(tracer.spans),
+            "wall_s": tracer.wall_s(),
+            "metrics": tracer.metrics.snapshot(),
+        },
+    }
+
+
+def write_chrome_trace(
+    destination: Union[str, "os.PathLike[str]"],
+    tracer: Tracer,
+    process_name: str = "repro-mission",
+) -> Dict[str, Any]:
+    """Serialize :func:`chrome_trace` to ``destination``; returns the doc."""
+    doc = chrome_trace(tracer, process_name=process_name)
+    with open(destination, "w") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Structural problems with a Chrome trace document (empty = valid).
+
+    Pins the invariants the exporters promise: the schema tag, the
+    event-list shape, and for every ``"X"`` event a name plus
+    non-negative numeric ``ts``/``dur``.  CI's traced-mission smoke and
+    the schema tests both run through here, so producer and checker
+    cannot drift apart.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"trace document must be a dict, got {type(doc).__name__}"]
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != TRACE_SCHEMA:
+        problems.append(
+            f"otherData.schema must be '{TRACE_SCHEMA}' "
+            f"(got {other.get('schema') if isinstance(other, dict) else other!r})"
+        )
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return problems + ["traceEvents must be a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event[{i}]: not a dict")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"event[{i}]: unknown ph {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"event[{i}]: missing name")
+        if "pid" not in event or "tid" not in event:
+            problems.append(f"event[{i}]: missing pid/tid")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < -1e-6:
+                    problems.append(
+                        f"event[{i}] ({event.get('name')}): bad {key}={value!r}"
+                    )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Flat CSV
+# ----------------------------------------------------------------------
+def spans_to_csv(tracer: Tracer) -> str:
+    """All finished spans as CSV text (one row per span, origin-relative
+    start times, attrs JSON-encoded in the last column)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=CSV_FIELDS)
+    writer.writeheader()
+    for sp in tracer.spans:
+        writer.writerow(
+            {
+                "path": "/".join(sp.path),
+                "name": sp.name,
+                "category": sp.category,
+                "start_s": f"{sp.t0 - tracer.origin:.9f}",
+                "duration_s": f"{sp.duration_s:.9f}",
+                "sim_start_s": "" if sp.sim_t0 is None else f"{sp.sim_t0:.6f}",
+                "sim_duration_s": (
+                    "" if sp.sim_duration_s is None
+                    else f"{sp.sim_duration_s:.6f}"
+                ),
+                "attrs": json.dumps(sp.attrs) if sp.attrs else "",
+            }
+        )
+    return buf.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Phase aggregation (self/total tree)
+# ----------------------------------------------------------------------
+@dataclass
+class PhaseNode:
+    """Aggregated statistics for one span path in the phase tree."""
+
+    name: str
+    path: Tuple[str, ...]
+    count: int = 0
+    total_s: float = 0.0
+    sim_total_s: float = 0.0
+    children: Dict[str, "PhaseNode"] = field(default_factory=dict)
+
+    @property
+    def child_total_s(self) -> float:
+        return sum(c.total_s for c in self.children.values())
+
+    @property
+    def self_s(self) -> float:
+        """Time spent in this phase but not in any child phase."""
+        return max(self.total_s - self.child_total_s, 0.0)
+
+    def walk(self) -> List["PhaseNode"]:
+        """This node and every descendant, depth-first in name order."""
+        out = [self]
+        for name in sorted(self.children):
+            out.extend(self.children[name].walk())
+        return out
+
+
+def aggregate_phases(spans: Sequence[Span]) -> PhaseNode:
+    """Fold spans into a self/total phase tree keyed by span path.
+
+    Returns a synthetic root whose children are the top-level phases;
+    the root's ``total_s`` is the sum of its children (so
+    ``root.self_s == 0`` and the tree's self-times sum to exactly the
+    traced wall time).
+    """
+    root = PhaseNode(name="", path=())
+    for sp in spans:
+        node = root
+        for name in sp.path:
+            child = node.children.get(name)
+            if child is None:
+                child = PhaseNode(name=name, path=node.path + (name,))
+                node.children[name] = child
+            node = child
+        node.count += 1
+        node.total_s += sp.duration_s
+        sim = sp.sim_duration_s
+        if sim is not None:
+            node.sim_total_s += sim
+    root.total_s = root.child_total_s
+    return root
+
+
+def phase_summary(tracer: Tracer) -> Dict[str, Dict[str, float]]:
+    """Flat JSON-shaped phase aggregation: ``"a/b" -> stats``.
+
+    The per-run profile dict campaign records attach (and flight logs
+    export): slash-joined span path to count/total/self/sim totals,
+    deterministically ordered.
+    """
+    root = aggregate_phases(tracer.spans)
+    out: Dict[str, Dict[str, float]] = {}
+    for node in root.walk()[1:]:  # skip the synthetic root
+        out["/".join(node.path)] = {
+            "count": node.count,
+            "total_s": node.total_s,
+            "self_s": node.self_s,
+            "sim_total_s": node.sim_total_s,
+        }
+    return out
+
+
+def merge_phase_summaries(
+    summaries: Sequence[Dict[str, Dict[str, float]]],
+) -> Dict[str, Dict[str, float]]:
+    """Sum flat :func:`phase_summary` dicts across runs, key by key.
+
+    ``repro campaign --profile`` folds every profiled record's phases
+    through here to print one campaign-wide table.
+    """
+    merged: Dict[str, Dict[str, float]] = {}
+    for summary in summaries:
+        for path, row in summary.items():
+            agg = merged.setdefault(
+                path,
+                {"count": 0, "total_s": 0.0, "self_s": 0.0, "sim_total_s": 0.0},
+            )
+            for key in agg:
+                agg[key] += row.get(key, 0)
+    return {path: merged[path] for path in sorted(merged)}
+
+
+def format_phase_summary(summary: Dict[str, Dict[str, float]]) -> str:
+    """Render a flat phase summary as an aligned table (by total time)."""
+    header = ("phase", "count", "total (s)", "self (s)")
+    rows = [
+        (
+            path,
+            str(int(row["count"])),
+            f"{row['total_s']:.3f}",
+            f"{row['self_s']:.3f}",
+        )
+        for path, row in sorted(
+            summary.items(), key=lambda item: -item[1]["total_s"]
+        )
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(4)
+    ]
+
+    def _fmt(row: Tuple[str, ...]) -> str:
+        cells = [row[0].ljust(widths[0])]
+        cells += [row[i].rjust(widths[i]) for i in range(1, 4)]
+        return "  ".join(cells)
+
+    lines = [_fmt(header), _fmt(tuple("-" * w for w in widths))]
+    lines += [_fmt(r) for r in rows]
+    return "\n".join(lines)
+
+
+def format_phase_tree(
+    root: PhaseNode, wall_s: Optional[float] = None
+) -> str:
+    """Render the phase tree as the ``repro profile`` table.
+
+    Columns: indented phase name, call count, total time, self time,
+    and self time as a share of ``wall_s`` (defaulting to the tree's
+    own total).  A trailing line reports coverage — how much of the
+    measured wall time the tree's self-times explain.
+    """
+    wall = wall_s if wall_s and wall_s > 0 else max(root.total_s, 1e-12)
+    rows: List[Tuple[str, str, str, str, str]] = []
+
+    def _visit(node: PhaseNode, depth: int) -> None:
+        label = "  " * depth + node.name
+        rows.append(
+            (
+                label,
+                str(node.count),
+                f"{node.total_s:.3f}",
+                f"{node.self_s:.3f}",
+                f"{100.0 * node.self_s / wall:.1f}%",
+            )
+        )
+        for name in sorted(
+            node.children, key=lambda n: -node.children[n].total_s
+        ):
+            _visit(node.children[name], depth + 1)
+
+    for name in sorted(root.children, key=lambda n: -root.children[n].total_s):
+        _visit(root.children[name], 0)
+
+    header = ("phase", "count", "total (s)", "self (s)", "% wall")
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(5)
+    ]
+
+    def _fmt(row: Tuple[str, ...]) -> str:
+        cells = [row[0].ljust(widths[0])]
+        cells += [row[i].rjust(widths[i]) for i in range(1, 5)]
+        return "  ".join(cells)
+
+    lines = [_fmt(header), _fmt(tuple("-" * w for w in widths))]
+    lines += [_fmt(r) for r in rows]
+    self_total = sum(n.self_s for n in root.walk())
+    lines.append(
+        f"traced {self_total:.3f}s of {wall:.3f}s wall "
+        f"({100.0 * self_total / wall:.1f}% coverage)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Counters, gauges, and histograms for mission-loop observability.
+
+The registry complements spans: spans say *where time went*, metrics say
+*how often and how big* — replans per mission, collision-query batch
+sizes, scenario-cache hits, campaign queue waits.  Everything reduces to
+a deterministic JSON-shaped snapshot so campaign records and the
+``repro profile`` CLI can persist them.
+
+Histograms keep count/sum/min/max plus power-of-two buckets (a value
+``v`` lands in bucket ``ceil(log2(v))``), which is enough to answer
+"what batch sizes does the collision checker actually see?" without
+storing every observation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming distribution summary with power-of-two buckets."""
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: bucket exponent -> observation count; bucket ``e`` holds
+        #: values in (2**(e-1), 2**e] (and e=0 holds (0, 1]; values
+        #: <= 0 land in a dedicated "le0" bucket).
+        self.buckets: Dict[str, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            key = "le0"
+        else:
+            key = str(max(math.ceil(math.log2(value)), 0))
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {k: self.buckets[k] for k in sorted(self.buckets)},
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed counters/gauges/histograms with a JSON snapshot.
+
+    Metric kinds live in separate namespaces; asking for a ``counter``
+    under a name previously used as a ``histogram`` raises, so a typo'd
+    call site cannot silently split a metric across kinds.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: Dict) -> None:
+        for other in (self._counters, self._gauges, self._histograms):
+            if other is not kind and name in other:
+                raise ValueError(
+                    f"metric '{name}' already registered with another kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_unique(name, self._counters)
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_unique(name, self._gauges)
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_unique(name, self._histograms)
+            h = self._histograms[name] = Histogram()
+        return h
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic JSON-shaped dump of every registered metric."""
+        return {
+            "counters": {
+                k: self._counters[k].value for k in sorted(self._counters)
+            },
+            "gauges": {
+                k: self._gauges[k].value for k in sorted(self._gauges)
+            },
+            "histograms": {
+                k: self._histograms[k].snapshot()
+                for k in sorted(self._histograms)
+            },
+        }

@@ -1,0 +1,306 @@
+"""Span tracing for the mission loop: where *host* time goes.
+
+MAVBench's kernel profile (Table 1, Fig. 15) answers "where does the
+closed loop spend its time?" for the modeled companion computer.  This
+module answers the same question for *our* reproduction's host process:
+nested spans wrap the simulator's tick phases, the perception inserts,
+every planner invocation, and the campaign runner, carrying both host
+wall time (``perf_counter``) and simulated mission time, so one trace
+explains both clocks.
+
+Design constraints, in order:
+
+1. **Zero behavioral impact.**  Tracing touches only ``perf_counter``
+   and the tracer's own buffers — never the simulation RNG, the sim
+   clock, or any mission state.  Golden traces are bit-identical with
+   tracing on (pinned by ``tests/test_observability.py``).
+2. **A disabled fast path.**  Instrumentation sites call
+   :func:`span`/:func:`count`/:func:`observe`, which reduce to a single
+   global ``is None`` check plus a shared no-op context manager when no
+   tracer is installed.  The per-call overhead is gated in CI
+   (``benchmarks/test_ablation_tracing.py``), so always-on
+   instrumentation of per-tick phases stays free for every existing
+   bench and test.
+3. **One process, one tracer.**  The tracer is installed per process
+   (missions are single-threaded); campaign pool workers install a
+   fresh tracer around each profiled run via :func:`capture`.
+
+Usage::
+
+    from repro.observability import trace
+
+    with trace.capture() as tracer:
+        run_workload("package_delivery")
+    print(format_phase_tree(aggregate_phases(tracer.spans)))
+
+Instrumentation sites use the module-level helpers::
+
+    with trace.span("plan.rrt", "planning") as sp:
+        result = self._plan(start, goal)
+        sp.set(iterations=result.iterations)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "capture",
+    "count",
+    "enabled",
+    "get_tracer",
+    "install",
+    "observe",
+    "set_sim_clock",
+    "span",
+    "uninstall",
+]
+
+
+class Span:
+    """One completed (or open) traced region.
+
+    Attributes
+    ----------
+    name / category:
+        Span identity ("plan.rrt_star") and Perfetto track category
+        ("planning").
+    path:
+        Tuple of ancestor names root→self; the phase-aggregation key.
+    t0 / t1:
+        Host ``perf_counter`` timestamps (absolute; exporters subtract
+        the tracer origin).
+    sim_t0 / sim_t1:
+        Simulated mission time at entry/exit when a sim clock is
+        registered, else ``None``.
+    attrs:
+        Free-form JSON-shaped annotations (iteration counts, batch
+        sizes, ...).
+    """
+
+    __slots__ = (
+        "name", "category", "path", "t0", "t1", "sim_t0", "sim_t1", "attrs"
+    )
+
+    def __init__(self, name: str, category: str, path: Tuple[str, ...]) -> None:
+        self.name = name
+        self.category = category
+        self.path = path
+        self.t0 = 0.0
+        self.t1 = 0.0
+        self.sim_t0: Optional[float] = None
+        self.sim_t1: Optional[float] = None
+        self.attrs: Optional[Dict[str, Any]] = None
+
+    @property
+    def duration_s(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def sim_duration_s(self) -> Optional[float]:
+        if self.sim_t0 is None or self.sim_t1 is None:
+            return None
+        return self.sim_t1 - self.sim_t0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach annotations to the span (exported as Perfetto args)."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({'/'.join(self.path)}, {self.duration_s * 1e3:.3f} ms)"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing span handle for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter, closes it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer.start(self._name, self._category)
+        return self._span
+
+    def __exit__(self, *exc: Any) -> None:
+        self._tracer.finish(self._span)
+
+
+class Tracer:
+    """Collects spans and metrics for one process-local trace.
+
+    Parameters
+    ----------
+    sim_clock:
+        Optional zero-argument callable returning the current simulated
+        time; each :class:`Simulation` registers its clock on
+        construction (see :func:`set_sim_clock`), so spans carry mission
+        time alongside host time.
+    """
+
+    def __init__(self, sim_clock: Optional[Callable[[], float]] = None) -> None:
+        self.spans: List[Span] = []
+        self.metrics = MetricsRegistry()
+        self.sim_clock = sim_clock
+        self.origin = time.perf_counter()
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def start(self, name: str, category: str = "mission") -> Span:
+        """Open a span nested under the innermost open span."""
+        stack = self._stack
+        parent_path = stack[-1].path if stack else ()
+        sp = Span(name, category, parent_path + (name,))
+        if self.sim_clock is not None:
+            sp.sim_t0 = self.sim_clock()
+        sp.t0 = time.perf_counter()
+        stack.append(sp)
+        return sp
+
+    def finish(self, sp: Optional[Span]) -> None:
+        """Close ``sp`` (and, defensively, anything opened under it)."""
+        if sp is None:
+            return
+        sp.t1 = time.perf_counter()
+        if self.sim_clock is not None:
+            sp.sim_t1 = self.sim_clock()
+        stack = self._stack
+        # Normal case: sp is the innermost open span.  An instrumentation
+        # bug (finish out of order) drops the orphans rather than
+        # corrupting nesting for the rest of the trace.
+        while stack:
+            top = stack.pop()
+            if top is sp:
+                break
+        self.spans.append(sp)
+
+    def span(self, name: str, category: str = "mission") -> _SpanContext:
+        """Context manager opening/closing one span."""
+        return _SpanContext(self, name, category)
+
+    @property
+    def open_depth(self) -> int:
+        """How many spans are currently open (0 = balanced trace)."""
+        return len(self._stack)
+
+    def wall_s(self) -> float:
+        """Host seconds since the tracer was created."""
+        return time.perf_counter() - self.origin
+
+
+# ----------------------------------------------------------------------
+# Module-level installation + the disabled fast path
+# ----------------------------------------------------------------------
+_TRACER: Optional[Tracer] = None
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+    return _TRACER
+
+
+def enabled() -> bool:
+    return _TRACER is not None
+
+
+def install(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the process-wide tracer."""
+    global _TRACER
+    _TRACER = tracer if tracer is not None else Tracer()
+    return _TRACER
+
+
+def uninstall() -> Optional[Tracer]:
+    """Disable tracing; returns the tracer that was installed."""
+    global _TRACER
+    tracer, _TRACER = _TRACER, None
+    return tracer
+
+
+@contextmanager
+def capture(
+    sim_clock: Optional[Callable[[], float]] = None
+) -> Iterator[Tracer]:
+    """Install a fresh tracer for the duration of the block.
+
+    The previously installed tracer (usually none) is restored on exit,
+    so captures can nest and test isolation is automatic.
+    """
+    global _TRACER
+    previous = _TRACER
+    tracer = Tracer(sim_clock)
+    _TRACER = tracer
+    try:
+        yield tracer
+    finally:
+        _TRACER = previous
+
+
+def span(name: str, category: str = "mission"):
+    """Open a span on the installed tracer — or a shared no-op handle.
+
+    This is THE instrumentation entry point; when tracing is disabled it
+    costs one global load, one ``is None`` test, and a no-op context
+    manager protocol — cheap enough for per-tick call sites (gated in
+    ``benchmarks/test_ablation_tracing.py``).
+    """
+    t = _TRACER
+    if t is None:
+        return _NOOP
+    return _SpanContext(t, name, category)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a counter on the installed tracer's metrics registry."""
+    t = _TRACER
+    if t is not None:
+        t.metrics.counter(name).inc(n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the installed tracer."""
+    t = _TRACER
+    if t is not None:
+        t.metrics.histogram(name).observe(value)
+
+
+def set_sim_clock(clock: Callable[[], float]) -> None:
+    """Register the simulated-time source with the installed tracer.
+
+    Called by :class:`~repro.core.simulator.Simulation` on construction;
+    a no-op when tracing is disabled (the overwhelmingly common case).
+    """
+    t = _TRACER
+    if t is not None:
+        t.sim_clock = clock

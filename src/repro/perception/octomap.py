@@ -29,6 +29,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..observability import trace as _trace
 from ..world.geometry import AABB, EPS
 from .point_cloud import PointCloud
 
@@ -508,6 +509,13 @@ class OctoMap:
         result is identical to :meth:`insert_scan_scalar` (the per-point
         reference implementation) on any input.
         """
+        with _trace.span("perceive.octomap_insert", "perceive") as _sp:
+            result = self._insert_scan_traced(cloud, carve_rays)
+            _sp.set(points=result)
+            _trace.observe("octomap.scan_points", result)
+            return result
+
+    def _insert_scan_traced(self, cloud: PointCloud, carve_rays: int) -> int:
         hits = np.asarray(cloud.hits, dtype=float).reshape(-1, 3)
         count = hits.shape[0]
         hit_packed = np.zeros(0, dtype=np.int64)

@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..observability import trace as _trace
 from ..perception.octomap import OctoMap
 from ..world.environment import World
 from ..world.geometry import AABB
@@ -73,6 +74,7 @@ class CollisionChecker:
         kernel the segment and path checks are built on.
         """
         pts = np.asarray(points, dtype=float).reshape(-1, 3)
+        _trace.observe("collision.batch_points", pts.shape[0])
         r = self.drone_radius
         los = pts - r
         his = pts + r
@@ -170,6 +172,7 @@ class CollisionChecker:
             starts_arr = np.broadcast_to(starts_arr, ends_arr.shape)
         if ends_arr.shape[0] == 0:
             return np.zeros(0, dtype=bool)
+        _trace.observe("collision.batch_segments", ends_arr.shape[0])
         samples, seg = self._batch_segment_samples(starts_arr, ends_arr, step)
         free = self.points_free(samples)
         blocked_per_seg = np.bincount(

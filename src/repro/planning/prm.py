@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..observability import trace as _trace
 from ..world.geometry import AABB, norm
 from .astar import astar, astar_arrays
 from .collision import CollisionChecker, _dist, _row_dists
@@ -199,14 +200,17 @@ class PrmPlanner:
 
         Returns the number of undirected edges dropped.
         """
-        pairs = self._unique_edges()
-        if not pairs:
-            return 0
-        arr = np.stack(self._vertices)
-        free = self.checker.segments_free(
-            arr[[i for i, _, _ in pairs]], arr[[j for _, j, _ in pairs]]
-        )
-        return self._apply_edge_verdicts(pairs, free.tolist())
+        with _trace.span("plan.prm_revalidate", "planning") as sp:
+            pairs = self._unique_edges()
+            if not pairs:
+                return 0
+            arr = np.stack(self._vertices)
+            free = self.checker.segments_free(
+                arr[[i for i, _, _ in pairs]], arr[[j for _, j, _ in pairs]]
+            )
+            dropped = self._apply_edge_verdicts(pairs, free.tolist())
+            sp.set(edges=len(pairs), dropped=dropped)
+            return dropped
 
     def revalidate_scalar(self) -> int:
         """Reference scalar implementation of :meth:`revalidate` (one
@@ -302,8 +306,16 @@ class PrmPlanner:
     # ------------------------------------------------------------------
     def plan(self, start: np.ndarray, goal: np.ndarray) -> PlanResult:
         """Connect start/goal to the roadmap and search with array A*."""
+        with _trace.span("plan.prm", "planning") as sp:
+            result = self._plan_traced(start, goal)
+            sp.set(success=result.success, vertices=self.num_vertices)
+            _trace.count("planner.prm.plans")
+            return result
+
+    def _plan_traced(self, start: np.ndarray, goal: np.ndarray) -> PlanResult:
         if not self._built:
-            self.build()
+            with _trace.span("plan.prm_build", "planning"):
+                self.build()
         start = np.asarray(start, dtype=float)
         goal = np.asarray(goal, dtype=float)
         # Direct connection shortcut.

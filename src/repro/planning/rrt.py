@@ -23,6 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..observability import trace as _trace
 from ..world.geometry import AABB, norm
 from .collision import (
     CollisionChecker,
@@ -233,7 +234,14 @@ class RrtPlanner:
         over the tree buffers.  Returns a :class:`PlanResult` (empty
         waypoints, infinite cost on failure).
         """
-        return self._plan(start, goal, scalar=False)
+        with _trace.span(f"plan.{self.name}", "planning") as sp:
+            result = self._plan(start, goal, scalar=False)
+            sp.set(iterations=result.iterations, success=result.success)
+            _trace.count(f"planner.{self.name}.plans")
+            _trace.observe(
+                f"planner.{self.name}.iterations", result.iterations
+            )
+            return result
 
     def plan_scalar(self, start: np.ndarray, goal: np.ndarray) -> PlanResult:
         """Reference implementation over the scalar map queries and the

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..observability import trace as _trace
 from ..world.geometry import norm, path_length, unit
 from .collision import CollisionChecker
 
@@ -362,6 +363,10 @@ def smooth_trajectory(
     seed: int = 0,
 ) -> Trajectory:
     """The full smoothing kernel: shortcut, round corners, time-parameterize."""
-    pts = shortcut_path(waypoints, checker, attempts=shortcut_attempts, seed=seed)
-    pts = round_corners(pts, blend_radius=blend_radius)
-    return time_parameterize(pts, max_speed, max_acceleration, start_time)
+    with _trace.span("plan.smooth", "planning") as sp:
+        pts = shortcut_path(
+            waypoints, checker, attempts=shortcut_attempts, seed=seed
+        )
+        pts = round_corners(pts, blend_radius=blend_radius)
+        sp.set(waypoints_in=len(waypoints), waypoints_out=len(pts))
+        return time_parameterize(pts, max_speed, max_acceleration, start_time)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Union
 
+from ..observability import trace as _trace
 from ..world.environment import World
 from ..world.serialization import world_from_dict, world_to_dict
 from .families import FAMILIES
@@ -50,10 +51,15 @@ def instantiate_scenario(
     key = spec.scenario_key
     if cache and key in _WORLD_CACHE:
         _STATS["hits"] += 1
-        return world_from_dict(_WORLD_CACHE[key])
-    world = FAMILIES[spec.family].build(spec)
+        _trace.count("scenario_cache.hits")
+        with _trace.span("setup.scenario_rebuild", "campaign"):
+            return world_from_dict(_WORLD_CACHE[key])
+    with _trace.span("setup.scenario_build", "campaign") as _sp:
+        _sp.set(scenario=spec.label())
+        world = FAMILIES[spec.family].build(spec)
     if cache:
         _STATS["misses"] += 1
+        _trace.count("scenario_cache.misses")
         # Snapshot *before* handing the world out: later caller mutations
         # must not reach the cache.
         _WORLD_CACHE[key] = world_to_dict(world)

@@ -1,0 +1,162 @@
+"""Tests for ``tools/bench_report.py`` — the BENCH_*.json gate.
+
+Loaded the same way ``tests/test_docs.py`` loads ``check_docs``: by
+file path, so the tool stays a standalone script (no package install).
+The committed baselines (``BENCH_planners.json`` etc.) are validated
+here too, so an emitter change that drifts the schema fails in the fast
+lane, not in a nightly artifact diff.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_report", REPO / "tools" / "bench_report.py"
+)
+bench_report = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_report", bench_report)
+_spec.loader.exec_module(bench_report)
+
+
+def _valid_doc(family="planners", median=0.5):
+    return {
+        "schema": f"bench-{family}/1",
+        "benchmarks": {
+            "benchmarks/test_x.py::test_a": {
+                "median_s": median,
+                "mean_s": median * 1.1,
+                "min_s": median * 0.9,
+                "rounds": 3,
+            }
+        },
+    }
+
+
+class TestValidate:
+    def test_valid_doc_passes(self):
+        assert bench_report.validate_bench(_valid_doc()) == []
+
+    def test_missing_schema_fails(self):
+        doc = _valid_doc()
+        del doc["schema"]
+        assert any("schema" in p for p in bench_report.validate_bench(doc))
+
+    def test_wrong_schema_family_format_fails(self):
+        doc = _valid_doc()
+        doc["schema"] = "bench-planners/2"
+        assert bench_report.validate_bench(doc) != []
+
+    def test_unknown_top_level_key_fails(self):
+        doc = _valid_doc()
+        doc["sneaky"] = True
+        assert any("sneaky" in p for p in bench_report.validate_bench(doc))
+
+    def test_missing_stat_key_fails(self):
+        doc = _valid_doc()
+        del doc["benchmarks"]["benchmarks/test_x.py::test_a"]["median_s"]
+        assert any("median_s" in p for p in bench_report.validate_bench(doc))
+
+    def test_extra_stat_key_fails(self):
+        doc = _valid_doc()
+        doc["benchmarks"]["benchmarks/test_x.py::test_a"]["stddev_s"] = 0.1
+        assert any("stddev_s" in p for p in bench_report.validate_bench(doc))
+
+    def test_non_numeric_stat_fails(self):
+        doc = _valid_doc()
+        doc["benchmarks"]["benchmarks/test_x.py::test_a"]["median_s"] = "fast"
+        assert bench_report.validate_bench(doc) != []
+
+    def test_negative_stat_fails(self):
+        doc = _valid_doc()
+        doc["benchmarks"]["benchmarks/test_x.py::test_a"]["median_s"] = -1.0
+        assert any("negative" in p for p in bench_report.validate_bench(doc))
+
+    def test_empty_benchmarks_fails(self):
+        assert bench_report.validate_bench(
+            {"schema": "bench-x/1", "benchmarks": {}}
+        ) != []
+
+
+class TestCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_summarize_valid(self, tmp_path, capsys):
+        path = self._write(tmp_path, "BENCH_planners.json", _valid_doc())
+        assert bench_report.main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench-planners/1" in out
+        assert "test_a" in out
+
+    def test_summarize_drift_exits_2(self, tmp_path, capsys):
+        doc = _valid_doc()
+        doc["schema"] = "not-a-bench"
+        path = self._write(tmp_path, "bad.json", doc)
+        assert bench_report.main(["summarize", str(path)]) == 2
+        assert "SCHEMA DRIFT" in capsys.readouterr().err
+
+    def test_summarize_missing_file_exits_2(self, tmp_path):
+        assert bench_report.main(
+            ["summarize", str(tmp_path / "nope.json")]
+        ) == 2
+
+    def test_compare_reports_ratio(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _valid_doc(median=0.5))
+        new = self._write(tmp_path, "new.json", _valid_doc(median=1.0))
+        assert bench_report.main(["compare", str(old), str(new)]) == 0
+        assert "2.00x" in capsys.readouterr().out
+
+    def test_compare_regression_fails_with_budget(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _valid_doc(median=0.5))
+        new = self._write(tmp_path, "new.json", _valid_doc(median=1.0))
+        assert bench_report.main(
+            ["compare", str(old), str(new), "--max-ratio", "1.5"]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_compare_within_budget_passes(self, tmp_path):
+        old = self._write(tmp_path, "old.json", _valid_doc(median=0.5))
+        new = self._write(tmp_path, "new.json", _valid_doc(median=0.6))
+        assert bench_report.main(
+            ["compare", str(old), str(new), "--max-ratio", "1.5"]
+        ) == 0
+
+    def test_compare_cross_family_is_drift(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _valid_doc(family="planners"))
+        new = self._write(
+            tmp_path, "new.json", _valid_doc(family="scenarios")
+        )
+        assert bench_report.main(["compare", str(old), str(new)]) == 2
+        assert "families" in capsys.readouterr().err
+
+    def test_compare_names_added_and_removed(self, tmp_path, capsys):
+        old_doc = _valid_doc()
+        new_doc = _valid_doc()
+        new_doc["benchmarks"]["benchmarks/test_x.py::test_b"] = dict(
+            new_doc["benchmarks"]["benchmarks/test_x.py::test_a"]
+        )
+        old = self._write(tmp_path, "old.json", old_doc)
+        new = self._write(tmp_path, "new.json", new_doc)
+        assert bench_report.main(["compare", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "added:" in out
+        assert "test_b" in out
+
+
+#: Every committed baseline must satisfy the schema this tool pins.
+@pytest.mark.parametrize(
+    "name", sorted(p.name for p in REPO.glob("BENCH_*.json"))
+)
+def test_committed_baselines_validate(name):
+    doc, problems = bench_report.load_bench(REPO / name)
+    assert problems == []
+    family = name.replace("BENCH_", "").replace(".json", "").lower()
+    assert doc["schema"] == f"bench-{family}/1"

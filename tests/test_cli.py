@@ -46,6 +46,65 @@ TINY_SWEEP = ["sweep", "scanning"] + TINY
 TINY_CAMPAIGN = ["campaign", "--workloads", "scanning"] + TINY
 
 
+class TestCliObservability:
+    def test_run_trace_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.observability import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        code = main(
+            ["run", "scanning", "--seed", "1", "--trace", str(out_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"trace: {out_path}" in out
+        doc = json.loads(out_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert len(doc["traceEvents"]) > 10
+
+    def test_run_without_trace_leaves_no_file(self, capsys, tmp_path):
+        assert main(["run", "scanning", "--seed", "1"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_profile_prints_phase_tree(self, capsys):
+        code = main(["profile", "scanning", "--seed", "1", "--metrics"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "phase" in out and "self (s)" in out
+        assert "mission" in out
+        assert "coverage" in out
+        assert "counters:" in out
+
+    def test_profile_json_artifact(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "profile.json"
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["profile", "scanning", "--seed", "1",
+             "--json", str(json_path), "--trace", str(trace_path)]
+        )
+        assert code == 0
+        doc = json.loads(json_path.read_text())
+        assert doc["schema"] == "repro-profile/1"
+        assert doc["workload"] == "scanning"
+        assert "mission" in doc["phases"]
+        # Acceptance bar: self-times explain >= 90% of measured wall.
+        self_sum = sum(p["self_s"] for p in doc["phases"].values())
+        assert self_sum >= 0.9 * doc["phases"]["mission"]["total_s"]
+        assert trace_path.exists()
+
+    def test_campaign_profile_prints_summary(self, capsys):
+        code = main(TINY_CAMPAIGN + ["--profile", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "--- profile (2 runs) ---" in out
+        assert "mission" in out
+        assert "queue wait" in out
+        assert "scenario cache" in out
+
+
 class TestCliSweep:
     def test_metric_selects_printed_heatmap(self, capsys):
         """Regression: --metric used to only affect the corner-ratio line

@@ -1,0 +1,357 @@
+"""Tests for the observability layer: tracer, metrics, exporters, and
+the invariants instrumentation must never break.
+
+The two load-bearing guarantees:
+
+1. **Zero behavioral impact** — the golden canonical missions produce
+   bit-identical digests with tracing enabled (tracing reads only
+   ``perf_counter``, never the sim RNG or clock).
+2. **Honest exports** — the Chrome trace document always passes its own
+   validator, and the phase tree's self-times sum to the traced total
+   (the ``repro profile`` coverage guarantee).
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import PROFILE_SCHEMA, RunSpec, execute_run
+from repro.campaign.runner import _worker_failure_record
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    aggregate_phases,
+    chrome_trace,
+    format_phase_summary,
+    format_phase_tree,
+    merge_phase_summaries,
+    phase_summary,
+    spans_to_csv,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.observability import trace
+from repro.observability.export import CSV_FIELDS
+
+from test_goldens import fly_golden_mission
+
+
+# ----------------------------------------------------------------------
+# Tracer core
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_by_default(self):
+        assert trace.get_tracer() is None
+        assert not trace.enabled()
+        # The disabled fast path hands out the shared no-op singleton.
+        assert trace.span("anything") is trace.span("else")
+
+    def test_noop_helpers_do_nothing_when_disabled(self):
+        with trace.span("x") as sp:
+            sp.set(a=1)  # must not raise
+        trace.count("c")
+        trace.observe("h", 2.0)
+        trace.set_sim_clock(lambda: 0.0)
+        assert trace.get_tracer() is None
+
+    def test_capture_installs_and_restores(self):
+        assert not trace.enabled()
+        with trace.capture() as tracer:
+            assert trace.enabled()
+            assert trace.get_tracer() is tracer
+        assert not trace.enabled()
+
+    def test_capture_nests(self):
+        with trace.capture() as outer:
+            with trace.capture() as inner:
+                assert trace.get_tracer() is inner
+            assert trace.get_tracer() is outer
+
+    def test_span_nesting_builds_paths(self):
+        with trace.capture() as tracer:
+            with trace.span("a"):
+                with trace.span("b", "cat"):
+                    pass
+                with trace.span("c"):
+                    pass
+        paths = sorted("/".join(sp.path) for sp in tracer.spans)
+        assert paths == ["a", "a/b", "a/c"]
+        assert tracer.open_depth == 0
+
+    def test_span_durations_and_attrs(self):
+        with trace.capture() as tracer:
+            with trace.span("work", "planning") as sp:
+                sp.set(iterations=42)
+        (span,) = tracer.spans
+        assert span.category == "planning"
+        assert span.duration_s >= 0.0
+        assert span.attrs == {"iterations": 42}
+
+    def test_sim_clock_stamps_sim_time(self):
+        now = {"t": 1.0}
+        with trace.capture(sim_clock=lambda: now["t"]) as tracer:
+            with trace.span("tick"):
+                now["t"] = 3.5
+        (span,) = tracer.spans
+        assert span.sim_t0 == 1.0
+        assert span.sim_t1 == 3.5
+        assert span.sim_duration_s == pytest.approx(2.5)
+
+    def test_out_of_order_finish_drops_orphans(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        tracer.start("inner")  # never finished explicitly
+        tracer.finish(outer)  # closes outer, drops the orphan
+        assert tracer.open_depth == 0
+        assert [sp.name for sp in tracer.spans] == ["outer"]
+
+    def test_install_uninstall(self):
+        tracer = trace.install()
+        try:
+            assert trace.get_tracer() is tracer
+        finally:
+            assert trace.uninstall() is tracer
+        assert not trace.enabled()
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("replans").inc()
+        reg.counter("replans").inc(2)
+        reg.gauge("depth").set(4.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"replans": 3}
+        assert snap["gauges"] == {"depth": 4.0}
+
+    def test_histogram_stats_and_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("batch")
+        for value in (1, 2, 7, 1024):
+            h.observe(value)
+        snap = reg.snapshot()["histograms"]["batch"]
+        assert snap["count"] == 4
+        assert snap["sum"] == 1034
+        assert snap["min"] == 1
+        assert snap["max"] == 1024
+        # Power-of-two buckets: 1 -> 0, 2 -> 1, 7 -> ceil(log2 7)=3,
+        # 1024 -> 10.
+        assert snap["buckets"] == {"0": 1, "1": 1, "3": 1, "10": 1}
+
+    def test_cross_kind_name_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_snapshot_is_deterministically_ordered(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        assert list(reg.snapshot()["counters"]) == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def _traced_sample():
+    with trace.capture() as tracer:
+        with trace.span("mission") as sp:
+            sp.set(workload="unit")
+            with trace.span("setup"):
+                pass
+            with trace.span("fly"):
+                with trace.span("tick.compute", "compute"):
+                    pass
+        trace.count("mission.replans", 2)
+        trace.observe("batch", 8)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_validates(self):
+        tracer = _traced_sample()
+        doc = chrome_trace(tracer)
+        assert validate_chrome_trace(doc) == []
+        # one metadata event + one X event per span
+        assert len(doc["traceEvents"]) == len(tracer.spans) + 1
+        assert doc["otherData"]["metrics"]["counters"] == {
+            "mission.replans": 2
+        }
+
+    def test_round_trip_through_disk(self, tmp_path):
+        tracer = _traced_sample()
+        out = tmp_path / "trace.json"
+        write_chrome_trace(out, tracer)
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+
+    def test_validator_rejects_drift(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": []}) != []
+        bad_event = {
+            "traceEvents": [{"ph": "X", "pid": 1, "tid": 0, "name": "x",
+                             "ts": -5.0, "dur": "oops"}],
+            "otherData": {"schema": "repro-trace/1"},
+        }
+        problems = validate_chrome_trace(bad_event)
+        assert any("ts" in p for p in problems)
+        assert any("dur" in p for p in problems)
+
+    def test_validator_rejects_wrong_schema(self):
+        doc = chrome_trace(_traced_sample())
+        doc["otherData"]["schema"] = "repro-trace/99"
+        assert any("schema" in p for p in validate_chrome_trace(doc))
+
+
+class TestCsvExport:
+    def test_csv_has_header_and_rows(self):
+        tracer = _traced_sample()
+        text = spans_to_csv(tracer)
+        lines = text.strip().splitlines()
+        assert lines[0] == ",".join(CSV_FIELDS)
+        assert len(lines) == len(tracer.spans) + 1
+
+
+class TestPhaseAggregation:
+    def test_self_total_math(self):
+        tracer = _traced_sample()
+        root = aggregate_phases(tracer.spans)
+        assert root.total_s == pytest.approx(root.child_total_s)
+        mission = root.children["mission"]
+        assert set(mission.children) == {"setup", "fly"}
+        # Self-times over the whole tree sum to the root total, exactly
+        # the coverage guarantee repro profile prints.
+        self_sum = sum(node.self_s for node in root.walk())
+        assert self_sum == pytest.approx(root.total_s, rel=1e-9)
+
+    def test_phase_summary_flat_keys(self):
+        tracer = _traced_sample()
+        summary = phase_summary(tracer)
+        assert set(summary) == {
+            "mission", "mission/setup", "mission/fly",
+            "mission/fly/tick.compute",
+        }
+        for stats in summary.values():
+            assert set(stats) == {"count", "total_s", "self_s", "sim_total_s"}
+
+    def test_merge_phase_summaries_sums(self):
+        a = {"x": {"count": 1, "total_s": 1.0, "self_s": 0.5,
+                   "sim_total_s": 0.0}}
+        b = {"x": {"count": 2, "total_s": 3.0, "self_s": 1.5,
+                   "sim_total_s": 1.0},
+             "y": {"count": 1, "total_s": 0.5, "self_s": 0.5,
+                   "sim_total_s": 0.0}}
+        merged = merge_phase_summaries([a, b])
+        assert merged["x"] == {"count": 3, "total_s": 4.0, "self_s": 2.0,
+                               "sim_total_s": 1.0}
+        assert list(merged) == ["x", "y"]
+
+    def test_format_phase_tree_reports_coverage(self):
+        tracer = _traced_sample()
+        text = format_phase_tree(aggregate_phases(tracer.spans))
+        assert "mission" in text
+        assert "coverage" in text
+        assert "% wall" in text
+
+    def test_format_phase_summary_table(self):
+        text = format_phase_summary(
+            {"a/b": {"count": 2, "total_s": 1.0, "self_s": 1.0,
+                     "sim_total_s": 0.0}}
+        )
+        assert "a/b" in text
+        assert "total (s)" in text
+
+
+# ----------------------------------------------------------------------
+# The zero-impact guarantee: goldens bit-identical under tracing
+# ----------------------------------------------------------------------
+class TestTracingInvariants:
+    @pytest.mark.parametrize("workload", ["scanning", "package_delivery"])
+    def test_golden_mission_bit_identical_with_tracing(self, workload):
+        baseline = fly_golden_mission(workload)
+        with trace.capture() as tracer:
+            traced = fly_golden_mission(workload)
+        assert traced == baseline
+        assert tracer.spans, "mission produced no spans under tracing"
+        assert tracer.open_depth == 0
+
+    def test_mission_trace_validates_and_covers_wall(self):
+        with trace.capture() as tracer:
+            fly_golden_mission("scanning")
+        doc = chrome_trace(tracer)
+        assert validate_chrome_trace(doc) == []
+        root = aggregate_phases(tracer.spans)
+        self_sum = sum(node.self_s for node in root.walk())
+        # The acceptance bar: phase self-times explain >= 90% of the
+        # traced mission wall time (the root span wraps run_workload).
+        mission_total = root.children["mission"].total_s
+        assert self_sum >= 0.9 * mission_total
+        names = {sp.name for sp in tracer.spans}
+        assert "mission" in names
+        assert "tick.compute" in names
+        assert "plan.smooth" in names
+
+
+# ----------------------------------------------------------------------
+# Campaign profile records + the wall_time_s regression
+# ----------------------------------------------------------------------
+def _fast_run() -> RunSpec:
+    return RunSpec(
+        "scanning", 4, 2.2, 1,
+        workload_kwargs={"area_width": 40.0, "area_length": 24.0},
+    )
+
+
+class TestCampaignProfiles:
+    def test_unprofiled_record_has_no_profile_key(self):
+        record = execute_run(_fast_run())
+        assert record["status"] == "ok"
+        assert "profile" not in record
+
+    def test_profiled_record_attaches_profile(self):
+        record = execute_run(_fast_run(), profile=True, queue_wait_s=0.25)
+        assert record["status"] == "ok"
+        profile = record["profile"]
+        assert profile["schema"] == PROFILE_SCHEMA
+        assert profile["queue_wait_s"] == 0.25
+        assert "mission" in profile["phases"]
+        assert profile["phases"]["mission"]["total_s"] > 0
+        assert "scenario_cache" in profile
+        # Profiling must not perturb the record payload itself.
+        baseline = execute_run(_fast_run())
+        stripped = {
+            k: v for k, v in record.items()
+            if k not in ("profile", "wall_time_s")
+        }
+        unprofiled = {
+            k: v for k, v in baseline.items() if k != "wall_time_s"
+        }
+        assert stripped == unprofiled
+
+    def test_profiling_leaves_no_tracer_installed(self):
+        execute_run(_fast_run(), profile=True)
+        assert not trace.enabled()
+
+    def test_error_record_reports_real_wall_time(self):
+        # A run that raises during construction still costs wall time,
+        # and the record must say so (not the old 0.0 placeholder).
+        bad = RunSpec("scanning", 4, 2.2, 1, workload_kwargs={"bogus": 1})
+        record = execute_run(bad)
+        assert record["status"] == "error"
+        assert record["wall_time_s"] > 0.0
+
+    def test_worker_failure_record_carries_elapsed(self):
+        record = _worker_failure_record(
+            _fast_run(), RuntimeError("boom"), elapsed_s=1.5
+        )
+        assert record["status"] == "error"
+        assert record["wall_time_s"] == 1.5
+        # Negative elapsed (clock weirdness) clamps rather than lies.
+        clamped = _worker_failure_record(
+            _fast_run(), RuntimeError("boom"), elapsed_s=-0.1
+        )
+        assert clamped["wall_time_s"] == 0.0

@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Bench-artifact gate: summarize and compare ``BENCH_*.json`` files.
+
+The benchmark harness (``benchmarks/conftest.py``) emits one JSON
+artifact per kernel family — ``BENCH_octomap.json``,
+``BENCH_planners.json``, ``BENCH_scenarios.json`` — with schema
+``bench-<family>/1`` and a ``benchmarks`` map of fully qualified test
+names to ``median_s``/``mean_s``/``min_s``/``rounds``.  CI uploads them
+so the perf trajectory is visible PR-over-PR; this tool is how anyone
+(CI included) reads them:
+
+* ``summarize FILE...`` — one aligned table per artifact, slowest first.
+* ``compare OLD NEW [--max-ratio R]`` — per-benchmark median ratios
+  between two artifacts of the same family; with ``--max-ratio`` the
+  exit status fails when any shared benchmark slowed beyond ``R``x.
+
+Both commands **fail loudly on schema drift**: a missing/unknown schema
+tag, a malformed benchmarks map, wrong stat keys, or non-numeric values
+exit with status 2 and a per-problem message — an artifact the emitter
+and this checker disagree about must never pass silently.
+
+Exit status: 0 = clean, 1 = comparison regression (with ``--max-ratio``),
+2 = schema drift / unreadable artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+#: The schema family tag every artifact must carry: ``bench-<family>/1``.
+_SCHEMA_RE = re.compile(r"^bench-([a-z0-9_]+)/1$")
+
+#: Exactly these per-benchmark stat keys, all numeric.
+STAT_KEYS = ("median_s", "mean_s", "min_s", "rounds")
+
+
+def validate_bench(doc: Any, label: str = "artifact") -> List[str]:
+    """Structural problems with one BENCH document (empty = valid).
+
+    Pins the contract ``benchmarks/conftest.py`` writes; any key the
+    emitter adds or drops shows up here instead of silently passing.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"{label}: document must be a dict, got {type(doc).__name__}"]
+    schema = doc.get("schema")
+    if not isinstance(schema, str) or not _SCHEMA_RE.match(schema):
+        problems.append(
+            f"{label}: schema must match 'bench-<family>/1', got {schema!r}"
+        )
+    unknown_top = sorted(set(doc) - {"schema", "benchmarks"})
+    if unknown_top:
+        problems.append(f"{label}: unknown top-level keys {unknown_top}")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, dict) or not benches:
+        problems.append(f"{label}: 'benchmarks' must be a non-empty dict")
+        return problems
+    for name, stats in benches.items():
+        if not isinstance(stats, dict):
+            problems.append(f"{label}: {name}: stats must be a dict")
+            continue
+        missing = [k for k in STAT_KEYS if k not in stats]
+        extra = sorted(set(stats) - set(STAT_KEYS))
+        if missing:
+            problems.append(f"{label}: {name}: missing stat keys {missing}")
+        if extra:
+            problems.append(f"{label}: {name}: unknown stat keys {extra}")
+        for key in STAT_KEYS:
+            value = stats.get(key)
+            if key in stats and (
+                not isinstance(value, (int, float)) or isinstance(value, bool)
+            ):
+                problems.append(
+                    f"{label}: {name}: {key} must be numeric, got {value!r}"
+                )
+            elif isinstance(value, (int, float)) and value < 0:
+                problems.append(f"{label}: {name}: {key} is negative ({value})")
+    return problems
+
+
+def load_bench(path: Path) -> Tuple[Dict[str, Any], List[str]]:
+    """Load + validate one artifact; returns ``(doc, problems)``."""
+    label = str(path)
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        return {}, [f"{label}: no such file"]
+    except json.JSONDecodeError as exc:
+        return {}, [f"{label}: not valid JSON ({exc})"]
+    return doc, validate_bench(doc, label)
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _table(header: Tuple[str, ...], rows: List[Tuple[str, ...]]) -> str:
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def _fmt(row: Tuple[str, ...]) -> str:
+        cells = [row[0].ljust(widths[0])]
+        cells += [row[i].rjust(widths[i]) for i in range(1, len(row))]
+        return "  ".join(cells)
+
+    lines = [_fmt(header), _fmt(tuple("-" * w for w in widths))]
+    lines += [_fmt(r) for r in rows]
+    return "\n".join(lines)
+
+
+def summarize(paths: List[Path]) -> int:
+    status = 0
+    for path in paths:
+        doc, problems = load_bench(path)
+        if problems:
+            for problem in problems:
+                print(f"SCHEMA DRIFT: {problem}", file=sys.stderr)
+            status = 2
+            continue
+        benches = doc["benchmarks"]
+        rows = [
+            (
+                name,
+                _fmt_seconds(stats["median_s"]),
+                _fmt_seconds(stats["mean_s"]),
+                str(int(stats["rounds"])),
+            )
+            for name, stats in sorted(
+                benches.items(), key=lambda item: -item[1]["median_s"]
+            )
+        ]
+        print(f"{path} [{doc['schema']}]: {len(benches)} benchmarks")
+        print(_table(("benchmark", "median", "mean", "rounds"), rows))
+        print()
+    return status
+
+
+def compare(old_path: Path, new_path: Path, max_ratio: float = 0.0) -> int:
+    old_doc, old_problems = load_bench(old_path)
+    new_doc, new_problems = load_bench(new_path)
+    if old_problems or new_problems:
+        for problem in old_problems + new_problems:
+            print(f"SCHEMA DRIFT: {problem}", file=sys.stderr)
+        return 2
+    if old_doc["schema"] != new_doc["schema"]:
+        print(
+            f"SCHEMA DRIFT: comparing different families "
+            f"({old_doc['schema']} vs {new_doc['schema']})",
+            file=sys.stderr,
+        )
+        return 2
+    old_b, new_b = old_doc["benchmarks"], new_doc["benchmarks"]
+    shared = sorted(set(old_b) & set(new_b))
+    rows: List[Tuple[str, ...]] = []
+    regressions: List[Tuple[str, float]] = []
+    for name in shared:
+        old_med, new_med = old_b[name]["median_s"], new_b[name]["median_s"]
+        ratio = new_med / old_med if old_med > 0 else float("inf")
+        rows.append(
+            (name, _fmt_seconds(old_med), _fmt_seconds(new_med), f"{ratio:.2f}x")
+        )
+        if max_ratio > 0 and ratio > max_ratio:
+            regressions.append((name, ratio))
+    print(
+        f"compare {old_path} -> {new_path} [{new_doc['schema']}]: "
+        f"{len(shared)} shared benchmarks"
+    )
+    print(_table(("benchmark", "old median", "new median", "ratio"), rows))
+    for name in sorted(set(old_b) - set(new_b)):
+        print(f"  removed: {name}")
+    for name in sorted(set(new_b) - set(old_b)):
+        print(f"  added:   {name}")
+    if regressions:
+        print()
+        for name, ratio in regressions:
+            print(
+                f"REGRESSION: {name} slowed {ratio:.2f}x "
+                f"(> {max_ratio:.2f}x budget)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_report",
+        description="summarize/compare BENCH_*.json benchmark artifacts",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sum_p = sub.add_parser("summarize", help="print one table per artifact")
+    sum_p.add_argument("paths", nargs="+", type=Path, metavar="BENCH.json")
+    cmp_p = sub.add_parser(
+        "compare", help="per-benchmark median ratios between two artifacts"
+    )
+    cmp_p.add_argument("old", type=Path)
+    cmp_p.add_argument("new", type=Path)
+    cmp_p.add_argument(
+        "--max-ratio", type=float, default=0.0,
+        help="fail (exit 1) when any shared benchmark's median slowed "
+             "beyond this ratio (0 = report only)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "summarize":
+        return summarize(args.paths)
+    return compare(args.old, args.new, max_ratio=args.max_ratio)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
