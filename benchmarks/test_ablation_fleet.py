@@ -1,0 +1,113 @@
+"""Ablation — fleet-batched campaign execution vs the sequential loop.
+
+The fleet runner's pitch is that a campaign's missions, advanced in
+lockstep through struct-of-arrays kernels (plus the fleet-side
+perception fast paths), finish in a fraction of the sequential loop's
+wall clock *while producing byte-identical records*.  This bench is the
+CI gate on both halves of that claim, on a real paper figure: the
+Fig. 11 package-delivery heatmap's 2.2 GHz column (its three
+highest-compute operating points — the cells whose insert-heavy
+perception load the fleet fast paths target), seed 1, flown on the
+canonical urban world.
+
+Two benchmarks land in ``BENCH_fleet.json`` (sequential reference and
+fleet-of-3), so the perf trajectory of *both* paths is visible
+PR-over-PR via ``tools/bench_report.py compare``.  The fleet test then
+hard-asserts:
+
+* record identity — every run's (spec, report, status) triple matches
+  the sequential campaign exactly (``wall_time_s`` excluded: fleet
+  members share one wall clock by design);
+* speedup — sequential wall over fleet wall is at least
+  :data:`SPEEDUP_FLOOR` (measured ~4.7x on the reference runner; the
+  floor leaves headroom for machine noise, and a regression below it
+  means a fleet fast path stopped engaging).
+"""
+
+import json
+import time
+
+from conftest import run_once
+
+from repro.campaign import CampaignSpec, run_campaign
+
+#: The Fig. 11 heatmap's high-frequency column: every core count at the
+#: TX2's 2.2 GHz operating point.
+GRID_22 = [(2, 2.2), (3, 2.2), (4, 2.2)]
+
+#: Minimum sequential/fleet wall-clock ratio the CI gate accepts.
+SPEEDUP_FLOOR = 4.0
+
+#: Fleet size — one fleet flies the whole column.
+FLEET = 3
+
+#: Cross-test stash so the fleet benchmark can compare against the
+#: sequential reference without re-flying it (file order runs the
+#: sequential test first; a solo fleet run recomputes it untimed).
+_SEQUENTIAL = {}
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        workloads=["package_delivery"], grid=list(GRID_22), seeds=[1]
+    )
+
+
+def _run_campaign(fleet_batch=None):
+    """Fly the column; returns (records, wall_seconds)."""
+    started = time.perf_counter()
+    campaign = run_campaign(_spec(), fleet_batch=fleet_batch)
+    wall = time.perf_counter() - started
+    assert campaign.failed == 0, campaign.summary()
+    return campaign.records, wall
+
+
+def record_identity(records):
+    """Run hash -> (spec payload, report, status); excludes wall_time_s,
+    which legitimately differs (same invariant the campaign sharding
+    equivalence suite compares)."""
+    return {
+        r["run_key"]: (
+            json.dumps(r["spec"], sort_keys=True),
+            json.dumps(r.get("report"), sort_keys=True),
+            r["status"],
+        )
+        for r in records
+    }
+
+
+def _sequential_reference():
+    if "records" not in _SEQUENTIAL:
+        _SEQUENTIAL["records"], _SEQUENTIAL["wall"] = _run_campaign()
+    return _SEQUENTIAL["records"], _SEQUENTIAL["wall"]
+
+
+def test_fig11_column_sequential(benchmark, print_header):
+    print_header("Fleet ablation — sequential reference (Fig. 11, 2.2 GHz column)")
+    records, wall = run_once(benchmark, _run_campaign)
+    _SEQUENTIAL["records"] = records
+    _SEQUENTIAL["wall"] = wall
+    print(f"sequential: {len(records)} missions in {wall:.1f}s")
+
+
+def test_fig11_column_fleet(benchmark, print_header):
+    print_header(f"Fleet ablation — fleet of {FLEET} (Fig. 11, 2.2 GHz column)")
+    fleet_records, fleet_wall = run_once(
+        benchmark, _run_campaign, fleet_batch=FLEET
+    )
+    seq_records, seq_wall = _sequential_reference()
+
+    assert record_identity(fleet_records) == record_identity(seq_records), (
+        "fleet campaign records diverged from sequential execution"
+    )
+    ratio = seq_wall / fleet_wall
+    print(
+        f"sequential {seq_wall:.1f}s / fleet {fleet_wall:.1f}s "
+        f"= {ratio:.2f}x speedup (gate: >= {SPEEDUP_FLOOR:.1f}x)"
+    )
+    assert ratio >= SPEEDUP_FLOOR, (
+        f"fleet speedup {ratio:.2f}x fell below the {SPEEDUP_FLOOR:.1f}x "
+        f"gate (sequential {seq_wall:.1f}s, fleet {fleet_wall:.1f}s) — a "
+        "fleet fast path (batched kernels, perception accel, octomap "
+        "fast index) likely stopped engaging"
+    )

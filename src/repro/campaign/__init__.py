@@ -37,6 +37,7 @@ from .runner import (
     CampaignRunError,
     execute_run,
     execute_runs,
+    execute_runs_fleet,
     run_campaign,
 )
 from .spec import (
@@ -75,6 +76,7 @@ __all__ = [
     "campaign_dir",
     "execute_run",
     "execute_runs",
+    "execute_runs_fleet",
     "merge_stores",
     "missing_runs",
     "parse_grid",

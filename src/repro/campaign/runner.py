@@ -80,63 +80,88 @@ def execute_run(
     return _execute_run_record(run)
 
 
-def _execute_run_record(run: RunSpec) -> Dict[str, Any]:
-    started = time.perf_counter()
-    record: Dict[str, Any] = {
+def _base_record(run: RunSpec) -> Dict[str, Any]:
+    """The record shell shared by every execution path."""
+    return {
         "schema": RECORD_SCHEMA,
         "run_key": run.run_key,
         "spec": run.payload(),
     }
+
+
+def _spec_workload_kwargs(run: RunSpec) -> Dict[str, Any]:
+    """Workload kwargs as ``run_workload`` receives them.
+
+    The scenario axis rides into the workload constructor as a plain
+    payload dict (Workload coerces it back to a spec).
+    """
+    workload_kwargs = dict(run.workload_kwargs)
+    if run.scenario is not None:
+        workload_kwargs["scenario"] = dict(run.scenario)
+    return workload_kwargs
+
+
+def _fill_success(record: Dict[str, Any], run: RunSpec, result) -> None:
+    """Reduce a finished mission into ``record`` (sequential and fleet
+    paths share this verbatim, which is what makes their stored records
+    byte-identical)."""
+    record["status"] = "ok"
+    record["report"] = asdict(result.report)
+    # config.workload_kwargs mirrors spec.workload_kwargs: the axis
+    # entry injected above is stripped back out, while a scenario the
+    # caller put into workload_kwargs directly stays.  config.scenario
+    # always names the environment actually flown, whichever route it
+    # arrived by.
+    echoed_kwargs = dict(result.workload_kwargs)
+    flown_scenario = None
+    if run.scenario is not None:
+        echoed_kwargs.pop("scenario", None)
+        flown_scenario = run.scenario
+    elif "scenario" in echoed_kwargs:
+        flown_scenario = echoed_kwargs["scenario"]
+    if flown_scenario is not None:
+        # Resolve inherit-mode seeds so the record names the world the
+        # mission actually flew (the workload inherits run.seed).
+        flown_scenario = (
+            ScenarioSpec.coerce(flown_scenario).resolved(run.seed).payload()
+        )
+    record["config"] = {
+        "workload": result.workload,
+        "platform": result.platform.spec.name,
+        "cores": result.platform.cores,
+        "frequency_ghz": result.platform.frequency_ghz,
+        "seed": result.seed,
+        "depth_noise_std": result.depth_noise_std,
+        "workload_kwargs": echoed_kwargs,
+        "scenario": flown_scenario,
+    }
+    record["error"] = None
+
+
+def _fill_error(record: Dict[str, Any], exc: BaseException) -> None:
+    record["status"] = "error"
+    record["error"] = f"{type(exc).__name__}: {exc}"
+    record["traceback"] = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+
+
+def _execute_run_record(run: RunSpec) -> Dict[str, Any]:
+    started = time.perf_counter()
+    record = _base_record(run)
     try:
-        workload_kwargs = dict(run.workload_kwargs)
-        if run.scenario is not None:
-            # The scenario axis rides into the workload constructor as a
-            # plain payload dict (Workload coerces it back to a spec).
-            workload_kwargs["scenario"] = dict(run.scenario)
         result = run_workload(
             run.workload,
             cores=run.cores,
             frequency_ghz=run.frequency_ghz,
             seed=run.seed,
             depth_noise_std=run.depth_noise_std,
-            workload_kwargs=workload_kwargs,
+            workload_kwargs=_spec_workload_kwargs(run),
             **dict(run.sim_kwargs),
         )
-        record["status"] = "ok"
-        record["report"] = asdict(result.report)
-        # config.workload_kwargs mirrors spec.workload_kwargs: the axis
-        # entry injected above is stripped back out, while a scenario the
-        # caller put into workload_kwargs directly stays.  config.scenario
-        # always names the environment actually flown, whichever route it
-        # arrived by.
-        echoed_kwargs = dict(result.workload_kwargs)
-        flown_scenario = None
-        if run.scenario is not None:
-            echoed_kwargs.pop("scenario", None)
-            flown_scenario = run.scenario
-        elif "scenario" in echoed_kwargs:
-            flown_scenario = echoed_kwargs["scenario"]
-        if flown_scenario is not None:
-            # Resolve inherit-mode seeds so the record names the world the
-            # mission actually flew (the workload inherits run.seed).
-            flown_scenario = (
-                ScenarioSpec.coerce(flown_scenario).resolved(run.seed).payload()
-            )
-        record["config"] = {
-            "workload": result.workload,
-            "platform": result.platform.spec.name,
-            "cores": result.platform.cores,
-            "frequency_ghz": result.platform.frequency_ghz,
-            "seed": result.seed,
-            "depth_noise_std": result.depth_noise_std,
-            "workload_kwargs": echoed_kwargs,
-            "scenario": flown_scenario,
-        }
-        record["error"] = None
+        _fill_success(record, run, result)
     except Exception as exc:  # noqa: BLE001 — per-run fault isolation
-        record["status"] = "error"
-        record["error"] = f"{type(exc).__name__}: {exc}"
-        record["traceback"] = traceback.format_exc()
+        _fill_error(record, exc)
     record["wall_time_s"] = time.perf_counter() - started
     return record
 
@@ -166,6 +191,55 @@ def execute_runs(
         if profile and submitted_at is not None:
             queue_wait_s = max(time.monotonic() - submitted_at, 0.0)
         records.append(execute_run(run, profile=profile, queue_wait_s=queue_wait_s))
+    return records
+
+
+def execute_runs_fleet(runs: List[RunSpec]) -> List[Dict[str, Any]]:
+    """Execute a batch of runs as one fleet (see :mod:`repro.fleet`).
+
+    Produces records byte-identical to :func:`execute_runs` — same
+    reports, configs, and run keys, built by the same record-filling
+    helpers — except for ``wall_time_s``: fleet members advance in
+    lockstep, so per-mission wall time is meaningless and every record
+    in the batch reports the batch's shared wall clock instead.
+
+    Falls back to plain sequential execution when the batch is too small
+    to amortize anything (``len < 2``) or a tracer is installed (fleet
+    execution refuses to interleave N missions' spans into one stream).
+    """
+    if len(runs) < 2 or _trace.get_tracer() is not None:
+        return execute_runs(runs)
+    from ..fleet import FleetMission, run_workloads_fleet
+
+    started = time.perf_counter()
+    missions = [
+        FleetMission(
+            workload=run.workload,
+            seed=run.seed,
+            cores=run.cores,
+            frequency_ghz=run.frequency_ghz,
+            depth_noise_std=run.depth_noise_std,
+            workload_kwargs=_spec_workload_kwargs(run),
+            sim_kwargs=dict(run.sim_kwargs),
+        )
+        for run in runs
+    ]
+    results, errors = run_workloads_fleet(missions)
+    wall_time_s = time.perf_counter() - started
+    records = []
+    for run, result, error in zip(runs, results, errors):
+        record = _base_record(run)
+        if result is not None:
+            _fill_success(record, run, result)
+        else:
+            _fill_error(
+                record,
+                error
+                if error is not None
+                else RuntimeError("fleet mission produced no result"),
+            )
+        record["wall_time_s"] = wall_time_s
+        records.append(record)
     return records
 
 
@@ -212,6 +286,29 @@ def _batch_pending(
         if key is None:
             order.append([run])
             continue
+        group = groups.get(key)
+        if group is None or len(group) >= cap:
+            group = []
+            groups[key] = group
+            order.append(group)
+        group.append(run)
+    return order
+
+
+def _fleet_groups(pending: List[RunSpec], cap: int) -> List[List[RunSpec]]:
+    """Partition pending runs into fleets of at most ``cap`` members.
+
+    Runs sharing a resolved scenario key fly together (they tick in
+    near-lockstep over the same world, so the batched kernels amortize
+    best); canonical-world runs group per workload, whose missions share
+    a per-tick rhythm even though each builds its own world.  Expansion
+    order is preserved within and across groups so the store commits in
+    a deterministic order.
+    """
+    groups: Dict[str, List[RunSpec]] = {}
+    order: List[List[RunSpec]] = []
+    for run in pending:
+        key = _scenario_batch_key(run) or f"canonical:{run.workload}"
         group = groups.get(key)
         if group is None or len(group) >= cap:
             group = []
@@ -286,6 +383,7 @@ def run_campaign(
     shard: Optional[Tuple[int, int]] = None,
     batch: bool = True,
     profile: bool = False,
+    fleet_batch: Optional[int] = None,
 ) -> CampaignReport:
     """Run (or finish) a campaign — or one shard of it.
 
@@ -321,9 +419,26 @@ def run_campaign(
         scenario-cache delta, and its pool queue wait.  Off by default —
         records (and therefore run hashes, stores, and goldens) are
         byte-identical to the unprofiled ones when disabled.
+    fleet_batch:
+        Fly pending runs as fleets of up to this many missions through
+        :func:`execute_runs_fleet` (grouped by resolved scenario key, or
+        per workload for canonical-world runs).  Stored records are
+        byte-identical to sequential execution except ``wall_time_s``,
+        which becomes the fleet's shared wall clock.  In-process only —
+        combining with ``jobs>1`` is an error — and silently falls back
+        to sequential execution under ``profile=True`` or an installed
+        tracer (fleets cannot attribute a process-global span stream to
+        one mission).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if fleet_batch is not None and fleet_batch < 1:
+        raise ValueError("fleet_batch must be >= 1")
+    if fleet_batch is not None and fleet_batch > 1 and jobs > 1:
+        raise ValueError(
+            "fleet_batch batches missions in-process; use jobs=1 "
+            "(process parallelism and fleet batching don't compose)"
+        )
     runs = spec.expand() if shard is None else spec.shard(*shard)
 
     def _cached_ok(run: RunSpec) -> bool:
@@ -346,19 +461,33 @@ def run_campaign(
         if progress is not None:
             progress(record)
 
+    use_fleet = (
+        fleet_batch is not None
+        and fleet_batch > 1
+        and not profile
+        and _trace.get_tracer() is None
+    )
     if jobs == 1 or len(pending) <= 1:
-        # In-process execution shares this process's scenario cache
-        # already — no batching needed for amortization.  Queue wait is
-        # zero by construction: each run starts the moment it is due.
-        for run in pending:
-            with _trace.span("campaign.execute", "campaign") as _sp:
-                _sp.set(run_key=run.run_key)
-                record = execute_run(
-                    run,
-                    profile=profile,
-                    queue_wait_s=0.0 if profile else None,
-                )
-            _commit(run, record)
+        if use_fleet:
+            # Fleet mode: chunks fly as lockstep batches; records commit
+            # per run, in chunk order, exactly as sequential mode would.
+            for chunk in _fleet_groups(pending, fleet_batch):
+                for run, record in zip(chunk, execute_runs_fleet(chunk)):
+                    _commit(run, record)
+        else:
+            # In-process execution shares this process's scenario cache
+            # already — no batching needed for amortization.  Queue wait
+            # is zero by construction: each run starts the moment it is
+            # due.
+            for run in pending:
+                with _trace.span("campaign.execute", "campaign") as _sp:
+                    _sp.set(run_key=run.run_key)
+                    record = execute_run(
+                        run,
+                        profile=profile,
+                        queue_wait_s=0.0 if profile else None,
+                    )
+                _commit(run, record)
     else:
         batches = _batch_pending(pending, jobs, batch)
         with ProcessPoolExecutor(max_workers=min(jobs, len(batches))) as pool:

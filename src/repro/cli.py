@@ -23,6 +23,8 @@ Examples
     python -m repro campaign --workloads package_delivery \\
         --scenario urban:0.2 urban:0.5 urban:0.8 --grid 4x2.2
     python -m repro campaign --workloads scanning --jobs 2 --profile
+    python -m repro campaign --workloads package_delivery --fleet 3 \\
+        --out store.jsonl
     python -m repro campaign --spec study.json --shard 1/2 --out stores/
     python -m repro campaign merge --spec study.json --out stores/
     python -m repro run package_delivery --scenario urban:0.7
@@ -220,6 +222,12 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_p.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes (default 1: in-process, deterministic order)",
+    )
+    campaign_p.add_argument(
+        "--fleet", type=int, metavar="K", default=None,
+        help="fly pending runs as in-process fleets of up to K missions "
+             "(batched per-tick kernels; records byte-identical to "
+             "sequential except wall_time_s); incompatible with --jobs>1",
     )
     campaign_p.add_argument(
         "--shard", metavar="I/N", type=_shard_token,
@@ -555,6 +563,8 @@ def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
             outcome = record["error"]
         print(f"[{done['n']}/{total}] {label}: {outcome}")
 
+    if args.fleet is not None and args.jobs != 1:
+        parser.error("--fleet batches missions in-process; drop --jobs")
     campaign = run_campaign(
         spec,
         jobs=args.jobs,
@@ -562,6 +572,7 @@ def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
         progress=_progress,
         shard=args.shard,
         profile=args.profile,
+        fleet_batch=args.fleet,
     )
     print()
     print(campaign.summary())

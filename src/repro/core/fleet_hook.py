@@ -1,0 +1,42 @@
+"""Thread-local fleet enrollment hook.
+
+The fleet runner (``repro.fleet``) advances N missions per NumPy call by
+parking each mission's thread at a barrier and executing the per-tick
+phases as struct-of-arrays kernels over the whole fleet.  For that to
+work, a :class:`~repro.core.simulator.Simulation` constructed inside a
+fleet thread must *enroll* with the coordinator the moment it exists —
+before the workload ever calls :meth:`Simulation.step`.
+
+This module is that handshake, kept dependency-free so the import graph
+stays one-directional: ``repro.fleet`` imports ``repro.core``, never the
+other way around.  ``Simulation.__init__`` calls :func:`adopt`, which is
+a no-op unless the *current thread* installed an adopter first.  The
+adopter is thread-local on purpose: a fleet thread enrolls only its own
+mission, while sims built concurrently on other threads (or anywhere in
+a non-fleet process) are untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+_local = threading.local()
+
+
+def set_adopter(adopter: Optional[Callable]) -> None:
+    """Install (or clear, with ``None``) this thread's sim adopter.
+
+    The fleet runner installs its coordinator's ``enroll`` here right
+    before constructing a mission, and clears it in a ``finally`` so an
+    aborted mission cannot leak enrollment into unrelated sims created
+    later on the same thread.
+    """
+    _local.adopter = adopter
+
+
+def adopt(sim) -> None:
+    """Offer a freshly built simulation to this thread's adopter, if any."""
+    adopter = getattr(_local, "adopter", None)
+    if adopter is not None:
+        adopter(sim)

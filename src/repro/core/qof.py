@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..dynamics.state import VehicleState
+from ..world.geometry import norm as _vec_norm
 
 
 @dataclass
@@ -86,8 +87,8 @@ class QofRecorder:
         """Record one tick."""
         hovering = airborne and state.speed < HOVER_SPEED_THRESHOLD
         if self._last_position is not None:
-            self._distance += float(
-                np.linalg.norm(state.position - self._last_position)
+            self._distance += _vec_norm(
+                state.position - self._last_position
             )
         self._last_position = state.position.copy()
         self._rotor_energy += rotor_power_w * dt

@@ -38,6 +38,7 @@ from ..sensors.camera import DepthImage, RgbdCamera
 from ..sensors.imu_gps import Gps, Imu
 from ..world.environment import World
 from ..world.geometry import vec
+from . import fleet_hook
 from .qof import QofRecorder, QofReport
 
 
@@ -144,6 +145,12 @@ class Simulation:
         self._failure_reason: Optional[str] = None
         self.collisions = 0
 
+        # Fleet coordinator this sim is enrolled with, or None for the
+        # classic sequential loop.  Set via the thread-local adoption
+        # hook so only sims built inside a fleet thread enroll.
+        self._fleet = None
+        fleet_hook.adopt(self)
+
         # Tracing rides the sim clock: spans carry mission time next to
         # host time.  No-op unless a tracer is installed.
         _trace.set_sim_clock(lambda: self.clock.now)
@@ -216,6 +223,11 @@ class Simulation:
         energy) so ``repro profile`` can attribute per-tick host time;
         the spans reduce to shared no-ops when tracing is disabled.
         """
+        if self._fleet is not None:
+            # Enrolled in a fleet: park at the coordinator's tick gate;
+            # the whole fleet's phases run as batched kernels there.
+            self._fleet.step(self)
+            return
         dt = self.config.dt
         with _trace.span("tick.control", "control"):
             self.flight_controller.update(dt)

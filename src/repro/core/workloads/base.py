@@ -27,7 +27,7 @@ from ...perception.point_cloud import PointCloud, depth_to_point_cloud
 from ...planning.collision import CollisionChecker
 from ...scenarios import ScenarioSpec, instantiate_scenario
 from ...world.environment import World
-from ...world.geometry import AABB
+from ...world.geometry import AABB, norm as _vec_norm
 from ..qof import QofReport
 from ..simulator import Simulation
 from ..velocity import max_velocity
@@ -173,6 +173,13 @@ class OccupancyPipeline:
         self._pending_cloud: Optional[PointCloud] = None
         self.updates_completed = 0
         self._resolution_scale = octomap_runtime_scale(self.resolution)
+        # Fleet-side perception accelerator (repro.fleet.pipeline), or
+        # None on the classic sequential path.  Installed by the fleet
+        # coordinator when the owning sim is enrolled in a fleet.
+        self._accel = None
+        fleet = getattr(self.sim, "_fleet", None)
+        if fleet is not None:
+            fleet.adopt_pipeline(self)
 
     # ------------------------------------------------------------------
     # Continuous mapping
@@ -243,6 +250,13 @@ class OccupancyPipeline:
             self.octomap = self.octomap.rebuilt_at_resolution(resolution)
         self.checker.octomap = self.octomap
         self._resolution_scale = octomap_runtime_scale(resolution)
+        if self._accel is not None:
+            # The accelerator wraps the (now replaced) octomap; re-adopt
+            # so its fast index and caches bind to the new map.
+            self._accel = None
+            fleet = getattr(self.sim, "_fleet", None)
+            if fleet is not None:
+                fleet.adopt_pipeline(self)
         return True
 
     # ------------------------------------------------------------------
@@ -261,6 +275,8 @@ class OccupancyPipeline:
     def allowed_velocity(self) -> float:
         """Eq.-2 bound at the pipeline's current response time, clamped to
         the airframe's mechanical limit."""
+        if self._accel is not None:
+            return self._accel.allowed_velocity()
         bound = max_velocity(self.response_time_s(), self.stop_distance_m)
         return min(bound, self.sim.vehicle.params.max_speed_ms)
 
@@ -272,8 +288,10 @@ class OccupancyPipeline:
     ) -> float:
         """Distance to the first *believed-occupied* voxel along
         ``direction`` from the vehicle (ray-marched on the belief map)."""
+        if self._accel is not None:
+            return self._accel.clearance_along(direction, max_dist)
         d = np.asarray(direction, dtype=float)
-        speed = float(np.linalg.norm(d))
+        speed = _vec_norm(d)
         if speed < 1e-6:
             return max_dist
         d = d / speed
@@ -309,7 +327,7 @@ class OccupancyPipeline:
         """
         limit = self.allowed_velocity()
         d = np.asarray(direction, dtype=float)
-        speed = float(np.linalg.norm(d))
+        speed = _vec_norm(d)
         if speed < 1e-6:
             return limit
         d = d / speed
@@ -342,11 +360,11 @@ class OccupancyPipeline:
     def _safety_filter(self, cmd: np.ndarray, cruise: float) -> np.ndarray:
         cmd = np.asarray(cmd, dtype=float).copy()
         limit = min(cruise, self.safe_speed_limit(cmd))
-        speed = float(np.linalg.norm(cmd))
+        speed = _vec_norm(cmd)
         if speed > limit and speed > 0:
             cmd = cmd * (limit / speed)
         v = self.sim.state.velocity
-        v_mag = float(np.linalg.norm(v))
+        v_mag = _vec_norm(v)
         if v_mag > 0.3:
             params = self.sim.vehicle.params
             response_lag = 1.0 / 3.0  # velocity-loop time constant

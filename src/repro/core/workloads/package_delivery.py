@@ -23,7 +23,7 @@ from ...planning.rrt import PlanResult, RrtPlanner, RrtStarPlanner
 from ...planning.smoothing import Trajectory, smooth_trajectory
 from ...world.environment import World
 from ...world.generator import urban_world
-from ...world.geometry import vec
+from ...world.geometry import norm as _vec_norm, vec
 from ..qof import QofReport
 from ..simulator import Simulation
 from .base import OccupancyPipeline, Workload, warm_up_map
@@ -246,7 +246,7 @@ class PackageDeliveryWorkload(Workload):
                 # against a believed obstacle; treat that as a blocked path
                 # and force a re-plan from the current position.
                 moved = float(
-                    np.linalg.norm(s.state.position - stall["anchor"])
+                    _vec_norm(s.state.position - stall["anchor"])
                 )
                 if moved > 0.5:
                     stall["anchor"] = s.state.position.copy()
@@ -283,7 +283,7 @@ class PackageDeliveryWorkload(Workload):
                 lambda s: (
                     blocked["flag"]
                     or tracker.update(s.state.position, s.now).finished
-                    or float(np.linalg.norm(s.state.position - goal)) < 1.0
+                    or _vec_norm(s.state.position - goal) < 1.0
                 ),
                 on_tick=_on_tick,
                 timeout_s=sim.config.max_mission_time_s,

@@ -1,0 +1,255 @@
+"""Fleet runner: N missions advanced per NumPy call.
+
+Sequential campaigns spend their host wall in per-mission Python ticking
+— thousands of small NumPy calls on length-3 vectors.  The fleet runner
+amortizes that dispatch overhead across missions: each mission runs its
+*unchanged* workload code in its own thread, but every
+:meth:`Simulation.step` parks at a shared tick gate, and the last thread
+to arrive executes the whole fleet's per-tick phases as struct-of-arrays
+kernels over stacked ``(N, ...)`` state (see :mod:`repro.fleet.kernels`).
+
+Why threads rather than rewriting the workloads as coroutines: the
+mission scripts are ordinary imperative Python (``run_until`` loops,
+planning callbacks, mid-mission re-planning) and the thread stack *is*
+their continuation.  The GIL serializes execution — threads here are a
+control-flow device, not a parallelism device; the speedup comes from
+batched kernels and the fleet-side perception fast paths
+(:class:`~repro.fleet.pipeline.FleetPerceptionAccel`), not concurrency.
+
+Determinism: missions share no mutable state, each per-tick phase
+preserves its sequential per-mission math bit-for-bit, and planning
+callbacks run serially inside the gate in enrollment order.  A fleet of
+N therefore produces *byte-identical* mission reports, vehicle states,
+and RNG end-states to N sequential runs — pinned by
+``tests/test_fleet_batched.py`` and the fleet golden-trace suite.
+
+Lifecycle of one fleet member::
+
+    thread: set_adopter(coord.enroll) -> run_workload(...) builds a
+    Simulation -> Simulation.__init__ adopts it -> every sim.step()
+    parks at coord.step(sim) -> mission finishes -> finally: retire()
+
+Missions that finish (or die) *retire*, shrinking the barrier so the
+remaining fleet keeps ticking; a mission that is re-planning simply
+isn't calling ``step`` from a kernel completion — planning happens
+inside the gate's compute phase via its scheduler callbacks, so slow
+planners stall only their own mission's tick, never the batch protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core import fleet_hook
+from ..core.api import WorkloadResult, run_workload
+from ..observability import trace as _trace
+from .kernels import (
+    FleetBatchArrays,
+    control_step_batch,
+    dynamics_step_batch,
+    energy_step_batch,
+    sense_check_batch,
+)
+from .pipeline import FleetPerceptionAccel
+
+__all__ = ["FleetMission", "FleetCoordinator", "run_workloads_fleet"]
+
+
+@dataclass
+class FleetMission:
+    """One mission's worth of :func:`repro.core.api.run_workload` inputs."""
+
+    workload: str
+    seed: int = 0
+    cores: int = 4
+    frequency_ghz: float = 2.2
+    depth_noise_std: float = 0.0
+    workload_kwargs: Optional[Dict[str, Any]] = None
+    sim_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+class FleetCoordinator:
+    """The shared tick gate for one fleet.
+
+    ``expected`` counts mission threads.  A thread's sim parks here via
+    :meth:`step`; when every non-retired thread has parked, the last
+    arrival runs the gate: batched control and dynamics, per-sim clock +
+    compute (planning callbacks fire here, serially, in enrollment
+    order), batched sensing and energy.  The gate runs while holding the
+    condition lock — safe, because every other fleet thread is blocked
+    in ``wait_for`` at that moment and mission code never re-enters
+    ``sim.step`` from a scheduler callback.
+
+    Per-mission failures stay per-mission: an exception raised by a
+    mission's compute phase (a planner blowing up, a workload callback
+    asserting) is captured into ``_errors`` and re-raised *in that
+    mission's thread* when it leaves the gate; the rest of the fleet
+    ticks on.  Only an exception inside a batched kernel itself — which
+    cannot be attributed to one mission — poisons the whole batch.
+    """
+
+    def __init__(self, expected: int) -> None:
+        self._cond = threading.Condition()
+        self._expected = expected
+        self._retired = 0
+        self._generation = 0
+        self._enrolled = 0
+        self._order: Dict[int, int] = {}
+        self._waiting: Dict[int, Any] = {}
+        self._by_thread: Dict[int, List[Any]] = {}
+        self._errors: Dict[int, BaseException] = {}
+        self._arrays: Optional[FleetBatchArrays] = None
+        self.ticks = 0
+
+    # ------------------------------------------------------------------
+    # Enrollment (installed as the thread-local sim adopter)
+    # ------------------------------------------------------------------
+    def enroll(self, sim) -> None:
+        """Adopt a freshly built sim into the fleet (thread-local hook)."""
+        with self._cond:
+            sim._fleet = self
+            self._order[id(sim)] = self._enrolled
+            self._enrolled += 1
+            self._by_thread.setdefault(threading.get_ident(), []).append(sim)
+
+    def adopt_pipeline(self, pipeline) -> None:
+        """Install the perception fast paths on a fleet member's pipeline:
+        the clearance/Eq.-2 accelerator plus the shared free-space cache
+        on its collision checker (which the planners also query)."""
+        accel = FleetPerceptionAccel(pipeline)
+        pipeline._accel = accel
+        pipeline.checker._fleet_free = accel.free_space
+
+    # ------------------------------------------------------------------
+    # The tick gate
+    # ------------------------------------------------------------------
+    def step(self, sim) -> None:
+        """Park ``sim``'s thread until the fleet's next tick has run."""
+        ident = threading.get_ident()
+        with self._cond:
+            generation = self._generation
+            self._waiting[ident] = sim
+            if len(self._waiting) == self._expected - self._retired:
+                self._run_gate()
+            else:
+                self._cond.wait_for(lambda: self._generation != generation)
+            error = self._errors.pop(id(sim), None)
+        if error is not None:
+            raise error
+
+    def retire(self) -> None:
+        """Drop the calling thread from the barrier (mission over).
+
+        Called from each fleet thread's ``finally`` whether the mission
+        succeeded, failed, or never finished building its world.  If the
+        remaining threads are all already parked, the retiree fires the
+        gate on their behalf so they don't wait forever.
+        """
+        ident = threading.get_ident()
+        with self._cond:
+            for sim in self._by_thread.pop(ident, []):
+                sim._fleet = None
+                self._order.pop(id(sim), None)
+            self._waiting.pop(ident, None)
+            self._retired += 1
+            remaining = self._expected - self._retired
+            if remaining > 0 and len(self._waiting) == remaining:
+                self._run_gate()
+
+    def _arrays_for(self, sims: List[Any], dts: List[float]) -> FleetBatchArrays:
+        """The gathered-constants cache for this exact live set (rebuilt
+        only when fleet membership changes)."""
+        key = tuple(id(s) for s in sims)
+        if self._arrays is None or self._arrays.key != key:
+            self._arrays = FleetBatchArrays(sims, dts)
+        return self._arrays
+
+    def _run_gate(self) -> None:
+        """Advance the whole parked fleet by one tick (lock held)."""
+        sims = sorted(self._waiting.values(), key=lambda s: self._order[id(s)])
+        try:
+            dts = [sim.config.dt for sim in sims]
+            cache = self._arrays_for(sims, dts)
+            control_step_batch(sims, dts)
+            dynamics_step_batch(sims, dts, cache)
+            live: List[Any] = []
+            live_dts: List[float] = []
+            for sim, dt in zip(sims, dts):
+                try:
+                    sim.clock.advance(dt)
+                    sim.scheduler.advance_to(sim.clock.now)
+                except BaseException as exc:  # per-mission: planning blew up
+                    self._errors[id(sim)] = exc
+                else:
+                    live.append(sim)
+                    live_dts.append(dt)
+            if live:
+                live_cache = (
+                    cache
+                    if len(live) == len(sims)
+                    else FleetBatchArrays(live, live_dts)
+                )
+                sense_check_batch(live, live_cache)
+                energy_step_batch(live, live_dts, live_cache)
+        except BaseException as exc:  # batched kernel itself failed
+            for sim in sims:
+                self._errors.setdefault(id(sim), exc)
+        self.ticks += 1
+        self._generation += 1
+        self._waiting.clear()
+        self._cond.notify_all()
+
+
+def run_workloads_fleet(
+    missions: Sequence[FleetMission],
+) -> Tuple[List[Optional[WorkloadResult]], List[Optional[BaseException]]]:
+    """Fly ``missions`` as one fleet; returns ``(results, errors)``.
+
+    ``results[i]`` is mission *i*'s :class:`WorkloadResult`, or ``None``
+    if it raised — in which case ``errors[i]`` holds the exception.  The
+    call returns when every mission has finished or failed.
+
+    Tracing is process-global and would interleave N missions' spans
+    into one stream, so fleets refuse to run under an installed tracer —
+    profile sequentially instead (the campaign layer enforces the same
+    rule by falling back to sequential execution).
+    """
+    if _trace.get_tracer() is not None:
+        raise RuntimeError(
+            "fleet execution is incompatible with tracing; "
+            "run sequentially to profile"
+        )
+    missions = list(missions)
+    coordinator = FleetCoordinator(expected=len(missions))
+    results: List[Optional[WorkloadResult]] = [None] * len(missions)
+    errors: List[Optional[BaseException]] = [None] * len(missions)
+
+    def _fly(index: int, mission: FleetMission) -> None:
+        fleet_hook.set_adopter(coordinator.enroll)
+        try:
+            results[index] = run_workload(
+                mission.workload,
+                cores=mission.cores,
+                frequency_ghz=mission.frequency_ghz,
+                seed=mission.seed,
+                depth_noise_std=mission.depth_noise_std,
+                workload_kwargs=mission.workload_kwargs,
+                **(mission.sim_kwargs or {}),
+            )
+        except BaseException as exc:
+            errors[index] = exc
+        finally:
+            fleet_hook.set_adopter(None)
+            coordinator.retire()
+
+    threads = [
+        threading.Thread(target=_fly, args=(i, m), name=f"fleet-{i}")
+        for i, m in enumerate(missions)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, errors

@@ -122,6 +122,14 @@ class OctoMap:
         self._idx_packed = np.zeros(0, dtype=np.int64)
         self._idx_values = np.zeros(0, dtype=np.float64)
         self._idx_occupied = np.zeros(0, dtype=np.int64)
+        # Opt-in incremental index maintenance (see enable_fast_index):
+        # batch writes merge into the sorted index instead of invalidating
+        # it.  Off by default so the lazily-rebuilt reference behavior (and
+        # its perf profile) stays exactly as shipped.
+        self._fast_index = False
+        #: Monotone write-generation counter: bumped on every mutation, so
+        #: callers can cache derived query results per map state.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Keys and coordinates
@@ -174,7 +182,72 @@ class OctoMap:
         value = min(max(value, LOG_ODDS_MIN), LOG_ODDS_MAX)
         self._cells[key] = value
         self._index_dirty = True
+        self.version += 1
         return value
+
+    def enable_fast_index(self) -> None:
+        """Switch to incremental sorted-index maintenance.
+
+        Batch log-odds updates merge their (already computed, clamped)
+        values straight into the sorted packed-key index instead of
+        invalidating it, turning the per-insert index cost from an O(N)
+        dict->array rebuild into an O(N) array merge with no Python-level
+        per-cell traffic.  Scalar writes (:meth:`update_cell`) still
+        invalidate; the next query falls back to one full rebuild and
+        incremental maintenance resumes after it.  Query results are
+        identical either way — only *when* the index is built changes.
+        """
+        self._fast_index = True
+        self._ensure_index()
+
+    def _merge_index(self, packed: np.ndarray, values: np.ndarray) -> None:
+        """Merge unique sorted ``packed`` keys with their new ``values``
+        into the (clean) sorted index in place."""
+        idx = np.searchsorted(self._idx_packed, packed)
+        if self._idx_packed.size:
+            hit = np.minimum(idx, self._idx_packed.size - 1)
+            found = self._idx_packed[hit] == packed
+        else:
+            found = np.zeros(packed.shape, dtype=bool)
+        if np.any(found):
+            self._idx_values[idx[found]] = values[found]
+        missing = ~found
+        if np.any(missing):
+            # Fused two-array insert: one destination-position computation
+            # shared by keys and values (``np.insert`` would redo it, with
+            # per-call wrapper overhead, for each array).
+            new_p = packed[missing]
+            new_v = values[missing]
+            n = self._idx_packed.size
+            k = new_p.size
+            pos = idx[missing] + np.arange(k, dtype=np.int64)
+            out_p = np.empty(n + k, dtype=self._idx_packed.dtype)
+            out_v = np.empty(n + k, dtype=self._idx_values.dtype)
+            old_mask = np.ones(n + k, dtype=bool)
+            old_mask[pos] = False
+            out_p[pos] = new_p
+            out_v[pos] = new_v
+            out_p[old_mask] = self._idx_packed
+            out_v[old_mask] = self._idx_values
+            self._idx_packed = out_p
+            self._idx_values = out_v
+        self._idx_occupied = self._idx_packed[
+            self._idx_values > OCCUPANCY_THRESHOLD
+        ]
+
+    def _values_for_sorted_packed(self, packed: np.ndarray) -> np.ndarray:
+        """Current log-odds for sorted unique packed keys (0.0 where
+        unknown), served from the live sorted index when it is clean —
+        one vectorized binary search instead of per-key dict hashing."""
+        out = np.zeros(packed.size)
+        if self._idx_packed.size:
+            idx = np.minimum(
+                np.searchsorted(self._idx_packed, packed),
+                self._idx_packed.size - 1,
+            )
+            found = self._idx_packed[idx] == packed
+            out[found] = self._idx_values[idx[found]]
+        return out
 
     def _apply_log_odds_batch(
         self,
@@ -183,7 +256,7 @@ class OctoMap:
         counts: Optional[np.ndarray] = None,
     ) -> None:
         """Apply ``delta`` (optionally ``counts`` times per voxel) to a batch
-        of *unique* packed voxel keys, clamping exactly like
+        of *unique*, sorted packed voxel keys, clamping exactly like
         :meth:`update_cell`.
 
         All deltas in one batch share a sign, so clamping once after the
@@ -199,15 +272,28 @@ class OctoMap:
         key_tuples = list(
             zip(keys[:, 0].tolist(), keys[:, 1].tolist(), keys[:, 2].tolist())
         )
-        current = np.fromiter(
-            map(cells.get, key_tuples, itertools.repeat(0.0)),
-            dtype=np.float64,
-            count=packed.size,
-        )
+        if self._fast_index and not self._index_dirty:
+            current = self._values_for_sorted_packed(packed)
+        else:
+            current = np.fromiter(
+                map(cells.get, key_tuples, itertools.repeat(0.0)),
+                dtype=np.float64,
+                count=packed.size,
+            )
         step = delta if counts is None else delta * counts
         new = np.clip(current + step, LOG_ODDS_MIN, LOG_ODDS_MAX)
         cells.update(zip(key_tuples, new.tolist()))
-        self._index_dirty = True
+        self.version += 1
+        if self._fast_index and not self._index_dirty:
+            # Keep the sorted index live: the clamped values are already
+            # computed, so the merge is pure array work.
+            if packed.size > 1 and not np.all(packed[1:] > packed[:-1]):
+                order = np.argsort(packed)
+                self._merge_index(packed[order], new[order])
+            else:
+                self._merge_index(packed, new)
+        else:
+            self._index_dirty = True
 
     def mark_occupied(self, point: Sequence[float]) -> None:
         p = np.asarray(point, dtype=float)
@@ -546,20 +632,23 @@ class OctoMap:
                 # a subsampled carve set would otherwise erode thin walls
                 # one miss-update per scan).
                 unpacked = unpack_keys(packed)
-                cells = self._cells
-                existing = np.fromiter(
-                    map(
-                        cells.get,
-                        zip(
-                            unpacked[:, 0].tolist(),
-                            unpacked[:, 1].tolist(),
-                            unpacked[:, 2].tolist(),
+                if self._fast_index and not self._index_dirty:
+                    existing = self._values_for_sorted_packed(packed)
+                else:
+                    cells = self._cells
+                    existing = np.fromiter(
+                        map(
+                            cells.get,
+                            zip(
+                                unpacked[:, 0].tolist(),
+                                unpacked[:, 1].tolist(),
+                                unpacked[:, 2].tolist(),
+                            ),
+                            itertools.repeat(0.0),
                         ),
-                        itertools.repeat(0.0),
-                    ),
-                    dtype=np.float64,
-                    count=packed.size,
-                )
+                        dtype=np.float64,
+                        count=packed.size,
+                    )
                 keep = ~(existing > 2.0)
                 if self.bounds is not None:
                     keep &= self._in_bounds_mask(
@@ -756,31 +845,38 @@ class OctoMap:
                 hi_keys = hi_keys[first]
                 m = first.size
         counts = hi_keys - lo_keys + 1
-        ci = int(counts[:, 0].max())
-        cj = int(counts[:, 1].max())
-        oi = np.arange(ci, dtype=np.int64)
-        oj = np.arange(cj, dtype=np.int64)
-        cols_i = lo_keys[:, 0, None] + oi[None, :]  # (M, ci)
-        cols_j = lo_keys[:, 1, None] + oj[None, :]  # (M, cj)
-        valid = (oi[None, :, None] < counts[:, 0, None, None]) & (
-            oj[None, None, :] < counts[:, 1, None, None]
-        )  # (M, ci, cj)
-        base = ((cols_i + _PACK_OFFSET) << (2 * _PACK_BITS))[:, :, None] + (
-            (cols_j + _PACK_OFFSET) << _PACK_BITS
-        )[:, None, :]
-        lo_p = base + (lo_keys[:, 2] + _PACK_OFFSET)[:, None, None]
-        hi_p = base + (hi_keys[:, 2] + _PACK_OFFSET)[:, None, None]
+        # Ragged column layout: box b contributes exactly its own
+        # counts_i * counts_j (i, j) columns instead of a padded
+        # (M, max_i, max_j) grid, and the per-box reductions run as one
+        # ``np.add.reduceat`` over the concatenated column spans.  Every
+        # box has >= 1 column, so the reduceat segment starts are strictly
+        # increasing (no empty-slice quirk).
+        ncols = counts[:, 0] * counts[:, 1]  # (M,)
+        offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(ncols))
+        )
+        total = int(offsets[-1])
+        box_id = np.repeat(np.arange(m, dtype=np.int64), ncols)
+        within = np.arange(total, dtype=np.int64) - offsets[box_id]
+        cj = counts[box_id, 1]
+        ii = lo_keys[box_id, 0] + within // cj
+        jj = lo_keys[box_id, 1] + within % cj
+        base = ((ii + _PACK_OFFSET) << (2 * _PACK_BITS)) + (
+            (jj + _PACK_OFFSET) << _PACK_BITS
+        )
+        lo_p = base + (lo_keys[box_id, 2] + _PACK_OFFSET)
+        hi_p = base + (hi_keys[box_id, 2] + _PACK_OFFSET)
         # One fused binary search: for sorted int64 keys, a side="left"
         # search for hi+1 lands exactly where side="right" for hi does,
         # so both bounds come back from a single searchsorted call.
-        bounds = np.concatenate((lo_p.ravel(), hi_p.ravel() + 1))
+        bounds = np.concatenate((lo_p, hi_p + 1))
         pos = sorted_packed.searchsorted(bounds, side="left")
-        n_cols = m * ci * cj
-        span = (pos[n_cols:] - pos[:n_cols]).reshape(m, ci, cj)
+        span = pos[total:] - pos[:total]
         if count:
-            out = np.sum(span * valid, axis=(1, 2))
+            out = np.add.reduceat(span, offsets[:-1])
         else:
-            out = np.any((span > 0) & valid, axis=(1, 2))
+            # reduceat counts each box's non-empty columns; > 0 is "any".
+            out = np.add.reduceat(span > 0, offsets[:-1]) > 0
         return out if scatter is None else out[scatter]
 
     def boxes_occupied(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:

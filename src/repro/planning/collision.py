@@ -63,6 +63,11 @@ class CollisionChecker:
     drone_radius: float = 0.325
     treat_unknown_as_occupied: bool = False
 
+    #: Fleet-side free-space cache (repro.fleet.pipeline.FreeSpaceCache),
+    #: or None on the classic sequential path.  Installed per-instance by
+    #: the fleet coordinator; answers identically, just cheaper.
+    _fleet_free = None
+
     # ------------------------------------------------------------------
     # Point queries
     # ------------------------------------------------------------------
@@ -76,6 +81,17 @@ class CollisionChecker:
         pts = np.asarray(points, dtype=float).reshape(-1, 3)
         _trace.observe("collision.batch_points", pts.shape[0])
         r = self.drone_radius
+        free_cache = self._fleet_free
+        if (
+            free_cache is not None
+            and pts.shape[0]
+            and not self.treat_unknown_as_occupied
+        ):
+            # The enclosing box of every inflated point box: proving it
+            # free of occupied voxels proves each point free (conservative
+            # unknown-mode also needs unknown fractions, so it opts out).
+            if free_cache.prove_free(pts.min(axis=0) - r, pts.max(axis=0) + r):
+                return np.ones(pts.shape[0], dtype=bool)
         los = pts - r
         his = pts + r
         free = ~self.octomap.boxes_occupied(los, his)
@@ -130,10 +146,11 @@ class CollisionChecker:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Sample every segment of a batch at once.
 
-        Returns ``(samples, seg_index)`` where ``samples`` stacks each
-        segment's samples in order (including both endpoints, exactly the
-        rows :meth:`_segment_samples` emits per segment) and
-        ``seg_index[m]`` names the segment that produced ``samples[m]``.
+        Returns ``(samples, seg_index, seg_start)`` where ``samples``
+        stacks each segment's samples in order (including both endpoints,
+        exactly the rows :meth:`_segment_samples` emits per segment),
+        ``seg_index[m]`` names the segment that produced ``samples[m]``,
+        and ``seg_start[s]`` is the row where segment ``s`` begins.
         """
         if step is None:
             step = self.octomap.resolution / 2.0
@@ -149,7 +166,7 @@ class CollisionChecker:
         local = np.arange(total) - np.repeat(seg_start, counts)
         t = local / n[seg]
         samples = a[seg] + d[seg] * t[:, None]
-        return samples, seg
+        return samples, seg, seg_start
 
     # ------------------------------------------------------------------
     # Segment / path queries
@@ -173,12 +190,14 @@ class CollisionChecker:
         if ends_arr.shape[0] == 0:
             return np.zeros(0, dtype=bool)
         _trace.observe("collision.batch_segments", ends_arr.shape[0])
-        samples, seg = self._batch_segment_samples(starts_arr, ends_arr, step)
-        free = self.points_free(samples)
-        blocked_per_seg = np.bincount(
-            seg, weights=~free, minlength=ends_arr.shape[0]
+        samples, _seg, seg_start = self._batch_segment_samples(
+            starts_arr, ends_arr, step
         )
-        return blocked_per_seg == 0
+        free = self.points_free(samples)
+        # Segmented blocked-sample counts via reduceat (every segment has
+        # >= 2 samples, so seg_start is strictly increasing); a segment is
+        # free when its count is zero.
+        return np.add.reduceat(~free, seg_start) == 0
 
     def segment_free(
         self,

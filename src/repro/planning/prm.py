@@ -17,7 +17,8 @@ loops over the scalar map queries as the equivalence reference.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +27,7 @@ from ..world.geometry import AABB, norm
 from .astar import astar, astar_arrays
 from .collision import CollisionChecker, _dist, _row_dists
 from .rrt import PlanResult
+from .spatial_index import GridIndex
 
 
 class PrmPlanner:
@@ -67,6 +69,11 @@ class PrmPlanner:
         self._vertices: List[np.ndarray] = []
         self._edges: Dict[int, List[Tuple[int, float]]] = {}
         self._built = False
+        # Grid-bucket index over the vertices, so build-time neighbor
+        # scans touch a handful of cells instead of every vertex.  Only
+        # the batched path maintains it; scalar builds leave it None and
+        # the candidate stream falls back to the full stable argsort.
+        self._grid: Optional[GridIndex] = None
 
     # ------------------------------------------------------------------
     # Roadmap construction
@@ -94,20 +101,78 @@ class PrmPlanner:
             )
         self._vertices = [candidates[int(i)].copy() for i in take]
 
+    def _grid_cell_size(self) -> float:
+        """Cell edge sized so one initial query ball holds a few windows'
+        worth of candidates at the roadmap's expected vertex density."""
+        extent = self.bounds.hi - self.bounds.lo
+        volume = float(np.prod(np.maximum(extent, 1e-6)))
+        return max((8.0 * volume / max(self.n_samples, 1)) ** (1.0 / 3.0), 0.25)
+
+    def _rebuild_grid(self) -> None:
+        self._grid = GridIndex(self._grid_cell_size())
+        for v in self._vertices:
+            self._grid.insert(v)
+
+    def _candidate_stream(
+        self, arr: np.ndarray, p: np.ndarray
+    ) -> Iterator[Tuple[int, float]]:
+        """Yield ``(vertex_id, d2)`` over all vertices of ``arr`` in
+        (distance², id)-lexicographic order — exactly the order a stable
+        argsort of the full distance scan produces.
+
+        When the grid index covers the vertex set, candidates stream from
+        expanding-radius :meth:`GridIndex.near_ids` queries: each round's
+        fresh ids all lie strictly beyond the previous radius (near_ids
+        is exact and inclusive), so sorting every round by (d2, id) makes
+        the concatenated stream globally (d2, id)-sorted.  Distances are
+        computed with the brute-scan row arithmetic, so values (and the
+        edge weights derived from them) are bit-identical to the full
+        scan.  Without a usable grid, the stream *is* the full scan.
+        """
+        n = arr.shape[0]
+        grid = self._grid
+        if grid is None or len(grid) != n or n <= GridIndex.BRUTE_THRESHOLD:
+            d2_all = np.sum((arr - p[None, :]) ** 2, axis=1)
+            order = np.argsort(d2_all, kind="stable")
+            for j in order:
+                yield int(j), float(d2_all[j])
+            return
+        emitted = np.zeros(n, dtype=bool)
+        remaining = n
+        radius = grid.cell_size
+        max_radius = float(np.max(self.bounds.hi - self.bounds.lo)) * 4.0
+        while remaining:
+            if radius > max_radius:
+                # Outliers beyond any sane ball: flush the leftovers with
+                # one full-scan round (same (d2, id) order).
+                ids = np.nonzero(~emitted)[0]
+            else:
+                ids = grid.near_ids(arr, p, radius)
+                ids = ids[~emitted[ids]]
+            if ids.size:
+                emitted[ids] = True
+                remaining -= int(ids.size)
+                d = arr[ids] - p[None, :]
+                d2 = np.sum(d * d, axis=1)
+                for pos in np.lexsort((ids, d2)):
+                    yield int(ids[pos]), float(d2[pos])
+            radius *= 2.0
+
     def _connect_vertex(self, i: int, arr: np.ndarray) -> None:
         """Find up to ``k_neighbors`` collision-free edges for vertex ``i``,
         validating candidate edges in batched windows (one map query per
-        window instead of one per candidate)."""
+        window instead of one per candidate).  Candidates come from the
+        grid-index stream in near-to-far order."""
         p = self._vertices[i]
-        d2 = np.sum((arr - p[None, :]) ** 2, axis=1)
-        order = np.argsort(d2)
+        stream = self._candidate_stream(arr, p)
+        next(stream, None)  # nearest candidate is the vertex itself
         connected = 0
-        pos = 1  # order[0] is the vertex itself
-        while connected < self.k_neighbors and pos < order.size:
-            window = [int(j) for j in order[pos: pos + self.EDGE_WINDOW]]
-            pos += len(window)
+        while connected < self.k_neighbors:
+            window = list(itertools.islice(stream, self.EDGE_WINDOW))
+            if not window:
+                break
             to_check = [
-                j for j in window
+                j for j, _ in window
                 if not any(n == j for n, _ in self._edges[i])
             ]
             if to_check:
@@ -117,14 +182,14 @@ class PrmPlanner:
                 free = dict(zip(to_check, verdicts.tolist()))
             else:
                 free = {}
-            for j in window:
+            for j, d2j in window:
                 if connected >= self.k_neighbors:
                     break
                 if any(n == j for n, _ in self._edges[i]):
                     connected += 1
                     continue
                 if free[j]:
-                    w = float(np.sqrt(d2[j]))
+                    w = float(np.sqrt(d2j))
                     self._edges[i].append((j, w))
                     self._edges[j].append((i, w))
                     connected += 1
@@ -133,6 +198,7 @@ class PrmPlanner:
         """(Re-)sample the roadmap against the current belief map."""
         self._edges = {}
         self._sample_vertices()
+        self._rebuild_grid()
         for i in range(len(self._vertices)):
             self._edges[i] = []
         if len(self._vertices) >= 2:
@@ -146,6 +212,7 @@ class PrmPlanner:
         map query at a time); kept for the equivalence suite."""
         self._vertices = []
         self._edges = {}
+        self._grid = None  # scalar builds don't maintain the grid index
         tries = 0
         while (
             len(self._vertices) < self.n_samples
@@ -165,10 +232,12 @@ class PrmPlanner:
 
     def _connect_vertex_scalar(self, i: int, arr: np.ndarray) -> None:
         """Reference scalar implementation of :meth:`_connect_vertex`
-        (one scalar map query per candidate edge, same order)."""
+        (one scalar map query per candidate edge, same order).  Stable
+        argsort pins the candidate order to (d2, id)-lexicographic — the
+        order the grid-index stream reproduces."""
         p = self._vertices[i]
         d2 = np.sum((arr - p[None, :]) ** 2, axis=1)
-        order = np.argsort(d2)
+        order = np.argsort(d2, kind="stable")
         connected = 0
         for j in order[1:]:
             if connected >= self.k_neighbors:
@@ -274,6 +343,8 @@ class PrmPlanner:
         idx = len(self._vertices)
         self._vertices.append(point.copy())
         self._edges[idx] = []
+        if self._grid is not None and len(self._grid) == idx:
+            self._grid.insert(point)
         if len(self._vertices) >= 2:
             self._connect_vertex(idx, np.stack(self._vertices))
         return idx
@@ -447,22 +518,24 @@ class PrmPlanner:
         self, point: np.ndarray, k: Optional[int] = None
     ) -> List[Tuple[int, float]]:
         """Collision-free connections from a free point to roadmap
-        vertices, validated in batched windows."""
+        vertices, validated in batched windows.  Candidates come from the
+        grid-index stream in near-to-far order."""
         k = k or self.k_neighbors
         arr = np.stack(self._vertices)
-        d2 = np.sum((arr - point[None, :]) ** 2, axis=1)
-        order = np.argsort(d2)
+        stream = self._candidate_stream(arr, point)
         links: List[Tuple[int, float]] = []
-        pos = 0
-        while len(links) < k and pos < order.size:
-            window = [int(j) for j in order[pos: pos + self.EDGE_WINDOW]]
-            pos += len(window)
-            verdicts = self.checker.segments_free(point, arr[window])
-            for j, ok in zip(window, verdicts.tolist()):
+        while len(links) < k:
+            window = list(itertools.islice(stream, self.EDGE_WINDOW))
+            if not window:
+                break
+            verdicts = self.checker.segments_free(
+                point, arr[[j for j, _ in window]]
+            )
+            for (j, d2j), ok in zip(window, verdicts.tolist()):
                 if len(links) >= k:
                     break
                 if ok:
-                    links.append((j, float(np.sqrt(d2[j]))))
+                    links.append((j, float(np.sqrt(d2j))))
         return links
 
     def _connect_point_scalar(
@@ -472,7 +545,7 @@ class PrmPlanner:
         k = k or self.k_neighbors
         arr = np.stack(self._vertices)
         d2 = np.sum((arr - point[None, :]) ** 2, axis=1)
-        order = np.argsort(d2)
+        order = np.argsort(d2, kind="stable")
         links: List[Tuple[int, float]] = []
         for j in order:
             if len(links) >= k:

@@ -28,8 +28,16 @@ def vec(x: float, y: float, z: float) -> np.ndarray:
 
 
 def norm(v: np.ndarray) -> float:
-    """Euclidean norm of a vector."""
-    return float(np.linalg.norm(v))
+    """Euclidean norm of a vector.
+
+    For 1-D input this is ``sqrt(dot(v, v))`` — the exact reduction
+    ``np.linalg.norm`` lowers to, minus its dispatch overhead (this
+    helper sits under every control tick).
+    """
+    a = np.asarray(v, dtype=float)
+    if a.ndim == 1:
+        return float(np.sqrt(np.dot(a, a)))
+    return float(np.linalg.norm(a))
 
 
 def unit(v: np.ndarray) -> np.ndarray:

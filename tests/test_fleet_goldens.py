@@ -1,0 +1,66 @@
+"""Golden-trace regression through the *fleet* execution path.
+
+``tests/test_goldens.py`` pins each workload's canonical short mission
+to a stored metrics digest when flown sequentially.  This suite flies
+all five canonical missions as **one fleet** and checks every mission
+against the *same* stored digests — the strongest end-to-end statement
+of the fleet contract: batched execution reproduces the sequential
+goldens byte-for-byte in outcome space (exact ``success``/``replans``,
+float metrics within the shared 1e-9 relative tolerance).
+
+No separate fleet goldens exist, deliberately: if the fleet ever needed
+its own digest files, bit-identity would already be broken.
+"""
+
+import pytest
+
+from repro.core.api import available_workloads
+from repro.fleet import FleetMission, run_workloads_fleet
+
+from test_goldens import (
+    GOLDEN_MISSIONS,
+    assert_digest_matches,
+    load_golden,
+    report_digest,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_digests():
+    """Fly all five canonical golden missions as one fleet, once."""
+    workloads = sorted(GOLDEN_MISSIONS)
+    missions = []
+    for workload in workloads:
+        kwargs_factory, seed = GOLDEN_MISSIONS[workload]
+        missions.append(
+            FleetMission(
+                workload=workload,
+                seed=seed,
+                cores=4,
+                frequency_ghz=2.2,
+                workload_kwargs=kwargs_factory(),
+            )
+        )
+    results, errors = run_workloads_fleet(missions)
+    for workload, error in zip(workloads, errors):
+        assert error is None, f"fleet golden mission '{workload}' raised: {error}"
+    return {
+        workload: report_digest(workload, mission.seed, result.report)
+        for workload, mission, result in zip(workloads, missions, results)
+    }
+
+
+@pytest.mark.golden
+@pytest.mark.parametrize("workload", sorted(GOLDEN_MISSIONS))
+def test_fleet_golden_trace(workload, fleet_digests):
+    """Each fleet-flown canonical mission matches the sequential golden."""
+    assert_digest_matches(
+        workload, fleet_digests[workload], load_golden(workload),
+        context="golden (fleet path)",
+    )
+
+
+@pytest.mark.golden
+def test_fleet_goldens_cover_every_workload():
+    """The fleet golden sweep must fly every registered workload."""
+    assert sorted(GOLDEN_MISSIONS) == available_workloads()

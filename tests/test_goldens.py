@@ -79,14 +79,9 @@ GOLDEN_MISSIONS = {
 }
 
 
-def fly_golden_mission(workload: str):
-    """Run the canonical short mission and reduce it to the digest shape."""
-    kwargs_factory, seed = GOLDEN_MISSIONS[workload]
-    result = run_workload(
-        workload, cores=4, frequency_ghz=2.2, seed=seed,
-        workload_kwargs=kwargs_factory(),
-    )
-    report = result.report
+def report_digest(workload: str, seed: int, report) -> dict:
+    """Reduce one mission's QoF report to the stored digest shape
+    (shared with the fleet golden suite, tests/test_fleet_goldens.py)."""
     return {
         "workload": workload,
         "seed": seed,
@@ -99,8 +94,45 @@ def fly_golden_mission(workload: str):
     }
 
 
+def fly_golden_mission(workload: str):
+    """Run the canonical short mission and reduce it to the digest shape."""
+    kwargs_factory, seed = GOLDEN_MISSIONS[workload]
+    result = run_workload(
+        workload, cores=4, frequency_ghz=2.2, seed=seed,
+        workload_kwargs=kwargs_factory(),
+    )
+    return report_digest(workload, seed, result.report)
+
+
 def _golden_path(workload: str) -> Path:
     return GOLDEN_DIR / f"{workload}.json"
+
+
+def load_golden(workload: str) -> dict:
+    """The stored digest for ``workload`` (asserts it exists)."""
+    path = _golden_path(workload)
+    assert path.exists(), (
+        f"no golden digest for '{workload}' — generate one with "
+        f"'python -m pytest {__file__} --update-goldens' and commit it"
+    )
+    return json.loads(path.read_text())
+
+
+def assert_digest_matches(workload: str, digest: dict, golden: dict,
+                          context: str = "golden") -> None:
+    """Exact comparison on identity/outcome keys, RTOL on float metrics."""
+    exact_keys = ("workload", "seed", "success", "replans")
+    for key in exact_keys:
+        assert digest[key] == golden[key], (
+            f"{workload}: '{key}' drifted from {context} "
+            f"({golden[key]!r} -> {digest[key]!r})"
+        )
+    for key in sorted(set(golden) - set(exact_keys)):
+        assert digest[key] == pytest.approx(golden[key], rel=RTOL), (
+            f"{workload}: '{key}' drifted from {context} "
+            f"({golden[key]!r} -> {digest[key]!r}); if intentional, "
+            f"re-run with --update-goldens and commit the diff"
+        )
 
 
 @pytest.mark.golden
@@ -114,24 +146,8 @@ def test_golden_trace(workload, update_goldens):
         path.write_text(json.dumps(digest, indent=2, sort_keys=True) + "\n")
         pytest.skip(f"golden updated: {path}")
 
-    assert path.exists(), (
-        f"no golden digest for '{workload}' — generate one with "
-        f"'python -m pytest {__file__} --update-goldens' and commit it"
-    )
-    golden = json.loads(path.read_text())
-
-    exact_keys = ("workload", "seed", "success", "replans")
-    for key in exact_keys:
-        assert digest[key] == golden[key], (
-            f"{workload}: '{key}' drifted from golden "
-            f"({golden[key]!r} -> {digest[key]!r})"
-        )
-    for key in sorted(set(golden) - set(exact_keys)):
-        assert digest[key] == pytest.approx(golden[key], rel=RTOL), (
-            f"{workload}: '{key}' drifted from golden "
-            f"({golden[key]!r} -> {digest[key]!r}); if intentional, "
-            f"re-run with --update-goldens and commit the diff"
-        )
+    golden = load_golden(workload)
+    assert_digest_matches(workload, digest, golden)
 
 
 @pytest.mark.golden

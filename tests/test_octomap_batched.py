@@ -322,6 +322,34 @@ class TestVectorizedQueries:
                 om, box.inflate(margin)
             )
 
+    def test_boxes_queries_match_scalar_twins_batched(self):
+        """The M-box reduceat kernel (ragged column spans + run-length
+        dedupe in ``_boxes_range_query``) vs the per-box scalar twins.
+
+        Consecutive duplicate boxes are injected deliberately: they
+        exercise the dedupe/scatter path, which must answer each run
+        once and fan the result back out unchanged.
+        """
+        om = self._random_map(11)
+        rng = np.random.default_rng(29)
+        centers = rng.uniform(-6.0, 6.0, size=(40, 3))
+        sizes = rng.uniform(0.1, 3.0, size=(40, 3))
+        los = centers - sizes / 2
+        his = centers + sizes / 2
+        # Duplicate a slice of consecutive rows (half-voxel path samples
+        # quantizing to one box is the production shape of this input).
+        los = np.concatenate((los, los[10:15], los[10:11].repeat(4, axis=0)))
+        his = np.concatenate((his, his[10:15], his[10:11].repeat(4, axis=0)))
+        occupied = om.boxes_occupied(los, his)
+        unknown = om.boxes_unknown_fraction(los, his)
+        assert occupied.shape == unknown.shape == (los.shape[0],)
+        for b in range(los.shape[0]):
+            box = AABB(los[b], his[b])
+            assert bool(occupied[b]) == om.region_occupied_scalar(box), b
+            assert float(unknown[b]) == pytest.approx(
+                om.region_unknown_fraction_scalar(box)
+            ), b
+
     def test_queries_see_updates_immediately(self):
         """The lazy index must be invalidated by every write path."""
         om = OctoMap(resolution=0.5)

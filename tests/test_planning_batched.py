@@ -271,6 +271,28 @@ class TestPlannerDifferential:
             p1.rng.bit_generator.state == p2.rng.bit_generator.state
         ), "batched sampling must consume exactly the sequential draws"
 
+    def test_prm_build_rides_grid_index(self):
+        """The batched build must actually stream candidates from the
+        GridIndex (not the full-scan fallback): the roadmap outgrows the
+        brute threshold, the grid mirrors the vertex set, and the
+        roadmap still matches the scalar twin edge-for-edge."""
+        from repro.planning.spatial_index import GridIndex
+
+        checker, bounds = _corridor_checker(0.5)
+        p1 = PrmPlanner(checker, bounds, n_samples=120, seed=5)
+        p1.build()
+        assert p1._grid is not None
+        assert len(p1._grid) == len(p1._vertices)
+        assert len(p1._vertices) > GridIndex.BRUTE_THRESHOLD, (
+            "pin ineffective: roadmap small enough to brute-force, the "
+            "grid-stream path never ran"
+        )
+        p2 = PrmPlanner(checker, bounds, n_samples=120, seed=5)
+        p2.build_scalar()
+        assert p2._grid is None  # scalar builds leave the index unset
+        assert _paths_equal(p1._vertices, p2._vertices)
+        assert p1._edges == p2._edges
+
     @pytest.mark.parametrize("resolution", RESOLUTIONS)
     def test_prm_plan_matches_scalar(self, resolution):
         checker, bounds = _corridor_checker(resolution)
