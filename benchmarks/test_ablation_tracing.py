@@ -19,11 +19,13 @@ mission A/B diff — two mission timings differ by scheduler noise alone,
 which would make a 2% gate flaky; the loop x count bound is stable.
 """
 
+import threading
 import time
 
 from conftest import run_once
 
 from repro.core.api import run_workload
+from repro.fleet import FleetMission, run_workloads_fleet
 from repro.observability import trace
 
 #: Maximum tolerated disabled-instrumentation share of mission wall time.
@@ -91,6 +93,91 @@ def test_disabled_tracer_overhead_budget(benchmark, print_header):
     assert fraction < OVERHEAD_BUDGET, (
         f"disabled tracer costs {100 * fraction:.2f}% of mission wall "
         f"(budget {100 * OVERHEAD_BUDGET:.0f}%) — the fast path regressed"
+    )
+
+
+def _fly_short_fleet(n: int = 3):
+    """The same short scanning mission, n copies flown as one fleet.
+
+    Same seed per member on purpose: every member survives the full
+    mission, so the gate runs at width n for its whole life — the
+    worst case for per-tick gate instrumentation.
+    """
+    missions = [
+        FleetMission(
+            workload="scanning",
+            seed=1,
+            cores=4,
+            frequency_ghz=2.2,
+            workload_kwargs={"area_width": 40.0, "area_length": 24.0},
+        )
+        for _ in range(n)
+    ]
+    labels = [f"m{i}:scanning" for i in range(n)]
+    results, errors = run_workloads_fleet(missions, labels=labels)
+    assert all(error is None for error in errors), errors
+    return results
+
+
+def _noop_span_cost_in_thread() -> float:
+    """Per-call disabled-span cost measured from a *worker* thread.
+
+    Fleet members run on spawned threads, where the disabled fast path
+    additionally misses any main-thread-warmed state; gate the budget
+    from their vantage point, not the main thread's.
+    """
+    out = {}
+
+    def _measure() -> None:
+        reps = []
+        for _ in range(5):
+            t0 = time.perf_counter()
+            _noop_span_loop()
+            reps.append(time.perf_counter() - t0)
+        out["per_call_s"] = sorted(reps)[len(reps) // 2] / LOOP_N
+
+    worker = threading.Thread(target=_measure, name="bench-noop")
+    worker.start()
+    worker.join()
+    return out["per_call_s"]
+
+
+def test_disabled_fleet_tracer_overhead_budget(benchmark, print_header):
+    """The fleet path's disabled-instrumentation budget.
+
+    Since fleets trace (per-mission streams, gate spans, wait/wake
+    histograms), the tick gate carries its own disabled fast path: one
+    ``get_tracer()`` load per park and per gate run.  Same conservative
+    bound as the sequential gate: implied cost = (worker-thread no-op
+    span price) x (events one traced fleet flight actually emits), and
+    that must stay under OVERHEAD_BUDGET of the untraced fleet's wall.
+    """
+    assert not trace.enabled(), "another test leaked an installed tracer"
+
+    per_call_s = _noop_span_cost_in_thread()
+
+    with trace.capture() as tracer:
+        _fly_short_fleet()
+    events = len(tracer.spans) + _metric_event_count(tracer)
+    assert tracer.open_depth == 0
+
+    t0 = time.perf_counter()
+    results = run_once(benchmark, _fly_short_fleet)
+    untraced_s = time.perf_counter() - t0
+    assert all(r.report.success for r in results)
+
+    implied_overhead_s = per_call_s * events
+    fraction = implied_overhead_s / untraced_s
+    print_header("Tracing ablation: disabled-path overhead (fleet of 3)")
+    print(
+        f"noop span (worker thread): {per_call_s * 1e9:.0f} ns/call  x  "
+        f"{events} events = {implied_overhead_s * 1e3:.2f} ms implied "
+        f"({100 * fraction:.3f}% of {untraced_s:.3f}s fleet flight)"
+    )
+    assert fraction < OVERHEAD_BUDGET, (
+        f"disabled fleet tracing costs {100 * fraction:.2f}% of fleet wall "
+        f"(budget {100 * OVERHEAD_BUDGET:.0f}%) — the gate's fast path "
+        "regressed"
     )
 
 

@@ -29,7 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.api import run_workload
 from ..observability import trace as _trace
-from ..observability.export import phase_summary
+from ..observability.export import phase_summary, spans_by_mission, summarize_spans
 from ..scenarios import ScenarioSpec
 from ..scenarios.cache import cache_stats
 from .spec import CampaignSpec, RunSpec
@@ -194,7 +194,27 @@ def execute_runs(
     return records
 
 
-def execute_runs_fleet(runs: List[RunSpec]) -> List[Dict[str, Any]]:
+def _fleet_labels(runs: List[RunSpec]) -> List[str]:
+    """Human-readable, unique-per-batch mission labels for a fleet.
+
+    ``RunSpec.label()`` is what humans grep for in Perfetto; two runs
+    differing only in kwargs the label omits would share a stream (and
+    interleave), so colliding labels gain a run-key suffix.
+    """
+    labels = [run.label() for run in runs]
+    if len(set(labels)) != len(labels):
+        labels = [
+            f"{label} [{run.run_key[:6]}]"
+            for label, run in zip(labels, runs)
+        ]
+    return labels
+
+
+def execute_runs_fleet(
+    runs: List[RunSpec],
+    profile: bool = False,
+    group: str = "fleet",
+) -> List[Dict[str, Any]]:
     """Execute a batch of runs as one fleet (see :mod:`repro.fleet`).
 
     Produces records byte-identical to :func:`execute_runs` — same
@@ -204,14 +224,25 @@ def execute_runs_fleet(runs: List[RunSpec]) -> List[Dict[str, Any]]:
     in the batch reports the batch's shared wall clock instead.
 
     Falls back to plain sequential execution when the batch is too small
-    to amortize anything (``len < 2``) or a tracer is installed (fleet
-    execution refuses to interleave N missions' spans into one stream).
-    """
-    if len(runs) < 2 or _trace.get_tracer() is not None:
-        return execute_runs(runs)
-    from ..fleet import FleetMission, run_workloads_fleet
+    to amortize anything (``len < 2``).  Under an installed tracer the
+    fleet traces normally: each mission's spans land on a stream named
+    after its :meth:`RunSpec.label` in process lane ``group``.
 
-    started = time.perf_counter()
+    With ``profile=True`` the whole fleet flies under one fresh tracer
+    and every record gains a ``"profile"`` dict: that *mission's* phase
+    tree (split out of the shared trace by mission label), plus
+    group-shared blocks — the metrics snapshot, the scenario-cache
+    delta, and a ``"fleet"`` block (group name, member count, and
+    per-member gate wait/wake stats from
+    :func:`repro.fleet.fleet_gate_stats`).  The group-shared blocks are
+    identical across the batch's records; campaign reducers de-duplicate
+    them by group.
+    """
+    if len(runs) < 2:
+        return execute_runs(runs, profile=profile)
+    from ..fleet import FleetMission, fleet_gate_stats, run_workloads_fleet
+
+    labels = _fleet_labels(runs)
     missions = [
         FleetMission(
             workload=run.workload,
@@ -224,10 +255,35 @@ def execute_runs_fleet(runs: List[RunSpec]) -> List[Dict[str, Any]]:
         )
         for run in runs
     ]
-    results, errors = run_workloads_fleet(missions)
+    tracer = None
+    cache_before = cache_stats() if profile else None
+    started = time.perf_counter()
+    if profile:
+        with _trace.capture() as tracer:
+            results, errors = run_workloads_fleet(
+                missions, labels=labels, group=group
+            )
+    else:
+        results, errors = run_workloads_fleet(
+            missions, labels=labels, group=group
+        )
     wall_time_s = time.perf_counter() - started
+    if profile:
+        by_mission = spans_by_mission(tracer.spans)
+        metrics = tracer.metrics.snapshot()
+        cache_after = cache_stats()
+        shared_cache = {
+            "hits": cache_after["hits"] - cache_before["hits"],
+            "misses": cache_after["misses"] - cache_before["misses"],
+            "size": cache_after["size"],
+        }
+        fleet_block = {
+            "group": group,
+            "members": len(runs),
+            "gate": fleet_gate_stats(metrics),
+        }
     records = []
-    for run, result, error in zip(runs, results, errors):
+    for i, (run, result, error) in enumerate(zip(runs, results, errors)):
         record = _base_record(run)
         if result is not None:
             _fill_success(record, run, result)
@@ -239,6 +295,15 @@ def execute_runs_fleet(runs: List[RunSpec]) -> List[Dict[str, Any]]:
                 else RuntimeError("fleet mission produced no result"),
             )
         record["wall_time_s"] = wall_time_s
+        if profile:
+            record["profile"] = {
+                "schema": PROFILE_SCHEMA,
+                "phases": summarize_spans(by_mission.get(labels[i], [])),
+                "metrics": metrics,
+                "scenario_cache": shared_cache,
+                "queue_wait_s": 0.0,
+                "fleet": fleet_block,
+            }
         records.append(record)
     return records
 
@@ -425,10 +490,11 @@ def run_campaign(
         per workload for canonical-world runs).  Stored records are
         byte-identical to sequential execution except ``wall_time_s``,
         which becomes the fleet's shared wall clock.  In-process only —
-        combining with ``jobs>1`` is an error — and silently falls back
-        to sequential execution under ``profile=True`` or an installed
-        tracer (fleets cannot attribute a process-global span stream to
-        one mission).
+        combining with ``jobs>1`` is an error.  Composes with
+        ``profile=True`` (per-mission phase trees split from one shared
+        fleet trace, plus per-group gate stats) and with an installed
+        tracer (``repro campaign timeline``: every fleet group becomes
+        a process lane in the campaign-wide trace).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -461,32 +527,36 @@ def run_campaign(
         if progress is not None:
             progress(record)
 
-    use_fleet = (
-        fleet_batch is not None
-        and fleet_batch > 1
-        and not profile
-        and _trace.get_tracer() is None
-    )
+    use_fleet = fleet_batch is not None and fleet_batch > 1
     if jobs == 1 or len(pending) <= 1:
         if use_fleet:
             # Fleet mode: chunks fly as lockstep batches; records commit
             # per run, in chunk order, exactly as sequential mode would.
-            for chunk in _fleet_groups(pending, fleet_batch):
-                for run, record in zip(chunk, execute_runs_fleet(chunk)):
+            # Each group gets its own trace process lane (timeline mode)
+            # and its own gate-stats block (profile mode).
+            for gi, chunk in enumerate(_fleet_groups(pending, fleet_batch)):
+                chunk_records = execute_runs_fleet(
+                    chunk, profile=profile, group=f"fleet-{gi}"
+                )
+                for run, record in zip(chunk, chunk_records):
                     _commit(run, record)
         else:
             # In-process execution shares this process's scenario cache
             # already — no batching needed for amortization.  Queue wait
             # is zero by construction: each run starts the moment it is
-            # due.
+            # due.  Under an outer tracer (`repro campaign timeline`)
+            # each run's spans collect on a mission stream named after
+            # its label, so even a sequential campaign renders one
+            # swimlane per run.
             for run in pending:
-                with _trace.span("campaign.execute", "campaign") as _sp:
-                    _sp.set(run_key=run.run_key)
-                    record = execute_run(
-                        run,
-                        profile=profile,
-                        queue_wait_s=0.0 if profile else None,
-                    )
+                with _trace.mission_scope(run.label(), group="campaign"):
+                    with _trace.span("campaign.execute", "campaign") as _sp:
+                        _sp.set(run_key=run.run_key)
+                        record = execute_run(
+                            run,
+                            profile=profile,
+                            queue_wait_s=0.0 if profile else None,
+                        )
                 _commit(run, record)
     else:
         batches = _batch_pending(pending, jobs, batch)

@@ -16,6 +16,7 @@ Examples
     python -m repro run package_delivery --trace trace.json
     python -m repro profile package_delivery --seed 1
     python -m repro profile mapping --trace trace.json --json profile.json
+    python -m repro profile scanning --fleet 3 --trace fleet_trace.json
     python -m repro sweep mapping --seeds 1 2 --jobs 4
     python -m repro campaign --workloads scanning mapping --seeds 1 2 \\
         --jobs 4 --out store.jsonl
@@ -27,6 +28,8 @@ Examples
         --out store.jsonl
     python -m repro campaign --spec study.json --shard 1/2 --out stores/
     python -m repro campaign merge --spec study.json --out stores/
+    python -m repro campaign timeline --workloads scanning --seeds 1 2 \\
+        --fleet 2 --trace campaign_trace.json
     python -m repro run package_delivery --scenario urban:0.7
     python -m repro list
 """
@@ -67,6 +70,9 @@ from .observability.export import (
     format_phase_tree,
     merge_phase_summaries,
     phase_summary,
+    spans_by_mission,
+    summarize_spans,
+    validate_chrome_trace,
     write_chrome_trace,
 )
 from .perception.detection import DETECTORS
@@ -151,6 +157,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fly a scenario-family world instead of the canonical one",
     )
     profile_p.add_argument(
+        "--fleet", type=int, metavar="K", default=None,
+        help="profile K copies of the workload (seeds SEED..SEED+K-1) "
+             "flown as one traced fleet: the phase tree gains the "
+             "fleet.gate subtree and per-member gate wait/wake stats",
+    )
+    profile_p.add_argument(
         "--trace", metavar="OUT.json",
         help="also write the span trace as Chrome trace-event JSON",
     )
@@ -192,10 +204,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a declarative mission study (parallel, resumable, shardable)",
     )
     campaign_p.add_argument(
-        "action", nargs="?", choices=["run", "merge"], default="run",
+        "action", nargs="?", choices=["run", "merge", "timeline"],
+        default="run",
         help="'run' (default) executes the campaign (or one --shard of "
              "it); 'merge' folds the shard stores under --out back into "
-             "one canonical store",
+             "one canonical store; 'timeline' runs the campaign under "
+             "the span tracer and writes one campaign-wide Chrome trace "
+             "(--trace OUT.json) with a lane per mission / fleet group",
     )
     campaign_p.add_argument(
         "--spec", help="JSON campaign spec file (flags below override it)"
@@ -253,7 +268,12 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_p.add_argument(
         "--profile", action="store_true",
         help="attach per-run phase/metrics profiles to the records and "
-             "print a campaign-wide phase summary",
+             "print a campaign-wide phase summary (with --fleet: "
+             "per-mission phase trees plus per-group gate stats)",
+    )
+    campaign_p.add_argument(
+        "--trace", metavar="OUT.json",
+        help="with 'timeline': write the campaign-wide Chrome trace here",
     )
 
     sub.add_parser("list", help="list workloads, environments, kernels")
@@ -316,11 +336,126 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if report.success else 1
 
 
+def _print_metrics_snapshot(snapshot: dict) -> None:
+    print("\ncounters:")
+    for name, value in sorted(snapshot["counters"].items()):
+        print(f"  {name}: {value}")
+    print("histograms:")
+    for name, stats in sorted(snapshot["histograms"].items()):
+        print(
+            f"  {name}: count={stats['count']} sum={stats.get('sum', 0):g} "
+            f"min={stats.get('min', 0):g} max={stats.get('max', 0):g}"
+        )
+
+
+def _gate_stat_lines(gate: dict, indent: str = "  ") -> List[str]:
+    """Render a :func:`repro.fleet.fleet_gate_stats` block for humans."""
+    lines = [
+        f"{indent}ticks={gate['ticks']} retired={gate['retired']}"
+    ]
+    for kind, title in (("wait", "gate wait"), ("wake", "wake latency")):
+        for member in sorted(gate[kind]):
+            hist = gate[kind][member]
+            if not hist.get("count"):
+                continue
+            lines.append(
+                f"{indent}{title} {member}: n={hist['count']} "
+                f"mean={hist['mean'] * 1e3:.3f}ms "
+                f"max={hist['max'] * 1e3:.3f}ms "
+                f"total={hist['sum']:.3f}s"
+            )
+    return lines
+
+
+def _profile_fleet(args: argparse.Namespace, workload_kwargs: dict) -> int:
+    """Fly K copies of the workload as one traced fleet; print the merged
+    phase tree (with the ``fleet.gate`` subtree) and per-member gate
+    contention stats."""
+    from .fleet import FleetMission, fleet_gate_stats, run_workloads_fleet
+
+    if args.fleet < 2:
+        print("--fleet needs K >= 2 (use plain 'repro profile' for one)")
+        return 2
+    missions = [
+        FleetMission(
+            workload=args.workload,
+            seed=args.seed + i,
+            cores=args.cores,
+            frequency_ghz=args.frequency,
+            depth_noise_std=args.depth_noise,
+            workload_kwargs=workload_kwargs or None,
+        )
+        for i in range(args.fleet)
+    ]
+    wall_t0 = time.perf_counter()
+    with _trace.capture() as tracer:
+        results, errors = run_workloads_fleet(missions)
+    wall_s = time.perf_counter() - wall_t0
+    for i, (result, error) in enumerate(zip(results, errors)):
+        if result is not None:
+            print(f"m{i}:{args.workload} seed={args.seed + i}: "
+                  f"{result.report.summary()}")
+        else:
+            print(f"m{i}:{args.workload} seed={args.seed + i}: "
+                  f"FAILED ({error})")
+    print(
+        f"\nprofiled fleet of {args.fleet} × {args.workload} "
+        f"({args.cores}c @ {args.frequency:g}GHz): "
+        f"{len(tracer.spans)} spans, {wall_s:.3f}s wall"
+    )
+    # Mission lanes overlap in host time, so shares are relative to the
+    # tree's own summed total, not the shared wall clock.
+    print(format_phase_tree(aggregate_phases(tracer.spans)))
+    snapshot = tracer.metrics.snapshot()
+    gate = fleet_gate_stats(snapshot)
+    print("\nfleet gate:")
+    for line in _gate_stat_lines(gate):
+        print(line)
+    if args.metrics:
+        _print_metrics_snapshot(snapshot)
+    if args.trace:
+        doc = write_chrome_trace(args.trace, tracer, process_name="repro-fleet")
+        print(
+            f"\ntrace: {args.trace} ({len(doc['traceEvents'])} events, "
+            f"{len(doc['otherData']['lanes'])} lanes)"
+        )
+    if args.json_out:
+        payload = {
+            "schema": "repro-profile/1",
+            "workload": args.workload,
+            "seed": args.seed,
+            "cores": args.cores,
+            "frequency_ghz": args.frequency,
+            "fleet": args.fleet,
+            "wall_s": wall_s,
+            "success": all(
+                r is not None and r.report.success for r in results
+            ),
+            "phases": phase_summary(tracer),
+            "missions": {
+                label: summarize_spans(spans)
+                for label, spans in spans_by_mission(tracer.spans).items()
+                if label is not None
+            },
+            "gate": gate,
+            "metrics": snapshot,
+        }
+        Path(args.json_out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"profile json: {args.json_out}")
+    return (
+        0
+        if all(r is not None and r.report.success for r in results)
+        else 1
+    )
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Fly one mission under the tracer and print where host time went."""
     workload_kwargs = {}
     if args.scenario is not None:
         workload_kwargs["scenario"] = args.scenario
+    if args.fleet is not None:
+        return _profile_fleet(args, workload_kwargs)
     wall_t0 = time.perf_counter()
     with _trace.capture() as tracer:
         result = run_workload(
@@ -341,16 +476,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     print(format_phase_tree(aggregate_phases(tracer.spans), wall_s=wall_s))
     if args.metrics:
-        snapshot = tracer.metrics.snapshot()
-        print("\ncounters:")
-        for name, value in sorted(snapshot["counters"].items()):
-            print(f"  {name}: {value}")
-        print("histograms:")
-        for name, stats in sorted(snapshot["histograms"].items()):
-            print(
-                f"  {name}: count={stats['count']} sum={stats['sum']:g} "
-                f"min={stats['min']:g} max={stats['max']:g}"
-            )
+        _print_metrics_snapshot(tracer.metrics.snapshot())
     if args.trace:
         doc = write_chrome_trace(args.trace, tracer)
         print(f"\ntrace: {args.trace} ({len(doc['traceEvents'])} events)")
@@ -517,6 +643,14 @@ def _cmd_campaign_merge(
 def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.action == "merge":
         return _cmd_campaign_merge(parser, args)
+    if args.action == "timeline":
+        if not args.trace:
+            parser.error("campaign timeline requires --trace OUT.json")
+        if args.jobs != 1:
+            parser.error(
+                "campaign timeline traces in-process; drop --jobs "
+                "(use --fleet K for in-process batching)"
+            )
     spec = _campaign_spec_from_args(parser, args)
 
     store = None
@@ -565,19 +699,44 @@ def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
 
     if args.fleet is not None and args.jobs != 1:
         parser.error("--fleet batches missions in-process; drop --jobs")
-    campaign = run_campaign(
-        spec,
-        jobs=args.jobs,
-        store=store,
-        progress=_progress,
-        shard=args.shard,
-        profile=args.profile,
-        fleet_batch=args.fleet,
-    )
+
+    def _execute():
+        return run_campaign(
+            spec,
+            jobs=args.jobs,
+            store=store,
+            progress=_progress,
+            shard=args.shard,
+            profile=args.profile,
+            fleet_batch=args.fleet,
+        )
+
+    timeline_tracer = None
+    if args.action == "timeline":
+        with _trace.capture() as timeline_tracer:
+            campaign = _execute()
+    else:
+        campaign = _execute()
     print()
     print(campaign.summary())
     if store is not None:
         print(f"store: {store.path}")
+
+    if timeline_tracer is not None:
+        doc = write_chrome_trace(
+            args.trace, timeline_tracer, process_name="repro-campaign"
+        )
+        problems = validate_chrome_trace(doc)
+        lanes = doc["otherData"]["lanes"]
+        print(
+            f"timeline: {args.trace} ({len(doc['traceEvents'])} events, "
+            f"{len(lanes)} mission lanes, "
+            f"{doc['otherData']['wall_s']:.3f}s wall)"
+        )
+        if problems:
+            for problem in problems:
+                print(f"  invalid: {problem}")
+            return 1
 
     if args.profile:
         profiles = [
@@ -588,8 +747,21 @@ def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
             waits = [
                 p["queue_wait_s"] for p in profiles if "queue_wait_s" in p
             ]
-            hits = sum(p["scenario_cache"]["hits"] for p in profiles)
-            misses = sum(p["scenario_cache"]["misses"] for p in profiles)
+            # Fleet members share one scenario-cache delta and one gate
+            # block per group; count each group once, not per member.
+            hits = misses = 0
+            gate_by_group = {}
+            seen_groups = set()
+            for p in profiles:
+                fleet = p.get("fleet")
+                if fleet is not None:
+                    group = fleet["group"]
+                    if group in seen_groups:
+                        continue
+                    seen_groups.add(group)
+                    gate_by_group[group] = fleet
+                hits += p["scenario_cache"]["hits"]
+                misses += p["scenario_cache"]["misses"]
             print(f"\n--- profile ({len(profiles)} runs) ---")
             print(format_phase_summary(merged))
             if waits:
@@ -598,6 +770,11 @@ def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
                     f"max {max(waits):.3f}s"
                 )
             print(f"scenario cache: {hits} hits, {misses} misses")
+            for group in sorted(gate_by_group):
+                fleet = gate_by_group[group]
+                print(f"{group} ({fleet['members']} missions):")
+                for line in _gate_stat_lines(fleet["gate"]):
+                    print(line)
 
     if args.shard is not None:
         # A shard is a partial matrix: heatmaps would silently average

@@ -24,12 +24,18 @@ from .kernels import (
     wrap_angles,
 )
 from .pipeline import FleetPerceptionAccel
-from .runner import FleetCoordinator, FleetMission, run_workloads_fleet
+from .runner import (
+    FleetCoordinator,
+    FleetMission,
+    fleet_gate_stats,
+    run_workloads_fleet,
+)
 
 __all__ = [
     "FleetMission",
     "FleetCoordinator",
     "FleetPerceptionAccel",
+    "fleet_gate_stats",
     "run_workloads_fleet",
     "batched_norms",
     "wrap_angles",

@@ -34,17 +34,35 @@ remaining fleet keeps ticking; a mission that is re-planning simply
 isn't calling ``step`` from a kernel completion — planning happens
 inside the gate's compute phase via its scheduler callbacks, so slow
 planners stall only their own mission's tick, never the batch protocol.
+
+Tracing (see ``docs/observability.md``): fleets run under an installed
+tracer.  Each member's spans land on its own mission stream
+(:func:`repro.observability.trace.mission_scope`), the gate emits a
+``fleet.gate`` span subtree on a dedicated gate stream with
+``control``/``dynamics``/``compute``/``sense``/``energy`` children, and
+the gate runner re-attributes each member's compute phase (planning
+callbacks included) to that member's stream — so a fleet trace splits
+into per-mission phase trees identical in shape to sequential ones.
+Gate contention lands in per-member histograms: ``fleet.gate.wait.<m>``
+(arrival → release, i.e. stragglers + the gate run; the gate runner
+itself records 0) and ``fleet.gate.wake.<m>`` (release → resumption —
+the wake overhead that grows with N).  When no tracer is installed the
+gate pays one ``get_tracer()`` check per park and a handful of shared
+no-op context managers per tick, gated <2% in
+``benchmarks/test_ablation_tracing.py``.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core import fleet_hook
 from ..core.api import WorkloadResult, run_workload
 from ..observability import trace as _trace
+from ..observability.trace import _NOOP
 from .kernels import (
     FleetBatchArrays,
     control_step_batch,
@@ -54,7 +72,12 @@ from .kernels import (
 )
 from .pipeline import FleetPerceptionAccel
 
-__all__ = ["FleetMission", "FleetCoordinator", "run_workloads_fleet"]
+__all__ = [
+    "FleetMission",
+    "FleetCoordinator",
+    "fleet_gate_stats",
+    "run_workloads_fleet",
+]
 
 
 @dataclass
@@ -80,7 +103,10 @@ class FleetCoordinator:
     order), batched sensing and energy.  The gate runs while holding the
     condition lock — safe, because every other fleet thread is blocked
     in ``wait_for`` at that moment and mission code never re-enters
-    ``sim.step`` from a scheduler callback.
+    ``sim.step`` from a scheduler callback.  The same lock is what makes
+    gate-side *tracing* sound: the runner may push spans onto a parked
+    member's mission stream (attributing that member's compute phase)
+    because the member cannot resume until the gate releases it.
 
     Per-mission failures stay per-mission: an exception raised by a
     mission's compute phase (a planner blowing up, a workload callback
@@ -90,7 +116,7 @@ class FleetCoordinator:
     cannot be attributed to one mission — poisons the whole batch.
     """
 
-    def __init__(self, expected: int) -> None:
+    def __init__(self, expected: int, group: str = "fleet") -> None:
         self._cond = threading.Condition()
         self._expected = expected
         self._retired = 0
@@ -102,17 +128,36 @@ class FleetCoordinator:
         self._errors: Dict[int, BaseException] = {}
         self._arrays: Optional[FleetBatchArrays] = None
         self.ticks = 0
+        #: group name — the trace's process lane for this fleet.
+        self.group = group
+        self._gate_label = f"{group}.gate"
+        #: thread ident -> mission label (set before enrollment).
+        self._thread_labels: Dict[int, str] = {}
+        #: sim id -> mission label (fixed at enrollment).
+        self._labels: Dict[int, str] = {}
+        #: perf_counter at the most recent gate release (wake latency).
+        self._wake_t0 = 0.0
+        #: member-label tuple last stamped onto a gate span.
+        self._traced_members: Optional[Tuple[str, ...]] = None
 
     # ------------------------------------------------------------------
     # Enrollment (installed as the thread-local sim adopter)
     # ------------------------------------------------------------------
+    def set_thread_label(self, label: str) -> None:
+        """Name the calling thread's mission (trace/metric attribution)."""
+        with self._cond:
+            self._thread_labels[threading.get_ident()] = label
+
     def enroll(self, sim) -> None:
         """Adopt a freshly built sim into the fleet (thread-local hook)."""
         with self._cond:
             sim._fleet = self
-            self._order[id(sim)] = self._enrolled
+            order = self._enrolled
+            self._order[id(sim)] = order
             self._enrolled += 1
-            self._by_thread.setdefault(threading.get_ident(), []).append(sim)
+            ident = threading.get_ident()
+            self._by_thread.setdefault(ident, []).append(sim)
+            self._labels[id(sim)] = self._thread_labels.get(ident, f"m{order}")
 
     def adopt_pipeline(self, pipeline) -> None:
         """Install the perception fast paths on a fleet member's pipeline:
@@ -122,19 +167,42 @@ class FleetCoordinator:
         pipeline._accel = accel
         pipeline.checker._fleet_free = accel.free_space
 
+    def _member_label(self, sim) -> str:
+        return self._labels.get(id(sim)) or f"m{self._order.get(id(sim), 0)}"
+
     # ------------------------------------------------------------------
     # The tick gate
     # ------------------------------------------------------------------
     def step(self, sim) -> None:
         """Park ``sim``'s thread until the fleet's next tick has run."""
         ident = threading.get_ident()
+        tracer = _trace.get_tracer()
         with self._cond:
             generation = self._generation
             self._waiting[ident] = sim
             if len(self._waiting) == self._expected - self._retired:
                 self._run_gate()
-            else:
+                if tracer is not None:
+                    # The runner never parks: zero wait, by definition.
+                    label = self._member_label(sim)
+                    tracer.metrics.histogram(
+                        f"fleet.gate.wait.{label}"
+                    ).observe(0.0)
+            elif tracer is None:
                 self._cond.wait_for(lambda: self._generation != generation)
+            else:
+                t0 = time.perf_counter()
+                self._cond.wait_for(lambda: self._generation != generation)
+                t1 = time.perf_counter()
+                label = self._member_label(sim)
+                metrics = tracer.metrics
+                metrics.histogram(f"fleet.gate.wait.{label}").observe(t1 - t0)
+                # _wake_t0 is this generation's release stamp: the next
+                # gate cannot run (and restamp it) until this waiter has
+                # re-parked, so the read is race-free under the lock.
+                metrics.histogram(f"fleet.gate.wake.{label}").observe(
+                    t1 - self._wake_t0
+                )
             error = self._errors.pop(id(sim), None)
         if error is not None:
             raise error
@@ -148,11 +216,15 @@ class FleetCoordinator:
         gate on their behalf so they don't wait forever.
         """
         ident = threading.get_ident()
+        tracer = _trace.get_tracer()
         with self._cond:
             for sim in self._by_thread.pop(ident, []):
                 sim._fleet = None
                 self._order.pop(id(sim), None)
             self._waiting.pop(ident, None)
+            if tracer is not None:
+                tracer.metrics.counter("fleet.gate.retired").inc()
+            self._thread_labels.pop(ident, None)
             self._retired += 1
             remaining = self._expected - self._retired
             if remaining > 0 and len(self._waiting) == remaining:
@@ -167,43 +239,155 @@ class FleetCoordinator:
         return self._arrays
 
     def _run_gate(self) -> None:
-        """Advance the whole parked fleet by one tick (lock held)."""
+        """Advance the whole parked fleet by one tick (lock held).
+
+        The traced and untraced paths execute the *same* statements in
+        the same order — tracing only brackets them with spans (shared
+        no-ops when disabled), preserving the bit-identity contract.
+        """
+        tracer = _trace.get_tracer()
         sims = sorted(self._waiting.values(), key=lambda s: self._order[id(s)])
-        try:
-            dts = [sim.config.dt for sim in sims]
-            cache = self._arrays_for(sims, dts)
-            control_step_batch(sims, dts)
-            dynamics_step_batch(sims, dts, cache)
-            live: List[Any] = []
-            live_dts: List[float] = []
-            for sim, dt in zip(sims, dts):
-                try:
-                    sim.clock.advance(dt)
-                    sim.scheduler.advance_to(sim.clock.now)
-                except BaseException as exc:  # per-mission: planning blew up
-                    self._errors[id(sim)] = exc
-                else:
-                    live.append(sim)
-                    live_dts.append(dt)
-            if live:
-                live_cache = (
-                    cache
-                    if len(live) == len(sims)
-                    else FleetBatchArrays(live, live_dts)
-                )
-                sense_check_batch(live, live_cache)
-                energy_step_batch(live, live_dts, live_cache)
-        except BaseException as exc:  # batched kernel itself failed
-            for sim in sims:
-                self._errors.setdefault(id(sim), exc)
+        if tracer is None:
+            gate_scope = gate_span = _NOOP
+        else:
+            gate_scope = tracer.use_stream(self._gate_label, self.group)
+            gate_span = _GateSpan(self, tracer, sims)
+        with gate_scope, gate_span:
+            try:
+                dts = [sim.config.dt for sim in sims]
+                cache = self._arrays_for(sims, dts)
+                with _phase(tracer, "control"):
+                    control_step_batch(sims, dts)
+                with _phase(tracer, "dynamics"):
+                    dynamics_step_batch(sims, dts, cache)
+                live: List[Any] = []
+                live_dts: List[float] = []
+                with _phase(tracer, "compute"):
+                    for sim, dt in zip(sims, dts):
+                        try:
+                            with self._member_compute(tracer, sim):
+                                sim.clock.advance(dt)
+                                sim.scheduler.advance_to(sim.clock.now)
+                        except BaseException as exc:  # planning blew up
+                            self._errors[id(sim)] = exc
+                        else:
+                            live.append(sim)
+                            live_dts.append(dt)
+                if live:
+                    live_cache = (
+                        cache
+                        if len(live) == len(sims)
+                        else FleetBatchArrays(live, live_dts)
+                    )
+                    with _phase(tracer, "sense"):
+                        sense_check_batch(live, live_cache)
+                    with _phase(tracer, "energy"):
+                        energy_step_batch(live, live_dts, live_cache)
+            except BaseException as exc:  # batched kernel itself failed
+                for sim in sims:
+                    self._errors.setdefault(id(sim), exc)
+        if tracer is not None:
+            tracer.metrics.counter("fleet.gate.ticks").inc()
         self.ticks += 1
         self._generation += 1
         self._waiting.clear()
+        self._wake_t0 = time.perf_counter()
         self._cond.notify_all()
+
+    def _member_compute(self, tracer, sim):
+        """Attribute one member's compute phase to its mission stream.
+
+        The span nests under the spans the member's parked thread left
+        open (``mission/fly``), so a fleet member's ``tick.compute`` —
+        planning callbacks included — lands exactly where the
+        sequential path would put it.
+        """
+        if tracer is None:
+            return _NOOP
+        return _MemberCompute(tracer, self._member_label(sim))
+
+
+class _MemberCompute:
+    """``use_stream(member) + span('tick.compute')`` as one context."""
+
+    __slots__ = ("_tracer", "_label", "_scope", "_span")
+
+    def __init__(self, tracer, label: str) -> None:
+        self._tracer = tracer
+        self._label = label
+
+    def __enter__(self):
+        self._scope = self._tracer.use_stream(self._label)
+        self._scope.__enter__()
+        self._span = self._tracer.span("tick.compute", "compute")
+        return self._span.__enter__()
+
+    def __exit__(self, *exc):
+        self._span.__exit__(*exc)
+        self._scope.__exit__(*exc)
+
+
+class _GateSpan:
+    """The per-tick ``fleet.gate`` root span, with membership attrs."""
+
+    __slots__ = ("_coord", "_tracer", "_sims", "_span")
+
+    def __init__(self, coord: FleetCoordinator, tracer, sims: List[Any]) -> None:
+        self._coord = coord
+        self._tracer = tracer
+        self._sims = sims
+
+    def __enter__(self):
+        self._span = self._tracer.span("fleet.gate", "fleet")
+        sp = self._span.__enter__()
+        members = tuple(self._coord._member_label(s) for s in self._sims)
+        sp.set(n=len(members))
+        if members != self._coord._traced_members:
+            # Full member list only on membership change (enroll/retire)
+            # keeps per-tick span payloads O(1).
+            sp.set(members=list(members))
+            self._coord._traced_members = members
+        return sp
+
+    def __exit__(self, *exc):
+        self._span.__exit__(*exc)
+
+
+def _phase(tracer, name: str):
+    """A gate-phase child span, or the shared no-op when untraced."""
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, "fleet")
+
+
+def fleet_gate_stats(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Extract the gate-contention block from a metrics snapshot.
+
+    Returns ``{"ticks", "retired", "wait": {member: hist}, "wake":
+    {member: hist}}`` — empty member dicts when the snapshot holds no
+    fleet metrics (e.g. a sequential run).  Both ``repro profile
+    --fleet`` and the campaign fleet profile report through here.
+    """
+    counters = snapshot.get("counters", {})
+    waits: Dict[str, Any] = {}
+    wakes: Dict[str, Any] = {}
+    for name, hist in snapshot.get("histograms", {}).items():
+        if name.startswith("fleet.gate.wait."):
+            waits[name[len("fleet.gate.wait."):]] = hist
+        elif name.startswith("fleet.gate.wake."):
+            wakes[name[len("fleet.gate.wake."):]] = hist
+    return {
+        "ticks": counters.get("fleet.gate.ticks", 0),
+        "retired": counters.get("fleet.gate.retired", 0),
+        "wait": waits,
+        "wake": wakes,
+    }
 
 
 def run_workloads_fleet(
     missions: Sequence[FleetMission],
+    labels: Optional[Sequence[str]] = None,
+    group: str = "fleet",
 ) -> Tuple[List[Optional[WorkloadResult]], List[Optional[BaseException]]]:
     """Fly ``missions`` as one fleet; returns ``(results, errors)``.
 
@@ -211,33 +395,40 @@ def run_workloads_fleet(
     if it raised — in which case ``errors[i]`` holds the exception.  The
     call returns when every mission has finished or failed.
 
-    Tracing is process-global and would interleave N missions' spans
-    into one stream, so fleets refuse to run under an installed tracer —
-    profile sequentially instead (the campaign layer enforces the same
-    rule by falling back to sequential execution).
+    Under an installed tracer each mission's spans collect on a stream
+    named ``labels[i]`` (default ``"m{i}:{workload}"``) in process lane
+    ``group``, and the tick gate adds its own ``{group}.gate`` lane plus
+    per-member wait/wake histograms — see ``docs/observability.md``.
+    Tracing never alters execution: results stay byte-identical.
     """
-    if _trace.get_tracer() is not None:
-        raise RuntimeError(
-            "fleet execution is incompatible with tracing; "
-            "run sequentially to profile"
-        )
     missions = list(missions)
-    coordinator = FleetCoordinator(expected=len(missions))
+    if labels is None:
+        labels = [f"m{i}:{m.workload}" for i, m in enumerate(missions)]
+    else:
+        labels = list(labels)
+        if len(labels) != len(missions):
+            raise ValueError(
+                f"labels/missions length mismatch "
+                f"({len(labels)} vs {len(missions)})"
+            )
+    coordinator = FleetCoordinator(expected=len(missions), group=group)
     results: List[Optional[WorkloadResult]] = [None] * len(missions)
     errors: List[Optional[BaseException]] = [None] * len(missions)
 
-    def _fly(index: int, mission: FleetMission) -> None:
+    def _fly(index: int, mission: FleetMission, label: str) -> None:
         fleet_hook.set_adopter(coordinator.enroll)
+        coordinator.set_thread_label(label)
         try:
-            results[index] = run_workload(
-                mission.workload,
-                cores=mission.cores,
-                frequency_ghz=mission.frequency_ghz,
-                seed=mission.seed,
-                depth_noise_std=mission.depth_noise_std,
-                workload_kwargs=mission.workload_kwargs,
-                **(mission.sim_kwargs or {}),
-            )
+            with _trace.mission_scope(label, group):
+                results[index] = run_workload(
+                    mission.workload,
+                    cores=mission.cores,
+                    frequency_ghz=mission.frequency_ghz,
+                    seed=mission.seed,
+                    depth_noise_std=mission.depth_noise_std,
+                    workload_kwargs=mission.workload_kwargs,
+                    **(mission.sim_kwargs or {}),
+                )
         except BaseException as exc:
             errors[index] = exc
         finally:
@@ -245,7 +436,9 @@ def run_workloads_fleet(
             coordinator.retire()
 
     threads = [
-        threading.Thread(target=_fly, args=(i, m), name=f"fleet-{i}")
+        threading.Thread(
+            target=_fly, args=(i, m, labels[i]), name=f"fleet-{i}"
+        )
         for i, m in enumerate(missions)
     ]
     for thread in threads:

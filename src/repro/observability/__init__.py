@@ -5,11 +5,16 @@ and ``repro campaign --profile``: nested host+sim-time spans over the
 simulator's tick phases, the perception inserts, every planner call, and
 the campaign runner, plus a counters/gauges/histograms registry and
 exporters to Chrome trace-event JSON / CSV / self-total phase trees.
+Fleet execution traces too: per-mission span streams keep N concurrent
+mission threads from interleaving, and the Chrome exporter renders a
+fleet as parallel swimlanes (one per mission, plus the tick-gate lane).
 
 Tracing is **off by default** and the disabled fast path is a single
-global check (overhead gated in ``benchmarks/test_ablation_tracing.py``),
-so the instrumentation lives permanently in the hot paths without taxing
-benches or tests.  See ``docs/observability.md`` for the span taxonomy.
+global check (overhead gated in ``benchmarks/test_ablation_tracing.py``,
+including from inside a fleet thread), so the instrumentation lives
+permanently in the hot paths without taxing benches or tests.  See
+``docs/observability.md`` for the span taxonomy and the fleet
+attribution model.
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -21,6 +26,7 @@ from .trace import (
     enabled,
     get_tracer,
     install,
+    mission_scope,
     observe,
     set_sim_clock,
     span,
@@ -28,6 +34,7 @@ from .trace import (
 )
 from .export import (
     PhaseNode,
+    READABLE_TRACE_SCHEMAS,
     TRACE_SCHEMA,
     aggregate_phases,
     chrome_trace,
@@ -35,7 +42,9 @@ from .export import (
     format_phase_tree,
     merge_phase_summaries,
     phase_summary,
+    spans_by_mission,
     spans_to_csv,
+    summarize_spans,
     validate_chrome_trace,
     write_chrome_trace,
 )
@@ -46,6 +55,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "PhaseNode",
+    "READABLE_TRACE_SCHEMAS",
     "Span",
     "TRACE_SCHEMA",
     "Tracer",
@@ -59,11 +69,14 @@ __all__ = [
     "get_tracer",
     "install",
     "merge_phase_summaries",
+    "mission_scope",
     "observe",
     "phase_summary",
     "set_sim_clock",
     "span",
+    "spans_by_mission",
     "spans_to_csv",
+    "summarize_spans",
     "uninstall",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -6,16 +6,23 @@ Three consumers, three shapes:
   Trace Event Format (``"X"`` complete events, microsecond timestamps
   relative to the tracer origin) so a mission trace drops straight into
   the standard timeline UI.  Simulated time rides along in each event's
-  ``args``.
+  ``args``.  Mission-attributed spans (fleet members, campaign runs)
+  map to Perfetto **swimlanes**: each fleet/worker group becomes a
+  process lane and each mission a thread lane within it, so a traced
+  fleet renders as N parallel mission tracks plus a gate track.
 * **Flat CSV** — :func:`spans_to_csv` for spreadsheet/pandas digestion.
 * **Phase tree** — :func:`aggregate_phases` folds spans into a
   self/total-time tree keyed by span path; :func:`format_phase_tree`
   renders the ``repro profile`` output and :func:`phase_summary`
   flattens it into the JSON dict campaign records attach.
+  :func:`spans_by_mission` splits a concurrent trace back into
+  per-mission span lists so each mission gets its own tree.
 
-The Chrome export carries a schema tag (``otherData.schema``) and
-:func:`validate_chrome_trace` pins the invariants CI's traced-mission
-smoke checks, so the format cannot drift silently.
+The Chrome export carries a schema tag (``otherData.schema``,
+currently ``repro-trace/2`` — ``/1`` documents, which predate mission
+lanes, still validate) and :func:`validate_chrome_trace` pins the
+invariants CI's traced-mission smoke checks, so the format cannot
+drift silently.
 """
 
 from __future__ import annotations
@@ -32,25 +39,34 @@ from .trace import Span, Tracer
 __all__ = [
     "PhaseNode",
     "TRACE_SCHEMA",
+    "READABLE_TRACE_SCHEMAS",
     "aggregate_phases",
     "chrome_trace",
     "format_phase_summary",
     "format_phase_tree",
     "merge_phase_summaries",
     "phase_summary",
+    "spans_by_mission",
     "spans_to_csv",
+    "summarize_spans",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]
 
 #: Schema tag stamped into every exported Chrome trace document.
-TRACE_SCHEMA = "repro-trace/1"
+#: ``/2`` added mission→pid/tid swimlane mapping and the
+#: ``otherData.lanes`` index; ``/1`` single-lane documents remain valid.
+TRACE_SCHEMA = "repro-trace/2"
+
+#: Schema tags :func:`validate_chrome_trace` accepts.
+READABLE_TRACE_SCHEMAS = ("repro-trace/1", "repro-trace/2")
 
 #: CSV column order for :func:`spans_to_csv`.
 CSV_FIELDS = [
     "path",
     "name",
     "category",
+    "mission",
     "start_s",
     "duration_s",
     "sim_start_s",
@@ -62,6 +78,63 @@ CSV_FIELDS = [
 # ----------------------------------------------------------------------
 # Chrome trace-event JSON
 # ----------------------------------------------------------------------
+def _lane_map(
+    tracer: Tracer, process_name: str
+) -> Tuple[Dict[Optional[str], Tuple[int, int]], List[Dict[str, Any]]]:
+    """Assign every mission stream a (pid, tid) lane + metadata events.
+
+    Lane model: the anonymous stream (sequential missions, the main
+    thread) is ``(os.getpid(), 0)`` named after ``process_name``; each
+    distinct mission *group* (a fleet, a campaign worker) gets its own
+    process lane, and each mission within it a thread lane, numbered in
+    first-appearance order over ``tracer.spans`` so lane ids are
+    deterministic for a given trace.
+    """
+    base_pid = os.getpid()
+    groups = tracer.mission_groups  # label -> group (None = ungrouped)
+    group_pids: Dict[Optional[str], int] = {None: base_pid}
+    lanes: Dict[Optional[str], Tuple[int, int]] = {None: (base_pid, 0)}
+    next_tid: Dict[int, int] = {base_pid: 1}
+    for sp in tracer.spans:
+        label = sp.mission
+        if label in lanes:
+            continue
+        group = groups.get(label)
+        pid = group_pids.get(group)
+        if pid is None:
+            pid = base_pid + len(group_pids)
+            group_pids[group] = pid
+            next_tid[pid] = 0
+        tid = next_tid[pid]
+        next_tid[pid] = tid + 1
+        lanes[label] = (pid, tid)
+
+    meta: List[Dict[str, Any]] = []
+    for group, pid in group_pids.items():
+        meta.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": process_name if group is None else group},
+            }
+        )
+    for label, (pid, tid) in lanes.items():
+        if label is None:
+            continue
+        meta.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": label},
+            }
+        )
+    return lanes, meta
+
+
 def chrome_trace(
     tracer: Tracer, process_name: str = "repro-mission"
 ) -> Dict[str, Any]:
@@ -70,19 +143,14 @@ def chrome_trace(
     Events are ``ph="X"`` (complete) with microsecond ``ts``/``dur``
     relative to the tracer's origin; simulated time (when the span
     carried it) lands in ``args.sim_t0_s``/``args.sim_dur_s`` so the
-    Perfetto UI shows both clocks.
+    Perfetto UI shows both clocks.  Mission-attributed spans land on
+    their mission's (pid, tid) swimlane; ``otherData.lanes`` indexes
+    the mapping (mission label -> pid/tid/group).
     """
-    pid = os.getpid()
-    events: List[Dict[str, Any]] = [
-        {
-            "ph": "M",
-            "pid": pid,
-            "tid": 0,
-            "name": "process_name",
-            "args": {"name": process_name},
-        }
-    ]
+    lanes, events = _lane_map(tracer, process_name)
+    groups = tracer.mission_groups
     for sp in tracer.spans:
+        pid, tid = lanes.get(sp.mission, lanes[None])
         args: Dict[str, Any] = {"depth": len(sp.path)}
         if sp.sim_t0 is not None and sp.sim_t1 is not None:
             args["sim_t0_s"] = sp.sim_t0
@@ -93,7 +161,7 @@ def chrome_trace(
             {
                 "ph": "X",
                 "pid": pid,
-                "tid": 0,
+                "tid": tid,
                 "name": sp.name,
                 "cat": sp.category,
                 "ts": (sp.t0 - tracer.origin) * 1e6,
@@ -101,6 +169,11 @@ def chrome_trace(
                 "args": args,
             }
         )
+    lane_index = {
+        label: {"pid": pid, "tid": tid, "group": groups.get(label)}
+        for label, (pid, tid) in lanes.items()
+        if label is not None
+    }
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -108,6 +181,7 @@ def chrome_trace(
             "schema": TRACE_SCHEMA,
             "spans": len(tracer.spans),
             "wall_s": tracer.wall_s(),
+            "lanes": lane_index,
             "metrics": tracer.metrics.snapshot(),
         },
     }
@@ -128,19 +202,22 @@ def write_chrome_trace(
 def validate_chrome_trace(doc: Any) -> List[str]:
     """Structural problems with a Chrome trace document (empty = valid).
 
-    Pins the invariants the exporters promise: the schema tag, the
-    event-list shape, and for every ``"X"`` event a name plus
-    non-negative numeric ``ts``/``dur``.  CI's traced-mission smoke and
-    the schema tests both run through here, so producer and checker
-    cannot drift apart.
+    Pins the invariants the exporters promise: a known schema tag
+    (``repro-trace/1`` or ``/2``), the event-list shape, and for every
+    ``"X"`` event a name plus non-negative numeric ``ts``/``dur``.
+    CI's traced-mission smoke and the schema tests both run through
+    here, so producer and checker cannot drift apart.
     """
     problems: List[str] = []
     if not isinstance(doc, dict):
         return [f"trace document must be a dict, got {type(doc).__name__}"]
     other = doc.get("otherData")
-    if not isinstance(other, dict) or other.get("schema") != TRACE_SCHEMA:
+    if (
+        not isinstance(other, dict)
+        or other.get("schema") not in READABLE_TRACE_SCHEMAS
+    ):
         problems.append(
-            f"otherData.schema must be '{TRACE_SCHEMA}' "
+            f"otherData.schema must be one of {READABLE_TRACE_SCHEMAS} "
             f"(got {other.get('schema') if isinstance(other, dict) else other!r})"
         )
     events = doc.get("traceEvents")
@@ -183,6 +260,7 @@ def spans_to_csv(tracer: Tracer) -> str:
                 "path": "/".join(sp.path),
                 "name": sp.name,
                 "category": sp.category,
+                "mission": sp.mission or "",
                 "start_s": f"{sp.t0 - tracer.origin:.9f}",
                 "duration_s": f"{sp.duration_s:.9f}",
                 "sim_start_s": "" if sp.sim_t0 is None else f"{sp.sim_t0:.6f}",
@@ -234,6 +312,12 @@ def aggregate_phases(spans: Sequence[Span]) -> PhaseNode:
     the root's ``total_s`` is the sum of its children (so
     ``root.self_s == 0`` and the tree's self-times sum to exactly the
     traced wall time).
+
+    Works on any span list — a whole trace, or one mission's slice from
+    :func:`spans_by_mission`.  Note that aggregating a *concurrent*
+    trace sums host time across lanes: a fleet-of-3's tree totals ~3
+    mission-lanes' worth of (GIL-interleaved) wall, plus the gate lane
+    that overlaps them.
     """
     root = PhaseNode(name="", path=())
     for sp in spans:
@@ -253,14 +337,26 @@ def aggregate_phases(spans: Sequence[Span]) -> PhaseNode:
     return root
 
 
-def phase_summary(tracer: Tracer) -> Dict[str, Dict[str, float]]:
-    """Flat JSON-shaped phase aggregation: ``"a/b" -> stats``.
+def spans_by_mission(
+    spans: Sequence[Span],
+) -> Dict[Optional[str], List[Span]]:
+    """Split a span list by mission label, first-appearance ordered.
 
-    The per-run profile dict campaign records attach (and flight logs
-    export): slash-joined span path to count/total/self/sim totals,
-    deterministically ordered.
+    The ``None`` key collects unattributed spans (the anonymous
+    per-thread streams — e.g. campaign bookkeeping on the main thread).
+    Each value feeds :func:`aggregate_phases`/:func:`summarize_spans`
+    directly, which is how fleet profiles get one phase tree per
+    mission out of one concurrent trace.
     """
-    root = aggregate_phases(tracer.spans)
+    out: Dict[Optional[str], List[Span]] = {}
+    for sp in spans:
+        out.setdefault(sp.mission, []).append(sp)
+    return out
+
+
+def summarize_spans(spans: Sequence[Span]) -> Dict[str, Dict[str, float]]:
+    """Flat JSON-shaped phase aggregation of a span list."""
+    root = aggregate_phases(spans)
     out: Dict[str, Dict[str, float]] = {}
     for node in root.walk()[1:]:  # skip the synthetic root
         out["/".join(node.path)] = {
@@ -270,6 +366,16 @@ def phase_summary(tracer: Tracer) -> Dict[str, Dict[str, float]]:
             "sim_total_s": node.sim_total_s,
         }
     return out
+
+
+def phase_summary(tracer: Tracer) -> Dict[str, Dict[str, float]]:
+    """Flat JSON-shaped phase aggregation: ``"a/b" -> stats``.
+
+    The per-run profile dict campaign records attach (and flight logs
+    export): slash-joined span path to count/total/self/sim totals,
+    deterministically ordered.
+    """
+    return summarize_spans(tracer.spans)
 
 
 def merge_phase_summaries(
@@ -329,7 +435,9 @@ def format_phase_tree(
     Columns: indented phase name, call count, total time, self time,
     and self time as a share of ``wall_s`` (defaulting to the tree's
     own total).  A trailing line reports coverage — how much of the
-    measured wall time the tree's self-times explain.
+    measured wall time the tree's self-times explain.  For concurrent
+    (fleet) trees pass ``wall_s=None``: lanes overlap in host time, so
+    shares are only meaningful relative to the tree's summed total.
     """
     wall = wall_s if wall_s and wall_s > 0 else max(root.total_s, 1e-12)
     rows: List[Tuple[str, str, str, str, str]] = []

@@ -2,19 +2,30 @@
 
 The registry complements spans: spans say *where time went*, metrics say
 *how often and how big* — replans per mission, collision-query batch
-sizes, scenario-cache hits, campaign queue waits.  Everything reduces to
-a deterministic JSON-shaped snapshot so campaign records and the
-``repro profile`` CLI can persist them.
+sizes, scenario-cache hits, campaign queue waits, fleet gate waits.
+Everything reduces to a deterministic JSON-shaped snapshot so campaign
+records and the ``repro profile`` CLI can persist them.
 
 Histograms keep count/sum/min/max plus power-of-two buckets (a value
 ``v`` lands in bucket ``ceil(log2(v))``), which is enough to answer
 "what batch sizes does the collision checker actually see?" without
 storing every observation.
+
+Thread safety: fleet execution increments metrics from N mission
+threads concurrently, so every mutation runs under a lock shared across
+the registry (standalone instruments own a private lock).  The GIL
+makes single-bytecode updates atomic, but ``inc``/``observe`` are
+read-modify-write sequences — without the lock a preemption between the
+read and the write silently drops updates (pinned by the hammer test in
+``tests/test_observability.py``).  Only enabled-path traffic pays: the
+disabled fast path in :mod:`repro.observability.trace` never reaches a
+registry.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Dict, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
@@ -23,33 +34,37 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: Optional[threading.Lock] = None) -> None:
         self.value = 0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
     """A last-value-wins measurement."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: Optional[threading.Lock] = None) -> None:
         self.value: Optional[float] = None
+        self._lock = lock if lock is not None else threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
 
 class Histogram:
     """Streaming distribution summary with power-of-two buckets."""
 
-    __slots__ = ("count", "sum", "min", "max", "buckets")
+    __slots__ = ("count", "sum", "min", "max", "buckets", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: Optional[threading.Lock] = None) -> None:
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
@@ -58,36 +73,39 @@ class Histogram:
         #: values in (2**(e-1), 2**e] (and e=0 holds (0, 1]; values
         #: <= 0 land in a dedicated "le0" bucket).
         self.buckets: Dict[str, int] = {}
+        self._lock = lock if lock is not None else threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
         if value <= 0.0:
             key = "le0"
         else:
             key = str(max(math.ceil(math.log2(value)), 0))
-        self.buckets[key] = self.buckets.get(key, 0) + 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self.buckets[key] = self.buckets.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
     def snapshot(self) -> Dict[str, Any]:
-        if not self.count:
-            return {"count": 0}
-        return {
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-            "buckets": {k: self.buckets[k] for k in sorted(self.buckets)},
-        }
+        with self._lock:
+            if not self.count:
+                return {"count": 0}
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.mean,
+                "buckets": {k: self.buckets[k] for k in sorted(self.buckets)},
+            }
 
 
 class MetricsRegistry:
@@ -96,9 +114,14 @@ class MetricsRegistry:
     Metric kinds live in separate namespaces; asking for a ``counter``
     under a name previously used as a ``histogram`` raises, so a typo'd
     call site cannot silently split a metric across kinds.
+
+    One registry-wide lock covers both registration (get-or-create races
+    from concurrent fleet threads must not mint two instruments for one
+    name) and every instrument's mutations (the instruments share it).
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -111,37 +134,43 @@ class MetricsRegistry:
                 )
 
     def counter(self, name: str) -> Counter:
-        c = self._counters.get(name)
-        if c is None:
-            self._check_unique(name, self._counters)
-            c = self._counters[name] = Counter()
-        return c
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                self._check_unique(name, self._counters)
+                c = self._counters[name] = Counter(self._lock)
+            return c
 
     def gauge(self, name: str) -> Gauge:
-        g = self._gauges.get(name)
-        if g is None:
-            self._check_unique(name, self._gauges)
-            g = self._gauges[name] = Gauge()
-        return g
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                self._check_unique(name, self._gauges)
+                g = self._gauges[name] = Gauge(self._lock)
+            return g
 
     def histogram(self, name: str) -> Histogram:
-        h = self._histograms.get(name)
-        if h is None:
-            self._check_unique(name, self._histograms)
-            h = self._histograms[name] = Histogram()
-        return h
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                self._check_unique(name, self._histograms)
+                h = self._histograms[name] = Histogram(self._lock)
+            return h
 
     def snapshot(self) -> Dict[str, Any]:
         """Deterministic JSON-shaped dump of every registered metric."""
-        return {
-            "counters": {
+        with self._lock:
+            counters = {
                 k: self._counters[k].value for k in sorted(self._counters)
-            },
-            "gauges": {
+            }
+            gauges = {
                 k: self._gauges[k].value for k in sorted(self._gauges)
-            },
-            "histograms": {
-                k: self._histograms[k].snapshot()
-                for k in sorted(self._histograms)
-            },
+            }
+            histograms = list(
+                (k, self._histograms[k]) for k in sorted(self._histograms)
+            )
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {k: h.snapshot() for k, h in histograms},
         }

@@ -13,17 +13,24 @@ Design constraints, in order:
 1. **Zero behavioral impact.**  Tracing touches only ``perf_counter``
    and the tracer's own buffers — never the simulation RNG, the sim
    clock, or any mission state.  Golden traces are bit-identical with
-   tracing on (pinned by ``tests/test_observability.py``).
+   tracing on (pinned by ``tests/test_observability.py`` and the traced
+   fleet golden suite).
 2. **A disabled fast path.**  Instrumentation sites call
    :func:`span`/:func:`count`/:func:`observe`, which reduce to a single
    global ``is None`` check plus a shared no-op context manager when no
    tracer is installed.  The per-call overhead is gated in CI
-   (``benchmarks/test_ablation_tracing.py``), so always-on
-   instrumentation of per-tick phases stays free for every existing
-   bench and test.
-3. **One process, one tracer.**  The tracer is installed per process
-   (missions are single-threaded); campaign pool workers install a
-   fresh tracer around each profiled run via :func:`capture`.
+   (``benchmarks/test_ablation_tracing.py`` — including from inside a
+   fleet thread), so always-on instrumentation of per-tick phases stays
+   free for every existing bench and test.
+3. **One process, one tracer; many streams.**  The tracer installs per
+   process (``install``/``capture``) but collects spans into
+   *per-stream* stacks: every thread gets its own anonymous stream, and
+   a **mission-labeled** stream can be entered from any thread via
+   :func:`mission_scope` (fleet threads) or
+   :meth:`Tracer.use_stream` (the fleet tick gate re-attributing a
+   member's compute phase).  N fleet threads therefore trace
+   concurrently without interleaving one another's span nesting, and
+   every span carries the mission it belongs to.
 
 Usage::
 
@@ -38,10 +45,16 @@ Instrumentation sites use the module-level helpers::
     with trace.span("plan.rrt", "planning") as sp:
         result = self._plan(start, goal)
         sp.set(iterations=result.iterations)
+
+Fleet attribution model (see ``docs/observability.md``)::
+
+    with trace.mission_scope("m0:scanning", group="fleet"):
+        run_workload("scanning")   # spans tagged mission="m0:scanning"
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
@@ -56,6 +69,7 @@ __all__ = [
     "enabled",
     "get_tracer",
     "install",
+    "mission_scope",
     "observe",
     "set_sim_clock",
     "span",
@@ -73,25 +87,37 @@ class Span:
         ("planning").
     path:
         Tuple of ancestor names root→self; the phase-aggregation key.
+    mission:
+        The mission (stream) label this span belongs to, or ``None``
+        for the anonymous per-thread stream (sequential missions, the
+        main thread).  Exporters map missions to Perfetto swimlanes.
     t0 / t1:
         Host ``perf_counter`` timestamps (absolute; exporters subtract
         the tracer origin).
     sim_t0 / sim_t1:
         Simulated mission time at entry/exit when a sim clock is
-        registered, else ``None``.
+        registered on the span's stream, else ``None``.
     attrs:
         Free-form JSON-shaped annotations (iteration counts, batch
         sizes, ...).
     """
 
     __slots__ = (
-        "name", "category", "path", "t0", "t1", "sim_t0", "sim_t1", "attrs"
+        "name", "category", "path", "mission",
+        "t0", "t1", "sim_t0", "sim_t1", "attrs",
     )
 
-    def __init__(self, name: str, category: str, path: Tuple[str, ...]) -> None:
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        path: Tuple[str, ...],
+        mission: Optional[str] = None,
+    ) -> None:
         self.name = name
         self.category = category
         self.path = path
+        self.mission = mission
         self.t0 = 0.0
         self.t1 = 0.0
         self.sim_t0: Optional[float] = None
@@ -157,6 +183,49 @@ class _SpanContext:
         self._tracer.finish(self._span)
 
 
+class _Stream:
+    """One span stream: an open-span stack plus its attribution.
+
+    Streams come in two flavors sharing this class: *anonymous*
+    per-thread streams (``label is None`` — the classic sequential
+    path) and *named* mission streams shared by label (a fleet member's
+    mission, or a fleet gate lane).  A named stream may be driven from
+    more than one thread — the member's own thread, and the gate-runner
+    thread re-attributing that member's compute phase — but never
+    concurrently: the fleet tick gate serializes those accesses under
+    its condition lock, which also provides the happens-before ordering
+    for the stack.
+    """
+
+    __slots__ = ("label", "group", "stack", "sim_clock")
+
+    def __init__(self, label: Optional[str], group: Optional[str] = None) -> None:
+        self.label = label
+        self.group = group
+        self.stack: List[Span] = []
+        self.sim_clock: Optional[Callable[[], float]] = None
+
+
+class _StreamScope:
+    """Context manager swapping the calling thread's current stream."""
+
+    __slots__ = ("_tracer", "_stream", "_prev")
+
+    def __init__(self, tracer: "Tracer", stream: _Stream) -> None:
+        self._tracer = tracer
+        self._stream = stream
+        self._prev: Optional[_Stream] = None
+
+    def __enter__(self) -> _Stream:
+        tls = self._tracer._tls
+        self._prev = getattr(tls, "stream", None)
+        tls.stream = self._stream
+        return self._stream
+
+    def __exit__(self, *exc: Any) -> None:
+        self._tracer._tls.stream = self._prev
+
+
 class Tracer:
     """Collects spans and metrics for one process-local trace.
 
@@ -164,9 +233,10 @@ class Tracer:
     ----------
     sim_clock:
         Optional zero-argument callable returning the current simulated
-        time; each :class:`Simulation` registers its clock on
-        construction (see :func:`set_sim_clock`), so spans carry mission
-        time alongside host time.
+        time — the *default* clock for streams that never registered
+        their own.  Each :class:`Simulation` registers its clock on its
+        current stream on construction (see :func:`set_sim_clock`), so
+        spans carry mission time alongside host time, per mission.
     """
 
     def __init__(self, sim_clock: Optional[Callable[[], float]] = None) -> None:
@@ -174,16 +244,67 @@ class Tracer:
         self.metrics = MetricsRegistry()
         self.sim_clock = sim_clock
         self.origin = time.perf_counter()
-        self._stack: List[Span] = []
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        #: mission label -> named stream (fleet members, gate lanes).
+        self._named: Dict[str, _Stream] = {}
+        #: every stream ever created, for the balance check.
+        self._streams: List[_Stream] = []
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def _current_stream(self) -> _Stream:
+        stream = getattr(self._tls, "stream", None)
+        if stream is None:
+            stream = _Stream(None)
+            with self._lock:
+                self._streams.append(stream)
+            self._tls.stream = stream
+        return stream
+
+    def stream_for(self, label: str, group: Optional[str] = None) -> _Stream:
+        """The named stream for ``label``, created on first use."""
+        with self._lock:
+            stream = self._named.get(label)
+            if stream is None:
+                stream = _Stream(label, group)
+                self._named[label] = stream
+                self._streams.append(stream)
+            elif group is not None and stream.group is None:
+                stream.group = group
+        return stream
+
+    def use_stream(
+        self, label: str, group: Optional[str] = None
+    ) -> _StreamScope:
+        """Context manager: run the block attributed to mission ``label``.
+
+        Spans opened inside nest on that mission's stream (under
+        whatever spans it already has open), carry its sim clock, and
+        are tagged ``mission=label``.  Entering a stream another thread
+        is *parked* on is legal — the fleet gate does exactly that to
+        attribute a member's compute phase — as long as accesses are
+        externally serialized (the gate's condition lock).
+        """
+        return _StreamScope(self, self.stream_for(label, group))
+
+    @property
+    def mission_groups(self) -> Dict[str, Optional[str]]:
+        """Mission label -> fleet/worker group (for exporter lanes)."""
+        with self._lock:
+            return {label: s.group for label, s in self._named.items()}
 
     # ------------------------------------------------------------------
     def start(self, name: str, category: str = "mission") -> Span:
-        """Open a span nested under the innermost open span."""
-        stack = self._stack
+        """Open a span nested under the stream's innermost open span."""
+        stream = self._current_stream()
+        stack = stream.stack
         parent_path = stack[-1].path if stack else ()
-        sp = Span(name, category, parent_path + (name,))
-        if self.sim_clock is not None:
-            sp.sim_t0 = self.sim_clock()
+        sp = Span(name, category, parent_path + (name,), stream.label)
+        clock = stream.sim_clock or self.sim_clock
+        if clock is not None:
+            sp.sim_t0 = clock()
         sp.t0 = time.perf_counter()
         stack.append(sp)
         return sp
@@ -193,9 +314,11 @@ class Tracer:
         if sp is None:
             return
         sp.t1 = time.perf_counter()
-        if self.sim_clock is not None:
-            sp.sim_t1 = self.sim_clock()
-        stack = self._stack
+        stream = self._current_stream()
+        clock = stream.sim_clock or self.sim_clock
+        if clock is not None:
+            sp.sim_t1 = clock()
+        stack = stream.stack
         # Normal case: sp is the innermost open span.  An instrumentation
         # bug (finish out of order) drops the orphans rather than
         # corrupting nesting for the rest of the trace.
@@ -203,7 +326,8 @@ class Tracer:
             top = stack.pop()
             if top is sp:
                 break
-        self.spans.append(sp)
+        with self._lock:
+            self.spans.append(sp)
 
     def span(self, name: str, category: str = "mission") -> _SpanContext:
         """Context manager opening/closing one span."""
@@ -211,12 +335,17 @@ class Tracer:
 
     @property
     def open_depth(self) -> int:
-        """How many spans are currently open (0 = balanced trace)."""
-        return len(self._stack)
+        """How many spans are open across *all* streams (0 = balanced)."""
+        with self._lock:
+            return sum(len(s.stack) for s in self._streams)
 
     def wall_s(self) -> float:
         """Host seconds since the tracer was created."""
         return time.perf_counter() - self.origin
+
+    def set_stream_clock(self, clock: Callable[[], float]) -> None:
+        """Register a simulated-time source on the current stream."""
+        self._current_stream().sim_clock = clock
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +410,23 @@ def span(name: str, category: str = "mission"):
     return _SpanContext(t, name, category)
 
 
+@contextmanager
+def mission_scope(label: str, group: Optional[str] = None) -> Iterator[None]:
+    """Attribute every span in the block to mission ``label``.
+
+    The fleet runner wraps each member's ``run_workload`` in one of
+    these (and the campaign timeline wraps each sequential run), so a
+    trace of N concurrent missions splits cleanly into N streams.  A
+    shared no-op when tracing is disabled.
+    """
+    t = _TRACER
+    if t is None:
+        yield
+        return
+    with t.use_stream(label, group):
+        yield
+
+
 def count(name: str, n: int = 1) -> None:
     """Bump a counter on the installed tracer's metrics registry."""
     t = _TRACER
@@ -299,8 +445,10 @@ def set_sim_clock(clock: Callable[[], float]) -> None:
     """Register the simulated-time source with the installed tracer.
 
     Called by :class:`~repro.core.simulator.Simulation` on construction;
-    a no-op when tracing is disabled (the overwhelmingly common case).
+    the clock attaches to the *current stream* (the constructing
+    mission's), so fleet members each stamp their own mission time.  A
+    no-op when tracing is disabled (the overwhelmingly common case).
     """
     t = _TRACER
     if t is not None:
-        t.sim_clock = clock
+        t.set_stream_clock(clock)

@@ -105,6 +105,100 @@ class TestCliObservability:
         assert "scenario cache" in out
 
 
+class TestCliFleetObservability:
+    def test_profile_fleet_prints_gate_subtree(self, capsys):
+        code = main(["profile", "scanning", "--seed", "1", "--fleet", "2"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "profiled fleet of 2" in out
+        assert "fleet.gate" in out
+        assert "fleet gate:" in out
+        assert "gate wait m0:scanning" in out
+        assert "gate wait m1:scanning" in out
+        assert "wake latency" in out
+
+    def test_profile_fleet_json_and_trace_artifacts(self, capsys, tmp_path):
+        import json
+
+        from repro.observability import validate_chrome_trace
+
+        json_path = tmp_path / "profile.json"
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["profile", "scanning", "--seed", "1", "--fleet", "2",
+             "--json", str(json_path), "--trace", str(trace_path)]
+        )
+        assert code in (0, 1)
+        doc = json.loads(json_path.read_text())
+        assert doc["schema"] == "repro-profile/1"
+        assert doc["fleet"] == 2
+        assert "fleet.gate" in doc["phases"]
+        assert set(doc["gate"]["wait"]) == {"m0:scanning", "m1:scanning"}
+        assert set(doc["missions"]) >= {"m0:scanning", "m1:scanning"}
+        trace_doc = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace_doc) == []
+        lanes = trace_doc["otherData"]["lanes"]
+        assert "fleet.gate" in lanes
+        assert {"m0:scanning", "m1:scanning"} <= set(lanes)
+
+    def test_profile_fleet_rejects_singleton(self, capsys):
+        assert main(["profile", "scanning", "--fleet", "1"]) == 2
+        assert "--fleet needs K >= 2" in capsys.readouterr().out
+
+    def test_campaign_timeline_writes_campaign_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.observability import validate_chrome_trace
+
+        trace_path = tmp_path / "campaign_trace.json"
+        code = main(
+            ["campaign", "timeline", "--workloads", "scanning",
+             "--grid", "4x2.2", "--seeds", "1", "2",
+             "--fleet", "2", "--trace", str(trace_path)]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert f"timeline: {trace_path}" in out
+        assert "invalid:" not in out
+        doc = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        lanes = doc["otherData"]["lanes"]
+        gate_lanes = [label for label in lanes if label.endswith(".gate")]
+        assert gate_lanes, lanes
+        assert all(
+            lanes[label]["group"] == "fleet-0" for label in gate_lanes
+        )
+        assert len(lanes) >= 3  # two missions + the gate lane
+
+    def test_campaign_timeline_sequential_lanes(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "campaign_trace.json"
+        code = main(
+            ["campaign", "timeline", "--workloads", "scanning"]
+            + TINY + ["--trace", str(trace_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"timeline: {trace_path}" in out
+        doc = json.loads(trace_path.read_text())
+        lanes = doc["otherData"]["lanes"]
+        # One lane per sequential run, all in the campaign group.
+        assert len(lanes) == 2
+        assert all(v["group"] == "campaign" for v in lanes.values())
+
+    def test_campaign_timeline_requires_trace(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "timeline", "--workloads", "scanning"] + TINY)
+
+    def test_campaign_timeline_rejects_jobs(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["campaign", "timeline", "--workloads", "scanning"] + TINY
+                + ["--jobs", "2", "--trace", str(tmp_path / "t.json")]
+            )
+
+
 class TestCliSweep:
     def test_metric_selects_printed_heatmap(self, capsys):
         """Regression: --metric used to only affect the corner-ratio line

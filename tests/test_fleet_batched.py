@@ -235,12 +235,89 @@ def test_run_workloads_fleet_matches_run_workload():
         assert result.kernel_stats == reference.kernel_stats
 
 
-def test_fleet_refuses_installed_tracer():
+def test_fleet_traces_with_per_mission_attribution():
+    """Fleets run under an installed tracer (PR 9): results stay
+    byte-identical to untraced execution, every mission's spans land on
+    its own labeled stream, and the gate emits its fleet.gate subtree
+    plus per-member wait/wake histograms."""
+    from repro.fleet import fleet_gate_stats
     from repro.observability import trace as _trace
 
-    with _trace.capture():
-        with pytest.raises(RuntimeError, match="tracing"):
-            run_workloads_fleet([FleetMission(workload="scanning")])
+    missions = [
+        FleetMission(
+            workload="aerial_photography",
+            seed=seed,
+            workload_kwargs={"max_duration_s": 30.0},
+        )
+        for seed in (1, 2)
+    ]
+    reference, _ = run_workloads_fleet(missions)
+    with _trace.capture() as tracer:
+        results, errors = run_workloads_fleet(missions)
+    assert errors == [None, None]
+    for ref, result in zip(reference, results):
+        assert asdict(result.report) == asdict(ref.report)
+
+    labels = {sp.mission for sp in tracer.spans}
+    assert "m0:aerial_photography" in labels
+    assert "m1:aerial_photography" in labels
+    assert "fleet.gate" in labels
+    # Each mission stream nests exactly like a sequential trace.
+    for label in ("m0:aerial_photography", "m1:aerial_photography"):
+        paths = {
+            "/".join(sp.path) for sp in tracer.spans if sp.mission == label
+        }
+        assert "mission" in paths
+        assert "mission/fly" in paths
+        assert "mission/fly/tick.compute" in paths
+    gate_paths = {
+        "/".join(sp.path)
+        for sp in tracer.spans
+        if sp.mission == "fleet.gate"
+    }
+    assert {
+        "fleet.gate",
+        "fleet.gate/control",
+        "fleet.gate/dynamics",
+        "fleet.gate/compute",
+        "fleet.gate/sense",
+        "fleet.gate/energy",
+    } <= gate_paths
+    assert tracer.open_depth == 0
+
+    gate = fleet_gate_stats(tracer.metrics.snapshot())
+    assert gate["ticks"] > 0
+    assert gate["retired"] == 2
+    assert set(gate["wait"]) == {
+        "m0:aerial_photography", "m1:aerial_photography"
+    }
+    for hist in gate["wait"].values():
+        assert hist["count"] > 0
+
+
+def test_fleet_tracing_disabled_records_no_gate_metrics():
+    """Without a tracer the gate's instrumentation must stay fully
+    dormant (no spans anywhere to record into, no histograms)."""
+    from repro.observability import trace as _trace
+
+    assert _trace.get_tracer() is None
+    results, errors = run_workloads_fleet(
+        [
+            FleetMission(
+                workload="aerial_photography",
+                seed=1,
+                workload_kwargs={"max_duration_s": 10.0},
+            ),
+            FleetMission(
+                workload="aerial_photography",
+                seed=2,
+                workload_kwargs={"max_duration_s": 10.0},
+            ),
+        ]
+    )
+    assert errors == [None, None]
+    assert all(r is not None for r in results)
+    assert _trace.get_tracer() is None
 
 
 # ----------------------------------------------------------------------

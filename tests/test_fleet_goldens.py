@@ -10,12 +10,25 @@ float metrics within the shared 1e-9 relative tolerance).
 
 No separate fleet goldens exist, deliberately: if the fleet ever needed
 its own digest files, bit-identity would already be broken.
+
+The fleet flies **under an installed span tracer**: since PR 9 fleets
+trace (per-mission streams + the gate lane), so the goldens pin the
+strictest combination — tracing enabled AND fleet-batched — and the
+trace itself must be structurally valid with every mission's phase
+self-times covering ≥90% of that mission's traced wall.
 """
 
 import pytest
 
 from repro.core.api import available_workloads
 from repro.fleet import FleetMission, run_workloads_fleet
+from repro.observability import trace
+from repro.observability.export import (
+    aggregate_phases,
+    chrome_trace,
+    spans_by_mission,
+    validate_chrome_trace,
+)
 
 from test_goldens import (
     GOLDEN_MISSIONS,
@@ -26,8 +39,8 @@ from test_goldens import (
 
 
 @pytest.fixture(scope="module")
-def fleet_digests():
-    """Fly all five canonical golden missions as one fleet, once."""
+def fleet_flight():
+    """Fly all five canonical golden missions as one *traced* fleet, once."""
     workloads = sorted(GOLDEN_MISSIONS)
     missions = []
     for workload in workloads:
@@ -41,23 +54,65 @@ def fleet_digests():
                 workload_kwargs=kwargs_factory(),
             )
         )
-    results, errors = run_workloads_fleet(missions)
+    with trace.capture() as tracer:
+        results, errors = run_workloads_fleet(missions)
     for workload, error in zip(workloads, errors):
         assert error is None, f"fleet golden mission '{workload}' raised: {error}"
-    return {
+    digests = {
         workload: report_digest(workload, mission.seed, result.report)
         for workload, mission, result in zip(workloads, missions, results)
     }
+    return digests, tracer
+
+
+@pytest.fixture(scope="module")
+def fleet_digests(fleet_flight):
+    return fleet_flight[0]
 
 
 @pytest.mark.golden
 @pytest.mark.parametrize("workload", sorted(GOLDEN_MISSIONS))
 def test_fleet_golden_trace(workload, fleet_digests):
-    """Each fleet-flown canonical mission matches the sequential golden."""
+    """Each traced, fleet-flown canonical mission matches the
+    sequential golden digest bit-for-bit."""
     assert_digest_matches(
         workload, fleet_digests[workload], load_golden(workload),
-        context="golden (fleet path)",
+        context="golden (traced fleet path)",
     )
+
+
+@pytest.mark.golden
+def test_fleet_golden_trace_is_valid_chrome_trace(fleet_flight):
+    """The trace the golden fleet emitted passes the schema validator
+    and renders one swimlane per mission plus the gate lane."""
+    _, tracer = fleet_flight
+    assert tracer.open_depth == 0
+    doc = chrome_trace(tracer, process_name="repro-fleet")
+    assert validate_chrome_trace(doc) == []
+    lanes = doc["otherData"]["lanes"]
+    mission_lanes = [label for label in lanes if not label.endswith(".gate")]
+    assert len(mission_lanes) == len(GOLDEN_MISSIONS)
+    assert "fleet.gate" in lanes
+    coords = {(v["pid"], v["tid"]) for v in lanes.values()}
+    assert len(coords) == len(lanes)
+
+
+@pytest.mark.golden
+def test_fleet_golden_trace_per_mission_coverage(fleet_flight):
+    """Per-mission phase self-times explain ≥90% of that mission's
+    traced wall — the same coverage bar the sequential profile meets."""
+    _, tracer = fleet_flight
+    split = spans_by_mission(tracer.spans)
+    mission_labels = [
+        label for label in split
+        if label is not None and not label.endswith(".gate")
+    ]
+    assert len(mission_labels) == len(GOLDEN_MISSIONS)
+    for label in mission_labels:
+        root = aggregate_phases(split[label])
+        mission_total = root.children["mission"].total_s
+        self_sum = sum(node.self_s for node in root.walk())
+        assert self_sum >= 0.9 * mission_total, label
 
 
 @pytest.mark.golden

@@ -355,3 +355,301 @@ class TestCampaignProfiles:
             _fast_run(), RuntimeError("boom"), elapsed_s=-0.1
         )
         assert clamped["wall_time_s"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Concurrent streams + mission attribution (fleet-aware tracing, PR 9)
+# ----------------------------------------------------------------------
+class TestStreams:
+    def test_mission_scope_tags_spans(self):
+        with trace.capture() as tracer:
+            with trace.mission_scope("m0", group="fleet"):
+                with trace.span("mission"):
+                    with trace.span("fly"):
+                        pass
+            with trace.span("outside"):
+                pass
+        tagged = {sp.name: sp.mission for sp in tracer.spans}
+        assert tagged["mission"] == "m0"
+        assert tagged["fly"] == "m0"
+        assert tagged["outside"] is None
+        assert tracer.mission_groups == {"m0": "fleet"}
+
+    def test_threads_do_not_interleave_nesting(self):
+        import threading
+
+        def _mission(label):
+            with trace.mission_scope(label):
+                with trace.span("mission"):
+                    for _ in range(50):
+                        with trace.span("tick"):
+                            pass
+
+        with trace.capture() as tracer:
+            threads = [
+                threading.Thread(target=_mission, args=(f"m{i}",))
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert tracer.open_depth == 0
+        # Every tick nests under its own mission's root, never a peer's.
+        for sp in tracer.spans:
+            if sp.name == "tick":
+                assert sp.path == ("mission", "tick"), sp.mission
+        per_mission = {}
+        for sp in tracer.spans:
+            per_mission.setdefault(sp.mission, []).append(sp)
+        assert set(per_mission) == {"m0", "m1", "m2", "m3"}
+        for spans in per_mission.values():
+            assert sum(1 for sp in spans if sp.name == "tick") == 50
+
+    def test_use_stream_reattributes_from_another_thread(self):
+        """The gate pattern: one thread pushes spans onto a named stream
+        another context opened, nesting under its open spans."""
+        with trace.capture() as tracer:
+            stream = tracer.stream_for("m0")
+            with tracer.use_stream("m0"):
+                outer = tracer.start("mission")
+                with tracer.span("tick.compute", "compute"):
+                    pass
+                tracer.finish(outer)
+            assert not stream.stack
+        compute = next(sp for sp in tracer.spans if sp.name == "tick.compute")
+        assert compute.path == ("mission", "tick.compute")
+        assert compute.mission == "m0"
+
+    def test_per_stream_sim_clocks(self):
+        clocks = {"m0": 1.0, "m1": 100.0}
+        with trace.capture() as tracer:
+            for label, value in clocks.items():
+                with tracer.use_stream(label):
+                    trace.set_sim_clock(lambda v=value: v)
+                    with trace.span("tick"):
+                        pass
+        for sp in tracer.spans:
+            assert sp.sim_t0 == clocks[sp.mission]
+
+    def test_open_depth_sums_all_streams(self):
+        with trace.capture() as tracer:
+            with tracer.use_stream("a"):
+                sp_a = tracer.start("x")
+            with tracer.use_stream("b"):
+                sp_b = tracer.start("y")
+            assert tracer.open_depth == 2
+            with tracer.use_stream("a"):
+                tracer.finish(sp_a)
+            with tracer.use_stream("b"):
+                tracer.finish(sp_b)
+            assert tracer.open_depth == 0
+
+
+class TestMetricsThreadSafety:
+    def test_concurrent_counter_increments_lose_no_updates(self):
+        import threading
+
+        reg = MetricsRegistry()
+        n_threads, n_incs = 8, 5000
+
+        def _hammer():
+            counter = reg.counter("hits")
+            hist = reg.histogram("obs")
+            for i in range(n_incs):
+                counter.inc()
+                hist.observe(float(i % 7) + 0.5)
+
+        threads = [threading.Thread(target=_hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        assert snap["counters"]["hits"] == n_threads * n_incs
+        assert snap["histograms"]["obs"]["count"] == n_threads * n_incs
+        assert sum(
+            snap["histograms"]["obs"]["buckets"].values()
+        ) == n_threads * n_incs
+
+    def test_concurrent_get_or_create_yields_one_instrument(self):
+        import threading
+
+        reg = MetricsRegistry()
+        seen = []
+
+        def _grab():
+            seen.append(reg.counter("shared"))
+
+        threads = [threading.Thread(target=_grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+
+
+class TestChromeTraceLanes:
+    def _fleet_like_tracer(self):
+        with trace.capture() as tracer:
+            with trace.mission_scope("m0:scan", group="fleet"):
+                with trace.span("mission"):
+                    pass
+            with trace.mission_scope("m1:scan", group="fleet"):
+                with trace.span("mission"):
+                    pass
+            with trace.mission_scope("fleet.gate", group="fleet"):
+                with trace.span("fleet.gate", "fleet"):
+                    pass
+            with trace.span("campaign.execute", "campaign"):
+                pass
+        return tracer
+
+    def test_schema_is_v2_and_validates(self):
+        doc = chrome_trace(self._fleet_like_tracer())
+        assert doc["otherData"]["schema"] == "repro-trace/2"
+        assert validate_chrome_trace(doc) == []
+
+    def test_validator_accepts_v1_documents(self):
+        doc = chrome_trace(_traced_sample())
+        doc["otherData"]["schema"] = "repro-trace/1"
+        assert validate_chrome_trace(doc) == []
+
+    def test_missions_map_to_distinct_lanes(self):
+        tracer = self._fleet_like_tracer()
+        doc = chrome_trace(tracer)
+        lanes = doc["otherData"]["lanes"]
+        assert set(lanes) == {"m0:scan", "m1:scan", "fleet.gate"}
+        coords = {(v["pid"], v["tid"]) for v in lanes.values()}
+        assert len(coords) == 3  # one swimlane each
+        assert all(v["group"] == "fleet" for v in lanes.values())
+        # The fleet group is its own process lane, separate from the
+        # anonymous main-thread lane the campaign span landed on.
+        campaign_event = next(
+            e for e in doc["traceEvents"] if e["name"] == "campaign.execute"
+        )
+        assert (campaign_event["pid"], campaign_event["tid"]) not in coords
+
+    def test_lane_metadata_events_name_threads(self):
+        doc = chrome_trace(self._fleet_like_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert {"m0:scan", "m1:scan", "fleet.gate"} <= thread_names
+        process_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        assert "fleet" in process_names
+
+    def test_events_land_on_their_mission_lane(self):
+        tracer = self._fleet_like_tracer()
+        doc = chrome_trace(tracer)
+        lanes = doc["otherData"]["lanes"]
+        for event in doc["traceEvents"]:
+            if event["ph"] != "X" or event["name"] != "mission":
+                continue
+            label = next(
+                sp.mission for sp in tracer.spans
+                if sp.name == "mission" and abs(
+                    (sp.t0 - tracer.origin) * 1e6 - event["ts"]
+                ) < 1.0
+            )
+            assert event["pid"] == lanes[label]["pid"]
+            assert event["tid"] == lanes[label]["tid"]
+
+    def test_spans_by_mission_splits_cleanly(self):
+        from repro.observability import spans_by_mission, summarize_spans
+
+        tracer = self._fleet_like_tracer()
+        split = spans_by_mission(tracer.spans)
+        assert set(split) == {"m0:scan", "m1:scan", "fleet.gate", None}
+        assert set(summarize_spans(split["m0:scan"])) == {"mission"}
+        assert set(summarize_spans(split[None])) == {"campaign.execute"}
+
+
+# ----------------------------------------------------------------------
+# Campaign fleet profiles (per-mission phases + per-group gate stats)
+# ----------------------------------------------------------------------
+class TestCampaignFleetProfiles:
+    def _runs(self):
+        return [
+            RunSpec(
+                "scanning", 4, 2.2, seed,
+                workload_kwargs={"area_width": 40.0, "area_length": 24.0},
+            )
+            for seed in (1, 11)
+        ]
+
+    def test_fleet_profile_records(self):
+        from repro.campaign.runner import execute_runs, execute_runs_fleet
+
+        runs = self._runs()
+        reference = execute_runs(runs)
+        records = execute_runs_fleet(runs, profile=True, group="fleet-0")
+        assert len(records) == 2
+        for ref, record in zip(reference, records):
+            profile = record["profile"]
+            assert profile["schema"] == PROFILE_SCHEMA
+            # Mission phases carry the sequential taxonomy.
+            assert "mission" in profile["phases"]
+            assert "mission/fly" in profile["phases"]
+            fleet = profile["fleet"]
+            assert fleet["group"] == "fleet-0"
+            assert fleet["members"] == 2
+            assert fleet["gate"]["ticks"] > 0
+            assert len(fleet["gate"]["wait"]) == 2
+            # Stripped of the profile/wall keys, records are identical
+            # to sequential execution (the bit-identity contract).
+            stripped = {
+                k: v for k, v in record.items()
+                if k not in ("profile", "wall_time_s")
+            }
+            ref_stripped = {
+                k: v for k, v in ref.items() if k != "wall_time_s"
+            }
+            assert stripped == ref_stripped
+        assert trace.get_tracer() is None
+
+    def test_run_campaign_fleet_profile_end_to_end(self):
+        from repro.campaign import CampaignSpec, run_campaign
+
+        spec = CampaignSpec(
+            workloads=["scanning"],
+            grid=[(4, 2.2)],
+            seeds=[1, 11],
+            workload_kwargs={
+                "scanning": {"area_width": 40.0, "area_length": 24.0}
+            },
+        )
+        report = run_campaign(spec, profile=True, fleet_batch=2)
+        assert report.failed == 0
+        assert all("profile" in r for r in report.records)
+        groups = {r["profile"]["fleet"]["group"] for r in report.records}
+        assert groups == {"fleet-0"}
+
+    def test_run_campaign_fleet_under_outer_tracer_traces_missions(self):
+        """The `campaign timeline` path: an installed tracer collects
+        the whole fleet campaign with one lane per mission."""
+        from repro.campaign import CampaignSpec, run_campaign
+
+        spec = CampaignSpec(
+            workloads=["scanning"],
+            grid=[(4, 2.2)],
+            seeds=[1, 11],
+            workload_kwargs={
+                "scanning": {"area_width": 40.0, "area_length": 24.0}
+            },
+        )
+        with trace.capture() as tracer:
+            report = run_campaign(spec, fleet_batch=2)
+        assert report.failed == 0
+        doc = chrome_trace(tracer, process_name="repro-campaign")
+        assert validate_chrome_trace(doc) == []
+        lanes = doc["otherData"]["lanes"]
+        mission_lanes = {
+            label for label, lane in lanes.items()
+            if lane["group"] == "fleet-0" and not label.endswith(".gate")
+        }
+        assert len(mission_lanes) == 2
+        assert any(label.endswith(".gate") for label in lanes)
