@@ -30,7 +30,12 @@ import time
 from conftest import run_once
 
 from repro.campaign import CampaignSpec, run_campaign
-from repro.fleet import FleetMission, fleet_gate_stats, run_workloads_fleet
+from repro.fleet import (
+    FleetMission,
+    SharedWorldState,
+    fleet_gate_stats,
+    run_workloads_fleet,
+)
 from repro.observability import trace
 
 #: The Fig. 11 heatmap's high-frequency column: every core count at the
@@ -214,3 +219,57 @@ def test_gate_wait_fleet9(benchmark, print_header):
         f"fleet-of-3 {row3['per_mission_s']:.2f}s — gate contention is "
         "no longer amortized by batching"
     )
+
+
+# --- Shared-world ablation: one city, 3 drones ------------------------
+#
+# Independent fleets batch N disjoint worlds; the shared-world path adds
+# the conflicts gate phase (pairwise separations + priority resolution)
+# and peer-aware collision checks on top.  This row times a 3-drone
+# package-delivery fleet through one shared_city and lands its wall in
+# BENCH_fleet.json, so the airspace machinery's cost trends PR-over-PR
+# alongside the plain fleet rows — and hard-asserts the low-difficulty
+# safety contract (everyone lands, lanes keep them a street apart).
+
+#: Pinned city every member flies through (one scenario key, one world).
+SHARED_CITY = {"family": "shared_city", "difficulty": 0.3, "seed": 7}
+
+
+def _shared_city_fleet(n):
+    """Fly n drones through one shared_city; returns (state, wall)."""
+    missions = [
+        FleetMission(
+            workload="package_delivery",
+            seed=10 + member,
+            cores=4,
+            frequency_ghz=2.2,
+            workload_kwargs={"scenario": dict(SHARED_CITY), "member": member},
+        )
+        for member in range(n)
+    ]
+    state = SharedWorldState()
+    started = time.perf_counter()
+    results, errors = run_workloads_fleet(missions, shared_world=state)
+    wall = time.perf_counter() - started
+    assert all(error is None for error in errors), errors
+    assert all(result.report.success for result in results)
+    return state, results, wall
+
+
+def test_shared_city_fleet3(benchmark, print_header):
+    print_header("Shared-world ablation — 3 drones, one shared_city")
+    state, results, wall = run_once(benchmark, _shared_city_fleet, 3)
+    print(
+        f"3 drones in {wall:.1f}s: min separation "
+        f"{state.min_separation_m:.1f}m, near misses {state.near_misses}, "
+        f"holds {state.conflict_holds}, collisions {state.drone_collisions}"
+    )
+    # Low difficulty + parallel lanes: the airspace must stay clean.
+    assert state.drone_collisions == 0
+    assert state.near_misses == 0
+    assert state.min_separation_m >= 5.0, state.min_separation_m
+    # And every report carries the airspace extras.
+    for result in results:
+        extra = result.report.extra
+        assert extra["fleet_near_misses"] == 0, extra
+        assert extra["fleet_min_separation_m"] >= 5.0, extra

@@ -30,7 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..core.api import run_workload
 from ..observability import trace as _trace
 from ..observability.export import phase_summary, spans_by_mission, summarize_spans
-from ..scenarios import ScenarioSpec
+from ..scenarios import ScenarioSpec, supports_member_routes
 from ..scenarios.cache import cache_stats
 from .spec import CampaignSpec, RunSpec
 from .store import RECORD_SCHEMA, CampaignStore
@@ -228,6 +228,16 @@ def execute_runs_fleet(
     fleet traces normally: each mission's spans land on a stream named
     after its :meth:`RunSpec.label` in process lane ``group``.
 
+    A batch whose (shared) scenario family supports per-member routes
+    (e.g. ``shared_city`` — see :func:`repro.scenarios.member_route`)
+    flies as a *shared-world* fleet: each run gets ``member`` injected
+    as its rank in the batch (unless the spec already pins one), the
+    members sense each other and resolve airspace conflicts
+    (:mod:`repro.fleet.shared_world`), reports gain the airspace extras,
+    and each record's config carries a ``fleet_member`` provenance key.
+    Pin the scenario seed (``shared_city:0.4:7``) so runs differing only
+    by mission seed resolve to one scenario key and group together.
+
     With ``profile=True`` the whole fleet flies under one fresh tracer
     and every record gains a ``"profile"`` dict: that *mission's* phase
     tree (split out of the shared trace by mission label), plus
@@ -242,30 +252,43 @@ def execute_runs_fleet(
         return execute_runs(runs, profile=profile)
     from ..fleet import FleetMission, fleet_gate_stats, run_workloads_fleet
 
+    shared = False
+    if runs[0].scenario is not None:
+        family = ScenarioSpec.coerce(runs[0].scenario).family
+        shared = supports_member_routes(family)
     labels = _fleet_labels(runs)
-    missions = [
-        FleetMission(
-            workload=run.workload,
-            seed=run.seed,
-            cores=run.cores,
-            frequency_ghz=run.frequency_ghz,
-            depth_noise_std=run.depth_noise_std,
-            workload_kwargs=_spec_workload_kwargs(run),
-            sim_kwargs=dict(run.sim_kwargs),
+    missions = []
+    members: List[int] = []
+    injected: List[bool] = []
+    for rank, run in enumerate(runs):
+        workload_kwargs = _spec_workload_kwargs(run)
+        inject = shared and "member" not in workload_kwargs
+        if inject:
+            workload_kwargs["member"] = rank
+        injected.append(inject)
+        members.append(int(workload_kwargs.get("member", rank)))
+        missions.append(
+            FleetMission(
+                workload=run.workload,
+                seed=run.seed,
+                cores=run.cores,
+                frequency_ghz=run.frequency_ghz,
+                depth_noise_std=run.depth_noise_std,
+                workload_kwargs=workload_kwargs,
+                sim_kwargs=dict(run.sim_kwargs),
+            )
         )
-        for run in runs
-    ]
     tracer = None
     cache_before = cache_stats() if profile else None
     started = time.perf_counter()
     if profile:
         with _trace.capture() as tracer:
             results, errors = run_workloads_fleet(
-                missions, labels=labels, group=group
+                missions, labels=labels, group=group, shared_world=shared
             )
     else:
         results, errors = run_workloads_fleet(
-            missions, labels=labels, group=group
+            missions, labels=labels, group=group, shared_world=shared
         )
     wall_time_s = time.perf_counter() - started
     if profile:
@@ -280,6 +303,7 @@ def execute_runs_fleet(
         fleet_block = {
             "group": group,
             "members": len(runs),
+            "shared_world": shared,
             "gate": fleet_gate_stats(metrics),
         }
     records = []
@@ -287,6 +311,14 @@ def execute_runs_fleet(
         record = _base_record(run)
         if result is not None:
             _fill_success(record, run, result)
+            if shared:
+                # Mirror the scenario-injection contract: a rank we
+                # injected is stripped back out of the echoed kwargs
+                # (config.workload_kwargs mirrors the spec), while the
+                # member actually flown lands as explicit provenance.
+                if injected[i]:
+                    record["config"]["workload_kwargs"].pop("member", None)
+                record["config"]["fleet_member"] = members[i]
         else:
             _fill_error(
                 record,
@@ -489,8 +521,11 @@ def run_campaign(
         :func:`execute_runs_fleet` (grouped by resolved scenario key, or
         per workload for canonical-world runs).  Stored records are
         byte-identical to sequential execution except ``wall_time_s``,
-        which becomes the fleet's shared wall clock.  In-process only —
-        combining with ``jobs>1`` is an error.  Composes with
+        which becomes the fleet's shared wall clock.  Groups flying a
+        member-routed scenario family (``shared_city``) automatically
+        fly as *shared-world* fleets with cross-member sensing and
+        conflict resolution — see :func:`execute_runs_fleet`.
+        In-process only — combining with ``jobs>1`` is an error.  Composes with
         ``profile=True`` (per-mission phase trees split from one shared
         fleet trace, plus per-group gate stats) and with an installed
         tracer (``repro campaign timeline``: every fleet group becomes

@@ -26,6 +26,8 @@ Examples
     python -m repro campaign --workloads scanning --jobs 2 --profile
     python -m repro campaign --workloads package_delivery --fleet 3 \\
         --out store.jsonl
+    python -m repro campaign --workloads package_delivery \\
+        --scenario shared_city:0.3:7 --seeds 1 2 3 --fleet 3 --out city.jsonl
     python -m repro campaign --spec study.json --shard 1/2 --out stores/
     python -m repro campaign merge --spec study.json --out stores/
     python -m repro campaign timeline --workloads scanning --seeds 1 2 \\
@@ -242,7 +244,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fleet", type=int, metavar="K", default=None,
         help="fly pending runs as in-process fleets of up to K missions "
              "(batched per-tick kernels; records byte-identical to "
-             "sequential except wall_time_s); incompatible with --jobs>1",
+             "sequential except wall_time_s); a seed-pinned shared_city "
+             "scenario flies as one shared world with cross-member "
+             "sensing and airspace conflicts; incompatible with --jobs>1",
     )
     campaign_p.add_argument(
         "--shard", metavar="I/N", type=_shard_token,
@@ -364,6 +368,15 @@ def _gate_stat_lines(gate: dict, indent: str = "  ") -> List[str]:
                 f"max={hist['max'] * 1e3:.3f}ms "
                 f"total={hist['sum']:.3f}s"
             )
+    conflicts = gate.get("conflicts") or {}
+    sep_hist = conflicts.get("min_separation")
+    if sep_hist and sep_hist.get("count"):
+        lines.append(
+            f"{indent}airspace: min_sep={sep_hist['min']:.2f}m "
+            f"near_misses={conflicts['near_misses']} "
+            f"holds={conflicts['holds']} "
+            f"drone_collisions={conflicts['drone_collisions']}"
+        )
     return lines
 
 
@@ -697,6 +710,10 @@ def _cmd_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> 
             outcome = record["error"]
         print(f"[{done['n']}/{total}] {label}: {outcome}")
 
+    if args.fleet is not None and args.fleet < 2:
+        # K=1 (or 0, or negative) silently degenerates to sequential
+        # execution — reject it like `repro profile --fleet` does.
+        parser.error("--fleet needs K >= 2 (drop --fleet for sequential)")
     if args.fleet is not None and args.jobs != 1:
         parser.error("--fleet batches missions in-process; drop --jobs")
 

@@ -62,8 +62,9 @@ class AerialPhotographyWorkload(Workload):
         lost_timeout_s: float = 5.0,
         seed: int = 0,
         scenario=None,
+        member=None,
     ) -> None:
-        super().__init__(seed=seed, scenario=scenario)
+        super().__init__(seed=seed, scenario=scenario, member=member)
         if detector_name not in DETECTORS:
             raise ValueError(f"unknown detector '{detector_name}'")
         self.detector = ObjectDetector(

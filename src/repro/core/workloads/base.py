@@ -25,7 +25,11 @@ from ...observability import trace as _trace
 from ...perception.octomap import OctoMap
 from ...perception.point_cloud import PointCloud, depth_to_point_cloud
 from ...planning.collision import CollisionChecker
-from ...scenarios import ScenarioSpec, instantiate_scenario
+from ...scenarios import (
+    ScenarioSpec,
+    instantiate_scenario,
+    member_route as _member_route,
+)
 from ...world.environment import World
 from ...world.geometry import AABB, norm as _vec_norm
 from ..qof import QofReport
@@ -43,7 +47,7 @@ class Workload(abc.ABC):
     #: Workload identifier; must match the kernel-model workload key.
     name: str = "abstract"
 
-    def __init__(self, seed: int = 0, scenario=None) -> None:
+    def __init__(self, seed: int = 0, scenario=None, member=None) -> None:
         self.seed = seed
         #: Injected scenario (spec / "family:difficulty" token / payload
         #: dict).  ``None`` keeps the workload's canonical hard-wired
@@ -51,6 +55,10 @@ class Workload(abc.ABC):
         self.scenario: Optional[ScenarioSpec] = (
             None if scenario is None else ScenarioSpec.coerce(scenario)
         )
+        #: Fleet-member index in a shared-world scenario: picks this
+        #: mission's start/goal lane assignment (``member_route``).
+        #: ``None`` (the default) keeps the workload single-drone.
+        self.member: Optional[int] = None if member is None else int(member)
         self.sim: Optional[Simulation] = None
         self.replans = 0
 
@@ -69,6 +77,17 @@ class Workload(abc.ABC):
             return None
         return instantiate_scenario(self.scenario, default_seed=self.seed)
 
+    def member_route(self) -> Optional[Dict[str, object]]:
+        """This member's start/goal assignment in a shared-world scenario.
+
+        ``None`` unless both a member index and a scenario whose family
+        supports member routes are set — every other configuration keeps
+        the historical launch/goal logic bit-for-bit.
+        """
+        if self.member is None or self.scenario is None:
+            return None
+        return _member_route(self.scenario.resolved(self.seed), self.member)
+
     def start_position(self, world: World) -> np.ndarray:
         """Ground-level launch point (must be obstacle-free).
 
@@ -80,6 +99,11 @@ class Workload(abc.ABC):
         injected scenario so canonical worlds keep their historical
         launch points bit-for-bit.
         """
+        route = self.member_route()
+        if route is not None:
+            # Shared-world members launch from their assigned lane; the
+            # family guarantees street lanes are building-free.
+            return np.asarray(route["start"], dtype=float).copy()
         lo, hi = world.bounds.lo, world.bounds.hi
         for frac in np.linspace(0.06, 0.5, 23):
             candidate = lo + (hi - lo) * np.array([frac, frac, 0.0])
@@ -177,6 +201,10 @@ class OccupancyPipeline:
         # None on the classic sequential path.  Installed by the fleet
         # coordinator when the owning sim is enrolled in a fleet.
         self._accel = None
+        # Shared-world registry (repro.fleet.shared_world): when set,
+        # other fleet members are sensed as dynamic obstacles by the
+        # clearance probes and the collision checker.
+        self._shared_world = None
         fleet = getattr(self.sim, "_fleet", None)
         if fleet is not None:
             fleet.adopt_pipeline(self)
@@ -287,7 +315,25 @@ class OccupancyPipeline:
         self, direction: np.ndarray, max_dist: float = 8.0
     ) -> float:
         """Distance to the first *believed-occupied* voxel along
-        ``direction`` from the vehicle (ray-marched on the belief map)."""
+        ``direction`` from the vehicle (ray-marched on the belief map).
+
+        In a shared-world fleet the answer is additionally capped by the
+        distance to the nearest peer drone along the ray — applied *after*
+        the map answer (and outside the accelerator's version-keyed
+        cache: the map version doesn't change when peers move)."""
+        clearance = self._map_clearance_along(direction, max_dist)
+        if self._shared_world is not None:
+            clearance = min(
+                clearance,
+                self._shared_world.clearance_along(
+                    self.sim, direction, max_dist
+                ),
+            )
+        return clearance
+
+    def _map_clearance_along(
+        self, direction: np.ndarray, max_dist: float = 8.0
+    ) -> float:
         if self._accel is not None:
             return self._accel.clearance_along(direction, max_dist)
         d = np.asarray(direction, dtype=float)

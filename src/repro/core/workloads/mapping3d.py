@@ -59,8 +59,9 @@ class MappingWorkload(Workload):
         world: Optional[World] = None,
         seed: int = 0,
         scenario=None,
+        member=None,
     ) -> None:
-        super().__init__(seed=seed, scenario=scenario)
+        super().__init__(seed=seed, scenario=scenario, member=member)
         if not 0.0 < coverage_target <= 1.0:
             raise ValueError("coverage target must be in (0, 1]")
         self.coverage_target = coverage_target

@@ -68,8 +68,9 @@ class PackageDeliveryWorkload(Workload):
         world: Optional[World] = None,
         seed: int = 0,
         scenario=None,
+        member=None,
     ) -> None:
-        super().__init__(seed=seed, scenario=scenario)
+        super().__init__(seed=seed, scenario=scenario, member=member)
         if planner_name not in _PLANNERS:
             raise ValueError(
                 f"unknown planner '{planner_name}' "
@@ -316,7 +317,16 @@ class PackageDeliveryWorkload(Workload):
             resolution=self.octomap_resolution,
             stop_distance_m=6.5,
         )
-        goal = self.goal if self.goal is not None else self._default_goal(sim)
+        route = self.member_route()
+        if route is not None and self.goal is None:
+            # Shared-world fleet member: fly the assigned lane at the
+            # assigned altitude (vertical separation between members).
+            self.altitude = float(route["altitude_m"])
+            goal = np.asarray(route["goal"], dtype=float).copy()
+        else:
+            goal = (
+                self.goal if self.goal is not None else self._default_goal(sim)
+            )
         home = sim.state.position.copy() + vec(0.0, 0.0, self.altitude)
 
         sim.flight_controller.takeoff(self.altitude)

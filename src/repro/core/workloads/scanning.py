@@ -56,8 +56,9 @@ class ScanningWorkload(Workload):
         cruise_speed: float = 7.5,
         seed: int = 0,
         scenario=None,
+        member=None,
     ) -> None:
-        super().__init__(seed=seed, scenario=scenario)
+        super().__init__(seed=seed, scenario=scenario, member=member)
         self.area = CoverageArea(
             center_x=0.0, center_y=0.0, width=area_width, length=area_length
         )

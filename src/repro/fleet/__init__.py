@@ -17,7 +17,11 @@ from .kernels import (
     energy_step_batch,
     energy_step_scalar,
     flying_setpoints,
+    pairwise_separations,
+    pairwise_separations_scalar,
     quadrotor_step_arrays,
+    resolve_conflicts,
+    resolve_conflicts_scalar,
     rotor_power_arrays,
     sense_check_batch,
     sense_check_scalar,
@@ -30,11 +34,15 @@ from .runner import (
     fleet_gate_stats,
     run_workloads_fleet,
 )
+from .shared_world import SharedWorldPolicy, SharedWorldState, gate_conflicts
 
 __all__ = [
     "FleetMission",
     "FleetCoordinator",
     "FleetPerceptionAccel",
+    "SharedWorldPolicy",
+    "SharedWorldState",
+    "gate_conflicts",
     "fleet_gate_stats",
     "run_workloads_fleet",
     "batched_norms",
@@ -51,4 +59,8 @@ __all__ = [
     "energy_step_scalar",
     "sense_check_batch",
     "sense_check_scalar",
+    "pairwise_separations",
+    "pairwise_separations_scalar",
+    "resolve_conflicts",
+    "resolve_conflicts_scalar",
 ]

@@ -52,6 +52,10 @@ __all__ = [
     "sense_check_scalar",
     "energy_step_batch",
     "energy_step_scalar",
+    "pairwise_separations",
+    "pairwise_separations_scalar",
+    "resolve_conflicts",
+    "resolve_conflicts_scalar",
 ]
 
 
@@ -71,6 +75,10 @@ class FleetBatchArrays:
     """
 
     def __init__(self, sims: Sequence, dts: Sequence[float]) -> None:
+        # ``key`` is an id() tuple, so the cache must pin the sims alive:
+        # were they collectable, CPython could hand a *new* live set the
+        # same ids and a stale cache would validate against it.
+        self.sims = list(sims)
         self.key = tuple(id(s) for s in sims)
         quads = [s.vehicle for s in sims]
         self.dts = [float(d) for d in dts]
@@ -475,3 +483,89 @@ def energy_step_batch(
         if sim.battery.depleted:
             sim.fail("battery_depleted")
         sim.qof.record(sim.state, rotor_w, compute_w, dt, airborne[i])
+
+
+# ----------------------------------------------------------------------
+# Cross-member sensing (shared-world fleets)
+# ----------------------------------------------------------------------
+def pairwise_separations_scalar(positions: np.ndarray) -> np.ndarray:
+    """Scalar twin: per-pair ``float(np.linalg.norm(a - b))`` loops."""
+    positions = np.asarray(positions, dtype=float)
+    n = positions.shape[0]
+    seps = np.full((n, n), np.inf)
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                seps[i, j] = float(
+                    np.linalg.norm(positions[i] - positions[j])
+                )
+    return seps
+
+
+def pairwise_separations(positions: np.ndarray) -> np.ndarray:
+    """All drone-to-drone distances over stacked ``(N, 3)`` positions.
+
+    Returns an ``(N, N)`` symmetric matrix with ``inf`` on the diagonal
+    (a member is never in conflict with itself).  Built on
+    :func:`batched_norms` over the flattened difference vectors so every
+    entry is bit-identical to the scalar ``np.linalg.norm(a - b)`` the
+    sequential near-miss bookkeeping would compute.
+    """
+    positions = np.asarray(positions, dtype=float)
+    n = positions.shape[0]
+    if n == 0:
+        return np.full((0, 0), np.inf)
+    deltas = (positions[:, None, :] - positions[None, :, :]).reshape(-1, 3)
+    seps = batched_norms(deltas).reshape(n, n)
+    np.fill_diagonal(seps, np.inf)
+    return seps
+
+
+def resolve_conflicts_scalar(
+    separations: np.ndarray,
+    priorities: np.ndarray,
+    conflict_radius: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Scalar twin: per-member loops over the separation matrix."""
+    separations = np.asarray(separations, dtype=float)
+    priorities = np.asarray(priorities)
+    n = separations.shape[0]
+    yields = np.zeros(n, dtype=bool)
+    min_seps = np.full(n, np.inf)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            min_seps[i] = min(min_seps[i], float(separations[i, j]))
+            if (
+                separations[i, j] < conflict_radius
+                and priorities[j] < priorities[i]
+            ):
+                yields[i] = True
+    return yields, min_seps
+
+
+def resolve_conflicts(
+    separations: np.ndarray,
+    priorities: np.ndarray,
+    conflict_radius: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic priority-ordered conflict resolution.
+
+    A member *yields* (holds instead of flying its command) when any
+    other member within ``conflict_radius`` carries a strictly smaller
+    priority value — lower value wins the airspace, so of any conflicted
+    pair exactly the lower-priority side gives way and the resolution is
+    independent of member enumeration order.  Returns
+    ``(yields, min_seps)``: the boolean yield mask and each member's
+    distance to its nearest peer.
+    """
+    separations = np.asarray(separations, dtype=float)
+    priorities = np.asarray(priorities)
+    n = separations.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool), np.full(0, np.inf)
+    min_seps = separations.min(axis=1)
+    outranked = priorities[None, :] < priorities[:, None]
+    yields = ((separations < conflict_radius) & outranked).any(axis=1)
+    return yields, min_seps

@@ -54,6 +54,7 @@ no-op context managers per tick, gated <2% in
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -71,6 +72,7 @@ from .kernels import (
     sense_check_batch,
 )
 from .pipeline import FleetPerceptionAccel
+from .shared_world import SharedWorldPolicy, SharedWorldState, gate_conflicts
 
 __all__ = [
     "FleetMission",
@@ -116,9 +118,17 @@ class FleetCoordinator:
     cannot be attributed to one mission — poisons the whole batch.
     """
 
-    def __init__(self, expected: int, group: str = "fleet") -> None:
+    def __init__(
+        self,
+        expected: int,
+        group: str = "fleet",
+        shared: Optional[SharedWorldState] = None,
+    ) -> None:
         self._cond = threading.Condition()
         self._expected = expected
+        #: shared-world airspace (peer sensing + conflicts phase), or
+        #: None for the classic independent-worlds fleet.
+        self.shared = shared
         self._retired = 0
         self._generation = 0
         self._enrolled = 0
@@ -133,6 +143,9 @@ class FleetCoordinator:
         self._gate_label = f"{group}.gate"
         #: thread ident -> mission label (set before enrollment).
         self._thread_labels: Dict[int, str] = {}
+        #: thread ident -> shared-world member index (set before
+        #: enrollment; enrollment order is the fallback).
+        self._thread_members: Dict[int, int] = {}
         #: sim id -> mission label (fixed at enrollment).
         self._labels: Dict[int, str] = {}
         #: perf_counter at the most recent gate release (wake latency).
@@ -148,6 +161,12 @@ class FleetCoordinator:
         with self._cond:
             self._thread_labels[threading.get_ident()] = label
 
+    def set_thread_member(self, member: int) -> None:
+        """Pin the calling thread's shared-world member index (conflict
+        priority and metrics attribution) ahead of enrollment."""
+        with self._cond:
+            self._thread_members[threading.get_ident()] = int(member)
+
     def enroll(self, sim) -> None:
         """Adopt a freshly built sim into the fleet (thread-local hook)."""
         with self._cond:
@@ -158,14 +177,22 @@ class FleetCoordinator:
             ident = threading.get_ident()
             self._by_thread.setdefault(ident, []).append(sim)
             self._labels[id(sim)] = self._thread_labels.get(ident, f"m{order}")
+            if self.shared is not None:
+                self.shared.register(
+                    sim, self._thread_members.get(ident, order)
+                )
 
     def adopt_pipeline(self, pipeline) -> None:
         """Install the perception fast paths on a fleet member's pipeline:
         the clearance/Eq.-2 accelerator plus the shared free-space cache
-        on its collision checker (which the planners also query)."""
+        on its collision checker (which the planners also query).  In a
+        shared world the pipeline and checker additionally start sensing
+        the other fleet members as exclusion bubbles."""
         accel = FleetPerceptionAccel(pipeline)
         pipeline._accel = accel
         pipeline.checker._fleet_free = accel.free_space
+        if self.shared is not None:
+            self.shared.adopt(pipeline)
 
     def _member_label(self, sim) -> str:
         return self._labels.get(id(sim)) or f"m{self._order.get(id(sim), 0)}"
@@ -220,11 +247,19 @@ class FleetCoordinator:
         with self._cond:
             for sim in self._by_thread.pop(ident, []):
                 sim._fleet = None
+                # Drop *every* id-keyed record for the sim, not just the
+                # order: a label or pending error left behind could be
+                # claimed by a later sim that CPython hands the same id.
                 self._order.pop(id(sim), None)
+                self._labels.pop(id(sim), None)
+                self._errors.pop(id(sim), None)
+                if self.shared is not None:
+                    self.shared.unregister(sim)
             self._waiting.pop(ident, None)
             if tracer is not None:
                 tracer.metrics.counter("fleet.gate.retired").inc()
             self._thread_labels.pop(ident, None)
+            self._thread_members.pop(ident, None)
             self._retired += 1
             remaining = self._expected - self._retired
             if remaining > 0 and len(self._waiting) == remaining:
@@ -258,6 +293,12 @@ class FleetCoordinator:
                 cache = self._arrays_for(sims, dts)
                 with _phase(tracer, "control"):
                     control_step_batch(sims, dts)
+                if self.shared is not None:
+                    # Between control (commands are fresh) and dynamics
+                    # (overrides integrate this tick): cross-member
+                    # sensing, priority holds, airspace metrics.
+                    with _phase(tracer, "conflicts"):
+                        gate_conflicts(self.shared, sims, tracer)
                 with _phase(tracer, "dynamics"):
                     dynamics_step_batch(sims, dts, cache)
                 live: List[Any] = []
@@ -364,14 +405,19 @@ def fleet_gate_stats(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     """Extract the gate-contention block from a metrics snapshot.
 
     Returns ``{"ticks", "retired", "wait": {member: hist}, "wake":
-    {member: hist}}`` — empty member dicts when the snapshot holds no
-    fleet metrics (e.g. a sequential run).  Both ``repro profile
+    {member: hist}, "conflicts": {...}}`` — empty member dicts when the
+    snapshot holds no fleet metrics (e.g. a sequential run).  The
+    ``conflicts`` block folds the shared-world ``fleet.conflicts.*``
+    counters (all zero for independent-worlds fleets); its
+    ``min_separation`` entry is the per-tick fleet-minimum histogram, or
+    None when the conflicts phase never ran.  Both ``repro profile
     --fleet`` and the campaign fleet profile report through here.
     """
     counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
     waits: Dict[str, Any] = {}
     wakes: Dict[str, Any] = {}
-    for name, hist in snapshot.get("histograms", {}).items():
+    for name, hist in histograms.items():
         if name.startswith("fleet.gate.wait."):
             waits[name[len("fleet.gate.wait."):]] = hist
         elif name.startswith("fleet.gate.wake."):
@@ -381,6 +427,14 @@ def fleet_gate_stats(snapshot: Dict[str, Any]) -> Dict[str, Any]:
         "retired": counters.get("fleet.gate.retired", 0),
         "wait": waits,
         "wake": wakes,
+        "conflicts": {
+            "holds": counters.get("fleet.conflicts.holds", 0),
+            "near_misses": counters.get("fleet.conflicts.near_misses", 0),
+            "drone_collisions": counters.get(
+                "fleet.conflicts.drone_collisions", 0
+            ),
+            "min_separation": histograms.get("fleet.conflicts.min_separation"),
+        },
     }
 
 
@@ -388,12 +442,24 @@ def run_workloads_fleet(
     missions: Sequence[FleetMission],
     labels: Optional[Sequence[str]] = None,
     group: str = "fleet",
+    shared_world=None,
 ) -> Tuple[List[Optional[WorkloadResult]], List[Optional[BaseException]]]:
     """Fly ``missions`` as one fleet; returns ``(results, errors)``.
 
     ``results[i]`` is mission *i*'s :class:`WorkloadResult`, or ``None``
     if it raised — in which case ``errors[i]`` holds the exception.  The
     call returns when every mission has finished or failed.
+
+    ``shared_world`` switches on the shared-airspace layer (see
+    :mod:`repro.fleet.shared_world`): pass ``True`` for the default
+    :class:`SharedWorldPolicy`, a policy for custom radii, or a
+    pre-built :class:`SharedWorldState` to inspect afterwards.  Member
+    index (conflict priority) is each mission's ``member`` workload
+    kwarg when present, else its position in ``missions``; with two or
+    more members, each mission report gains ``fleet_near_misses``,
+    ``fleet_conflict_holds``, and ``fleet_min_separation_m`` extras.
+    Missions are expected to share one world — pin the scenario seed
+    (e.g. ``shared_city:0.4:7``) so every member builds the same city.
 
     Under an installed tracer each mission's spans collect on a stream
     named ``labels[i]`` (default ``"m{i}:{workload}"``) in process lane
@@ -411,13 +477,29 @@ def run_workloads_fleet(
                 f"labels/missions length mismatch "
                 f"({len(labels)} vs {len(missions)})"
             )
-    coordinator = FleetCoordinator(expected=len(missions), group=group)
+    if shared_world is None or shared_world is False:
+        shared_state = None
+    elif isinstance(shared_world, SharedWorldState):
+        shared_state = shared_world
+    elif isinstance(shared_world, SharedWorldPolicy):
+        shared_state = SharedWorldState(shared_world)
+    else:
+        shared_state = SharedWorldState()
+    members = [
+        int((m.workload_kwargs or {}).get("member", i))
+        for i, m in enumerate(missions)
+    ]
+    coordinator = FleetCoordinator(
+        expected=len(missions), group=group, shared=shared_state
+    )
     results: List[Optional[WorkloadResult]] = [None] * len(missions)
     errors: List[Optional[BaseException]] = [None] * len(missions)
 
     def _fly(index: int, mission: FleetMission, label: str) -> None:
         fleet_hook.set_adopter(coordinator.enroll)
         coordinator.set_thread_label(label)
+        if shared_state is not None:
+            coordinator.set_thread_member(members[index])
         try:
             with _trace.mission_scope(label, group):
                 results[index] = run_workload(
@@ -445,4 +527,18 @@ def run_workloads_fleet(
         thread.start()
     for thread in threads:
         thread.join()
+    if shared_state is not None and len(missions) >= 2:
+        # Airspace extras only make sense with someone to share the sky
+        # with — a fleet of one stays byte-identical to sequential.
+        for i, result in enumerate(results):
+            if result is None:
+                continue
+            record = shared_state.metrics.get(members[i])
+            if record is None:
+                continue
+            extra = result.report.extra
+            if math.isfinite(record["min_separation_m"]):
+                extra["fleet_min_separation_m"] = record["min_separation_m"]
+            extra["fleet_near_misses"] = record["near_misses"]
+            extra["fleet_conflict_holds"] = record["conflict_holds"]
     return results, errors

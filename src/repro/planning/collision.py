@@ -68,6 +68,14 @@ class CollisionChecker:
     #: the fleet coordinator; answers identically, just cheaper.
     _fleet_free = None
 
+    #: Shared-world peer test (repro.fleet.shared_world._PeerBlock), or
+    #: None outside shared-airspace fleets.  Maps an (N, 3) point batch
+    #: to a blocked-mask (points inside another drone's exclusion
+    #: bubble), or None when no peers are airborne.  Applied by the one
+    #: shared tail both point paths call, so batched and scalar twins
+    #: keep agreeing with peers present.
+    _peer_block = None
+
     # ------------------------------------------------------------------
     # Point queries
     # ------------------------------------------------------------------
@@ -91,13 +99,15 @@ class CollisionChecker:
             # free of occupied voxels proves each point free (conservative
             # unknown-mode also needs unknown fractions, so it opts out).
             if free_cache.prove_free(pts.min(axis=0) - r, pts.max(axis=0) + r):
-                return np.ones(pts.shape[0], dtype=bool)
+                return self._apply_peer_block(
+                    pts, np.ones(pts.shape[0], dtype=bool)
+                )
         los = pts - r
         his = pts + r
         free = ~self.octomap.boxes_occupied(los, his)
         if self.treat_unknown_as_occupied and np.any(free):
             free &= ~(self.octomap.boxes_unknown_fraction(los, his) > 0.5)
-        return free
+        return self._apply_peer_block(pts, free)
 
     def points_free_scalar(self, points: np.ndarray) -> np.ndarray:
         """Reference scalar implementation of :meth:`points_free`: one
@@ -113,7 +123,23 @@ class CollisionChecker:
                     self.octomap.region_unknown_fraction_scalar(box) > 0.5
                 )
             out[i] = free
-        return out
+        return self._apply_peer_block(pts, out)
+
+    def _apply_peer_block(
+        self, pts: np.ndarray, free: np.ndarray
+    ) -> np.ndarray:
+        """Mask out points inside a fleet peer's exclusion bubble.
+
+        The identity tail of every point query — batched and scalar
+        alike — so shared-world fleets block on other drones through the
+        exact same test on both paths.  A no-op outside shared worlds
+        (``_peer_block`` is None) or with an empty sky.
+        """
+        if self._peer_block is not None:
+            blocked = self._peer_block(pts)
+            if blocked is not None:
+                free = free & ~blocked
+        return free
 
     def point_free(self, point: np.ndarray) -> bool:
         """True if the drone centered at ``point`` collides with nothing."""

@@ -31,6 +31,8 @@ from .families import (
     available_families,
     build_scenario_world,
     family_knobs,
+    member_route,
+    supports_member_routes,
 )
 from .metrics import (
     ScenarioMetrics,
@@ -57,5 +59,7 @@ __all__ = [
     "free_space_clearances",
     "instantiate_scenario",
     "measure_scenario",
+    "member_route",
     "parse_scenario",
+    "supports_member_routes",
 ]

@@ -43,6 +43,8 @@ __all__ = [
     "available_families",
     "build_scenario_world",
     "family_knobs",
+    "member_route",
+    "supports_member_routes",
 ]
 
 
@@ -404,6 +406,153 @@ def _build_park(spec: ScenarioSpec) -> World:
     return world
 
 
+_SHARED_CITY_DEFAULTS = {
+    "blocks": 4,
+    "block_size": 24.0,
+    "street_width": 13.0,
+    "min_density": 0.10,
+    "max_density": 0.60,
+    "min_height": 8.0,
+    "max_height": 20.0,
+    "max_traffic": 10,
+    "min_traffic_speed": 0.8,
+    "max_traffic_speed": 2.0,
+    # Member-route assignment knobs (consumed by ``member_route``, not
+    # the world builder — the world is identical for every member).
+    "route_altitude_m": 3.0,
+    "altitude_step_m": 2.0,
+    "altitude_slots": 6,
+    "cross_traffic": 0.0,
+}
+
+
+def _shared_city_knobs(d: float) -> Dict[str, float]:
+    k = _SHARED_CITY_DEFAULTS
+    return {
+        "building_density": _lerp(k["min_density"], k["max_density"], d),
+        "max_height_m": _lerp(k["min_height"], k["max_height"], d),
+        "traffic": _count(0, k["max_traffic"], d),
+        "traffic_speed_ms": _lerp(
+            k["min_traffic_speed"], k["max_traffic_speed"], d
+        ),
+    }
+
+
+def _build_shared_city(spec: ScenarioSpec) -> World:
+    """One city for a whole fleet: an urban street grid whose streets are
+    building-free by construction (buildings stay inside their lots), so
+    the lane assignments :func:`member_route` hands out are flyable at
+    every difficulty.  Difficulty raises building density/height and the
+    street-level traffic count/speed; the world never depends on which
+    member is asking — one content hash, one shared city."""
+    k = _resolve_knobs("shared_city", _SHARED_CITY_DEFAULTS, spec.knobs)
+    blocks = int(k["blocks"])
+    block_size = float(k["block_size"])
+    street = float(k["street_width"])
+    d = spec.difficulty
+    density = _lerp(float(k["min_density"]), float(k["max_density"]), d)
+    h_max = _lerp(float(k["min_height"]), float(k["max_height"]), d)
+    pitch = block_size + street
+    span = blocks * pitch + street
+    world = empty_world(
+        (span, span, float(k["max_height"]) + 17.0),
+        name=f"shared_city@{d:g}",
+    )
+    rng = np.random.default_rng(spec.seed)
+    lots = blocks * blocks
+    draws = rng.uniform(size=(lots, 4))  # presence, width, depth, height
+    traffic_draws = rng.uniform(size=(int(k["max_traffic"]), 4))
+    origin = -span / 2 + street + block_size / 2
+    ii, jj = np.divmod(np.arange(lots), blocks)
+    cxs = origin + ii * pitch
+    cys = origin + jj * pitch
+    present = draws[:, 0] < density
+    widths = (0.5 + 0.45 * draws[:, 1]) * block_size
+    depths = (0.5 + 0.45 * draws[:, 2]) * block_size
+    heights = 6.0 + draws[:, 3] * max(h_max - 6.0, 0.0)
+    for idx in np.nonzero(present)[0]:
+        h = float(heights[idx])
+        world.add(
+            make_box_obstacle(
+                center=(float(cxs[idx]), float(cys[idx]), h / 2),
+                size=(float(widths[idx]), float(depths[idx]), h),
+                kind="building",
+                name=f"building-{int(idx)}",
+            )
+        )
+    speed = _lerp(
+        float(k["min_traffic_speed"]), float(k["max_traffic_speed"]), d
+    )
+    _moving_people(
+        world,
+        _count(0, int(k["max_traffic"]), d),
+        speed,
+        traffic_draws,
+        name_prefix="traffic",
+    )
+    return world
+
+
+def _shared_city_route(spec: ScenarioSpec, member: int) -> Dict[str, Any]:
+    k = _resolve_knobs("shared_city", _SHARED_CITY_DEFAULTS, spec.knobs)
+    blocks = int(k["blocks"])
+    block_size = float(k["block_size"])
+    street = float(k["street_width"])
+    pitch = block_size + street
+    span = blocks * pitch + street
+    # North-south street center lines: blocks+1 flyable lanes.
+    lanes = blocks + 1
+    centers = [-span / 2 + street / 2 + lane * pitch for lane in range(lanes)]
+    i = member % lanes
+    # Default assignment flies each member straight up its own street
+    # (parallel lanes, laterally separated by >= one block pitch);
+    # ``cross_traffic`` mirrors the goal lane so routes cross mid-city,
+    # exercising the conflict-resolution policy.
+    gi = (lanes - 1 - i) if float(k["cross_traffic"]) > 0.0 else i
+    slots = max(int(k["altitude_slots"]), 1)
+    altitude = (
+        float(k["route_altitude_m"])
+        + (member % slots) * float(k["altitude_step_m"])
+    )
+    y0 = -span / 2 + street / 2
+    y1 = span / 2 - street / 2
+    return {
+        "start": np.array([centers[i], y0, 0.0]),
+        "goal": np.array([centers[gi], y1, altitude]),
+        "altitude_m": altitude,
+        "span_m": span,
+    }
+
+
+#: Families whose worlds are meant to be shared by a fleet: maps family
+#: name to its per-member start/goal assignment function.
+_MEMBER_ROUTES: Dict[str, Callable[[ScenarioSpec, int], Dict[str, Any]]] = {
+    "shared_city": _shared_city_route,
+}
+
+
+def supports_member_routes(family: str) -> bool:
+    """True when ``family`` assigns per-member routes (a shared-world
+    family whose one content-hashed world is flown by a whole fleet)."""
+    return family in _MEMBER_ROUTES
+
+
+def member_route(spec: ScenarioSpec, member: int) -> Dict[str, Any] | None:
+    """Deterministic start/goal/altitude assignment for fleet member
+    ``member`` of a shared-world scenario.
+
+    A pure function of the resolved spec and the member index (no world
+    needed), so every process and every enrollment order agrees on the
+    assignment.  Returns ``None`` for families without member routes.
+    """
+    if member is None:
+        return None
+    builder = _MEMBER_ROUTES.get(spec.family)
+    if builder is None:
+        return None
+    return builder(spec, int(member))
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -470,6 +619,13 @@ FAMILIES: Dict[str, ScenarioFamily] = {
             "open park with patrolling people; difficulty raises their "
             "count and walking speed",
             _park_knobs, _build_park, _PARK_DEFAULTS,
+        ),
+        ScenarioFamily(
+            "shared_city", "urban",
+            "one city shared by a whole fleet: building-free street "
+            "lanes with per-member routes; difficulty raises density "
+            "and street traffic",
+            _shared_city_knobs, _build_shared_city, _SHARED_CITY_DEFAULTS,
         ),
     )
 }

@@ -281,6 +281,15 @@ class TestCliCampaign:
         with pytest.raises(SystemExit):
             main(["campaign", "--jobs", "2"])
 
+    def test_campaign_fleet_rejects_k_below_two(self, capsys):
+        # --fleet 0 (or negative, or 1) used to be accepted and silently
+        # degenerate to sequential execution; it is an argparse error
+        # now, matching the `repro profile --fleet` guard.
+        for bad in ("0", "-1", "1"):
+            with pytest.raises(SystemExit):
+                main(["campaign", "--workloads", "scanning", "--fleet", bad])
+            assert "--fleet needs K >= 2" in capsys.readouterr().err
+
     def test_bad_grid_token_rejected(self):
         with pytest.raises(ValueError, match="bad operating point"):
             main(["campaign", "--workloads", "scanning", "--grid", "turbo"])
